@@ -1,0 +1,411 @@
+//! The Hacıgümüş et al. (SIGMOD 2002) bucketization scheme.
+//!
+//! "Every tuple is encrypted with a secure cipher first, then weakly
+//! encrypted attributes are attached to the ciphertext. These weak
+//! encryptions are obtained by taking a plaintext attribute value,
+//! mapping it to a containing interval, and encrypting that interval
+//! using a secret permutation." (paper, Related Work)
+//!
+//! * `INT` attributes partition a configured `[min, max]` range into
+//!   equi-width intervals.
+//! * `STRING` attributes hash into a configured number of buckets.
+//! * `BOOL` attributes get the trivial two-bucket partition.
+//!
+//! The interval identifier is then passed through a keyed small-domain
+//! PRP (the "secret permutation"), and the permuted tag is stored next
+//! to the payload ciphertext. **Equal values always share a tag** —
+//! that determinism is what the paper's two-table salary distinguisher
+//! (experiment E1) exploits. Bucket collisions between *different*
+//! values cause false positives the client filters, the scheme's
+//! "destroyed information".
+
+use dbph_core::{DatabasePh, PhError};
+use dbph_crypto::feistel::FeistelPrp;
+use dbph_crypto::sha256::Sha256;
+use dbph_crypto::SecretKey;
+use dbph_relation::{AttrType, Query, Relation, Schema, Value};
+
+use crate::payload::{decode_tuple, encode_tuple, PayloadCipher};
+
+/// Per-attribute bucketization settings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AttrBuckets {
+    /// Number of buckets (intervals) for this attribute.
+    pub buckets: u64,
+    /// Domain range for `INT` attributes: values are clamped into
+    /// `[min, max]` before interval mapping. Ignored for other types.
+    pub int_range: (i64, i64),
+}
+
+/// Bucketization configuration: one entry per schema attribute.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BucketConfig {
+    per_attr: Vec<AttrBuckets>,
+}
+
+impl BucketConfig {
+    /// Uniform configuration: `buckets` buckets per attribute and one
+    /// shared `INT` range.
+    ///
+    /// # Errors
+    /// Requires `buckets ≥ 2` and a non-empty range.
+    pub fn uniform(
+        schema: &Schema,
+        buckets: u64,
+        int_range: (i64, i64),
+    ) -> Result<Self, PhError> {
+        if buckets < 2 {
+            return Err(PhError::Unsupported("bucketization needs ≥ 2 buckets"));
+        }
+        if int_range.0 >= int_range.1 {
+            return Err(PhError::Unsupported("empty INT bucket range"));
+        }
+        Ok(BucketConfig {
+            per_attr: vec![AttrBuckets { buckets, int_range }; schema.arity()],
+        })
+    }
+
+    /// Per-attribute configuration.
+    ///
+    /// # Errors
+    /// Requires one entry per attribute with `buckets ≥ 2`.
+    pub fn per_attribute(
+        schema: &Schema,
+        per_attr: Vec<AttrBuckets>,
+    ) -> Result<Self, PhError> {
+        if per_attr.len() != schema.arity() {
+            return Err(PhError::Unsupported("one bucket config per attribute required"));
+        }
+        if per_attr.iter().any(|a| a.buckets < 2 || a.int_range.0 >= a.int_range.1) {
+            return Err(PhError::Unsupported("degenerate bucket configuration"));
+        }
+        Ok(BucketConfig { per_attr })
+    }
+
+    /// Settings for attribute `i`.
+    #[must_use]
+    pub fn attr(&self, i: usize) -> &AttrBuckets {
+        &self.per_attr[i]
+    }
+}
+
+/// One stored tuple: the secure payload plus one permuted bucket tag
+/// per attribute. Tags are public to the server by design.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BucketTuple {
+    /// Payload ciphertext (nonce ‖ ChaCha20 stream ciphertext).
+    pub payload: Vec<u8>,
+    /// Permuted bucket tags, one per attribute, in schema order.
+    pub tags: Vec<u64>,
+}
+
+/// Table ciphertext: `(doc id, bucketized tuple)` pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BucketTable {
+    /// Stored tuples.
+    pub docs: Vec<(u64, BucketTuple)>,
+}
+
+impl BucketTable {
+    /// Number of stored tuples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+}
+
+/// Query ciphertext: `(attribute index, expected tag)` per term.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BucketQuery {
+    /// Conjunction terms.
+    pub terms: Vec<(usize, u64)>,
+}
+
+/// The bucketization database PH.
+#[derive(Clone)]
+pub struct BucketizationPh {
+    schema: Schema,
+    config: BucketConfig,
+    /// One secret permutation per attribute ("encrypting that interval
+    /// using a secret permutation").
+    prps: Vec<FeistelPrp>,
+    payload: PayloadCipher,
+}
+
+impl BucketizationPh {
+    /// Builds the scheme for `schema` with `config` under `master`.
+    ///
+    /// # Errors
+    /// Propagates degenerate configurations.
+    pub fn new(schema: Schema, config: BucketConfig, master: &SecretKey) -> Result<Self, PhError> {
+        let mut prps = Vec::with_capacity(schema.arity());
+        for i in 0..schema.arity() {
+            let label = format!("dbph/bucket/prp/{i}/v1");
+            let key = master.derive(label.as_bytes());
+            prps.push(
+                FeistelPrp::new(key.as_bytes(), config.attr(i).buckets)
+                    .map_err(PhError::from)?,
+            );
+        }
+        Ok(BucketizationPh {
+            schema,
+            config,
+            prps,
+            payload: PayloadCipher::new(master, b"dbph/bucket/payload/v1"),
+        })
+    }
+
+    /// The plaintext bucket index of `value` for attribute `i` (before
+    /// the secret permutation).
+    ///
+    /// # Errors
+    /// Fails on type mismatches.
+    pub fn bucket_of(&self, attr_index: usize, value: &Value) -> Result<u64, PhError> {
+        let attr = &self.schema.attributes()[attr_index];
+        value.check_type(&attr.ty, &attr.name)?;
+        let cfg = self.config.attr(attr_index);
+        let bucket = match (value, &attr.ty) {
+            (Value::Int(v), AttrType::Int) => {
+                let (min, max) = cfg.int_range;
+                let clamped = (*v).clamp(min, max);
+                // Equi-width intervals over [min, max].
+                let span = (max as i128) - (min as i128) + 1;
+                let offset = (clamped as i128) - (min as i128);
+                ((offset * cfg.buckets as i128) / span) as u64
+            }
+            (Value::Str(s), AttrType::Str { .. }) => {
+                let digest = Sha256::digest(s.as_bytes());
+                u64::from_be_bytes([
+                    digest[0], digest[1], digest[2], digest[3], digest[4], digest[5],
+                    digest[6], digest[7],
+                ]) % cfg.buckets
+            }
+            (Value::Bool(b), AttrType::Bool) => u64::from(*b) % cfg.buckets,
+            _ => unreachable!("check_type above guarantees agreement"),
+        };
+        Ok(bucket)
+    }
+
+    /// The *permuted* tag stored on the server for `value`.
+    ///
+    /// # Errors
+    /// Fails on type mismatches.
+    pub fn tag_of(&self, attr_index: usize, value: &Value) -> Result<u64, PhError> {
+        Ok(self.prps[attr_index].permute(self.bucket_of(attr_index, value)?))
+    }
+}
+
+impl DatabasePh for BucketizationPh {
+    type TableCt = BucketTable;
+    type QueryCt = BucketQuery;
+
+    fn scheme_name(&self) -> &'static str {
+        "hacigumus-buckets"
+    }
+
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn encrypt_table(&self, relation: &Relation) -> Result<BucketTable, PhError> {
+        if relation.schema() != &self.schema {
+            return Err(PhError::SchemaMismatch {
+                expected: self.schema.to_string(),
+                actual: relation.schema().to_string(),
+            });
+        }
+        let mut docs = Vec::with_capacity(relation.len());
+        for (i, tuple) in relation.tuples().iter().enumerate() {
+            let mut tags = Vec::with_capacity(self.schema.arity());
+            for (j, v) in tuple.values().iter().enumerate() {
+                tags.push(self.tag_of(j, v)?);
+            }
+            let payload = self.payload.encrypt(i as u64, &encode_tuple(tuple));
+            docs.push((i as u64, BucketTuple { payload, tags }));
+        }
+        Ok(BucketTable { docs })
+    }
+
+    fn decrypt_table(&self, ciphertext: &BucketTable) -> Result<Relation, PhError> {
+        let mut out = Relation::empty(self.schema.clone());
+        for (_, bt) in &ciphertext.docs {
+            let bytes = self.payload.decrypt(&bt.payload)?;
+            out.insert(decode_tuple(&self.schema, &bytes)?)?;
+        }
+        Ok(out)
+    }
+
+    fn encrypt_query(&self, query: &Query) -> Result<BucketQuery, PhError> {
+        let indices = query.bind(&self.schema)?;
+        let terms = query
+            .terms()
+            .iter()
+            .zip(indices)
+            .map(|(term, i)| Ok((i, self.tag_of(i, &term.value)?)))
+            .collect::<Result<Vec<_>, PhError>>()?;
+        Ok(BucketQuery { terms })
+    }
+
+    fn apply(table: &BucketTable, query: &BucketQuery) -> BucketTable {
+        let docs = table
+            .docs
+            .iter()
+            .filter(|(_, bt)| {
+                query
+                    .terms
+                    .iter()
+                    .all(|(i, tag)| bt.tags.get(*i) == Some(tag))
+            })
+            .cloned()
+            .collect();
+        BucketTable { docs }
+    }
+
+    fn ciphertext_len(table: &BucketTable) -> usize {
+        table.len()
+    }
+
+    fn doc_ids(table: &BucketTable) -> Vec<u64> {
+        table.docs.iter().map(|(id, _)| *id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbph_core::ph::check_homomorphism_law;
+    use dbph_relation::schema::emp_schema;
+    use dbph_relation::tuple;
+
+    fn master() -> SecretKey {
+        SecretKey::from_bytes([21u8; 32])
+    }
+
+    fn ph() -> BucketizationPh {
+        let config = BucketConfig::uniform(&emp_schema(), 16, (0, 10_000)).unwrap();
+        BucketizationPh::new(emp_schema(), config, &master()).unwrap()
+    }
+
+    fn emp() -> Relation {
+        Relation::from_tuples(
+            emp_schema(),
+            vec![
+                tuple!["Montgomery", "HR", 7500i64],
+                tuple!["Smith", "IT", 4900i64],
+                tuple!["Jones", "IT", 1200i64],
+                tuple!["Ng", "IT", 4900i64],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let ph = ph();
+        let ct = ph.encrypt_table(&emp()).unwrap();
+        assert!(ph.decrypt_table(&ct).unwrap().same_multiset(&emp()));
+    }
+
+    #[test]
+    fn homomorphism_law_holds_with_filtering() {
+        // Bucket collisions create false positives; decrypt_result's
+        // filter must still produce exactly σ(R).
+        let ph = ph();
+        for q in [
+            Query::select("dept", "IT"),
+            Query::select("salary", 4900i64),
+            Query::select("name", "Montgomery"),
+            Query::select("salary", 9999i64),
+        ] {
+            check_homomorphism_law(&ph, &emp(), &q).unwrap();
+        }
+    }
+
+    #[test]
+    fn equal_values_share_tags() {
+        // The determinism at the heart of the paper's §1 attack.
+        let ph = ph();
+        let ct = ph.encrypt_table(&emp()).unwrap();
+        // Tuples 1 and 3 both have salary 4900 (attribute 2).
+        assert_eq!(ct.docs[1].1.tags[2], ct.docs[3].1.tags[2]);
+        // And dept IT (attribute 1) for tuples 1, 2, 3.
+        assert_eq!(ct.docs[1].1.tags[1], ct.docs[2].1.tags[1]);
+    }
+
+    #[test]
+    fn paper_salary_pair_lands_in_distinct_buckets() {
+        // Table 1 of the paper: 4900 vs 1200 must be distinguishable,
+        // i.e. map to different intervals under the E1 configuration.
+        let ph = ph();
+        assert_ne!(
+            ph.bucket_of(2, &Value::int(4900)).unwrap(),
+            ph.bucket_of(2, &Value::int(1200)).unwrap()
+        );
+    }
+
+    #[test]
+    fn tags_are_permuted_buckets() {
+        let ph = ph();
+        let bucket = ph.bucket_of(2, &Value::int(4900)).unwrap();
+        let tag = ph.tag_of(2, &Value::int(4900)).unwrap();
+        assert!(bucket < 16 && tag < 16);
+        // The permutation is keyed: a different master gives different tags.
+        let config = BucketConfig::uniform(&emp_schema(), 16, (0, 10_000)).unwrap();
+        let other =
+            BucketizationPh::new(emp_schema(), config, &SecretKey::from_bytes([9u8; 32]))
+                .unwrap();
+        let differs = (0..16u64).any(|b| {
+            ph.prps[2].permute(b) != other.prps[2].permute(b)
+        });
+        assert!(differs);
+    }
+
+    #[test]
+    fn out_of_range_values_clamp() {
+        let ph = ph();
+        assert_eq!(
+            ph.bucket_of(2, &Value::int(-5)).unwrap(),
+            ph.bucket_of(2, &Value::int(0)).unwrap()
+        );
+        assert_eq!(
+            ph.bucket_of(2, &Value::int(1_000_000)).unwrap(),
+            ph.bucket_of(2, &Value::int(10_000)).unwrap()
+        );
+    }
+
+    #[test]
+    fn config_validation() {
+        assert!(BucketConfig::uniform(&emp_schema(), 1, (0, 10)).is_err());
+        assert!(BucketConfig::uniform(&emp_schema(), 4, (10, 10)).is_err());
+        assert!(BucketConfig::per_attribute(&emp_schema(), vec![]).is_err());
+    }
+
+    #[test]
+    fn schema_mismatch_rejected() {
+        let ph = ph();
+        let other = Relation::empty(dbph_relation::schema::hospital_schema());
+        assert!(ph.encrypt_table(&other).is_err());
+    }
+
+    #[test]
+    fn false_positives_exist_with_coarse_buckets() {
+        // With 2 buckets, collisions are common: server results are a
+        // superset, the filter trims them.
+        let config = BucketConfig::uniform(&emp_schema(), 2, (0, 10_000)).unwrap();
+        let ph = BucketizationPh::new(emp_schema(), config, &master()).unwrap();
+        let r = emp();
+        let q = Query::select("salary", 4900i64);
+        let ct = ph.encrypt_table(&r).unwrap();
+        let qct = ph.encrypt_query(&q).unwrap();
+        let server_result = BucketizationPh::apply(&ct, &qct);
+        let filtered = ph.decrypt_result(&server_result, &q).unwrap();
+        assert!(server_result.len() >= filtered.len());
+        assert_eq!(filtered.len(), 2);
+    }
+}

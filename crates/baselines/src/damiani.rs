@@ -1,0 +1,283 @@
+//! The Damiani et al. (CCS 2003) hash-index scheme.
+//!
+//! Instead of interval buckets, each attribute value is mapped through
+//! a *deterministic keyed hash* truncated to `b` bits; the hash tag is
+//! stored next to the securely encrypted tuple. Collisions between
+//! different values provide some confusion (and false positives to
+//! filter); equal values still always collide on purpose — so "similar
+//! attacks work on the scheme of Damiani et al." (paper §1), which
+//! experiment E1 confirms.
+
+use dbph_core::{DatabasePh, PhError};
+use dbph_crypto::hmac::HmacSha256;
+use dbph_crypto::SecretKey;
+use dbph_relation::{Query, Relation, Schema, Value};
+
+use crate::payload::{decode_tuple, encode_tuple, PayloadCipher};
+
+/// Default hash-tag width in bits.
+pub const DEFAULT_TAG_BITS: u32 = 16;
+
+/// One stored tuple: payload ciphertext plus per-attribute hash tags.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HashTuple {
+    /// Payload ciphertext.
+    pub payload: Vec<u8>,
+    /// Truncated keyed hash per attribute, in schema order.
+    pub tags: Vec<u64>,
+}
+
+/// Table ciphertext.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HashTable {
+    /// Stored tuples.
+    pub docs: Vec<(u64, HashTuple)>,
+}
+
+impl HashTable {
+    /// Number of stored tuples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+}
+
+/// Query ciphertext: `(attribute index, expected tag)` per term.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HashQuery {
+    /// Conjunction terms.
+    pub terms: Vec<(usize, u64)>,
+}
+
+/// The Damiani-style hash-index database PH.
+#[derive(Clone)]
+pub struct DamianiPh {
+    schema: Schema,
+    tag_key: [u8; 32],
+    tag_bits: u32,
+    payload: PayloadCipher,
+}
+
+impl DamianiPh {
+    /// Builds the scheme with the default 16-bit tags.
+    ///
+    /// # Errors
+    /// Propagates parameter validation (`tag_bits ∈ 1..=63`).
+    pub fn new(schema: Schema, master: &SecretKey) -> Result<Self, PhError> {
+        Self::with_tag_bits(schema, master, DEFAULT_TAG_BITS)
+    }
+
+    /// Builds the scheme with explicit tag width. Fewer bits mean more
+    /// collisions: more client-side filtering but less (accidental)
+    /// information per tag — the trade-off the original paper tunes.
+    ///
+    /// # Errors
+    /// Requires `1 ≤ tag_bits ≤ 63`.
+    pub fn with_tag_bits(
+        schema: Schema,
+        master: &SecretKey,
+        tag_bits: u32,
+    ) -> Result<Self, PhError> {
+        if tag_bits == 0 || tag_bits > 63 {
+            return Err(PhError::Unsupported("tag_bits must be in 1..=63"));
+        }
+        Ok(DamianiPh {
+            schema,
+            tag_key: *master.derive(b"dbph/damiani/tag/v1").as_bytes(),
+            tag_bits,
+            payload: PayloadCipher::new(master, b"dbph/damiani/payload/v1"),
+        })
+    }
+
+    /// The deterministic tag of `value` at attribute `attr_index`.
+    ///
+    /// # Errors
+    /// Fails on type mismatches.
+    pub fn tag_of(&self, attr_index: usize, value: &Value) -> Result<u64, PhError> {
+        let attr = &self.schema.attributes()[attr_index];
+        value.check_type(&attr.ty, &attr.name)?;
+        let mut mac = HmacSha256::new(&self.tag_key);
+        mac.update(&(attr_index as u32).to_be_bytes());
+        mac.update(&value.encode());
+        let digest = mac.finalize();
+        let full = u64::from_be_bytes([
+            digest[0], digest[1], digest[2], digest[3], digest[4], digest[5], digest[6],
+            digest[7],
+        ]);
+        Ok(full & ((1u64 << self.tag_bits) - 1))
+    }
+}
+
+impl DatabasePh for DamianiPh {
+    type TableCt = HashTable;
+    type QueryCt = HashQuery;
+
+    fn scheme_name(&self) -> &'static str {
+        "damiani-hash"
+    }
+
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn encrypt_table(&self, relation: &Relation) -> Result<HashTable, PhError> {
+        if relation.schema() != &self.schema {
+            return Err(PhError::SchemaMismatch {
+                expected: self.schema.to_string(),
+                actual: relation.schema().to_string(),
+            });
+        }
+        let mut docs = Vec::with_capacity(relation.len());
+        for (i, tuple) in relation.tuples().iter().enumerate() {
+            let mut tags = Vec::with_capacity(self.schema.arity());
+            for (j, v) in tuple.values().iter().enumerate() {
+                tags.push(self.tag_of(j, v)?);
+            }
+            let payload = self.payload.encrypt(i as u64, &encode_tuple(tuple));
+            docs.push((i as u64, HashTuple { payload, tags }));
+        }
+        Ok(HashTable { docs })
+    }
+
+    fn decrypt_table(&self, ciphertext: &HashTable) -> Result<Relation, PhError> {
+        let mut out = Relation::empty(self.schema.clone());
+        for (_, ht) in &ciphertext.docs {
+            let bytes = self.payload.decrypt(&ht.payload)?;
+            out.insert(decode_tuple(&self.schema, &bytes)?)?;
+        }
+        Ok(out)
+    }
+
+    fn encrypt_query(&self, query: &Query) -> Result<HashQuery, PhError> {
+        let indices = query.bind(&self.schema)?;
+        let terms = query
+            .terms()
+            .iter()
+            .zip(indices)
+            .map(|(term, i)| Ok((i, self.tag_of(i, &term.value)?)))
+            .collect::<Result<Vec<_>, PhError>>()?;
+        Ok(HashQuery { terms })
+    }
+
+    fn apply(table: &HashTable, query: &HashQuery) -> HashTable {
+        let docs = table
+            .docs
+            .iter()
+            .filter(|(_, ht)| {
+                query
+                    .terms
+                    .iter()
+                    .all(|(i, tag)| ht.tags.get(*i) == Some(tag))
+            })
+            .cloned()
+            .collect();
+        HashTable { docs }
+    }
+
+    fn ciphertext_len(table: &HashTable) -> usize {
+        table.len()
+    }
+
+    fn doc_ids(table: &HashTable) -> Vec<u64> {
+        table.docs.iter().map(|(id, _)| *id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbph_core::ph::check_homomorphism_law;
+    use dbph_relation::schema::emp_schema;
+    use dbph_relation::tuple;
+
+    fn master() -> SecretKey {
+        SecretKey::from_bytes([31u8; 32])
+    }
+
+    fn ph() -> DamianiPh {
+        DamianiPh::new(emp_schema(), &master()).unwrap()
+    }
+
+    fn emp() -> Relation {
+        Relation::from_tuples(
+            emp_schema(),
+            vec![
+                tuple!["Montgomery", "HR", 7500i64],
+                tuple!["Smith", "IT", 4900i64],
+                tuple!["Jones", "IT", 1200i64],
+                tuple!["Ng", "IT", 4900i64],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let ph = ph();
+        let ct = ph.encrypt_table(&emp()).unwrap();
+        assert!(ph.decrypt_table(&ct).unwrap().same_multiset(&emp()));
+    }
+
+    #[test]
+    fn homomorphism_law() {
+        let ph = ph();
+        for q in [
+            Query::select("dept", "IT"),
+            Query::select("salary", 4900i64),
+            Query::select("name", "Nobody"),
+        ] {
+            check_homomorphism_law(&ph, &emp(), &q).unwrap();
+        }
+    }
+
+    #[test]
+    fn equal_values_share_tags() {
+        let ph = ph();
+        let ct = ph.encrypt_table(&emp()).unwrap();
+        assert_eq!(ct.docs[1].1.tags[2], ct.docs[3].1.tags[2], "4900 == 4900");
+        assert_ne!(ct.docs[0].1.tags[2], ct.docs[1].1.tags[2], "7500 != 4900 (w.h.p.)");
+    }
+
+    #[test]
+    fn tags_are_keyed() {
+        let a = ph();
+        let b = DamianiPh::new(emp_schema(), &SecretKey::from_bytes([99u8; 32])).unwrap();
+        assert_ne!(
+            a.tag_of(2, &Value::int(4900)).unwrap(),
+            b.tag_of(2, &Value::int(4900)).unwrap()
+        );
+    }
+
+    #[test]
+    fn tag_width_is_respected() {
+        let ph = DamianiPh::with_tag_bits(emp_schema(), &master(), 4).unwrap();
+        for i in 0..200i64 {
+            assert!(ph.tag_of(2, &Value::int(i)).unwrap() < 16);
+        }
+    }
+
+    #[test]
+    fn narrow_tags_collide_but_filter_fixes_results() {
+        // 2-bit tags: heavy collisions; homomorphism law must still hold.
+        let ph = DamianiPh::with_tag_bits(emp_schema(), &master(), 2).unwrap();
+        for q in [
+            Query::select("salary", 4900i64),
+            Query::select("dept", "HR"),
+        ] {
+            check_homomorphism_law(&ph, &emp(), &q).unwrap();
+        }
+    }
+
+    #[test]
+    fn tag_bits_validation() {
+        assert!(DamianiPh::with_tag_bits(emp_schema(), &master(), 0).is_err());
+        assert!(DamianiPh::with_tag_bits(emp_schema(), &master(), 64).is_err());
+        assert!(DamianiPh::with_tag_bits(emp_schema(), &master(), 63).is_ok());
+    }
+}

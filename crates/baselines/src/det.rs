@@ -1,0 +1,240 @@
+//! The deterministic-encryption strawman PH.
+//!
+//! Every cell is encrypted independently with a deterministic cipher
+//! (AES-128-ECB over the padded value encoding). Exact selects become
+//! exact ciphertext matches: zero false positives, no client-side
+//! filtering — and *complete* equality-pattern leakage, within and
+//! across columns of equal plaintext encodings. It is the cleanest
+//! illustration of why "some of the information contained in the
+//! plaintext is destroyed but not as much as in an ordinary encryption
+//! scheme" is a security problem, and the E5 experiment's target.
+
+use dbph_core::{DatabasePh, PhError};
+use dbph_crypto::cipher::{DeterministicCipher, EcbCipher};
+use dbph_crypto::SecretKey;
+use dbph_relation::{Query, Relation, Schema, Tuple, Value};
+
+/// Table ciphertext: per tuple, one deterministic ciphertext per cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetTable {
+    /// `(doc id, cell ciphertexts in schema order)`.
+    pub docs: Vec<(u64, Vec<Vec<u8>>)>,
+}
+
+impl DetTable {
+    /// Number of stored tuples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+}
+
+/// Query ciphertext: `(attribute index, expected cell ciphertext)`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DetQuery {
+    /// Conjunction terms.
+    pub terms: Vec<(usize, Vec<u8>)>,
+}
+
+/// The deterministic per-cell database PH.
+#[derive(Clone)]
+pub struct DeterministicPh {
+    schema: Schema,
+    /// One cipher per attribute: equal values in *different* columns
+    /// encrypt differently (the minimum hygiene even a strawman needs).
+    ciphers: Vec<EcbCipher>,
+}
+
+impl DeterministicPh {
+    /// Builds the scheme for `schema` under `master`.
+    #[must_use]
+    pub fn new(schema: Schema, master: &SecretKey) -> Self {
+        let ciphers = (0..schema.arity())
+            .map(|i| {
+                let label = format!("dbph/det/cell/{i}/v1");
+                EcbCipher::new(master, label.as_bytes())
+            })
+            .collect();
+        DeterministicPh { schema, ciphers }
+    }
+
+    fn encrypt_cell(&self, attr_index: usize, value: &Value) -> Result<Vec<u8>, PhError> {
+        let attr = &self.schema.attributes()[attr_index];
+        value.check_type(&attr.ty, &attr.name)?;
+        Ok(self.ciphers[attr_index].encrypt_det(&value.encode()))
+    }
+
+    fn decrypt_cell(&self, attr_index: usize, ct: &[u8]) -> Result<Value, PhError> {
+        let bytes = self.ciphers[attr_index]
+            .decrypt_det(ct)
+            .map_err(|e| PhError::CorruptCiphertext(e.to_string()))?;
+        Value::decode(&self.schema.attributes()[attr_index].ty, &bytes)
+            .map_err(|e| PhError::CorruptCiphertext(e.to_string()))
+    }
+}
+
+impl DatabasePh for DeterministicPh {
+    type TableCt = DetTable;
+    type QueryCt = DetQuery;
+
+    fn scheme_name(&self) -> &'static str {
+        "deterministic-ecb"
+    }
+
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn encrypt_table(&self, relation: &Relation) -> Result<DetTable, PhError> {
+        if relation.schema() != &self.schema {
+            return Err(PhError::SchemaMismatch {
+                expected: self.schema.to_string(),
+                actual: relation.schema().to_string(),
+            });
+        }
+        let mut docs = Vec::with_capacity(relation.len());
+        for (i, tuple) in relation.tuples().iter().enumerate() {
+            let cells = tuple
+                .values()
+                .iter()
+                .enumerate()
+                .map(|(j, v)| self.encrypt_cell(j, v))
+                .collect::<Result<Vec<_>, _>>()?;
+            docs.push((i as u64, cells));
+        }
+        Ok(DetTable { docs })
+    }
+
+    fn decrypt_table(&self, ciphertext: &DetTable) -> Result<Relation, PhError> {
+        let mut out = Relation::empty(self.schema.clone());
+        for (_, cells) in &ciphertext.docs {
+            if cells.len() != self.schema.arity() {
+                return Err(PhError::CorruptCiphertext("cell arity mismatch".into()));
+            }
+            let values = cells
+                .iter()
+                .enumerate()
+                .map(|(j, c)| self.decrypt_cell(j, c))
+                .collect::<Result<Vec<_>, _>>()?;
+            out.insert(Tuple::new(values))?;
+        }
+        Ok(out)
+    }
+
+    fn encrypt_query(&self, query: &Query) -> Result<DetQuery, PhError> {
+        let indices = query.bind(&self.schema)?;
+        let terms = query
+            .terms()
+            .iter()
+            .zip(indices)
+            .map(|(term, i)| Ok((i, self.encrypt_cell(i, &term.value)?)))
+            .collect::<Result<Vec<_>, PhError>>()?;
+        Ok(DetQuery { terms })
+    }
+
+    fn apply(table: &DetTable, query: &DetQuery) -> DetTable {
+        let docs = table
+            .docs
+            .iter()
+            .filter(|(_, cells)| {
+                query
+                    .terms
+                    .iter()
+                    .all(|(i, ct)| cells.get(*i) == Some(ct))
+            })
+            .cloned()
+            .collect();
+        DetTable { docs }
+    }
+
+    fn ciphertext_len(table: &DetTable) -> usize {
+        table.len()
+    }
+
+    fn doc_ids(table: &DetTable) -> Vec<u64> {
+        table.docs.iter().map(|(id, _)| *id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbph_core::ph::check_homomorphism_law;
+    use dbph_relation::schema::emp_schema;
+    use dbph_relation::tuple;
+
+    fn ph() -> DeterministicPh {
+        DeterministicPh::new(emp_schema(), &SecretKey::from_bytes([51u8; 32]))
+    }
+
+    fn emp() -> Relation {
+        Relation::from_tuples(
+            emp_schema(),
+            vec![
+                tuple!["Montgomery", "HR", 7500i64],
+                tuple!["Smith", "IT", 4900i64],
+                tuple!["Ng", "IT", 4900i64],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn roundtrip() {
+        let ph = ph();
+        let ct = ph.encrypt_table(&emp()).unwrap();
+        assert!(ph.decrypt_table(&ct).unwrap().same_multiset(&emp()));
+    }
+
+    #[test]
+    fn homomorphism_law_exact_no_false_positives() {
+        let ph = ph();
+        let q = Query::select("salary", 4900i64);
+        let ct = ph.encrypt_table(&emp()).unwrap();
+        let qct = ph.encrypt_query(&q).unwrap();
+        let server_result = DeterministicPh::apply(&ct, &qct);
+        // Deterministic matching is exact: the server result *is* the
+        // final result (before decryption).
+        assert_eq!(server_result.len(), 2);
+        check_homomorphism_law(&ph, &emp(), &q).unwrap();
+    }
+
+    #[test]
+    fn equality_pattern_fully_leaks() {
+        let ph = ph();
+        let ct = ph.encrypt_table(&emp()).unwrap();
+        // salary 4900 == 4900 across tuples 1 and 2: identical cells.
+        assert_eq!(ct.docs[1].1[2], ct.docs[2].1[2]);
+        // dept IT == IT likewise.
+        assert_eq!(ct.docs[1].1[1], ct.docs[2].1[1]);
+        // Different values differ.
+        assert_ne!(ct.docs[0].1[2], ct.docs[1].1[2]);
+    }
+
+    #[test]
+    fn per_column_keys_prevent_cross_column_equality() {
+        // "HR" as name vs "HR" as dept must not collide.
+        let schema = emp_schema();
+        let ph = DeterministicPh::new(schema.clone(), &SecretKey::from_bytes([51u8; 32]));
+        let r = Relation::from_tuples(schema, vec![tuple!["HR", "HR", 1i64]]).unwrap();
+        let ct = ph.encrypt_table(&r).unwrap();
+        assert_ne!(ct.docs[0].1[0], ct.docs[0].1[1]);
+    }
+
+    #[test]
+    fn conjunction_works() {
+        let ph = ph();
+        let q = Query::conjunction(vec![
+            dbph_relation::ExactSelect::new("dept", "IT"),
+            dbph_relation::ExactSelect::new("salary", 4900i64),
+        ])
+        .unwrap();
+        check_homomorphism_law(&ph, &emp(), &q).unwrap();
+    }
+}

@@ -1,0 +1,189 @@
+//! Tuple payload encryption shared by the baselines.
+//!
+//! Hacıgümüş-style schemes store each tuple as `(secure ciphertext,
+//! weak index tags)`. This module provides the "secure ciphertext"
+//! part: a canonical tuple byte encoding plus SIV-style deterministic
+//! encryption (nonce derived from the document id and payload, so the
+//! `DatabasePh` interface stays free of RNG plumbing while equal tuples
+//! at different positions still encrypt differently).
+
+use dbph_core::wire::{Reader, WireDecode, WireEncode};
+use dbph_core::PhError;
+use dbph_crypto::chacha20;
+use dbph_crypto::hmac::HmacSha256;
+use dbph_crypto::SecretKey;
+use dbph_relation::{Schema, Tuple, Value};
+
+/// Canonical byte encoding of a tuple: per value a type tag byte plus
+/// the value's canonical encoding, length-prefixed.
+#[must_use]
+pub fn encode_tuple(tuple: &Tuple) -> Vec<u8> {
+    let mut buf = Vec::new();
+    tuple.values().len().encode(&mut buf);
+    for v in tuple.values() {
+        match v {
+            Value::Str(_) => buf.push(0),
+            Value::Int(_) => buf.push(1),
+            Value::Bool(_) => buf.push(2),
+        }
+        v.encode().encode(&mut buf);
+    }
+    buf
+}
+
+/// Decodes [`encode_tuple`] output, validating types against `schema`.
+///
+/// # Errors
+/// Returns [`PhError::CorruptCiphertext`] on malformed bytes or tuples
+/// that do not validate against the schema.
+pub fn decode_tuple(schema: &Schema, bytes: &[u8]) -> Result<Tuple, PhError> {
+    let mut r = Reader::new(bytes);
+    let n = usize::decode(&mut r)?;
+    if n != schema.arity() {
+        return Err(PhError::CorruptCiphertext(format!(
+            "tuple arity {n} != schema arity {}",
+            schema.arity()
+        )));
+    }
+    let mut values = Vec::with_capacity(n);
+    for i in 0..n {
+        let tag = u8::decode(&mut r)?;
+        let raw = Vec::<u8>::decode(&mut r)?;
+        let ty = &schema.attributes()[i].ty;
+        let expected_tag = match ty {
+            dbph_relation::AttrType::Str { .. } => 0,
+            dbph_relation::AttrType::Int => 1,
+            dbph_relation::AttrType::Bool => 2,
+        };
+        if tag != expected_tag {
+            return Err(PhError::CorruptCiphertext(format!(
+                "value {i}: type tag {tag}, expected {expected_tag}"
+            )));
+        }
+        let v = Value::decode(ty, &raw)
+            .map_err(|e| PhError::CorruptCiphertext(e.to_string()))?;
+        values.push(v);
+    }
+    r.expect_end()?;
+    let tuple = Tuple::new(values);
+    tuple.validate(schema)?;
+    Ok(tuple)
+}
+
+/// Deterministic (SIV-style) tuple payload cipher: ChaCha20 with a
+/// nonce derived as `HMAC(k_nonce, doc_id ‖ payload)`. CPA-secure up
+/// to payload equality *at the same document id* — which a single
+/// table ciphertext never exhibits.
+#[derive(Clone)]
+pub struct PayloadCipher {
+    enc_key: [u8; 32],
+    nonce_key: [u8; 32],
+}
+
+impl PayloadCipher {
+    /// Derives the payload cipher from a master key and label.
+    #[must_use]
+    pub fn new(master: &SecretKey, label: &[u8]) -> Self {
+        let base = master.derive(label);
+        PayloadCipher {
+            enc_key: *base.derive(b"enc").as_bytes(),
+            nonce_key: *base.derive(b"nonce").as_bytes(),
+        }
+    }
+
+    /// Encrypts `payload` for document `doc_id`.
+    #[must_use]
+    pub fn encrypt(&self, doc_id: u64, payload: &[u8]) -> Vec<u8> {
+        let mut mac = HmacSha256::new(&self.nonce_key);
+        mac.update(&doc_id.to_le_bytes());
+        mac.update(payload);
+        let tag = mac.finalize();
+        let mut nonce = [0u8; chacha20::NONCE_LEN];
+        nonce.copy_from_slice(&tag[..chacha20::NONCE_LEN]);
+
+        let mut out = Vec::with_capacity(chacha20::NONCE_LEN + payload.len());
+        out.extend_from_slice(&nonce);
+        out.extend_from_slice(payload);
+        chacha20::xor_stream(&self.enc_key, &nonce, 0, &mut out[chacha20::NONCE_LEN..]);
+        out
+    }
+
+    /// Decrypts a payload ciphertext.
+    ///
+    /// # Errors
+    /// Returns [`PhError::CorruptCiphertext`] when the framing is too
+    /// short.
+    pub fn decrypt(&self, ciphertext: &[u8]) -> Result<Vec<u8>, PhError> {
+        if ciphertext.len() < chacha20::NONCE_LEN {
+            return Err(PhError::CorruptCiphertext("payload shorter than nonce".into()));
+        }
+        let mut nonce = [0u8; chacha20::NONCE_LEN];
+        nonce.copy_from_slice(&ciphertext[..chacha20::NONCE_LEN]);
+        let mut out = ciphertext[chacha20::NONCE_LEN..].to_vec();
+        chacha20::xor_stream(&self.enc_key, &nonce, 0, &mut out);
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbph_relation::schema::emp_schema;
+    use dbph_relation::tuple;
+
+    #[test]
+    fn tuple_bytes_roundtrip() {
+        let t = tuple!["Montgomery", "HR", 7500i64];
+        let bytes = encode_tuple(&t);
+        assert_eq!(decode_tuple(&emp_schema(), &bytes).unwrap(), t);
+    }
+
+    #[test]
+    fn tuple_bytes_reject_arity_and_type_mismatch() {
+        let t = tuple!["a", "b"];
+        let bytes = encode_tuple(&t);
+        assert!(decode_tuple(&emp_schema(), &bytes).is_err());
+
+        let t = tuple![1i64, "HR", 7500i64]; // wrong type in slot 0
+        let bytes = encode_tuple(&t);
+        assert!(decode_tuple(&emp_schema(), &bytes).is_err());
+    }
+
+    #[test]
+    fn tuple_bytes_reject_truncation() {
+        let t = tuple!["Montgomery", "HR", 7500i64];
+        let bytes = encode_tuple(&t);
+        for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
+            assert!(decode_tuple(&emp_schema(), &bytes[..cut]).is_err(), "cut {cut}");
+        }
+    }
+
+    #[test]
+    fn payload_cipher_roundtrip() {
+        let c = PayloadCipher::new(&SecretKey::from_bytes([8u8; 32]), b"t");
+        let payload = b"some tuple bytes";
+        let ct = c.encrypt(3, payload);
+        assert_ne!(&ct[chacha20::NONCE_LEN..], payload.as_slice());
+        assert_eq!(c.decrypt(&ct).unwrap(), payload.to_vec());
+    }
+
+    #[test]
+    fn equal_payloads_different_docs_differ() {
+        let c = PayloadCipher::new(&SecretKey::from_bytes([8u8; 32]), b"t");
+        let ct1 = c.encrypt(0, b"same");
+        let ct2 = c.encrypt(1, b"same");
+        assert_ne!(ct1, ct2, "SIV nonce must separate document ids");
+    }
+
+    #[test]
+    fn deterministic_per_doc_and_payload() {
+        let c = PayloadCipher::new(&SecretKey::from_bytes([8u8; 32]), b"t");
+        assert_eq!(c.encrypt(5, b"x"), c.encrypt(5, b"x"));
+    }
+
+    #[test]
+    fn short_ciphertext_rejected() {
+        let c = PayloadCipher::new(&SecretKey::from_bytes([8u8; 32]), b"t");
+        assert!(c.decrypt(&[0u8; 5]).is_err());
+    }
+}

@@ -1,0 +1,160 @@
+//! The identity ("plaintext") PH — the performance floor.
+//!
+//! No encryption at all: the table ciphertext is the tuple list, the
+//! query ciphertext is the bound predicate. Useful as the baseline in
+//! every bench (how much does security cost?) and as a sanity check
+//! for the game harnesses (its distinguishing advantage must be ≈ 1
+//! for *any* non-trivial adversary).
+
+use dbph_core::{DatabasePh, PhError};
+use dbph_relation::{Query, Relation, Schema, Tuple, Value};
+
+/// "Ciphertext": the tuples, in the clear.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlainTable {
+    /// `(doc id, tuple)` pairs.
+    pub docs: Vec<(u64, Tuple)>,
+}
+
+impl PlainTable {
+    /// Number of stored tuples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+}
+
+/// "Encrypted" query: bound `(attribute index, value)` pairs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlainQuery {
+    /// Conjunction terms.
+    pub terms: Vec<(usize, Value)>,
+}
+
+/// The identity PH.
+#[derive(Clone)]
+pub struct PlaintextPh {
+    schema: Schema,
+}
+
+impl PlaintextPh {
+    /// Builds the identity PH for `schema`.
+    #[must_use]
+    pub fn new(schema: Schema) -> Self {
+        PlaintextPh { schema }
+    }
+}
+
+impl DatabasePh for PlaintextPh {
+    type TableCt = PlainTable;
+    type QueryCt = PlainQuery;
+
+    fn scheme_name(&self) -> &'static str {
+        "plaintext"
+    }
+
+    fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    fn encrypt_table(&self, relation: &Relation) -> Result<PlainTable, PhError> {
+        if relation.schema() != &self.schema {
+            return Err(PhError::SchemaMismatch {
+                expected: self.schema.to_string(),
+                actual: relation.schema().to_string(),
+            });
+        }
+        Ok(PlainTable {
+            docs: relation
+                .tuples()
+                .iter()
+                .enumerate()
+                .map(|(i, t)| (i as u64, t.clone()))
+                .collect(),
+        })
+    }
+
+    fn decrypt_table(&self, ciphertext: &PlainTable) -> Result<Relation, PhError> {
+        let mut out = Relation::empty(self.schema.clone());
+        for (_, t) in &ciphertext.docs {
+            out.insert(t.clone())?;
+        }
+        Ok(out)
+    }
+
+    fn encrypt_query(&self, query: &Query) -> Result<PlainQuery, PhError> {
+        let indices = query.bind(&self.schema)?;
+        Ok(PlainQuery {
+            terms: query
+                .terms()
+                .iter()
+                .zip(indices)
+                .map(|(t, i)| (i, t.value.clone()))
+                .collect(),
+        })
+    }
+
+    fn apply(table: &PlainTable, query: &PlainQuery) -> PlainTable {
+        let docs = table
+            .docs
+            .iter()
+            .filter(|(_, t)| query.terms.iter().all(|(i, v)| t.get(*i) == Some(v)))
+            .cloned()
+            .collect();
+        PlainTable { docs }
+    }
+
+    fn ciphertext_len(table: &PlainTable) -> usize {
+        table.len()
+    }
+
+    fn doc_ids(table: &PlainTable) -> Vec<u64> {
+        table.docs.iter().map(|(id, _)| *id).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbph_core::ph::check_homomorphism_law;
+    use dbph_relation::schema::emp_schema;
+    use dbph_relation::tuple;
+
+    fn emp() -> Relation {
+        Relation::from_tuples(
+            emp_schema(),
+            vec![
+                tuple!["Montgomery", "HR", 7500i64],
+                tuple!["Smith", "IT", 4900i64],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn identity_roundtrip_and_law() {
+        let ph = PlaintextPh::new(emp_schema());
+        let ct = ph.encrypt_table(&emp()).unwrap();
+        assert!(ph.decrypt_table(&ct).unwrap().same_multiset(&emp()));
+        for q in [
+            Query::select("dept", "IT"),
+            Query::select("name", "Montgomery"),
+            Query::select("salary", 0i64),
+        ] {
+            check_homomorphism_law(&ph, &emp(), &q).unwrap();
+        }
+    }
+
+    #[test]
+    fn ciphertext_is_plaintext() {
+        let ph = PlaintextPh::new(emp_schema());
+        let ct = ph.encrypt_table(&emp()).unwrap();
+        assert_eq!(ct.docs[0].1, tuple!["Montgomery", "HR", 7500i64]);
+    }
+}

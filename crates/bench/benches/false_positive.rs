@@ -1,0 +1,49 @@
+//! F3 — client-side filtering cost vs. check width.
+//!
+//! Smaller check widths mean cheaper comparisons but more false
+//! positives for the client to decrypt and discard; this bench
+//! measures the full decrypt+filter path across check widths,
+//! substantiating the paper's "does not affect the efficiency" claim
+//! for sane widths. Regenerate with
+//! `cargo bench -p dbph-bench --bench false_positive`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+use dbph_core::{DatabasePh, FinalSwpPh, WordCodec};
+use dbph_crypto::SecretKey;
+use dbph_relation::Query;
+use dbph_swp::SwpParams;
+use dbph_workload::EmployeeGen;
+
+fn bench_filter(c: &mut Criterion) {
+    let schema = EmployeeGen::schema();
+    let relation = EmployeeGen { rows: 2000, ..EmployeeGen::default() }.generate(4);
+    let query = Query::select("dept", "dept-00");
+    let word_len = WordCodec::new(schema.clone()).word_len();
+
+    let mut group = c.benchmark_group("decrypt_and_filter");
+    for check_bits in [4u32, 8, 16, 32] {
+        let params = SwpParams::new(word_len, 4, check_bits).unwrap();
+        let ph = FinalSwpPh::with_params(
+            schema.clone(),
+            &SecretKey::from_bytes([19u8; 32]),
+            params,
+        )
+        .unwrap();
+        let ct = ph.encrypt_table(&relation).unwrap();
+        let qct = ph.encrypt_query(&query).unwrap();
+        let server_result = FinalSwpPh::apply(&ct, &qct);
+
+        group.bench_function(
+            BenchmarkId::new(
+                format!("bits={check_bits} superset={}", server_result.len()),
+                check_bits,
+            ),
+            |b| b.iter(|| ph.decrypt_result(&server_result, &query).unwrap()),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_filter);
+criterion_main!(benches);

@@ -1,0 +1,73 @@
+//! F2 — exact-select latency vs. table size.
+//!
+//! The server-side scan `ψ` is linear for the SWP construction and for
+//! the tag-indexed baselines alike (no index structures here — the
+//! paper's model is a full trapdoor scan); this bench pins down the
+//! constants and the crossover against plaintext evaluation.
+//! Regenerate with `cargo bench -p dbph-bench --bench query`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use dbph_baselines::{DamianiPh, PlaintextPh};
+use dbph_core::{DatabasePh, FinalSwpPh};
+use dbph_crypto::SecretKey;
+use dbph_relation::Query;
+use dbph_workload::EmployeeGen;
+
+const SIZES: [usize; 4] = [1000, 4000, 16_000, 64_000];
+
+fn master() -> SecretKey {
+    SecretKey::from_bytes([18u8; 32])
+}
+
+fn bench_query(c: &mut Criterion) {
+    let schema = EmployeeGen::schema();
+    let query = Query::select("dept", "dept-00");
+
+    let mut group = c.benchmark_group("exact_select");
+    for &rows in &SIZES {
+        let relation = EmployeeGen { rows, ..EmployeeGen::default() }.generate(2);
+        group.throughput(Throughput::Elements(rows as u64));
+
+        let swp = FinalSwpPh::new(schema.clone(), &master()).unwrap();
+        let ct = swp.encrypt_table(&relation).unwrap();
+        let qct = swp.encrypt_query(&query).unwrap();
+        group.bench_function(BenchmarkId::new("swp-final/apply", rows), |b| {
+            b.iter(|| FinalSwpPh::apply(&ct, &qct))
+        });
+
+        let damiani = DamianiPh::new(schema.clone(), &master()).unwrap();
+        let dct = damiani.encrypt_table(&relation).unwrap();
+        let dqct = damiani.encrypt_query(&query).unwrap();
+        group.bench_function(BenchmarkId::new("damiani-hash/apply", rows), |b| {
+            b.iter(|| DamianiPh::apply(&dct, &dqct))
+        });
+
+        let plain = PlaintextPh::new(schema.clone());
+        let pct = plain.encrypt_table(&relation).unwrap();
+        let pqct = plain.encrypt_query(&query).unwrap();
+        group.bench_function(BenchmarkId::new("plaintext/apply", rows), |b| {
+            b.iter(|| PlaintextPh::apply(&pct, &pqct))
+        });
+    }
+    group.finish();
+
+    // End-to-end (encrypt query + apply + decrypt + filter) at one size.
+    let mut e2e = c.benchmark_group("exact_select_end_to_end");
+    let rows = 4000;
+    let relation = EmployeeGen { rows, ..EmployeeGen::default() }.generate(3);
+    let swp = FinalSwpPh::new(schema, &master()).unwrap();
+    let ct = swp.encrypt_table(&relation).unwrap();
+    e2e.throughput(Throughput::Elements(rows as u64));
+    e2e.bench_function(BenchmarkId::new("swp-final/full-roundtrip", rows), |b| {
+        b.iter(|| {
+            let qct = swp.encrypt_query(&query).unwrap();
+            let result = FinalSwpPh::apply(&ct, &qct);
+            swp.decrypt_result(&result, &query).unwrap()
+        })
+    });
+    e2e.finish();
+}
+
+criterion_group!(benches, bench_query);
+criterion_main!(benches);

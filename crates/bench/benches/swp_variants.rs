@@ -1,0 +1,80 @@
+//! F4 — ablation over the four SWP schemes.
+//!
+//! Encryption and search throughput of Schemes I–IV over the same word
+//! stream: what each hardening step (per-word keys, pre-encryption,
+//! left-half keys) costs. Regenerate with
+//! `cargo bench -p dbph-bench --bench swp_variants`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use dbph_crypto::SecretKey;
+use dbph_swp::{
+    matches, BasicScheme, ControlledScheme, FinalScheme, HiddenScheme, Location,
+    SearchableScheme, SwpParams, Word,
+};
+
+const WORDS: usize = 2000;
+
+fn words() -> Vec<Word> {
+    (0..WORDS)
+        .map(|i| Word::from_bytes_unchecked(format!("word-{i:08}").into_bytes()))
+        .collect()
+}
+
+fn params() -> SwpParams {
+    SwpParams::new(13, 4, 32).unwrap()
+}
+
+fn master() -> SecretKey {
+    SecretKey::from_bytes([20u8; 32])
+}
+
+fn bench_scheme<S: SearchableScheme>(
+    c: &mut Criterion,
+    name: &str,
+    scheme: &S,
+    corpus: &[Word],
+) {
+    let mut group = c.benchmark_group("swp_encrypt_word");
+    group.throughput(Throughput::Elements(corpus.len() as u64));
+    group.bench_function(BenchmarkId::new(name, corpus.len()), |b| {
+        b.iter(|| {
+            for (i, w) in corpus.iter().enumerate() {
+                let loc = Location::new(i as u64, 0);
+                criterion::black_box(scheme.encrypt_word(loc, w).unwrap());
+            }
+        })
+    });
+    group.finish();
+
+    // Search: one trapdoor scanned across the encrypted corpus.
+    let encrypted: Vec<_> = corpus
+        .iter()
+        .enumerate()
+        .map(|(i, w)| scheme.encrypt_word(Location::new(i as u64, 0), w).unwrap())
+        .collect();
+    let trapdoor = scheme.trapdoor(&corpus[WORDS / 2]).unwrap();
+
+    let mut group = c.benchmark_group("swp_search");
+    group.throughput(Throughput::Elements(corpus.len() as u64));
+    group.bench_function(BenchmarkId::new(name, corpus.len()), |b| {
+        b.iter(|| {
+            encrypted
+                .iter()
+                .filter(|cw| matches(scheme.params(), &trapdoor, cw))
+                .count()
+        })
+    });
+    group.finish();
+}
+
+fn bench_variants(c: &mut Criterion) {
+    let corpus = words();
+    bench_scheme(c, "I-basic", &BasicScheme::new(params(), &master()), &corpus);
+    bench_scheme(c, "II-controlled", &ControlledScheme::new(params(), &master()), &corpus);
+    bench_scheme(c, "III-hidden", &HiddenScheme::new(params(), &master()), &corpus);
+    bench_scheme(c, "IV-final", &FinalScheme::new(params(), &master()), &corpus);
+}
+
+criterion_group!(benches, bench_variants);
+criterion_main!(benches);

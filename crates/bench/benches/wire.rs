@@ -1,0 +1,37 @@
+//! F6 — wire-format throughput.
+//!
+//! The outsourcing protocol ships table ciphertexts and trapdoors as
+//! bytes; this bench measures serialization and deserialization of a
+//! realistic table ciphertext, pinning the (small) protocol overhead
+//! relative to encryption itself. Regenerate with
+//! `cargo bench -p dbph-bench --bench wire`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use dbph_core::wire::{WireDecode, WireEncode};
+use dbph_core::{DatabasePh, EncryptedTable, FinalSwpPh};
+use dbph_crypto::SecretKey;
+use dbph_workload::EmployeeGen;
+
+const ROWS: usize = 2000;
+
+fn bench_wire(c: &mut Criterion) {
+    let relation = EmployeeGen { rows: ROWS, ..EmployeeGen::default() }.generate(6);
+    let ph = FinalSwpPh::new(EmployeeGen::schema(), &SecretKey::from_bytes([23u8; 32]))
+        .unwrap();
+    let table = ph.encrypt_table(&relation).unwrap();
+    let bytes = table.to_wire();
+
+    let mut group = c.benchmark_group("wire");
+    group.throughput(Throughput::Bytes(bytes.len() as u64));
+    group.bench_function(BenchmarkId::new("encode", bytes.len()), |b| {
+        b.iter(|| table.to_wire())
+    });
+    group.bench_function(BenchmarkId::new("decode", bytes.len()), |b| {
+        b.iter(|| EncryptedTable::from_wire(&bytes).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_wire);
+criterion_main!(benches);

@@ -1,0 +1,92 @@
+//! A1 — frequency analysis against equality-leaking indexes
+//! (extension of the paper's §1 remark that bucketized ciphertexts
+//! reveal "which tuples have similar values in which secret
+//! attributes").
+//!
+//! Eve knows the public value distribution of one attribute (60% HR,
+//! 30% IT, 10% OPS here), groups the stored tuples by their observable
+//! equality classes, ranks by class size, and reads off values. The
+//! table reports the fraction of tuples whose value she recovers.
+//!
+//! Usage: `exp_a1_frequency [rows] [seed]` (defaults 1000, 9).
+
+use dbph_baselines::{BucketConfig, BucketizationPh, DamianiPh, DeterministicPh};
+use dbph_bench::Table;
+use dbph_core::FinalSwpPh;
+use dbph_crypto::{DeterministicRng, EntropySource, SecretKey};
+use dbph_games::attacks::frequency::{
+    bucket_classes, damiani_classes, det_classes, swp_classes, FrequencyAttack,
+};
+use dbph_relation::schema::emp_schema;
+use dbph_relation::{tuple, Relation, Value};
+
+fn args() -> (usize, u64) {
+    let mut a = std::env::args().skip(1);
+    let rows = a.next().and_then(|s| s.parse().ok()).unwrap_or(1000);
+    let seed = a.next().and_then(|s| s.parse().ok()).unwrap_or(9);
+    (rows, seed)
+}
+
+/// A skewed dept distribution: 60% HR, 30% IT, 10% OPS.
+fn skewed_relation(rows: usize, seed: u64) -> Relation {
+    let mut rng = DeterministicRng::from_seed(seed).child("freq");
+    let mut tuples = Vec::with_capacity(rows);
+    for i in 0..rows {
+        let roll = rng.below(10);
+        let dept = if roll < 6 {
+            "HR"
+        } else if roll < 9 {
+            "IT"
+        } else {
+            "OPS"
+        };
+        tuples.push(tuple![format!("e{i:06}"), dept, (i as i64 % 50) * 100]);
+    }
+    Relation::from_tuples(emp_schema(), tuples).expect("valid by construction")
+}
+
+fn main() {
+    let (rows, seed) = args();
+    println!("# A1 — frequency analysis on the dept attribute");
+    println!("# known distribution: HR 60%, IT 30%, OPS 10%; {rows} rows, seed {seed}");
+    println!();
+
+    let relation = skewed_relation(rows, seed);
+    let known = vec![Value::str("HR"), Value::str("IT"), Value::str("OPS")];
+    let key = SecretKey::from_bytes([91u8; 32]);
+    const DEPT: usize = 1;
+
+    let mut table = Table::new(&["scheme", "tuples recovered"]);
+
+    let det = DeterministicPh::new(emp_schema(), &key);
+    let rate = FrequencyAttack::new(det_classes(DEPT))
+        .recovery_rate(&det, &relation, DEPT, &known)
+        .expect("attack runs");
+    table.row(&["deterministic-ecb".into(), format!("{:.1}%", rate * 100.0)]);
+
+    let damiani = DamianiPh::new(emp_schema(), &key).expect("static schema");
+    let rate = FrequencyAttack::new(damiani_classes(DEPT))
+        .recovery_rate(&damiani, &relation, DEPT, &known)
+        .expect("attack runs");
+    table.row(&["damiani-hash".into(), format!("{:.1}%", rate * 100.0)]);
+
+    let cfg = BucketConfig::uniform(&emp_schema(), 16, (0, 10_000)).expect("static config");
+    let buckets = BucketizationPh::new(emp_schema(), cfg, &key).expect("static schema");
+    let rate = FrequencyAttack::new(bucket_classes(DEPT))
+        .recovery_rate(&buckets, &relation, DEPT, &known)
+        .expect("attack runs");
+    table.row(&["hacigumus-buckets".into(), format!("{:.1}%", rate * 100.0)]);
+
+    let swp = FinalSwpPh::new(emp_schema(), &key).expect("static schema");
+    let rate = FrequencyAttack::new(swp_classes(DEPT))
+        .recovery_rate(&swp, &relation, DEPT, &known)
+        .expect("attack runs");
+    table.row(&["swp-final (this paper, §3)".into(), format!("{:.1}%", rate * 100.0)]);
+
+    table.print();
+    println!();
+    println!("# Expected: near-total recovery for every deterministic index");
+    println!("# (bucket hash collisions can merge classes and lower it slightly);");
+    println!("# near-zero for the paper's construction, whose ciphertexts expose");
+    println!("# no equality classes at rest.");
+}

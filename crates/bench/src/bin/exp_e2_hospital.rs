@@ -1,0 +1,149 @@
+//! E2 — the §2 passive hospital-inference attack.
+//!
+//! Alex issues the paper's four queries over the encrypted patient
+//! table; Eve, knowing only the schema, the flow priors (0.2/0.3/0.5)
+//! and the fatality prior (0.08), labels the unlabeled result sets by
+//! size and infers each hospital's fatality ratio by intersection.
+//! The attack is run against every PH in the workspace — including the
+//! paper's own §3 construction — because access patterns leak
+//! identically whenever q > 0.
+//!
+//! Usage: `exp_e2_hospital [patients] [seeds] [base_seed]`
+//! (defaults 2000, 5, 100).
+
+use dbph_baselines::{BucketConfig, BucketizationPh, DamianiPh, DeterministicPh, PlaintextPh};
+use dbph_bench::Table;
+use dbph_core::{DatabasePh, FinalSwpPh, VarlenPh};
+use dbph_crypto::SecretKey;
+use dbph_games::attacks::hospital::{run_inference, HospitalPriors};
+use dbph_relation::schema::hospital_schema;
+use dbph_relation::Relation;
+use dbph_workload::HospitalConfig;
+
+fn args() -> (usize, u64, u64) {
+    let mut a = std::env::args().skip(1);
+    let patients = a.next().and_then(|s| s.parse().ok()).unwrap_or(2000);
+    let seeds = a.next().and_then(|s| s.parse().ok()).unwrap_or(5);
+    let base = a.next().and_then(|s| s.parse().ok()).unwrap_or(100);
+    (patients, seeds, base)
+}
+
+/// Mean absolute error of Eve's per-hospital fatality estimates,
+/// averaged over seeds.
+fn mean_error<P: DatabasePh>(
+    make_ph: impl Fn(u64) -> P,
+    populations: &[(u64, Relation)],
+) -> f64 {
+    let priors = HospitalPriors::default();
+    let mut total = 0.0;
+    let mut count = 0usize;
+    for (seed, relation) in populations {
+        let ph = make_ph(*seed);
+        let (truth, inferred) =
+            run_inference(&ph, relation, &priors).expect("inference runs");
+        for (true_ratio, estimate) in truth.iter().zip(&inferred.fatal_ratio) {
+            total += (true_ratio - estimate).abs();
+            count += 1;
+        }
+    }
+    total / count as f64
+}
+
+fn key(seed: u64) -> SecretKey {
+    let mut rng = dbph_crypto::DeterministicRng::from_seed(seed).child("e2-key");
+    SecretKey::generate(&mut rng)
+}
+
+fn main() {
+    let (patients, seeds, base_seed) = args();
+    println!("# E2 — passive hospital inference (paper §2)");
+    println!("# patients = {patients}, seeds = {seeds}, priors = flows 0.2/0.3/0.5, fatal 0.08");
+    println!();
+
+    let cfg = HospitalConfig { patients, ..HospitalConfig::default() };
+    let populations: Vec<(u64, Relation)> = (0..seeds)
+        .map(|i| {
+            let s = base_seed + i;
+            (s, cfg.generate(s))
+        })
+        .collect();
+
+    // Ground truth for reference: overall mean fatality per hospital.
+    let mut truth_row = Vec::new();
+    for h in 1..=3i64 {
+        let mean: f64 = populations
+            .iter()
+            .map(|(_, r)| HospitalConfig::true_fatal_ratio(r, h))
+            .sum::<f64>()
+            / seeds as f64;
+        truth_row.push(format!("{mean:.4}"));
+    }
+    println!("# mean true fatality ratios per hospital: {truth_row:?}");
+    println!();
+
+    let mut table = Table::new(&["scheme", "mean |error| of Eve's estimate"]);
+
+    table.row(&[
+        "plaintext".into(),
+        format!("{:.4}", mean_error(|_s| PlaintextPh::new(hospital_schema()), &populations)),
+    ]);
+    table.row(&[
+        "swp-final (this paper, §3)".into(),
+        format!(
+            "{:.4}",
+            mean_error(
+                |s| FinalSwpPh::new(hospital_schema(), &key(s)).expect("static schema"),
+                &populations
+            )
+        ),
+    ]);
+    table.row(&[
+        "swp-varlen".into(),
+        format!(
+            "{:.4}",
+            mean_error(
+                |s| VarlenPh::new(hospital_schema(), &key(s)).expect("static schema"),
+                &populations
+            )
+        ),
+    ]);
+    table.row(&[
+        "deterministic-ecb".into(),
+        format!(
+            "{:.4}",
+            mean_error(|s| DeterministicPh::new(hospital_schema(), &key(s)), &populations)
+        ),
+    ]);
+    table.row(&[
+        "damiani-hash".into(),
+        format!(
+            "{:.4}",
+            mean_error(
+                |s| DamianiPh::new(hospital_schema(), &key(s)).expect("static schema"),
+                &populations
+            )
+        ),
+    ]);
+    table.row(&[
+        "hacigumus-buckets".into(),
+        format!(
+            "{:.4}",
+            mean_error(
+                |s| {
+                    let cfg = BucketConfig::uniform(&hospital_schema(), 16, (0, 10_000))
+                        .expect("static config");
+                    BucketizationPh::new(hospital_schema(), cfg, &key(s))
+                        .expect("static schema")
+                },
+                &populations
+            )
+        ),
+    ]);
+
+    table.print();
+    println!();
+    println!("# Expected: small error (≈ sampling noise) for every scheme whose");
+    println!("# server-side results are exact per value — i.e. the leak is scheme-");
+    println!("# independent once q > 0 (Theorem 2.1's message). Bucketization can");
+    println!("# show *larger* error only because coarse buckets blur result sets.");
+}

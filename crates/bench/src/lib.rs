@@ -1,0 +1,13 @@
+//! Experiment support for the dbph reproduction.
+//!
+//! The binaries in `src/bin/` regenerate every table/figure-equivalent
+//! artifact of the paper (see DESIGN.md §4 and EXPERIMENTS.md); the
+//! Criterion benches in `benches/` cover the performance claims. This
+//! library crate only holds shared report formatting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod report;
+
+pub use report::Table;

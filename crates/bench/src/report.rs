@@ -1,0 +1,89 @@
+//! Minimal aligned-table rendering for experiment binaries.
+//!
+//! Output is GitHub-flavoured markdown so EXPERIMENTS.md can embed the
+//! tables verbatim.
+
+/// A simple column-aligned markdown table.
+#[derive(Debug, Clone)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    #[must_use]
+    pub fn new(header: &[&str]) -> Self {
+        Table { header: header.iter().map(ToString::to_string).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row (must match the header arity).
+    ///
+    /// # Panics
+    /// Panics on arity mismatch — a bug in the experiment binary.
+    pub fn row(&mut self, cells: &[String]) {
+        assert_eq!(cells.len(), self.header.len(), "row arity mismatch");
+        self.rows.push(cells.to_vec());
+    }
+
+    /// Renders the table as aligned markdown.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let padded: Vec<String> = cells
+                .iter()
+                .zip(widths)
+                .map(|(c, w)| format!("{c:<w$}"))
+                .collect();
+            format!("| {} |", padded.join(" | "))
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+        out.push_str(&fmt_row(&sep, &widths));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Prints the rendered table to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_markdown() {
+        let mut t = Table::new(&["scheme", "advantage"]);
+        t.row(&["swp-final".into(), "0.01".into()]);
+        t.row(&["plaintext".into(), "1.00".into()]);
+        let s = t.render();
+        assert!(s.contains("| scheme    | advantage |"));
+        assert!(s.lines().count() == 4);
+        // All lines same width.
+        let widths: std::collections::HashSet<usize> =
+            s.lines().map(str::len).collect();
+        assert_eq!(widths.len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "arity")]
+    fn arity_mismatch_panics() {
+        let mut t = Table::new(&["a", "b"]);
+        t.row(&["only-one".into()]);
+    }
+}

@@ -1,0 +1,485 @@
+//! Alex — the client holding the only key.
+//!
+//! The client owns a [`FinalSwpPh`] instance (schema + master key),
+//! talks to the server purely through serialized protocol messages,
+//! and post-processes results: decrypting candidate tuples and
+//! filtering the searchable scheme's false positives, exactly as §3
+//! prescribes.
+
+use dbph_relation::{exec, Dnf, Projection, Query, Relation, Tuple};
+
+use crate::error::PhError;
+use crate::ph::DatabasePh;
+use crate::protocol::{ClientMessage, ServerResponse, WireTrapdoor};
+use crate::server::Server;
+use crate::swp_ph::FinalSwpPh;
+use crate::wire::{WireDecode, WireEncode};
+
+/// A client session for one outsourced table.
+pub struct Client {
+    ph: FinalSwpPh,
+    server: Server,
+    table_name: String,
+    next_doc_id: u64,
+}
+
+impl Client {
+    /// Creates a client for `ph`'s schema against `server`. The table
+    /// is named after the schema.
+    #[must_use]
+    pub fn new(ph: FinalSwpPh, server: Server) -> Self {
+        let table_name = ph.schema().name().to_string();
+        Client { ph, server, table_name, next_doc_id: 0 }
+    }
+
+    /// The table name used on the server.
+    #[must_use]
+    pub fn table_name(&self) -> &str {
+        &self.table_name
+    }
+
+    fn send(&self, msg: &ClientMessage) -> Result<ServerResponse, PhError> {
+        let bytes = self.server.handle(&msg.to_wire());
+        ServerResponse::from_wire(&bytes)
+    }
+
+    fn expect_ok(&self, msg: &ClientMessage) -> Result<(), PhError> {
+        match self.send(msg)? {
+            ServerResponse::Ok => Ok(()),
+            ServerResponse::Error(e) => Err(PhError::Protocol(e)),
+            ServerResponse::Table(_) => {
+                Err(PhError::Protocol("unexpected table response".into()))
+            }
+        }
+    }
+
+    fn expect_table(
+        &self,
+        msg: &ClientMessage,
+    ) -> Result<crate::swp_ph::EncryptedTable, PhError> {
+        match self.send(msg)? {
+            ServerResponse::Table(t) => Ok(t),
+            ServerResponse::Error(e) => Err(PhError::Protocol(e)),
+            ServerResponse::Ok => Err(PhError::Protocol("expected table response".into())),
+        }
+    }
+
+    /// Encrypts `relation` and uploads it.
+    ///
+    /// # Errors
+    /// Fails on schema mismatch or server rejection.
+    pub fn outsource(&mut self, relation: &Relation) -> Result<(), PhError> {
+        let table = self.ph.encrypt_table(relation)?;
+        self.next_doc_id = table.next_doc_id;
+        self.expect_ok(&ClientMessage::CreateTable {
+            name: self.table_name.clone(),
+            table,
+        })
+    }
+
+    /// Runs an exact-select (or conjunctive) query remotely and
+    /// returns the decrypted, false-positive-filtered result.
+    ///
+    /// # Errors
+    /// Fails on binding errors, protocol failures, or corrupt results.
+    pub fn select(&self, query: &Query) -> Result<Relation, PhError> {
+        let qct = self.ph.encrypt_query(query)?;
+        let terms = qct
+            .terms
+            .iter()
+            .map(WireTrapdoor::from_trapdoor)
+            .collect();
+        let result = self.expect_table(&ClientMessage::Query {
+            name: self.table_name.clone(),
+            terms,
+        })?;
+        self.ph.decrypt_result(&result, query)
+    }
+
+    /// Runs a disjunctive (DNF) query: one encrypted exact-select per
+    /// disjunct, results unioned by document identity client-side,
+    /// with per-disjunct false-positive filtering. Each disjunct leaks
+    /// its own access pattern to the server — no more, no less than
+    /// running it standalone.
+    ///
+    /// # Errors
+    /// Fails on binding, protocol, or decryption errors.
+    pub fn select_dnf(&self, dnf: &Dnf) -> Result<Relation, PhError> {
+        let bound = dnf.bind(self.ph.schema())?;
+        let mut seen: std::collections::BTreeMap<u64, Tuple> = std::collections::BTreeMap::new();
+        for (query, indices) in dnf.disjuncts().iter().zip(&bound) {
+            let qct = self.ph.encrypt_query(query)?;
+            let terms = qct.terms.iter().map(WireTrapdoor::from_trapdoor).collect();
+            let candidates = self.expect_table(&ClientMessage::Query {
+                name: self.table_name.clone(),
+                terms,
+            })?;
+            for (doc_id, tuple) in self.ph.decrypt_docs(&candidates)? {
+                let exact = query
+                    .terms()
+                    .iter()
+                    .zip(indices.iter())
+                    .all(|(term, &i)| term.matches_at(&tuple, i));
+                if exact {
+                    seen.insert(doc_id, tuple);
+                }
+            }
+        }
+        let mut out = Relation::empty(self.ph.schema().clone());
+        for tuple in seen.into_values() {
+            out.insert(tuple)?;
+        }
+        Ok(out)
+    }
+
+    /// Runs a `SELECT` with projection: remote selection, local
+    /// decryption and projection.
+    ///
+    /// # Errors
+    /// Fails on binding/protocol errors.
+    pub fn select_projected(
+        &self,
+        query: &Query,
+        projection: &Projection,
+    ) -> Result<Vec<Tuple>, PhError> {
+        let relation = self.select(query)?;
+        exec::project(&relation, projection).map_err(PhError::from)
+    }
+
+    /// Encrypts and appends one tuple (incremental insert).
+    ///
+    /// # Errors
+    /// Fails on validation or server rejection.
+    pub fn insert(&mut self, tuple: &Tuple) -> Result<(), PhError> {
+        use crate::ph::IncrementalPh as _;
+        // Build a one-tuple delta through the PH, then ship the words.
+        let mut delta = crate::swp_ph::EncryptedTable {
+            params: *self.ph.params(),
+            docs: Vec::new(),
+            next_doc_id: self.next_doc_id,
+        };
+        self.ph.append_tuple(&mut delta, tuple)?;
+        let (doc_id, words) = delta.docs.pop().expect("append pushed one doc");
+        self.expect_ok(&ClientMessage::Append {
+            name: self.table_name.clone(),
+            doc_id,
+            words,
+        })?;
+        self.next_doc_id = doc_id + 1;
+        Ok(())
+    }
+
+    /// Deletes the tuples matching `query`, returning how many were
+    /// removed. Two phases: the server returns the *candidate* set for
+    /// the encrypted query (which may contain false positives); the
+    /// client decrypts, re-checks the plaintext predicate, and sends
+    /// back only the confirmed document ids. A false positive is
+    /// therefore never deleted.
+    ///
+    /// # Errors
+    /// Fails on binding, protocol, or decryption errors.
+    pub fn delete(&self, query: &Query) -> Result<usize, PhError> {
+        let qct = self.ph.encrypt_query(query)?;
+        let terms = qct.terms.iter().map(WireTrapdoor::from_trapdoor).collect();
+        let candidates = self.expect_table(&ClientMessage::Query {
+            name: self.table_name.clone(),
+            terms,
+        })?;
+
+        // Confirm: decrypt each candidate and re-check exactly.
+        let indices = query.bind(self.ph.schema())?;
+        let confirmed: Vec<u64> = self
+            .ph
+            .decrypt_docs(&candidates)?
+            .into_iter()
+            .filter(|(_, tuple)| {
+                query
+                    .terms()
+                    .iter()
+                    .zip(indices.iter())
+                    .all(|(term, &i)| term.matches_at(tuple, i))
+            })
+            .map(|(id, _)| id)
+            .collect();
+        let removed = confirmed.len();
+        if removed > 0 {
+            self.expect_ok(&ClientMessage::DeleteDocs {
+                name: self.table_name.clone(),
+                doc_ids: confirmed,
+            })?;
+        }
+        Ok(removed)
+    }
+
+    /// Rotates the master key: downloads and decrypts the table,
+    /// re-encrypts everything under `new_ph`, and replaces the server
+    /// copy atomically from the client's perspective (drop + create).
+    ///
+    /// # Errors
+    /// Fails on protocol or decryption errors; on failure the old
+    /// table may already be dropped — the caller still holds the
+    /// decrypted relation is *not* guaranteed, so callers wanting
+    /// stronger atomicity should snapshot first (see
+    /// `dbph_core::snapshot`).
+    pub fn rekey(&mut self, new_ph: FinalSwpPh) -> Result<(), PhError> {
+        if new_ph.schema() != self.ph.schema() {
+            return Err(PhError::SchemaMismatch {
+                expected: self.ph.schema().to_string(),
+                actual: new_ph.schema().to_string(),
+            });
+        }
+        let plaintext = self.fetch_all()?;
+        self.drop_table()?;
+        self.ph = new_ph;
+        self.outsource(&plaintext)
+    }
+
+    /// Downloads and decrypts the whole table.
+    ///
+    /// # Errors
+    /// Fails on protocol or decryption errors.
+    pub fn fetch_all(&self) -> Result<Relation, PhError> {
+        let table =
+            self.expect_table(&ClientMessage::FetchAll { name: self.table_name.clone() })?;
+        self.ph.decrypt_table(&table)
+    }
+
+    /// Drops the outsourced table.
+    ///
+    /// # Errors
+    /// Fails on server rejection.
+    pub fn drop_table(&self) -> Result<(), PhError> {
+        self.expect_ok(&ClientMessage::DropTable { name: self.table_name.clone() })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbph_crypto::SecretKey;
+    use dbph_relation::schema::emp_schema;
+    use dbph_relation::{tuple, Value};
+
+    fn setup() -> (Client, Server) {
+        let server = Server::new();
+        let ph = FinalSwpPh::new(emp_schema(), &SecretKey::from_bytes([11u8; 32])).unwrap();
+        (Client::new(ph, server.clone()), server)
+    }
+
+    fn emp() -> Relation {
+        Relation::from_tuples(
+            emp_schema(),
+            vec![
+                tuple!["Montgomery", "HR", 7500i64],
+                tuple!["Smith", "IT", 4900i64],
+                tuple!["Jones", "IT", 1200i64],
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn outsource_select_roundtrip() {
+        let (mut client, _server) = setup();
+        client.outsource(&emp()).unwrap();
+        let result = client.select(&Query::select("dept", "IT")).unwrap();
+        assert_eq!(result.len(), 2);
+        let all = client.fetch_all().unwrap();
+        assert!(all.same_multiset(&emp()));
+    }
+
+    #[test]
+    fn insert_then_select() {
+        let (mut client, _server) = setup();
+        client.outsource(&emp()).unwrap();
+        client.insert(&tuple!["Kim", "HR", 9000i64]).unwrap();
+        client.insert(&tuple!["Lee", "IT", 9000i64]).unwrap();
+        let result = client.select(&Query::select("salary", 9000i64)).unwrap();
+        assert_eq!(result.len(), 2);
+    }
+
+    #[test]
+    fn projection() {
+        let (mut client, _server) = setup();
+        client.outsource(&emp()).unwrap();
+        let rows = client
+            .select_projected(
+                &Query::select("dept", "IT"),
+                &Projection::Columns(vec!["name".into()]),
+            )
+            .unwrap();
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| r.arity() == 1));
+    }
+
+    #[test]
+    fn server_sees_only_ciphertext() {
+        // The transcript must not contain the plaintext anywhere.
+        let (mut client, server) = setup();
+        client.outsource(&emp()).unwrap();
+        client.select(&Query::select("name", "Montgomery")).unwrap();
+
+        let events = server.observer().events();
+        let rendered = format!("{events:?}");
+        assert!(!rendered.contains("Montgomery"), "plaintext leaked to server");
+        assert!(!rendered.contains("7500"));
+    }
+
+    #[test]
+    fn server_observes_access_pattern() {
+        // …but Eve *does* learn which documents matched — the paper's
+        // unavoidable leak.
+        let (mut client, server) = setup();
+        client.outsource(&emp()).unwrap();
+        client.select(&Query::select("dept", "IT")).unwrap();
+        let queries = server.observer().queries();
+        assert_eq!(queries.len(), 1);
+        assert_eq!(queries[0].1.len(), 2, "two IT tuples matched");
+    }
+
+    #[test]
+    fn drop_table_removes_state() {
+        let (mut client, _server) = setup();
+        client.outsource(&emp()).unwrap();
+        client.drop_table().unwrap();
+        assert!(client.fetch_all().is_err());
+    }
+
+    #[test]
+    fn select_errors_on_unknown_attribute() {
+        let (mut client, _server) = setup();
+        client.outsource(&emp()).unwrap();
+        assert!(client.select(&Query::select("missing", 1i64)).is_err());
+    }
+
+    #[test]
+    fn empty_result_is_empty_relation() {
+        let (mut client, _server) = setup();
+        client.outsource(&emp()).unwrap();
+        let r = client.select(&Query::select("name", "Nobody")).unwrap();
+        assert!(r.is_empty());
+        assert_eq!(r.schema(), &emp_schema());
+    }
+
+    #[test]
+    fn two_clients_different_keys_cannot_read_each_other() {
+        let server = Server::new();
+        let ph1 = FinalSwpPh::new(emp_schema(), &SecretKey::from_bytes([1u8; 32])).unwrap();
+        let mut c1 = Client::new(ph1, server.clone());
+        c1.outsource(&emp()).unwrap();
+
+        // Client 2 shares the server but has a different key; fetching
+        // c1's table must not yield the plaintext.
+        let ph2 = FinalSwpPh::new(emp_schema(), &SecretKey::from_bytes([2u8; 32])).unwrap();
+        let c2 = Client::new(ph2, server);
+        if let Ok(r) = c2.fetch_all() { assert!(!r.same_multiset(&emp())) }
+    }
+
+    #[test]
+    fn select_dnf_unions_without_duplicates() {
+        let (mut client, _server) = setup();
+        client.outsource(&emp()).unwrap();
+        // salary = 4900 OR dept = 'IT': Smith matches both disjuncts.
+        let dnf = Dnf::new(vec![
+            Query::select("salary", 4900i64),
+            Query::select("dept", "IT"),
+        ])
+        .unwrap();
+        let result = client.select_dnf(&dnf).unwrap();
+        let expected = dbph_relation::dnf::select_dnf(&emp(), &dnf).unwrap();
+        assert!(result.same_multiset(&expected));
+        assert_eq!(result.len(), 2); // Smith + Jones
+    }
+
+    #[test]
+    fn select_dnf_single_disjunct_matches_plain_select() {
+        let (mut client, _server) = setup();
+        client.outsource(&emp()).unwrap();
+        let q = Query::select("dept", "IT");
+        let via_dnf = client.select_dnf(&Dnf::single(q.clone())).unwrap();
+        let direct = client.select(&q).unwrap();
+        assert!(via_dnf.same_multiset(&direct));
+    }
+
+    #[test]
+    fn delete_removes_exact_matches_only() {
+        let (mut client, _server) = setup();
+        client.outsource(&emp()).unwrap();
+        let removed = client.delete(&Query::select("dept", "IT")).unwrap();
+        assert_eq!(removed, 2);
+        let rest = client.fetch_all().unwrap();
+        assert_eq!(rest.len(), 1);
+        assert_eq!(rest.tuples()[0].get(0), Some(&Value::str("Montgomery")));
+        // Deleting again removes nothing.
+        assert_eq!(client.delete(&Query::select("dept", "IT")).unwrap(), 0);
+    }
+
+    #[test]
+    fn delete_never_removes_false_positives() {
+        use dbph_swp::SwpParams;
+        // 2-bit checks: the server's candidate set is a large superset;
+        // the confirmed delete must still remove only true matches.
+        let server = Server::new();
+        let codec_len = crate::encoding::WordCodec::new(emp_schema()).word_len();
+        let params = SwpParams::new(codec_len, 4, 2).unwrap();
+        let ph = FinalSwpPh::with_params(
+            emp_schema(),
+            &SecretKey::from_bytes([44u8; 32]),
+            params,
+        )
+        .unwrap();
+        let mut client = Client::new(ph, server);
+        let mut big = Relation::empty(emp_schema());
+        for i in 0..200i64 {
+            big.insert(tuple![format!("e{i:03}"), "IT", i]).unwrap();
+        }
+        big.insert(tuple!["victim", "HR", 9999i64]).unwrap();
+        client.outsource(&big).unwrap();
+
+        let removed = client.delete(&Query::select("dept", "HR")).unwrap();
+        assert_eq!(removed, 1);
+        assert_eq!(client.fetch_all().unwrap().len(), 200);
+    }
+
+    #[test]
+    fn rekey_preserves_data_and_invalidates_old_key() {
+        let (mut client, server) = setup();
+        client.outsource(&emp()).unwrap();
+        let new_ph =
+            FinalSwpPh::new(emp_schema(), &SecretKey::from_bytes([222u8; 32])).unwrap();
+        client.rekey(new_ph).unwrap();
+
+        // Data survives under the new key.
+        assert!(client.fetch_all().unwrap().same_multiset(&emp()));
+        let r = client.select(&Query::select("dept", "IT")).unwrap();
+        assert_eq!(r.len(), 2);
+
+        // A reader with the old key can no longer decrypt.
+        let old_ph =
+            FinalSwpPh::new(emp_schema(), &SecretKey::from_bytes([11u8; 32])).unwrap();
+        let old_reader = Client::new(old_ph, server);
+        if let Ok(rel) = old_reader.fetch_all() { assert!(!rel.same_multiset(&emp())) }
+    }
+
+    #[test]
+    fn rekey_rejects_schema_change() {
+        let (mut client, _server) = setup();
+        client.outsource(&emp()).unwrap();
+        let other = FinalSwpPh::new(
+            dbph_relation::schema::hospital_schema(),
+            &SecretKey::from_bytes([5u8; 32]),
+        )
+        .unwrap();
+        assert!(matches!(client.rekey(other), Err(PhError::SchemaMismatch { .. })));
+    }
+
+    #[test]
+    fn montgomery_worked_example() {
+        // §3 end-to-end: σ_name:"Montgomery" over the outsourced Emp.
+        let (mut client, _server) = setup();
+        client.outsource(&emp()).unwrap();
+        let r = client.select(&Query::select("name", "Montgomery")).unwrap();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.tuples()[0].get(2), Some(&Value::int(7500)));
+    }
+}

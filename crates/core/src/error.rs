@@ -1,0 +1,102 @@
+//! Error type for database privacy homomorphisms.
+
+use std::fmt;
+
+use dbph_crypto::CryptoError;
+use dbph_relation::RelationError;
+use dbph_swp::SwpError;
+
+/// Errors raised by PH construction, encryption, decryption, query
+/// encryption and the outsourcing protocol.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PhError {
+    /// The relation's schema does not match the PH instance's schema.
+    SchemaMismatch {
+        /// Schema the PH was constructed for.
+        expected: String,
+        /// Schema that was supplied.
+        actual: String,
+    },
+    /// The underlying relational layer rejected the data or query.
+    Relation(RelationError),
+    /// The underlying searchable-encryption layer failed.
+    Swp(SwpError),
+    /// The underlying cryptographic primitive failed.
+    Crypto(CryptoError),
+    /// A ciphertext could not be decoded back into a word/attribute.
+    CorruptCiphertext(String),
+    /// Wire (de)serialization failed.
+    Wire(String),
+    /// A protocol-level failure (unknown table, unexpected message).
+    Protocol(String),
+    /// This PH variant cannot perform the operation (e.g. decrypting a
+    /// table encrypted under a non-decryptable SWP scheme).
+    Unsupported(&'static str),
+}
+
+impl fmt::Display for PhError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PhError::SchemaMismatch { expected, actual } => {
+                write!(f, "schema mismatch: PH built for {expected}, got {actual}")
+            }
+            PhError::Relation(e) => write!(f, "relation error: {e}"),
+            PhError::Swp(e) => write!(f, "searchable-encryption error: {e}"),
+            PhError::Crypto(e) => write!(f, "crypto error: {e}"),
+            PhError::CorruptCiphertext(what) => write!(f, "corrupt ciphertext: {what}"),
+            PhError::Wire(what) => write!(f, "wire format error: {what}"),
+            PhError::Protocol(what) => write!(f, "protocol error: {what}"),
+            PhError::Unsupported(why) => write!(f, "unsupported: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for PhError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PhError::Relation(e) => Some(e),
+            PhError::Swp(e) => Some(e),
+            PhError::Crypto(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<RelationError> for PhError {
+    fn from(e: RelationError) -> Self {
+        PhError::Relation(e)
+    }
+}
+
+impl From<SwpError> for PhError {
+    fn from(e: SwpError) -> Self {
+        PhError::Swp(e)
+    }
+}
+
+impl From<CryptoError> for PhError {
+    fn from(e: CryptoError) -> Self {
+        PhError::Crypto(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: PhError = RelationError::UnknownTable("t".into()).into();
+        assert!(e.to_string().contains("t"));
+        assert!(std::error::Error::source(&e).is_some());
+
+        let e: PhError = SwpError::BadParams("p").into();
+        assert!(e.to_string().contains('p'));
+
+        let e: PhError = CryptoError::AuthenticationFailed.into();
+        assert!(e.to_string().contains("tag"));
+
+        let e = PhError::SchemaMismatch { expected: "A".into(), actual: "B".into() };
+        assert!(e.to_string().contains('A') && e.to_string().contains('B'));
+    }
+}

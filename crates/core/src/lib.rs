@@ -1,0 +1,51 @@
+//! Database privacy homomorphisms — the paper's primary contribution.
+//!
+//! Evdokimov, Fischmann & Günther (ICDE 2006) define a *database
+//! privacy homomorphism* (Definition 1.1) as a tuple `(K, E, Eq, D)`
+//! where `E` encrypts tables, `Eq` encrypts queries, `D` decrypts, and
+//! plaintext relational operations commute with ciphertext operations:
+//! `E_k(σ_i(R)) = ψ_i(E_k(R))`. This crate provides:
+//!
+//! * [`ph::DatabasePh`] — the trait capturing Definition 1.1. The
+//!   server-side operator `ψ` ([`ph::DatabasePh::apply`]) is an
+//!   associated function *without* `self`, so the type system enforces
+//!   that it runs keyless — exactly what an untrusted server can do.
+//! * [`encoding::WordCodec`] — the §3 attribute encoding
+//!   (`value | padding | attribute-id`) made injective with a length
+//!   prefix, plus [`encoding::paper_style`] reproducing the paper's
+//!   literal `"MontgomeryN"` rendering for the worked example.
+//! * [`swp_ph::SwpPh`] — the §3 construction: tuples become documents,
+//!   exact selects become searchable-encryption trapdoors, and the
+//!   client filters false positives. Generic over any
+//!   [`dbph_swp::SearchableScheme`], instantiated with the SWP final
+//!   scheme as [`swp_ph::FinalSwpPh`].
+//! * [`varlen::VarlenPh`] — the full-version "variable-length
+//!   attributes" optimization: per-attribute word widths instead of
+//!   one global width.
+//! * [`client`] / [`server`] / [`protocol`] / [`wire`] — the Alex/Eve
+//!   outsourcing deployment: a byte-level wire format, a server that
+//!   stores ciphertext and executes trapdoors, an observer recording
+//!   everything the server sees (the adversary's transcript), and a
+//!   client holding the only key.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod encoding;
+pub mod error;
+pub mod ph;
+pub mod protocol;
+pub mod server;
+pub mod snapshot;
+pub mod swp_ph;
+pub mod varlen;
+pub mod wire;
+
+pub use client::Client;
+pub use encoding::WordCodec;
+pub use error::PhError;
+pub use ph::{DatabasePh, IncrementalPh};
+pub use server::{Observer, Server};
+pub use swp_ph::{EncryptedQuery, EncryptedTable, FinalSwpPh, SwpPh};
+pub use varlen::VarlenPh;

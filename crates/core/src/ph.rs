@@ -1,0 +1,141 @@
+//! Definition 1.1 — the database privacy homomorphism trait.
+//!
+//! A database PH is a tuple `(K, E, Eq, D)` such that
+//! `E_k(σ_i(R)) = ψ_i(E_k(R))`: encrypting the result of a plaintext
+//! selection equals applying the ciphertext operator `ψ` to the
+//! encrypted table. Three design decisions carry the paper's semantics
+//! into the types:
+//!
+//! 1. **`apply` has no `self`.** `ψ` is evaluated by Eve, who has no
+//!    key. Making it an associated function over `(TableCt, QueryCt)`
+//!    means implementations *cannot* touch key material there, and the
+//!    generic Theorem 2.1 adversary in `dbph-games` can call it too —
+//!    which is the whole point of the theorem.
+//! 2. **Tuple-by-tuple encryption is observable.** `TableCt` exposes
+//!    its cardinality ([`DatabasePh::ciphertext_len`]); the paper
+//!    explicitly scopes Definition 1.1 to schemes where `E_k({v_1…v_n})
+//!    = {c_1…c_n}`, and both the games and the attacks rely on counting
+//!    result tuples.
+//! 3. **`decrypt_result` filters.** §3 notes the searchable scheme
+//!    "sometimes returns false positives; Alex needs to run a filter on
+//!    the output". The provided implementation decrypts the server's
+//!    candidate set and re-checks the plaintext predicate.
+
+use dbph_relation::{exec, Query, Relation, Schema};
+
+use crate::error::PhError;
+
+/// A database privacy homomorphism over one schema (Definition 1.1).
+///
+/// Instances are keyed at construction; the key never appears in the
+/// interface. `TableCt` is what Eve stores, `QueryCt` is what Eve
+/// receives per query (`ψ_i`'s description).
+pub trait DatabasePh: Clone + Send + Sync {
+    /// The encrypted-table type stored by the server.
+    type TableCt: Clone + Send + Sync;
+    /// The encrypted-query type shipped to the server.
+    type QueryCt: Clone + Send + Sync;
+
+    /// A short human-readable scheme name (used by experiment tables).
+    fn scheme_name(&self) -> &'static str;
+
+    /// The schema this instance encrypts.
+    fn schema(&self) -> &Schema;
+
+    /// `E_k(R)` — encrypts a whole relation, tuple by tuple.
+    ///
+    /// # Errors
+    /// Fails on schema mismatches or encoding failures.
+    fn encrypt_table(&self, relation: &Relation) -> Result<Self::TableCt, PhError>;
+
+    /// `D_k(C)` — decrypts a table ciphertext back to a relation.
+    ///
+    /// # Errors
+    /// Fails on corrupt ciphertext, or [`PhError::Unsupported`] for PH
+    /// variants whose underlying scheme cannot decrypt.
+    fn decrypt_table(&self, ciphertext: &Self::TableCt) -> Result<Relation, PhError>;
+
+    /// `Eq_k(σ)` — encrypts an exact-select (or conjunctive) query.
+    ///
+    /// # Errors
+    /// Fails when the query does not bind against the schema.
+    fn encrypt_query(&self, query: &Query) -> Result<Self::QueryCt, PhError>;
+
+    /// `ψ` — the keyless server-side operator: selects the matching
+    /// sub-ciphertext. Anyone holding the two ciphertexts can run
+    /// this; that is simultaneously what makes outsourcing work and
+    /// what Theorem 2.1 exploits.
+    fn apply(table: &Self::TableCt, query: &Self::QueryCt) -> Self::TableCt;
+
+    /// Number of tuple ciphertexts in a table ciphertext. Public by
+    /// construction (tuple-by-tuple encryption).
+    fn ciphertext_len(table: &Self::TableCt) -> usize;
+
+    /// The identities of the tuple ciphertexts in `table`.
+    ///
+    /// Tuple-by-tuple encryption makes every returned tuple ciphertext
+    /// *recognizable*: Eve can fingerprint result bytes against the
+    /// stored table even without explicit ids. This accessor models
+    /// that capability honestly; the §2 intersection attacks (E2/E3)
+    /// are built on it.
+    fn doc_ids(table: &Self::TableCt) -> Vec<u64>;
+
+    /// Decrypts a server result and filters the false positives §3
+    /// warns about, by re-checking `query` on the decrypted tuples.
+    ///
+    /// # Errors
+    /// Propagates decryption and binding failures.
+    fn decrypt_result(
+        &self,
+        result: &Self::TableCt,
+        query: &Query,
+    ) -> Result<Relation, PhError> {
+        let candidates = self.decrypt_table(result)?;
+        exec::select(&candidates, query).map_err(PhError::from)
+    }
+}
+
+/// Extension: PHs that support appending tuples to an existing table
+/// ciphertext without re-encrypting the table. The SWP construction
+/// supports this naturally (each tuple is an independent document);
+/// the paper's future-work section gestures at dynamic workloads.
+pub trait IncrementalPh: DatabasePh {
+    /// Encrypts one tuple as the `position`-th document and appends it
+    /// to `table`.
+    ///
+    /// # Errors
+    /// Fails on schema mismatches or encoding failures.
+    fn append_tuple(
+        &self,
+        table: &mut Self::TableCt,
+        tuple: &dbph_relation::Tuple,
+    ) -> Result<(), PhError>;
+}
+
+/// Checks the homomorphism law of Definition 1.1 for one `(R, σ)`
+/// pair: `D(ψ(E(R), Eq(σ)))` filtered must equal `σ(R)` as a multiset.
+/// Shared by conformance tests across all PH implementations.
+///
+/// # Errors
+/// Propagates any failure from the PH under test; a law violation is
+/// reported as [`PhError::Protocol`].
+pub fn check_homomorphism_law<P: DatabasePh>(
+    ph: &P,
+    relation: &Relation,
+    query: &Query,
+) -> Result<(), PhError> {
+    let expected = exec::select(relation, query)?;
+    let table_ct = ph.encrypt_table(relation)?;
+    let query_ct = ph.encrypt_query(query)?;
+    let result_ct = P::apply(&table_ct, &query_ct);
+    let actual = ph.decrypt_result(&result_ct, query)?;
+    if expected.same_multiset(&actual) {
+        Ok(())
+    } else {
+        Err(PhError::Protocol(format!(
+            "homomorphism law violated for {query}: expected {} tuple(s), got {}",
+            expected.len(),
+            actual.len()
+        )))
+    }
+}

@@ -1,0 +1,291 @@
+//! The Alex ↔ Eve message protocol.
+//!
+//! Everything Alex sends is one of these messages, serialized through
+//! [`crate::wire`]. The protocol deliberately carries only material
+//! the scheme already declares server-visible: ciphertext tables,
+//! trapdoors (as raw `(target, check key)` bytes), and table names.
+//!
+//! [`WireTrapdoor`] is the protocol-level trapdoor: it implements
+//! [`dbph_swp::TrapdoorData`], so the *server can run the keyless
+//! match directly on received bytes* — Eve needs no knowledge of which
+//! SWP variant produced them.
+
+use dbph_swp::{CipherWord, TrapdoorData};
+
+use crate::error::PhError;
+use crate::swp_ph::EncryptedTable;
+use crate::wire::{Reader, WireDecode, WireEncode};
+
+/// A trapdoor in transit: exactly the two byte strings the scheme
+/// reveals to the server.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireTrapdoor {
+    /// The search target (`W` or `E''(W)` depending on the scheme).
+    pub target: Vec<u8>,
+    /// The check key handed to the server.
+    pub check_key: Vec<u8>,
+}
+
+impl WireTrapdoor {
+    /// Converts any scheme trapdoor into its wire form.
+    #[must_use]
+    pub fn from_trapdoor<T: TrapdoorData>(t: &T) -> Self {
+        WireTrapdoor {
+            target: t.target().to_vec(),
+            check_key: t.check_key().to_vec(),
+        }
+    }
+}
+
+impl TrapdoorData for WireTrapdoor {
+    fn target(&self) -> &[u8] {
+        &self.target
+    }
+    fn check_key(&self) -> &[u8] {
+        &self.check_key
+    }
+}
+
+impl WireEncode for WireTrapdoor {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        self.target.encode(buf);
+        self.check_key.encode(buf);
+    }
+}
+
+impl WireDecode for WireTrapdoor {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PhError> {
+        Ok(WireTrapdoor { target: Vec::decode(r)?, check_key: Vec::decode(r)? })
+    }
+}
+
+/// Message tags (first byte of every client message).
+mod tag {
+    pub const CREATE: u8 = 1;
+    pub const QUERY: u8 = 2;
+    pub const FETCH_ALL: u8 = 3;
+    pub const APPEND: u8 = 4;
+    pub const DROP: u8 = 5;
+    pub const DELETE: u8 = 6;
+}
+
+/// A message from Alex to Eve.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ClientMessage {
+    /// Outsource a freshly encrypted table under `name`.
+    CreateTable {
+        /// Table name (public metadata).
+        name: String,
+        /// The table ciphertext.
+        table: EncryptedTable,
+    },
+    /// Run `ψ` with the given conjunction of trapdoors.
+    Query {
+        /// Target table.
+        name: String,
+        /// Per-term trapdoors (AND semantics).
+        terms: Vec<WireTrapdoor>,
+    },
+    /// Download the full table ciphertext (e.g. for re-keying).
+    FetchAll {
+        /// Target table.
+        name: String,
+    },
+    /// Append one encrypted tuple (incremental insert).
+    Append {
+        /// Target table.
+        name: String,
+        /// Document id chosen by the client (must be fresh).
+        doc_id: u64,
+        /// The tuple's cipher words.
+        words: Vec<CipherWord>,
+    },
+    /// Remove the table.
+    DropTable {
+        /// Target table.
+        name: String,
+    },
+    /// Remove specific documents by id — the second phase of a
+    /// confirmed delete. The first phase is an ordinary [`Self::Query`]
+    /// whose candidates the client decrypts and re-checks, so false
+    /// positives are never deleted.
+    DeleteDocs {
+        /// Target table.
+        name: String,
+        /// Document ids confirmed for deletion by the client.
+        doc_ids: Vec<u64>,
+    },
+}
+
+impl WireEncode for ClientMessage {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            ClientMessage::CreateTable { name, table } => {
+                buf.push(tag::CREATE);
+                name.encode(buf);
+                table.encode(buf);
+            }
+            ClientMessage::Query { name, terms } => {
+                buf.push(tag::QUERY);
+                name.encode(buf);
+                terms.encode(buf);
+            }
+            ClientMessage::FetchAll { name } => {
+                buf.push(tag::FETCH_ALL);
+                name.encode(buf);
+            }
+            ClientMessage::Append { name, doc_id, words } => {
+                buf.push(tag::APPEND);
+                name.encode(buf);
+                doc_id.encode(buf);
+                words.encode(buf);
+            }
+            ClientMessage::DropTable { name } => {
+                buf.push(tag::DROP);
+                name.encode(buf);
+            }
+            ClientMessage::DeleteDocs { name, doc_ids } => {
+                buf.push(tag::DELETE);
+                name.encode(buf);
+                doc_ids.encode(buf);
+            }
+        }
+    }
+}
+
+impl WireDecode for ClientMessage {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PhError> {
+        match u8::decode(r)? {
+            tag::CREATE => Ok(ClientMessage::CreateTable {
+                name: String::decode(r)?,
+                table: EncryptedTable::decode(r)?,
+            }),
+            tag::QUERY => Ok(ClientMessage::Query {
+                name: String::decode(r)?,
+                terms: Vec::decode(r)?,
+            }),
+            tag::FETCH_ALL => Ok(ClientMessage::FetchAll { name: String::decode(r)? }),
+            tag::APPEND => Ok(ClientMessage::Append {
+                name: String::decode(r)?,
+                doc_id: u64::decode(r)?,
+                words: Vec::decode(r)?,
+            }),
+            tag::DROP => Ok(ClientMessage::DropTable { name: String::decode(r)? }),
+            tag::DELETE => Ok(ClientMessage::DeleteDocs {
+                name: String::decode(r)?,
+                doc_ids: Vec::decode(r)?,
+            }),
+            t => Err(PhError::Wire(format!("unknown client message tag {t}"))),
+        }
+    }
+}
+
+/// Eve's response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerResponse {
+    /// The operation succeeded with no payload.
+    Ok,
+    /// A table ciphertext (query result or full fetch).
+    Table(EncryptedTable),
+    /// The operation failed; human-readable reason.
+    Error(String),
+}
+
+impl WireEncode for ServerResponse {
+    fn encode(&self, buf: &mut Vec<u8>) {
+        match self {
+            ServerResponse::Ok => buf.push(0),
+            ServerResponse::Table(t) => {
+                buf.push(1);
+                t.encode(buf);
+            }
+            ServerResponse::Error(e) => {
+                buf.push(2);
+                e.encode(buf);
+            }
+        }
+    }
+}
+
+impl WireDecode for ServerResponse {
+    fn decode(r: &mut Reader<'_>) -> Result<Self, PhError> {
+        match u8::decode(r)? {
+            0 => Ok(ServerResponse::Ok),
+            1 => Ok(ServerResponse::Table(EncryptedTable::decode(r)?)),
+            2 => Ok(ServerResponse::Error(String::decode(r)?)),
+            t => Err(PhError::Wire(format!("unknown response tag {t}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbph_swp::SwpParams;
+
+    fn sample_table() -> EncryptedTable {
+        EncryptedTable {
+            params: SwpParams::new(13, 4, 32).unwrap(),
+            docs: vec![(0, vec![CipherWord(vec![9; 13])])],
+            next_doc_id: 1,
+        }
+    }
+
+    #[test]
+    fn all_client_messages_roundtrip() {
+        let msgs = vec![
+            ClientMessage::CreateTable { name: "Emp".into(), table: sample_table() },
+            ClientMessage::Query {
+                name: "Emp".into(),
+                terms: vec![WireTrapdoor { target: vec![1; 13], check_key: vec![2; 32] }],
+            },
+            ClientMessage::FetchAll { name: "Emp".into() },
+            ClientMessage::Append {
+                name: "Emp".into(),
+                doc_id: 7,
+                words: vec![CipherWord(vec![3; 13])],
+            },
+            ClientMessage::DropTable { name: "Emp".into() },
+            ClientMessage::DeleteDocs { name: "Emp".into(), doc_ids: vec![0, 7, 9] },
+        ];
+        for m in msgs {
+            let bytes = m.to_wire();
+            assert_eq!(ClientMessage::from_wire(&bytes).unwrap(), m, "{m:?}");
+        }
+    }
+
+    #[test]
+    fn all_responses_roundtrip() {
+        for r in [
+            ServerResponse::Ok,
+            ServerResponse::Table(sample_table()),
+            ServerResponse::Error("nope".into()),
+        ] {
+            let bytes = r.to_wire();
+            assert_eq!(ServerResponse::from_wire(&bytes).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn unknown_tags_rejected() {
+        assert!(ClientMessage::from_wire(&[99]).is_err());
+        assert!(ServerResponse::from_wire(&[9]).is_err());
+    }
+
+    #[test]
+    fn wire_trapdoor_preserves_trapdoor_semantics() {
+        use dbph_crypto::SecretKey;
+        use dbph_swp::{matches, FinalScheme, Location, SearchableScheme, Word};
+
+        let params = SwpParams::new(13, 4, 32).unwrap();
+        let scheme = FinalScheme::new(params, &SecretKey::from_bytes([5u8; 32]));
+        let w = Word::from_bytes_unchecked(vec![7u8; 13]);
+        let c = scheme.encrypt_word(Location::new(0, 0), &w).unwrap();
+        let td = scheme.trapdoor(&w).unwrap();
+
+        // Convert to wire form, serialize, deserialize, and match.
+        let wire = WireTrapdoor::from_trapdoor(&td);
+        let restored = WireTrapdoor::from_wire(&wire.to_wire()).unwrap();
+        assert!(matches(&params, &restored, &c));
+    }
+}

@@ -1,0 +1,348 @@
+//! Eve — the untrusted database service provider.
+//!
+//! The server stores table ciphertexts, executes `ψ` (the keyless
+//! trapdoor scan), and — crucially for the security analysis — records
+//! *everything it observes* in an [`Observer`]. The games and examples
+//! read that transcript to play the adversary: the paper's point is
+//! that an honest-but-curious Eve's transcript already determines what
+//! any future adversary buying her archive learns.
+//!
+//! The server never sees key material. Its only computational
+//! capability over ciphertexts is [`dbph_swp::matches`], and its whole
+//! interface is `handle(bytes) -> bytes`.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use dbph_swp::matches;
+
+use crate::protocol::{ClientMessage, ServerResponse, WireTrapdoor};
+use crate::swp_ph::EncryptedTable;
+use crate::wire::{WireDecode, WireEncode};
+
+/// One observed server-side event, as recorded by [`Observer`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServerEvent {
+    /// A table was uploaded: name, tuple count, total ciphertext bytes.
+    Upload {
+        /// Table name.
+        name: String,
+        /// Number of tuple ciphertexts (public by tuple-wise encryption).
+        tuples: usize,
+        /// Total ciphertext size in bytes.
+        bytes: usize,
+    },
+    /// A query was executed: the trapdoors Eve received and the doc
+    /// ids that matched — the access pattern of the paper's §2.
+    Query {
+        /// Table name.
+        name: String,
+        /// The trapdoors, exactly as received.
+        terms: Vec<WireTrapdoor>,
+        /// Matching document ids (the result set Eve computes herself).
+        matched_doc_ids: Vec<u64>,
+    },
+    /// A tuple was appended.
+    Append {
+        /// Table name.
+        name: String,
+        /// The new document's id.
+        doc_id: u64,
+    },
+    /// The whole table was downloaded.
+    FetchAll {
+        /// Table name.
+        name: String,
+    },
+    /// The table was dropped.
+    Drop {
+        /// Table name.
+        name: String,
+    },
+    /// Documents were deleted by id (confirmed delete, phase two).
+    DeleteDocs {
+        /// Table name.
+        name: String,
+        /// The ids the client confirmed — more access pattern for Eve.
+        doc_ids: Vec<u64>,
+    },
+}
+
+/// Records the server's complete view. Clone-cheap (shared interior).
+#[derive(Clone, Default)]
+pub struct Observer {
+    events: Arc<RwLock<Vec<ServerEvent>>>,
+}
+
+impl Observer {
+    /// Creates an empty observer.
+    #[must_use]
+    pub fn new() -> Self {
+        Observer::default()
+    }
+
+    fn record(&self, e: ServerEvent) {
+        self.events.write().push(e);
+    }
+
+    /// A snapshot of all recorded events.
+    #[must_use]
+    pub fn events(&self) -> Vec<ServerEvent> {
+        self.events.read().clone()
+    }
+
+    /// Only the query events — the transcript the §2 attacks consume.
+    #[must_use]
+    pub fn queries(&self) -> Vec<(Vec<WireTrapdoor>, Vec<u64>)> {
+        self.events
+            .read()
+            .iter()
+            .filter_map(|e| match e {
+                ServerEvent::Query { terms, matched_doc_ids, .. } => {
+                    Some((terms.clone(), matched_doc_ids.clone()))
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Clears the transcript (between game trials).
+    pub fn clear(&self) {
+        self.events.write().clear();
+    }
+}
+
+/// The outsourced database server.
+#[derive(Clone, Default)]
+pub struct Server {
+    tables: Arc<RwLock<HashMap<String, EncryptedTable>>>,
+    observer: Observer,
+}
+
+/// `ψ` as Eve runs it: keep documents where every trapdoor matches at
+/// least one cipher word. A free function over ciphertext — no key, no
+/// scheme type, just the public parameters and the received trapdoors.
+#[must_use]
+pub fn execute_query(table: &EncryptedTable, terms: &[WireTrapdoor]) -> EncryptedTable {
+    let docs = table
+        .docs
+        .iter()
+        .filter(|(_, words)| {
+            terms
+                .iter()
+                .all(|t| words.iter().any(|cw| matches(&table.params, t, cw)))
+        })
+        .cloned()
+        .collect();
+    EncryptedTable { params: table.params, docs, next_doc_id: table.next_doc_id }
+}
+
+impl Server {
+    /// Creates an empty server.
+    #[must_use]
+    pub fn new() -> Self {
+        Server::default()
+    }
+
+    /// The server's transcript recorder.
+    #[must_use]
+    pub fn observer(&self) -> &Observer {
+        &self.observer
+    }
+
+    /// Handles one serialized client message, returning the serialized
+    /// response. This is the server's entire interface.
+    #[must_use]
+    pub fn handle(&self, message_bytes: &[u8]) -> Vec<u8> {
+        let response = match ClientMessage::from_wire(message_bytes) {
+            Ok(msg) => self.dispatch(msg),
+            Err(e) => ServerResponse::Error(format!("malformed message: {e}")),
+        };
+        response.to_wire()
+    }
+
+    fn dispatch(&self, msg: ClientMessage) -> ServerResponse {
+        match msg {
+            ClientMessage::CreateTable { name, table } => {
+                let mut tables = self.tables.write();
+                if tables.contains_key(&name) {
+                    return ServerResponse::Error(format!("table exists: {name}"));
+                }
+                self.observer.record(ServerEvent::Upload {
+                    name: name.clone(),
+                    tuples: table.len(),
+                    bytes: table.ciphertext_bytes(),
+                });
+                tables.insert(name, table);
+                ServerResponse::Ok
+            }
+            ClientMessage::Query { name, terms } => {
+                let tables = self.tables.read();
+                let Some(table) = tables.get(&name) else {
+                    return ServerResponse::Error(format!("unknown table: {name}"));
+                };
+                let result = execute_query(table, &terms);
+                self.observer.record(ServerEvent::Query {
+                    name,
+                    terms,
+                    matched_doc_ids: result.doc_ids(),
+                });
+                ServerResponse::Table(result)
+            }
+            ClientMessage::FetchAll { name } => {
+                let tables = self.tables.read();
+                let Some(table) = tables.get(&name) else {
+                    return ServerResponse::Error(format!("unknown table: {name}"));
+                };
+                self.observer.record(ServerEvent::FetchAll { name });
+                ServerResponse::Table(table.clone())
+            }
+            ClientMessage::Append { name, doc_id, words } => {
+                let mut tables = self.tables.write();
+                let Some(table) = tables.get_mut(&name) else {
+                    return ServerResponse::Error(format!("unknown table: {name}"));
+                };
+                if doc_id < table.next_doc_id {
+                    return ServerResponse::Error(format!("stale doc id {doc_id}"));
+                }
+                table.docs.push((doc_id, words));
+                table.next_doc_id = doc_id + 1;
+                self.observer.record(ServerEvent::Append { name, doc_id });
+                ServerResponse::Ok
+            }
+            ClientMessage::DropTable { name } => {
+                let mut tables = self.tables.write();
+                if tables.remove(&name).is_none() {
+                    return ServerResponse::Error(format!("unknown table: {name}"));
+                }
+                self.observer.record(ServerEvent::Drop { name });
+                ServerResponse::Ok
+            }
+            ClientMessage::DeleteDocs { name, doc_ids } => {
+                let mut tables = self.tables.write();
+                let Some(table) = tables.get_mut(&name) else {
+                    return ServerResponse::Error(format!("unknown table: {name}"));
+                };
+                let victims: std::collections::BTreeSet<u64> = doc_ids.iter().copied().collect();
+                table.docs.retain(|(id, _)| !victims.contains(id));
+                self.observer.record(ServerEvent::DeleteDocs { name, doc_ids });
+                ServerResponse::Ok
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbph_swp::{CipherWord, SwpParams};
+
+    fn table(n: usize) -> EncryptedTable {
+        EncryptedTable {
+            params: SwpParams::new(13, 4, 32).unwrap(),
+            docs: (0..n as u64).map(|i| (i, vec![CipherWord(vec![i as u8; 13])])).collect(),
+            next_doc_id: n as u64,
+        }
+    }
+
+    fn send(server: &Server, msg: ClientMessage) -> ServerResponse {
+        ServerResponse::from_wire(&server.handle(&msg.to_wire())).unwrap()
+    }
+
+    #[test]
+    fn create_fetch_drop() {
+        let s = Server::new();
+        assert_eq!(
+            send(&s, ClientMessage::CreateTable { name: "t".into(), table: table(3) }),
+            ServerResponse::Ok
+        );
+        match send(&s, ClientMessage::FetchAll { name: "t".into() }) {
+            ServerResponse::Table(t) => assert_eq!(t.len(), 3),
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(
+            send(&s, ClientMessage::DropTable { name: "t".into() }),
+            ServerResponse::Ok
+        );
+        assert!(matches!(
+            send(&s, ClientMessage::FetchAll { name: "t".into() }),
+            ServerResponse::Error(_)
+        ));
+    }
+
+    #[test]
+    fn duplicate_create_rejected() {
+        let s = Server::new();
+        send(&s, ClientMessage::CreateTable { name: "t".into(), table: table(1) });
+        assert!(matches!(
+            send(&s, ClientMessage::CreateTable { name: "t".into(), table: table(1) }),
+            ServerResponse::Error(_)
+        ));
+    }
+
+    #[test]
+    fn append_enforces_fresh_ids() {
+        let s = Server::new();
+        send(&s, ClientMessage::CreateTable { name: "t".into(), table: table(2) });
+        assert_eq!(
+            send(
+                &s,
+                ClientMessage::Append {
+                    name: "t".into(),
+                    doc_id: 2,
+                    words: vec![CipherWord(vec![9; 13])]
+                }
+            ),
+            ServerResponse::Ok
+        );
+        assert!(matches!(
+            send(
+                &s,
+                ClientMessage::Append {
+                    name: "t".into(),
+                    doc_id: 1,
+                    words: vec![CipherWord(vec![9; 13])]
+                }
+            ),
+            ServerResponse::Error(_)
+        ));
+    }
+
+    #[test]
+    fn malformed_bytes_produce_error_response() {
+        let s = Server::new();
+        let resp = ServerResponse::from_wire(&s.handle(&[0xFF, 0x00])).unwrap();
+        assert!(matches!(resp, ServerResponse::Error(_)));
+    }
+
+    #[test]
+    fn observer_records_uploads_and_queries() {
+        let s = Server::new();
+        send(&s, ClientMessage::CreateTable { name: "t".into(), table: table(2) });
+        send(
+            &s,
+            ClientMessage::Query {
+                name: "t".into(),
+                terms: vec![WireTrapdoor { target: vec![0; 13], check_key: vec![0; 32] }],
+            },
+        );
+        let events = s.observer().events();
+        assert_eq!(events.len(), 2);
+        assert!(matches!(events[0], ServerEvent::Upload { tuples: 2, .. }));
+        assert!(matches!(events[1], ServerEvent::Query { .. }));
+        assert_eq!(s.observer().queries().len(), 1);
+        s.observer().clear();
+        assert!(s.observer().events().is_empty());
+    }
+
+    #[test]
+    fn query_on_unknown_table_errors() {
+        let s = Server::new();
+        assert!(matches!(
+            send(&s, ClientMessage::Query { name: "none".into(), terms: vec![] }),
+            ServerResponse::Error(_)
+        ));
+    }
+}

@@ -1,0 +1,488 @@
+//! The §3 construction: a database PH from searchable encryption.
+//!
+//! * Each tuple becomes a *document*: one fixed-length word per
+//!   attribute (`value | padding | attribute-id`, see
+//!   [`crate::encoding`]).
+//! * Documents are encrypted word-by-word under a
+//!   [`SearchableScheme`]; the collection is the table ciphertext.
+//! * An exact select `σ_{a=v}` becomes the trapdoor for the word that
+//!   `⟨a:v⟩` would encode to — the paper's
+//!   `σ_name:"Montgomery" ↦ φ_"MontgomeryN"`.
+//! * The server's `ψ` scans the collection with the trapdoor and
+//!   returns the sub-collection of matching documents (including the
+//!   occasional false positive, which the client filters after
+//!   decryption).
+//!
+//! `SwpPh` is generic over the searchable scheme, mirroring the
+//! paper's "others can be used instead"; [`FinalSwpPh`] fixes the SWP
+//! final scheme, the only variant that can also decrypt.
+
+use serde::{Deserialize, Serialize};
+
+use dbph_crypto::SecretKey;
+use dbph_relation::{Query, Relation, Schema};
+use dbph_swp::{matches, CipherWord, FinalScheme, Location, SearchableScheme, SwpParams, Word};
+
+use crate::encoding::WordCodec;
+use crate::error::PhError;
+use crate::ph::{DatabasePh, IncrementalPh};
+
+/// An encrypted table: per-tuple documents of cipher words. This is
+/// exactly what Eve stores — no plaintext, no key material, but a
+/// visible tuple count and visible document identities.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EncryptedTable {
+    /// SWP parameters (public; the server needs them to run `ψ`).
+    pub params: SwpParams,
+    /// One entry per tuple: `(document id, cipher words in attribute
+    /// order)`. Document ids are assigned at encryption time and are
+    /// stable under `ψ` (a result is a sub-multiset of the input).
+    pub docs: Vec<(u64, Vec<CipherWord>)>,
+    /// Next fresh document id (monotone; supports appends).
+    pub next_doc_id: u64,
+}
+
+impl EncryptedTable {
+    /// Number of encrypted tuples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether the table ciphertext holds no tuples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// The document ids present (what a result set reveals to Eve).
+    #[must_use]
+    pub fn doc_ids(&self) -> Vec<u64> {
+        self.docs.iter().map(|(id, _)| *id).collect()
+    }
+
+    /// Total ciphertext size in bytes (words only, excluding ids) —
+    /// used by the encoding benches.
+    #[must_use]
+    pub fn ciphertext_bytes(&self) -> usize {
+        self.docs
+            .iter()
+            .map(|(_, words)| words.iter().map(|w| w.0.len()).sum::<usize>())
+            .sum()
+    }
+}
+
+/// An encrypted query: one trapdoor per conjunction term. The server
+/// intersects per-term document matches.
+#[derive(Clone)]
+pub struct EncryptedQuery<T> {
+    /// Per-term trapdoors, in query-term order.
+    pub terms: Vec<T>,
+}
+
+/// The §3 database PH over a searchable scheme `S`.
+#[derive(Clone)]
+pub struct SwpPh<S: SearchableScheme> {
+    scheme: S,
+    codec: WordCodec,
+    name: &'static str,
+}
+
+/// The paper's reference instantiation: `SwpPh` over the SWP final
+/// scheme (trapdoors hide the word, tables decrypt).
+pub type FinalSwpPh = SwpPh<FinalScheme>;
+
+impl FinalSwpPh {
+    /// Builds the reference construction for `schema` under `master`,
+    /// with the codec's default parameters (negligible false-positive
+    /// rate).
+    ///
+    /// # Errors
+    /// Fails only for schemas too narrow for the default check block.
+    pub fn new(schema: Schema, master: &SecretKey) -> Result<Self, PhError> {
+        let codec = WordCodec::new(schema);
+        let params = codec.swp_params()?;
+        Ok(SwpPh {
+            scheme: FinalScheme::new(params, master),
+            codec,
+            name: "swp-final",
+        })
+    }
+
+    /// Builds the construction with explicit SWP parameters (used by
+    /// the false-positive experiments, which dial `check_bits` down to
+    /// measurable rates).
+    ///
+    /// # Errors
+    /// Fails when `params.word_len` does not match the codec's word
+    /// length.
+    pub fn with_params(
+        schema: Schema,
+        master: &SecretKey,
+        params: SwpParams,
+    ) -> Result<Self, PhError> {
+        let codec = WordCodec::new(schema);
+        if params.word_len != codec.word_len() {
+            return Err(PhError::Swp(dbph_swp::SwpError::BadParams(
+                "params.word_len must equal the codec word length",
+            )));
+        }
+        Ok(SwpPh {
+            scheme: FinalScheme::new(params, master),
+            codec,
+            name: "swp-final",
+        })
+    }
+}
+
+impl<S: SearchableScheme> SwpPh<S> {
+    /// Wraps an arbitrary searchable scheme (used by the ablation
+    /// benches over SWP schemes I–III).
+    ///
+    /// # Errors
+    /// Fails when the scheme's word length does not match the schema's
+    /// codec.
+    pub fn over_scheme(schema: Schema, scheme: S, name: &'static str) -> Result<Self, PhError> {
+        let codec = WordCodec::new(schema);
+        if scheme.params().word_len != codec.word_len() {
+            return Err(PhError::Swp(dbph_swp::SwpError::BadParams(
+                "scheme word length must equal the codec word length",
+            )));
+        }
+        Ok(SwpPh { scheme, codec, name })
+    }
+
+    /// The underlying codec (exposed for the experiment binaries).
+    #[must_use]
+    pub fn codec(&self) -> &WordCodec {
+        &self.codec
+    }
+
+    /// The underlying scheme's parameters.
+    #[must_use]
+    pub fn params(&self) -> &SwpParams {
+        self.scheme.params()
+    }
+
+    /// Decrypts each document of `table` alongside its document id —
+    /// the client-side primitive behind confirmed (two-phase) deletes,
+    /// where Alex must map decrypted tuples back to server-side ids.
+    ///
+    /// # Errors
+    /// Fails on corrupt ciphertexts or non-decryptable schemes.
+    pub fn decrypt_docs(
+        &self,
+        table: &EncryptedTable,
+    ) -> Result<Vec<(u64, dbph_relation::Tuple)>, PhError> {
+        let mut out = Vec::with_capacity(table.docs.len());
+        for (doc_id, cipher_words) in &table.docs {
+            let mut words = Vec::with_capacity(cipher_words.len());
+            for (i, cw) in cipher_words.iter().enumerate() {
+                words.push(
+                    self.scheme
+                        .decrypt_word(Location::new(*doc_id, i as u32), cw)?,
+                );
+            }
+            out.push((*doc_id, self.codec.decode_tuple(&words)?));
+        }
+        Ok(out)
+    }
+
+    fn check_schema(&self, relation: &Relation) -> Result<(), PhError> {
+        if relation.schema() != self.codec.schema() {
+            return Err(PhError::SchemaMismatch {
+                expected: self.codec.schema().to_string(),
+                actual: relation.schema().to_string(),
+            });
+        }
+        Ok(())
+    }
+
+    fn encrypt_document(&self, doc_id: u64, words: &[Word]) -> Result<Vec<CipherWord>, PhError> {
+        words
+            .iter()
+            .enumerate()
+            .map(|(i, w)| {
+                self.scheme
+                    .encrypt_word(Location::new(doc_id, i as u32), w)
+                    .map_err(PhError::from)
+            })
+            .collect()
+    }
+}
+
+impl<S: SearchableScheme> DatabasePh for SwpPh<S> {
+    type TableCt = EncryptedTable;
+    type QueryCt = EncryptedQuery<S::Trapdoor>;
+
+    fn scheme_name(&self) -> &'static str {
+        self.name
+    }
+
+    fn schema(&self) -> &Schema {
+        self.codec.schema()
+    }
+
+    fn encrypt_table(&self, relation: &Relation) -> Result<EncryptedTable, PhError> {
+        self.check_schema(relation)?;
+        let mut docs = Vec::with_capacity(relation.len());
+        for (i, tuple) in relation.tuples().iter().enumerate() {
+            let words = self.codec.encode_tuple(tuple)?;
+            let doc_id = i as u64;
+            docs.push((doc_id, self.encrypt_document(doc_id, &words)?));
+        }
+        Ok(EncryptedTable {
+            params: *self.scheme.params(),
+            docs,
+            next_doc_id: relation.len() as u64,
+        })
+    }
+
+    fn decrypt_table(&self, ciphertext: &EncryptedTable) -> Result<Relation, PhError> {
+        let mut out = Relation::empty(self.codec.schema().clone());
+        for (doc_id, cipher_words) in &ciphertext.docs {
+            let mut words = Vec::with_capacity(cipher_words.len());
+            for (i, cw) in cipher_words.iter().enumerate() {
+                words.push(
+                    self.scheme
+                        .decrypt_word(Location::new(*doc_id, i as u32), cw)?,
+                );
+            }
+            let tuple = self.codec.decode_tuple(&words)?;
+            out.insert(tuple)?;
+        }
+        Ok(out)
+    }
+
+    fn encrypt_query(&self, query: &Query) -> Result<Self::QueryCt, PhError> {
+        let words = self.codec.encode_query_terms(query)?;
+        let terms = words
+            .iter()
+            .map(|w| self.scheme.trapdoor(w).map_err(PhError::from))
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(EncryptedQuery { terms })
+    }
+
+    fn apply(table: &EncryptedTable, query: &Self::QueryCt) -> EncryptedTable {
+        // ψ: keep the documents where *every* trapdoor matches at
+        // least one word. Keyless — only `matches` is used.
+        let docs = table
+            .docs
+            .iter()
+            .filter(|(_, words)| {
+                query.terms.iter().all(|trapdoor| {
+                    words
+                        .iter()
+                        .any(|cw| matches(&table.params, trapdoor, cw))
+                })
+            })
+            .cloned()
+            .collect();
+        EncryptedTable { params: table.params, docs, next_doc_id: table.next_doc_id }
+    }
+
+    fn ciphertext_len(table: &EncryptedTable) -> usize {
+        table.len()
+    }
+
+    fn doc_ids(table: &EncryptedTable) -> Vec<u64> {
+        table.doc_ids()
+    }
+}
+
+impl<S: SearchableScheme> IncrementalPh for SwpPh<S> {
+    fn append_tuple(
+        &self,
+        table: &mut EncryptedTable,
+        tuple: &dbph_relation::Tuple,
+    ) -> Result<(), PhError> {
+        tuple.validate(self.codec.schema())?;
+        let words = self.codec.encode_tuple(tuple)?;
+        let doc_id = table.next_doc_id;
+        let enc = self.encrypt_document(doc_id, &words)?;
+        table.docs.push((doc_id, enc));
+        table.next_doc_id += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ph::check_homomorphism_law;
+    use dbph_relation::schema::emp_schema;
+    use dbph_relation::{tuple, ExactSelect, Value};
+
+    fn master() -> SecretKey {
+        SecretKey::from_bytes([42u8; 32])
+    }
+
+    fn emp() -> Relation {
+        Relation::from_tuples(
+            emp_schema(),
+            vec![
+                tuple!["Montgomery", "HR", 7500i64],
+                tuple!["Smith", "IT", 4900i64],
+                tuple!["Jones", "IT", 1200i64],
+                tuple!["Ng", "IT", 4900i64],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn ph() -> FinalSwpPh {
+        FinalSwpPh::new(emp_schema(), &master()).unwrap()
+    }
+
+    #[test]
+    fn table_roundtrip() {
+        let ph = ph();
+        let r = emp();
+        let ct = ph.encrypt_table(&r).unwrap();
+        assert_eq!(ct.len(), 4);
+        let back = ph.decrypt_table(&ct).unwrap();
+        assert!(r.same_multiset(&back));
+    }
+
+    #[test]
+    fn homomorphism_law_for_paper_query() {
+        // §3's worked example: σ_name:"Montgomery".
+        check_homomorphism_law(&ph(), &emp(), &Query::select("name", "Montgomery")).unwrap();
+    }
+
+    #[test]
+    fn homomorphism_law_across_queries() {
+        let ph = ph();
+        let r = emp();
+        for q in [
+            Query::select("dept", "IT"),
+            Query::select("dept", "HR"),
+            Query::select("salary", 4900i64),
+            Query::select("salary", 1i64), // empty result
+            Query::select("name", "Nobody"),
+            Query::conjunction(vec![
+                ExactSelect::new("dept", "IT"),
+                ExactSelect::new("salary", 4900i64),
+            ])
+            .unwrap(),
+        ] {
+            check_homomorphism_law(&ph, &r, &q).unwrap();
+        }
+    }
+
+    #[test]
+    fn apply_is_keyless_and_returns_subset() {
+        let ph = ph();
+        let ct = ph.encrypt_table(&emp()).unwrap();
+        let q = ph.encrypt_query(&Query::select("dept", "IT")).unwrap();
+        // Note: apply is an associated function — no `ph` receiver.
+        let sub = FinalSwpPh::apply(&ct, &q);
+        assert_eq!(sub.len(), 3);
+        let ids = sub.doc_ids();
+        for id in &ids {
+            assert!(ct.doc_ids().contains(id));
+        }
+    }
+
+    #[test]
+    fn result_decryption_filters_and_matches_plaintext() {
+        let ph = ph();
+        let r = emp();
+        let q = Query::select("salary", 4900i64);
+        let ct = ph.encrypt_table(&r).unwrap();
+        let qct = ph.encrypt_query(&q).unwrap();
+        let result = FinalSwpPh::apply(&ct, &qct);
+        let decrypted = ph.decrypt_result(&result, &q).unwrap();
+        let expected = dbph_relation::exec::select(&r, &q).unwrap();
+        assert!(decrypted.same_multiset(&expected));
+    }
+
+    #[test]
+    fn schema_mismatch_rejected() {
+        let ph = ph();
+        let other = Relation::empty(dbph_relation::schema::hospital_schema());
+        assert!(matches!(
+            ph.encrypt_table(&other),
+            Err(PhError::SchemaMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn ciphertext_leaks_only_cardinality() {
+        // Same-cardinality tables with different contents yield
+        // ciphertexts of identical shape.
+        let ph = ph();
+        let r1 = Relation::from_tuples(
+            emp_schema(),
+            vec![tuple!["A", "HR", 1i64], tuple!["B", "HR", 1i64]],
+        )
+        .unwrap();
+        let r2 = Relation::from_tuples(
+            emp_schema(),
+            vec![tuple!["C", "IT", 9i64], tuple!["C", "IT", 9i64]],
+        )
+        .unwrap();
+        let c1 = ph.encrypt_table(&r1).unwrap();
+        let c2 = ph.encrypt_table(&r2).unwrap();
+        assert_eq!(c1.len(), c2.len());
+        assert_eq!(c1.ciphertext_bytes(), c2.ciphertext_bytes());
+        // And equal plaintext tuples within one table don't produce
+        // equal ciphertext documents (q=0 equality hiding).
+        assert_ne!(c2.docs[0].1, c2.docs[1].1);
+    }
+
+    #[test]
+    fn incremental_append_preserves_law() {
+        use crate::ph::IncrementalPh as _;
+        let ph = ph();
+        let mut ct = ph.encrypt_table(&emp()).unwrap();
+        ph.append_tuple(&mut ct, &tuple!["Kim", "HR", 7500i64]).unwrap();
+        assert_eq!(ct.len(), 5);
+
+        let q = Query::select("salary", 7500i64);
+        let qct = ph.encrypt_query(&q).unwrap();
+        let result = FinalSwpPh::apply(&ct, &qct);
+        let rel = ph.decrypt_result(&result, &q).unwrap();
+        assert_eq!(rel.len(), 2);
+        let names: Vec<_> = rel.tuples().iter().map(|t| t.get(0).unwrap().clone()).collect();
+        assert!(names.contains(&Value::str("Kim")));
+        assert!(names.contains(&Value::str("Montgomery")));
+    }
+
+    #[test]
+    fn works_over_other_swp_schemes_for_search() {
+        // Scheme II/III cannot decrypt, but ψ still works; the games
+        // use exactly this.
+        let codec_len = WordCodec::new(emp_schema()).word_len();
+        let params = SwpParams::for_word_len(codec_len).unwrap();
+        let scheme = dbph_swp::HiddenScheme::new(params, &master());
+        let ph = SwpPh::over_scheme(emp_schema(), scheme, "swp-hidden").unwrap();
+        let ct = ph.encrypt_table(&emp()).unwrap();
+        let q = ph.encrypt_query(&Query::select("dept", "IT")).unwrap();
+        let sub = SwpPh::<dbph_swp::HiddenScheme>::apply(&ct, &q);
+        assert_eq!(sub.len(), 3);
+        assert!(matches!(ph.decrypt_table(&ct), Err(PhError::Swp(_))));
+    }
+
+    #[test]
+    fn empty_relation_roundtrip() {
+        let ph = ph();
+        let r = Relation::empty(emp_schema());
+        let ct = ph.encrypt_table(&r).unwrap();
+        assert!(ct.is_empty());
+        let q = ph.encrypt_query(&Query::select("dept", "IT")).unwrap();
+        let sub = FinalSwpPh::apply(&ct, &q);
+        assert!(sub.is_empty());
+        assert!(ph.decrypt_table(&ct).unwrap().is_empty());
+    }
+
+    #[test]
+    fn wrong_key_cannot_decrypt() {
+        let ph1 = FinalSwpPh::new(emp_schema(), &SecretKey::from_bytes([1u8; 32])).unwrap();
+        let ph2 = FinalSwpPh::new(emp_schema(), &SecretKey::from_bytes([2u8; 32])).unwrap();
+        let ct = ph1.encrypt_table(&emp()).unwrap();
+        // Decryption under the wrong key either errors (decode fails)
+        // or yields garbage that is not the original relation.
+        if let Ok(r) = ph2.decrypt_table(&ct) { assert!(!r.same_multiset(&emp())) }
+    }
+}

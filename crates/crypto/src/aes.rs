@@ -1,0 +1,407 @@
+//! AES-128 block cipher (FIPS 197), implemented from the specification.
+//!
+//! The Song–Wagner–Perrig construction pre-encrypts each fixed-width
+//! word with a *deterministic* cipher `E''` before the randomized
+//! stream layer is applied; AES-128 over 16-byte blocks (ECB for
+//! block-aligned words) is that cipher. The Hacıgümüş baseline also
+//! uses it to realize the "secret permutation" on bucket identifiers
+//! for block-sized domains.
+//!
+//! The implementation uses the algebraic S-box (computed once at first
+//! use) and the textbook round structure: readable, allocation-free,
+//! and fast enough for every experiment in the paper.
+
+use crate::error::CryptoError;
+
+/// AES block size in bytes.
+pub const BLOCK_LEN: usize = 16;
+/// AES-128 key size in bytes.
+pub const KEY_LEN: usize = 16;
+/// Number of AES-128 rounds.
+const ROUNDS: usize = 10;
+
+/// Multiplies two elements of GF(2^8) with the AES polynomial x^8+x^4+x^3+x+1.
+#[inline]
+fn gf_mul(mut a: u8, mut b: u8) -> u8 {
+    let mut p = 0u8;
+    for _ in 0..8 {
+        if b & 1 != 0 {
+            p ^= a;
+        }
+        let hi = a & 0x80;
+        a <<= 1;
+        if hi != 0 {
+            a ^= 0x1b;
+        }
+        b >>= 1;
+    }
+    p
+}
+
+/// Builds the forward and inverse S-boxes from the field inverse plus
+/// the affine transform (FIPS 197 §5.1.1).
+fn build_sboxes() -> ([u8; 256], [u8; 256]) {
+    // Multiplicative inverses via brute force — runs once.
+    let mut inv = [0u8; 256];
+    for x in 1..=255u8 {
+        for y in 1..=255u8 {
+            if gf_mul(x, y) == 1 {
+                inv[x as usize] = y;
+                break;
+            }
+        }
+    }
+    let mut sbox = [0u8; 256];
+    let mut inv_sbox = [0u8; 256];
+    for x in 0..=255u8 {
+        let b = inv[x as usize];
+        let s = b
+            ^ b.rotate_left(1)
+            ^ b.rotate_left(2)
+            ^ b.rotate_left(3)
+            ^ b.rotate_left(4)
+            ^ 0x63;
+        sbox[x as usize] = s;
+        inv_sbox[s as usize] = x;
+    }
+    (sbox, inv_sbox)
+}
+
+fn sboxes() -> &'static ([u8; 256], [u8; 256]) {
+    use std::sync::OnceLock;
+    static SBOXES: OnceLock<([u8; 256], [u8; 256])> = OnceLock::new();
+    SBOXES.get_or_init(build_sboxes)
+}
+
+/// An AES-128 instance with a fixed expanded key schedule.
+///
+/// `Debug` intentionally omits the key schedule.
+#[derive(Clone)]
+pub struct Aes128 {
+    /// Round keys: 11 × 16 bytes.
+    round_keys: [[u8; BLOCK_LEN]; ROUNDS + 1],
+}
+
+impl Aes128 {
+    /// Expands `key` into the round-key schedule (FIPS 197 §5.2).
+    ///
+    /// # Errors
+    /// Returns [`CryptoError::InvalidKeyLength`] unless `key` is 16 bytes.
+    pub fn new(key: &[u8]) -> Result<Self, CryptoError> {
+        if key.len() != KEY_LEN {
+            return Err(CryptoError::InvalidKeyLength { expected: KEY_LEN, actual: key.len() });
+        }
+        let (sbox, _) = sboxes();
+        let mut w = [[0u8; 4]; 4 * (ROUNDS + 1)];
+        for i in 0..4 {
+            w[i].copy_from_slice(&key[4 * i..4 * i + 4]);
+        }
+        let mut rcon: u8 = 1;
+        for i in 4..4 * (ROUNDS + 1) {
+            let mut temp = w[i - 1];
+            if i % 4 == 0 {
+                temp.rotate_left(1); // RotWord
+                for b in temp.iter_mut() {
+                    *b = sbox[*b as usize]; // SubWord
+                }
+                temp[0] ^= rcon;
+                rcon = gf_mul(rcon, 2);
+            }
+            for j in 0..4 {
+                w[i][j] = w[i - 4][j] ^ temp[j];
+            }
+        }
+        let mut round_keys = [[0u8; BLOCK_LEN]; ROUNDS + 1];
+        for (r, rk) in round_keys.iter_mut().enumerate() {
+            for c in 0..4 {
+                rk[4 * c..4 * c + 4].copy_from_slice(&w[4 * r + c]);
+            }
+        }
+        Ok(Aes128 { round_keys })
+    }
+
+    /// Encrypts one 16-byte block in place.
+    pub fn encrypt_block(&self, block: &mut [u8; BLOCK_LEN]) {
+        let (sbox, _) = sboxes();
+        add_round_key(block, &self.round_keys[0]);
+        for round in 1..ROUNDS {
+            sub_bytes(block, sbox);
+            shift_rows(block);
+            mix_columns(block);
+            add_round_key(block, &self.round_keys[round]);
+        }
+        sub_bytes(block, sbox);
+        shift_rows(block);
+        add_round_key(block, &self.round_keys[ROUNDS]);
+    }
+
+    /// Decrypts one 16-byte block in place.
+    pub fn decrypt_block(&self, block: &mut [u8; BLOCK_LEN]) {
+        let (_, inv_sbox) = sboxes();
+        add_round_key(block, &self.round_keys[ROUNDS]);
+        inv_shift_rows(block);
+        inv_sub_bytes(block, inv_sbox);
+        for round in (1..ROUNDS).rev() {
+            add_round_key(block, &self.round_keys[round]);
+            inv_mix_columns(block);
+            inv_shift_rows(block);
+            inv_sub_bytes(block, inv_sbox);
+        }
+        add_round_key(block, &self.round_keys[0]);
+    }
+
+    /// Encrypts a block-aligned buffer in ECB mode (deterministic).
+    ///
+    /// ECB is exactly what the SWP pre-encryption `E''` requires:
+    /// identical words must map to identical pre-ciphertexts so that
+    /// trapdoor search works. It must never be used where equality
+    /// leakage matters — that, in miniature, is the paper's critique of
+    /// the bucketization baseline.
+    ///
+    /// # Errors
+    /// Returns [`CryptoError::BlockSizeMismatch`] if `data` is not a
+    /// multiple of 16 bytes.
+    pub fn ecb_encrypt(&self, data: &mut [u8]) -> Result<(), CryptoError> {
+        if !data.len().is_multiple_of(BLOCK_LEN) {
+            return Err(CryptoError::BlockSizeMismatch { block: BLOCK_LEN, actual: data.len() });
+        }
+        for chunk in data.chunks_exact_mut(BLOCK_LEN) {
+            let mut b = [0u8; BLOCK_LEN];
+            b.copy_from_slice(chunk);
+            self.encrypt_block(&mut b);
+            chunk.copy_from_slice(&b);
+        }
+        Ok(())
+    }
+
+    /// Decrypts a block-aligned ECB buffer in place.
+    ///
+    /// # Errors
+    /// Returns [`CryptoError::BlockSizeMismatch`] if `data` is not a
+    /// multiple of 16 bytes.
+    pub fn ecb_decrypt(&self, data: &mut [u8]) -> Result<(), CryptoError> {
+        if !data.len().is_multiple_of(BLOCK_LEN) {
+            return Err(CryptoError::BlockSizeMismatch { block: BLOCK_LEN, actual: data.len() });
+        }
+        for chunk in data.chunks_exact_mut(BLOCK_LEN) {
+            let mut b = [0u8; BLOCK_LEN];
+            b.copy_from_slice(chunk);
+            self.decrypt_block(&mut b);
+            chunk.copy_from_slice(&b);
+        }
+        Ok(())
+    }
+}
+
+impl std::fmt::Debug for Aes128 {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("Aes128(<key schedule redacted>)")
+    }
+}
+
+#[inline]
+fn add_round_key(state: &mut [u8; BLOCK_LEN], rk: &[u8; BLOCK_LEN]) {
+    for i in 0..BLOCK_LEN {
+        state[i] ^= rk[i];
+    }
+}
+
+#[inline]
+fn sub_bytes(state: &mut [u8; BLOCK_LEN], sbox: &[u8; 256]) {
+    for b in state.iter_mut() {
+        *b = sbox[*b as usize];
+    }
+}
+
+#[inline]
+fn inv_sub_bytes(state: &mut [u8; BLOCK_LEN], inv_sbox: &[u8; 256]) {
+    for b in state.iter_mut() {
+        *b = inv_sbox[*b as usize];
+    }
+}
+
+// State is column-major: state[r + 4c] is row r, column c.
+#[inline]
+fn shift_rows(state: &mut [u8; BLOCK_LEN]) {
+    let s = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[r + 4 * c] = s[r + 4 * ((c + r) % 4)];
+        }
+    }
+}
+
+#[inline]
+fn inv_shift_rows(state: &mut [u8; BLOCK_LEN]) {
+    let s = *state;
+    for r in 1..4 {
+        for c in 0..4 {
+            state[r + 4 * ((c + r) % 4)] = s[r + 4 * c];
+        }
+    }
+}
+
+#[inline]
+fn mix_columns(state: &mut [u8; BLOCK_LEN]) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        state[4 * c] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
+        state[4 * c + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
+        state[4 * c + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
+        state[4 * c + 3] = gf_mul(col[0], 3) ^ col[1] ^ col[2] ^ gf_mul(col[3], 2);
+    }
+}
+
+#[inline]
+fn inv_mix_columns(state: &mut [u8; BLOCK_LEN]) {
+    for c in 0..4 {
+        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        state[4 * c] =
+            gf_mul(col[0], 14) ^ gf_mul(col[1], 11) ^ gf_mul(col[2], 13) ^ gf_mul(col[3], 9);
+        state[4 * c + 1] =
+            gf_mul(col[0], 9) ^ gf_mul(col[1], 14) ^ gf_mul(col[2], 11) ^ gf_mul(col[3], 13);
+        state[4 * c + 2] =
+            gf_mul(col[0], 13) ^ gf_mul(col[1], 9) ^ gf_mul(col[2], 14) ^ gf_mul(col[3], 11);
+        state[4 * c + 3] =
+            gf_mul(col[0], 11) ^ gf_mul(col[1], 13) ^ gf_mul(col[2], 9) ^ gf_mul(col[3], 14);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    // FIPS 197 Appendix B worked example.
+    #[test]
+    fn fips197_appendix_b() {
+        let key = unhex("2b7e151628aed2a6abf7158809cf4f3c");
+        let aes = Aes128::new(&key).unwrap();
+        let mut block = [0u8; BLOCK_LEN];
+        block.copy_from_slice(&unhex("3243f6a8885a308d313198a2e0370734"));
+        aes.encrypt_block(&mut block);
+        assert_eq!(hex(&block), "3925841d02dc09fbdc118597196a0b32");
+    }
+
+    // FIPS 197 Appendix C.1 (AES-128).
+    #[test]
+    fn fips197_appendix_c1() {
+        let key = unhex("000102030405060708090a0b0c0d0e0f");
+        let aes = Aes128::new(&key).unwrap();
+        let mut block = [0u8; BLOCK_LEN];
+        block.copy_from_slice(&unhex("00112233445566778899aabbccddeeff"));
+        aes.encrypt_block(&mut block);
+        assert_eq!(hex(&block), "69c4e0d86a7b0430d8cdb78070b4c55a");
+        aes.decrypt_block(&mut block);
+        assert_eq!(hex(&block), "00112233445566778899aabbccddeeff");
+    }
+
+    // NIST SP 800-38A ECB-AES128 vectors (first two blocks).
+    #[test]
+    fn sp800_38a_ecb_vectors() {
+        let key = unhex("2b7e151628aed2a6abf7158809cf4f3c");
+        let aes = Aes128::new(&key).unwrap();
+        let mut data = unhex(
+            "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51",
+        );
+        aes.ecb_encrypt(&mut data).unwrap();
+        assert_eq!(
+            hex(&data),
+            "3ad77bb40d7a3660a89ecaf32466ef97f5d3d58503b9699de785895a96fdbaaf"
+        );
+        aes.ecb_decrypt(&mut data).unwrap();
+        assert_eq!(
+            hex(&data),
+            "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51"
+        );
+    }
+
+    #[test]
+    fn roundtrip_random_blocks() {
+        let aes = Aes128::new(&[0x42u8; 16]).unwrap();
+        for seed in 0..64u8 {
+            let mut block = [seed; BLOCK_LEN];
+            for (i, b) in block.iter_mut().enumerate() {
+                *b = b.wrapping_add(i as u8).wrapping_mul(31);
+            }
+            let original = block;
+            aes.encrypt_block(&mut block);
+            assert_ne!(block, original);
+            aes.decrypt_block(&mut block);
+            assert_eq!(block, original);
+        }
+    }
+
+    #[test]
+    fn wrong_key_length_rejected() {
+        assert_eq!(
+            Aes128::new(&[0u8; 15]).unwrap_err(),
+            CryptoError::InvalidKeyLength { expected: 16, actual: 15 }
+        );
+        assert_eq!(
+            Aes128::new(&[0u8; 32]).unwrap_err(),
+            CryptoError::InvalidKeyLength { expected: 16, actual: 32 }
+        );
+    }
+
+    #[test]
+    fn ecb_rejects_partial_blocks() {
+        let aes = Aes128::new(&[0u8; 16]).unwrap();
+        let mut data = vec![0u8; 17];
+        assert_eq!(
+            aes.ecb_encrypt(&mut data).unwrap_err(),
+            CryptoError::BlockSizeMismatch { block: 16, actual: 17 }
+        );
+        assert!(aes.ecb_decrypt(&mut data).is_err());
+    }
+
+    #[test]
+    fn ecb_is_deterministic_and_leaks_equality() {
+        // The property the paper's §1 attack exploits: deterministic
+        // encryption preserves equality patterns.
+        let aes = Aes128::new(&[7u8; 16]).unwrap();
+        let mut a = vec![1u8; 32]; // two identical blocks
+        aes.ecb_encrypt(&mut a).unwrap();
+        assert_eq!(a[..16], a[16..], "identical plaintext blocks must match");
+    }
+
+    #[test]
+    fn gf_mul_known_products() {
+        // Worked examples from FIPS 197 §4.2.
+        assert_eq!(gf_mul(0x57, 0x13), 0xfe);
+        assert_eq!(gf_mul(0x57, 0x02), 0xae);
+        assert_eq!(gf_mul(0x57, 0x04), 0x47);
+        assert_eq!(gf_mul(0x57, 0x08), 0x8e);
+        assert_eq!(gf_mul(0x57, 0x10), 0x07);
+        // Identity and zero.
+        for x in 0..=255u8 {
+            assert_eq!(gf_mul(x, 1), x);
+            assert_eq!(gf_mul(x, 0), 0);
+        }
+    }
+
+    #[test]
+    fn sbox_is_a_permutation_with_correct_inverse() {
+        let (sbox, inv) = *sboxes();
+        let mut seen = [false; 256];
+        for x in 0..256 {
+            assert!(!seen[sbox[x] as usize], "S-box not injective");
+            seen[sbox[x] as usize] = true;
+            assert_eq!(inv[sbox[x] as usize] as usize, x);
+        }
+        // Spot-check canonical entries.
+        assert_eq!(sbox[0x00], 0x63);
+        assert_eq!(sbox[0x53], 0xed);
+        assert_eq!(inv[0x63], 0x00);
+    }
+}

@@ -1,0 +1,230 @@
+//! ChaCha20 stream cipher (RFC 8439), implemented from the specification.
+//!
+//! ChaCha20 plays two roles here:
+//!
+//! 1. **CPA-secure encryption** of tuple payloads (with a fresh random
+//!    nonce per tuple) — see [`crate::cipher::StreamCipher`].
+//! 2. **Pseudorandom generator** `G` for the Song–Wagner–Perrig
+//!    per-location streams `S_i` — see [`crate::prg::ChaChaPrg`]. The
+//!    keystream is seekable by 64-byte blocks, which lets the PRG hand
+//!    out the stream at an arbitrary word location in O(1).
+
+/// Key length in bytes.
+pub const KEY_LEN: usize = 32;
+/// Nonce length in bytes (IETF variant).
+pub const NONCE_LEN: usize = 12;
+/// Keystream block length in bytes.
+pub const BLOCK_LEN: usize = 64;
+
+/// The ChaCha20 quarter round (RFC 8439 §2.1).
+#[inline(always)]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// Computes one 64-byte keystream block for `(key, nonce, counter)`
+/// (RFC 8439 §2.3).
+#[must_use]
+pub fn block(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], counter: u32) -> [u8; BLOCK_LEN] {
+    let mut state = [0u32; 16];
+    // "expand 32-byte k"
+    state[0] = 0x6170_7865;
+    state[1] = 0x3320_646e;
+    state[2] = 0x7962_2d32;
+    state[3] = 0x6b20_6574;
+    for i in 0..8 {
+        state[4 + i] = u32::from_le_bytes([
+            key[4 * i],
+            key[4 * i + 1],
+            key[4 * i + 2],
+            key[4 * i + 3],
+        ]);
+    }
+    state[12] = counter;
+    for i in 0..3 {
+        state[13 + i] = u32::from_le_bytes([
+            nonce[4 * i],
+            nonce[4 * i + 1],
+            nonce[4 * i + 2],
+            nonce[4 * i + 3],
+        ]);
+    }
+
+    let initial = state;
+    for _ in 0..10 {
+        // Column rounds.
+        quarter_round(&mut state, 0, 4, 8, 12);
+        quarter_round(&mut state, 1, 5, 9, 13);
+        quarter_round(&mut state, 2, 6, 10, 14);
+        quarter_round(&mut state, 3, 7, 11, 15);
+        // Diagonal rounds.
+        quarter_round(&mut state, 0, 5, 10, 15);
+        quarter_round(&mut state, 1, 6, 11, 12);
+        quarter_round(&mut state, 2, 7, 8, 13);
+        quarter_round(&mut state, 3, 4, 9, 14);
+    }
+
+    let mut out = [0u8; BLOCK_LEN];
+    for i in 0..16 {
+        let word = state[i].wrapping_add(initial[i]);
+        out[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+/// XORs the ChaCha20 keystream for `(key, nonce)` starting at block
+/// `initial_counter` into `data` in place. Applying it twice restores
+/// the original bytes.
+pub fn xor_stream(
+    key: &[u8; KEY_LEN],
+    nonce: &[u8; NONCE_LEN],
+    initial_counter: u32,
+    data: &mut [u8],
+) {
+    let mut counter = initial_counter;
+    for chunk in data.chunks_mut(BLOCK_LEN) {
+        let ks = block(key, nonce, counter);
+        for (byte, k) in chunk.iter_mut().zip(ks.iter()) {
+            *byte ^= k;
+        }
+        counter = counter.wrapping_add(1);
+    }
+}
+
+/// Produces `len` keystream bytes starting at an arbitrary byte
+/// `offset` into the `(key, nonce)` stream. Used by the seekable PRG.
+#[must_use]
+pub fn keystream_at(
+    key: &[u8; KEY_LEN],
+    nonce: &[u8; NONCE_LEN],
+    offset: u64,
+    len: usize,
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(len);
+    let mut block_index = (offset / BLOCK_LEN as u64) as u32;
+    let mut skip = (offset % BLOCK_LEN as u64) as usize;
+    while out.len() < len {
+        let ks = block(key, nonce, block_index);
+        let take = (len - out.len()).min(BLOCK_LEN - skip);
+        out.extend_from_slice(&ks[skip..skip + take]);
+        skip = 0;
+        block_index = block_index.wrapping_add(1);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    fn rfc_key() -> [u8; KEY_LEN] {
+        let mut k = [0u8; KEY_LEN];
+        for (i, b) in k.iter_mut().enumerate() {
+            *b = i as u8;
+        }
+        k
+    }
+
+    // RFC 8439 §2.3.2 block function test vector.
+    #[test]
+    fn rfc8439_block_vector() {
+        let key = rfc_key();
+        let nonce: [u8; NONCE_LEN] = [
+            0x00, 0x00, 0x00, 0x09, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00, 0x00,
+        ];
+        let out = block(&key, &nonce, 1);
+        assert_eq!(
+            hex(&out),
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
+d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e"
+        );
+    }
+
+    // RFC 8439 §2.4.2 encryption test vector.
+    #[test]
+    fn rfc8439_encryption_vector() {
+        let key = rfc_key();
+        let nonce: [u8; NONCE_LEN] = [
+            0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x00, 0x4a, 0x00, 0x00, 0x00, 0x00,
+        ];
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
+        let mut data = plaintext.to_vec();
+        xor_stream(&key, &nonce, 1, &mut data);
+        assert_eq!(
+            hex(&data),
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b\
+f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8\
+07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736\
+5af90bbf74a35be6b40b8eedf2785e42874d"
+        );
+        // Round trip.
+        xor_stream(&key, &nonce, 1, &mut data);
+        assert_eq!(&data, plaintext);
+    }
+
+    #[test]
+    fn keystream_at_matches_blocks() {
+        let key = rfc_key();
+        let nonce = [7u8; NONCE_LEN];
+        // Reference: four consecutive blocks (offsets below stay inside).
+        let mut reference = Vec::new();
+        for c in 0..4u32 {
+            reference.extend_from_slice(&block(&key, &nonce, c));
+        }
+        // Arbitrary offsets/lengths must be windows into that stream.
+        for offset in [0u64, 1, 63, 64, 65, 100, 127, 128] {
+            for len in [0usize, 1, 32, 64, 65] {
+                let ks = keystream_at(&key, &nonce, offset, len);
+                assert_eq!(
+                    ks[..],
+                    reference[offset as usize..offset as usize + len],
+                    "offset {offset} len {len}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_nonces_distinct_streams() {
+        let key = rfc_key();
+        let a = block(&key, &[0u8; NONCE_LEN], 0);
+        let mut n2 = [0u8; NONCE_LEN];
+        n2[11] = 1;
+        let b = block(&key, &n2, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn distinct_counters_distinct_blocks() {
+        let key = rfc_key();
+        let nonce = [3u8; NONCE_LEN];
+        assert_ne!(block(&key, &nonce, 0), block(&key, &nonce, 1));
+    }
+
+    #[test]
+    fn xor_stream_involution_various_lengths() {
+        let key = rfc_key();
+        let nonce = [9u8; NONCE_LEN];
+        for len in [0usize, 1, 63, 64, 65, 200] {
+            let original: Vec<u8> = (0..len).map(|i| (i * 7) as u8).collect();
+            let mut data = original.clone();
+            xor_stream(&key, &nonce, 0, &mut data);
+            if len > 0 {
+                assert_ne!(data, original, "len {len}: stream must change data");
+            }
+            xor_stream(&key, &nonce, 0, &mut data);
+            assert_eq!(data, original, "len {len}");
+        }
+    }
+}

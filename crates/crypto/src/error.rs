@@ -1,0 +1,88 @@
+//! Error type shared by all primitives in this crate.
+
+use std::fmt;
+
+/// Errors produced by cryptographic operations.
+///
+/// Primitives in this crate are total functions over well-formed inputs;
+/// errors only arise at the seams — malformed key material, ciphertexts
+/// whose framing is broken, or authentication failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// Key material had the wrong length for the primitive.
+    InvalidKeyLength {
+        /// Length the primitive expected, in bytes.
+        expected: usize,
+        /// Length that was provided, in bytes.
+        actual: usize,
+    },
+    /// A ciphertext was too short to contain its mandatory framing
+    /// (nonce, tag, or length prefix).
+    CiphertextTooShort {
+        /// Minimum ciphertext length for this primitive, in bytes.
+        minimum: usize,
+        /// Length that was provided, in bytes.
+        actual: usize,
+    },
+    /// An authentication tag did not verify; the ciphertext was
+    /// forged, corrupted, or decrypted under the wrong key.
+    AuthenticationFailed,
+    /// A block-oriented primitive received input that is not a
+    /// multiple of its block size.
+    BlockSizeMismatch {
+        /// The primitive's block size in bytes.
+        block: usize,
+        /// The offending input length in bytes.
+        actual: usize,
+    },
+    /// A domain parameter was out of range (e.g. a Feistel permutation
+    /// over an empty domain).
+    InvalidParameter(&'static str),
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::InvalidKeyLength { expected, actual } => {
+                write!(f, "invalid key length: expected {expected} bytes, got {actual}")
+            }
+            CryptoError::CiphertextTooShort { minimum, actual } => {
+                write!(f, "ciphertext too short: need at least {minimum} bytes, got {actual}")
+            }
+            CryptoError::AuthenticationFailed => write!(f, "authentication tag mismatch"),
+            CryptoError::BlockSizeMismatch { block, actual } => {
+                write!(f, "input length {actual} is not a multiple of the {block}-byte block size")
+            }
+            CryptoError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_informative() {
+        let e = CryptoError::InvalidKeyLength { expected: 32, actual: 16 };
+        assert!(e.to_string().contains("32"));
+        assert!(e.to_string().contains("16"));
+        let e = CryptoError::CiphertextTooShort { minimum: 12, actual: 3 };
+        assert!(e.to_string().contains("12"));
+        let e = CryptoError::BlockSizeMismatch { block: 16, actual: 17 };
+        assert!(e.to_string().contains("16-byte"));
+        assert!(CryptoError::AuthenticationFailed.to_string().contains("tag"));
+        assert!(CryptoError::InvalidParameter("x").to_string().contains('x'));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(CryptoError::AuthenticationFailed, CryptoError::AuthenticationFailed);
+        assert_ne!(
+            CryptoError::AuthenticationFailed,
+            CryptoError::InvalidParameter("domain")
+        );
+    }
+}

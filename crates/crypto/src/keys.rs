@@ -1,0 +1,116 @@
+//! Secret key material.
+//!
+//! A single 32-byte master key per outsourced table matches the paper's
+//! presentation (`k` chosen uniformly from `K`, security parameter
+//! `n = log |K|` = 256 here). Subkeys for the word cipher, the per-word
+//! PRF, the payload cipher and the location PRG are derived from the
+//! master via the KDF with fixed labels.
+
+use crate::kdf;
+use crate::rng::EntropySource;
+
+/// Length of a master secret key in bytes (security parameter 256).
+pub const KEY_LEN: usize = 32;
+
+/// A 32-byte master secret key.
+///
+/// Debug/Display never print key bytes; keys are zeroized on drop on a
+/// best-effort basis (no `unsafe`, so the compiler may keep copies —
+/// acceptable for a research artifact).
+#[derive(Clone, PartialEq, Eq)]
+pub struct SecretKey {
+    bytes: [u8; KEY_LEN],
+}
+
+impl SecretKey {
+    /// Wraps existing key bytes.
+    #[must_use]
+    pub fn from_bytes(bytes: [u8; KEY_LEN]) -> Self {
+        SecretKey { bytes }
+    }
+
+    /// Samples a fresh uniformly random key from `source`.
+    #[must_use]
+    pub fn generate<E: EntropySource>(source: &mut E) -> Self {
+        let mut bytes = [0u8; KEY_LEN];
+        source.fill(&mut bytes);
+        SecretKey { bytes }
+    }
+
+    /// Raw key bytes. Handle with care.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8; KEY_LEN] {
+        &self.bytes
+    }
+
+    /// Derives an independent subkey for the given domain label.
+    #[must_use]
+    pub fn derive(&self, label: &[u8]) -> SecretKey {
+        SecretKey { bytes: kdf::derive_array(&self.bytes, label) }
+    }
+
+    /// Derives `len` bytes of subkey material for the given label.
+    #[must_use]
+    pub fn derive_bytes(&self, label: &[u8], len: usize) -> Vec<u8> {
+        kdf::derive_key(&self.bytes, label, len)
+    }
+}
+
+impl Drop for SecretKey {
+    fn drop(&mut self) {
+        // Best-effort wipe; see type-level docs.
+        self.bytes.fill(0);
+    }
+}
+
+impl std::fmt::Debug for SecretKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("SecretKey(<redacted>)")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::DeterministicRng;
+
+    #[test]
+    fn generate_uses_entropy() {
+        let mut rng = DeterministicRng::from_seed(1);
+        let k1 = SecretKey::generate(&mut rng);
+        let k2 = SecretKey::generate(&mut rng);
+        assert_ne!(k1.as_bytes(), k2.as_bytes(), "successive keys must differ");
+    }
+
+    #[test]
+    fn generation_is_reproducible_per_seed() {
+        let mut a = DeterministicRng::from_seed(42);
+        let mut b = DeterministicRng::from_seed(42);
+        assert_eq!(
+            SecretKey::generate(&mut a).as_bytes(),
+            SecretKey::generate(&mut b).as_bytes()
+        );
+    }
+
+    #[test]
+    fn derive_is_deterministic_and_label_separated() {
+        let k = SecretKey::from_bytes([9u8; 32]);
+        assert_eq!(k.derive(b"a").as_bytes(), k.derive(b"a").as_bytes());
+        assert_ne!(k.derive(b"a").as_bytes(), k.derive(b"b").as_bytes());
+        assert_ne!(k.derive(b"a").as_bytes(), k.as_bytes());
+    }
+
+    #[test]
+    fn derive_bytes_length() {
+        let k = SecretKey::from_bytes([1u8; 32]);
+        assert_eq!(k.derive_bytes(b"x", 48).len(), 48);
+    }
+
+    #[test]
+    fn debug_is_redacted() {
+        let k = SecretKey::from_bytes([0xAB; 32]);
+        let s = format!("{k:?}");
+        assert!(!s.contains("ab"), "debug output leaked key bytes: {s}");
+        assert!(s.contains("redacted"));
+    }
+}

@@ -1,0 +1,51 @@
+//! Cryptographic primitives for the `dbph` workspace.
+//!
+//! The paper's construction (Evdokimov, Fischmann, Günther, ICDE 2006,
+//! §3) is generic over a *searchable encryption scheme*; the concrete
+//! instantiation follows Song–Wagner–Perrig, which in turn is built
+//! from four standard ingredients:
+//!
+//! * a **pseudorandom generator** `G` (here: the ChaCha20 keystream,
+//!   [`prg::ChaChaPrg`]),
+//! * a **pseudorandom function** `F` (here: HMAC-SHA-256,
+//!   [`prf::HmacPrf`]),
+//! * a **deterministic cipher** `E''` used to pre-encrypt words
+//!   (here: AES-128 in ECB over fixed-width words, [`aes::Aes128`]),
+//! * a **CPA-secure cipher** for tuple payloads (here: ChaCha20 with a
+//!   random nonce, [`cipher::StreamCipher`]).
+//!
+//! No third-party cryptography crates are used anywhere in the
+//! workspace; every primitive in this crate is implemented from the
+//! specification and validated against the official test vectors
+//! (FIPS 180-4, RFC 4231, RFC 8439, FIPS 197) in its module tests.
+//!
+//! # Security disclaimer
+//!
+//! These implementations are written for clarity and reproducibility of
+//! a research artifact. They are *not* hardened against side channels
+//! beyond using constant-time equality ([`ct::ct_eq`]) where the
+//! protocol requires it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aes;
+pub mod chacha20;
+pub mod cipher;
+pub mod ct;
+pub mod error;
+pub mod feistel;
+pub mod hmac;
+pub mod kdf;
+pub mod keys;
+pub mod prf;
+pub mod prg;
+pub mod rng;
+pub mod sha256;
+
+pub use cipher::{DeterministicCipher, RandomizedCipher, SealedCipher, StreamCipher};
+pub use error::CryptoError;
+pub use keys::SecretKey;
+pub use prf::{HmacPrf, Prf};
+pub use prg::{ChaChaPrg, Prg};
+pub use rng::{DeterministicRng, EntropySource, OsEntropy};

@@ -1,0 +1,123 @@
+//! Property-based tests for the cryptographic primitives.
+
+use proptest::prelude::*;
+
+use dbph_crypto::aes::Aes128;
+use dbph_crypto::chacha20;
+use dbph_crypto::ct::ct_eq;
+use dbph_crypto::feistel::FeistelPrp;
+use dbph_crypto::hmac::HmacSha256;
+use dbph_crypto::kdf::derive_key;
+use dbph_crypto::prf::{HmacPrf, Prf};
+use dbph_crypto::prg::{ChaChaPrg, Prg};
+use dbph_crypto::sha256::Sha256;
+
+proptest! {
+    #[test]
+    fn sha256_incremental_equals_oneshot(data in proptest::collection::vec(any::<u8>(), 0..2048),
+                                         split in any::<usize>()) {
+        let cut = if data.is_empty() { 0 } else { split % data.len() };
+        let mut h = Sha256::new();
+        h.update(&data[..cut]);
+        h.update(&data[cut..]);
+        prop_assert_eq!(h.finalize(), Sha256::digest(&data));
+    }
+
+    #[test]
+    fn sha256_distinct_inputs_distinct_digests(a in proptest::collection::vec(any::<u8>(), 0..256),
+                                               b in proptest::collection::vec(any::<u8>(), 0..256)) {
+        prop_assume!(a != b);
+        prop_assert_ne!(Sha256::digest(&a), Sha256::digest(&b));
+    }
+
+    #[test]
+    fn hmac_verify_matches_mac(key in proptest::collection::vec(any::<u8>(), 0..128),
+                               msg in proptest::collection::vec(any::<u8>(), 0..512)) {
+        let tag = HmacSha256::mac(&key, &msg);
+        prop_assert!(HmacSha256::verify(&key, &msg, &tag));
+    }
+
+    #[test]
+    fn hmac_rejects_modified_messages(key in proptest::collection::vec(any::<u8>(), 1..64),
+                                      msg in proptest::collection::vec(any::<u8>(), 1..256),
+                                      flip in any::<(usize, u8)>()) {
+        let tag = HmacSha256::mac(&key, &msg);
+        let mut bad = msg.clone();
+        let i = flip.0 % bad.len();
+        let mask = 1u8 << (flip.1 % 8);
+        bad[i] ^= mask;
+        prop_assert!(!HmacSha256::verify(&key, &bad, &tag));
+    }
+
+    #[test]
+    fn ct_eq_agrees_with_eq(a in proptest::collection::vec(any::<u8>(), 0..64),
+                            b in proptest::collection::vec(any::<u8>(), 0..64)) {
+        prop_assert_eq!(ct_eq(&a, &b), a == b);
+    }
+
+    #[test]
+    fn chacha_xor_is_involution(key in any::<[u8; 32]>(), nonce in any::<[u8; 12]>(),
+                                data in proptest::collection::vec(any::<u8>(), 0..512),
+                                counter in any::<u32>()) {
+        let mut buf = data.clone();
+        chacha20::xor_stream(&key, &nonce, counter, &mut buf);
+        chacha20::xor_stream(&key, &nonce, counter, &mut buf);
+        prop_assert_eq!(buf, data);
+    }
+
+    #[test]
+    fn chacha_keystream_windows_are_consistent(key in any::<[u8; 32]>(), nonce in any::<[u8; 12]>(),
+                                               offset in 0u64..10_000, len in 0usize..256) {
+        let long = chacha20::keystream_at(&key, &nonce, 0, offset as usize + len);
+        let window = chacha20::keystream_at(&key, &nonce, offset, len);
+        prop_assert_eq!(&window[..], &long[offset as usize..offset as usize + len]);
+    }
+
+    #[test]
+    fn aes_roundtrips(key in any::<[u8; 16]>(), block in any::<[u8; 16]>()) {
+        let aes = Aes128::new(&key).unwrap();
+        let mut b = block;
+        aes.encrypt_block(&mut b);
+        aes.decrypt_block(&mut b);
+        prop_assert_eq!(b, block);
+    }
+
+    #[test]
+    fn feistel_is_bijective_on_samples(key in proptest::collection::vec(any::<u8>(), 1..64),
+                                       domain in 2u64..100_000, x in any::<u64>()) {
+        let prp = FeistelPrp::new(&key, domain).unwrap();
+        let x = x % domain;
+        let y = prp.permute(x);
+        prop_assert!(y < domain);
+        prop_assert_eq!(prp.invert(y), x);
+    }
+
+    #[test]
+    fn prf_outputs_are_length_stable_prefixes(key in proptest::collection::vec(any::<u8>(), 0..64),
+                                              input in proptest::collection::vec(any::<u8>(), 0..128),
+                                              short in 0usize..64, long in 64usize..160) {
+        let prf = HmacPrf::new(&key);
+        let a = prf.eval(&input, short);
+        let b = prf.eval(&input, long);
+        prop_assert_eq!(&a[..], &b[..short]);
+    }
+
+    #[test]
+    fn prg_streams_are_window_consistent(seed in any::<[u8; 32]>(), stream in any::<u64>(),
+                                         offset in 0u64..4096, len in 0usize..128) {
+        let prg = ChaChaPrg::new(seed);
+        let long = prg.stream_at(stream, 0, offset as usize + len);
+        let window = prg.stream_at(stream, offset, len);
+        prop_assert_eq!(&window[..], &long[offset as usize..]);
+    }
+
+    #[test]
+    fn kdf_is_deterministic_and_length_correct(master in proptest::collection::vec(any::<u8>(), 0..64),
+                                               label in proptest::collection::vec(any::<u8>(), 0..32),
+                                               len in 0usize..200) {
+        let a = derive_key(&master, &label, len);
+        let b = derive_key(&master, &label, len);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(a.len(), len);
+    }
+}

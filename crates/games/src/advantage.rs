@@ -1,0 +1,192 @@
+//! Monte-Carlo advantage estimation.
+//!
+//! A distinguishing game is won with probability `p`; the adversary's
+//! *advantage* is `2p − 1` (0 for blind guessing, 1 for a perfect
+//! distinguisher). The paper's security notion calls a scheme secure
+//! when no adversary achieves non-negligible advantage; experimentally
+//! we estimate `p` over `n` trials and report a Wilson score interval,
+//! which behaves sensibly at the `p → 0` and `p → 1` extremes the
+//! attacks actually produce.
+
+/// The outcome of estimating a game's winning probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AdvantageEstimate {
+    /// Number of won trials.
+    pub wins: usize,
+    /// Total trials.
+    pub trials: usize,
+}
+
+impl AdvantageEstimate {
+    /// Creates an estimate from raw counts.
+    ///
+    /// # Panics
+    /// Panics when `trials == 0` or `wins > trials`.
+    #[must_use]
+    pub fn new(wins: usize, trials: usize) -> Self {
+        assert!(trials > 0, "advantage needs ≥ 1 trial");
+        assert!(wins <= trials, "wins cannot exceed trials");
+        AdvantageEstimate { wins, trials }
+    }
+
+    /// The observed success rate `p̂`.
+    #[must_use]
+    pub fn success_rate(&self) -> f64 {
+        self.wins as f64 / self.trials as f64
+    }
+
+    /// The observed advantage `2p̂ − 1`.
+    #[must_use]
+    pub fn advantage(&self) -> f64 {
+        2.0 * self.success_rate() - 1.0
+    }
+
+    /// Wilson score interval for `p` at confidence given by the normal
+    /// quantile `z` (1.96 ≈ 95%).
+    #[must_use]
+    pub fn wilson_interval(&self, z: f64) -> (f64, f64) {
+        let n = self.trials as f64;
+        let p = self.success_rate();
+        let z2 = z * z;
+        let denom = 1.0 + z2 / n;
+        let center = (p + z2 / (2.0 * n)) / denom;
+        let half = (z / denom) * ((p * (1.0 - p) / n) + z2 / (4.0 * n * n)).sqrt();
+        ((center - half).max(0.0), (center + half).min(1.0))
+    }
+
+    /// Wilson interval transported to advantage space.
+    #[must_use]
+    pub fn advantage_interval(&self, z: f64) -> (f64, f64) {
+        let (lo, hi) = self.wilson_interval(z);
+        (2.0 * lo - 1.0, 2.0 * hi - 1.0)
+    }
+
+    /// Whether the 95% interval is consistent with blind guessing
+    /// (contains `p = 1/2`).
+    #[must_use]
+    pub fn consistent_with_guessing(&self) -> bool {
+        let (lo, hi) = self.wilson_interval(1.96);
+        lo <= 0.5 && 0.5 <= hi
+    }
+}
+
+impl std::fmt::Display for AdvantageEstimate {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let (lo, hi) = self.advantage_interval(1.96);
+        write!(
+            f,
+            "advantage {:.3} (95% CI [{:.3}, {:.3}], {}/{} wins)",
+            self.advantage(),
+            lo,
+            hi,
+            self.wins,
+            self.trials
+        )
+    }
+}
+
+/// Runs `trials` independent boolean trials across threads and counts
+/// wins. `trial(t)` must be deterministic in its index for
+/// reproducibility.
+pub fn parallel_trials<F>(trials: usize, trial: F) -> AdvantageEstimate
+where
+    F: Fn(usize) -> bool + Sync,
+{
+    assert!(trials > 0, "need at least one trial");
+    let threads = std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+        .min(trials);
+    let counter = std::sync::atomic::AtomicUsize::new(0);
+    let wins = std::sync::atomic::AtomicUsize::new(0);
+    let outcome = crossbeam::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|_| loop {
+                    let t = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    if t >= trials {
+                        break;
+                    }
+                    if trial(t) {
+                        wins.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                    }
+                })
+            })
+            .collect();
+        // Join explicitly so a trial panic surfaces with its original
+        // payload (useful for should_panic tests and diagnostics).
+        for h in handles {
+            h.join()?
+        }
+        Ok(())
+    })
+    .expect("scope itself never panics");
+    if let Err(payload) = outcome {
+        std::panic::resume_unwind(payload);
+    }
+    AdvantageEstimate::new(wins.into_inner(), trials)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rates_and_advantage() {
+        let e = AdvantageEstimate::new(75, 100);
+        assert!((e.success_rate() - 0.75).abs() < 1e-12);
+        assert!((e.advantage() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn perfect_and_blind_extremes() {
+        let perfect = AdvantageEstimate::new(1000, 1000);
+        assert!((perfect.advantage() - 1.0).abs() < 1e-12);
+        let (lo, _) = perfect.advantage_interval(1.96);
+        assert!(lo > 0.98, "lower bound {lo}");
+        assert!(!perfect.consistent_with_guessing());
+
+        let blind = AdvantageEstimate::new(500, 1000);
+        assert!(blind.advantage().abs() < 1e-12);
+        assert!(blind.consistent_with_guessing());
+    }
+
+    #[test]
+    fn wilson_interval_is_ordered_and_bounded() {
+        for wins in [0usize, 1, 50, 99, 100] {
+            let e = AdvantageEstimate::new(wins, 100);
+            let (lo, hi) = e.wilson_interval(1.96);
+            assert!((0.0..=1.0).contains(&lo));
+            assert!((0.0..=1.0).contains(&hi));
+            assert!(lo <= e.success_rate() + 1e-9);
+            assert!(hi >= e.success_rate() - 1e-9);
+        }
+    }
+
+    #[test]
+    fn wilson_narrows_with_more_trials() {
+        let small = AdvantageEstimate::new(60, 100).wilson_interval(1.96);
+        let large = AdvantageEstimate::new(6000, 10_000).wilson_interval(1.96);
+        assert!(large.1 - large.0 < small.1 - small.0);
+    }
+
+    #[test]
+    fn parallel_trials_counts_correctly() {
+        let e = parallel_trials(1000, |t| t % 4 == 0);
+        assert_eq!(e.trials, 1000);
+        assert_eq!(e.wins, 250);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let s = AdvantageEstimate::new(90, 100).to_string();
+        assert!(s.contains("0.800"));
+        assert!(s.contains("90/100"));
+    }
+
+    #[test]
+    #[should_panic(expected = "trial")]
+    fn zero_trials_rejected() {
+        let _ = AdvantageEstimate::new(0, 0);
+    }
+}

@@ -1,0 +1,37 @@
+//! The blind-guessing adversary — calibration baseline.
+//!
+//! Chooses two arbitrary (distinct) tables and guesses by coin flip.
+//! Its measured advantage must be statistically indistinguishable from
+//! zero against *every* scheme; the game-harness tests use it to catch
+//! harness bugs (a biased coin, a leaked challenge bit).
+
+use dbph_core::DatabasePh;
+use dbph_crypto::{DeterministicRng, EntropySource};
+use dbph_relation::schema::emp_schema;
+use dbph_relation::{tuple, Relation};
+
+use crate::dbgame::{DbAdversary, Transcript};
+
+/// Blind adversary: arbitrary same-shape tables, coin-flip guess.
+#[derive(Default)]
+pub struct GuessingAdversary;
+
+impl<P: DatabasePh> DbAdversary<P> for GuessingAdversary {
+    fn choose_tables(&self, _rng: &mut DeterministicRng) -> (Relation, Relation) {
+        let t1 = Relation::from_tuples(
+            emp_schema(),
+            vec![tuple!["Alice", "HR", 1000i64], tuple!["Bob", "IT", 2000i64]],
+        )
+        .expect("static tables are valid");
+        let t2 = Relation::from_tuples(
+            emp_schema(),
+            vec![tuple!["Carol", "IT", 3000i64], tuple!["Dave", "HR", 4000i64]],
+        )
+        .expect("static tables are valid");
+        (t1, t2)
+    }
+
+    fn guess(&self, _transcript: &Transcript<P>, rng: &mut DeterministicRng) -> usize {
+        usize::from(rng.coin())
+    }
+}

@@ -1,0 +1,233 @@
+//! The §2 passive hospital-inference attack (experiment E2).
+//!
+//! Alex issues four queries over the encrypted patient table:
+//!
+//! ```sql
+//! SELECT * FROM table WHERE hospital = 1;
+//! SELECT * FROM table WHERE hospital = 2;
+//! SELECT * FROM table WHERE hospital = 3;
+//! SELECT * FROM table WHERE outcome = 'fatal';
+//! ```
+//!
+//! Eve sees only encrypted queries and result sets — but she knows the
+//! schema, the number of hospitals, the flow distribution
+//! (0.2/0.3/0.5) and the overall fatality ratio (0.08). "From the size
+//! of the results […] Eve can guess the exact queries with high
+//! confidence. Then, by intersecting the answers to the first and the
+//! fourth query, Eve can infer the ratio of lethal to successful
+//! outcomes in hospital 1!"
+//!
+//! The attack here is exactly that: label the four unlabeled result
+//! sets by matching observed sizes against prior expectations, then
+//! intersect. It is generic over [`DatabasePh`] — it needs only result
+//! tuple identities, which tuple-by-tuple encryption always exposes —
+//! so the experiment demonstrates leakage against the paper's *own*
+//! construction whenever `q > 0`.
+
+use std::collections::BTreeSet;
+
+use dbph_core::{DatabasePh, PhError};
+use dbph_relation::{Query, Relation, Value};
+use dbph_workload::HospitalConfig;
+
+/// Eve's prior knowledge, straight from the paper.
+#[derive(Debug, Clone)]
+pub struct HospitalPriors {
+    /// Patient-flow distribution per hospital (sums to 1).
+    pub flows: Vec<f64>,
+    /// Overall fatal-outcome probability.
+    pub fatal_rate: f64,
+}
+
+impl Default for HospitalPriors {
+    fn default() -> Self {
+        HospitalPriors { flows: vec![0.2, 0.3, 0.5], fatal_rate: 0.08 }
+    }
+}
+
+/// Eve's inference from an unlabeled transcript of result-id sets.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HospitalInference {
+    /// Estimated fatality ratio per hospital (index 0 = hospital 1).
+    pub fatal_ratio: Vec<f64>,
+}
+
+/// Labels the four observed result sets and computes per-hospital
+/// fatality ratios.
+///
+/// `results` are the doc-id sets of the four queries *in unknown
+/// order*; `population` is the (publicly known) table cardinality.
+///
+/// Labeling: the set whose size is closest to `fatal_rate · n` in
+/// relative terms becomes the outcome query; the remaining three are
+/// matched to hospitals by sorting both observed sizes and expected
+/// flows. Returns `None` when fewer than four results are supplied.
+#[must_use]
+pub fn infer_from_results(
+    priors: &HospitalPriors,
+    population: usize,
+    results: &[BTreeSet<u64>],
+) -> Option<HospitalInference> {
+    let hospitals = priors.flows.len();
+    if results.len() != hospitals + 1 {
+        return None;
+    }
+    let n = population as f64;
+
+    // Pick the fatal set: size closest to fatal_rate·n, judged in
+    // absolute distance (fatal is far smaller than any flow for the
+    // paper's parameters).
+    let fatal_index = (0..results.len()).min_by(|&a, &b| {
+        let da = (results[a].len() as f64 - priors.fatal_rate * n).abs();
+        let db = (results[b].len() as f64 - priors.fatal_rate * n).abs();
+        da.partial_cmp(&db).expect("no NaN")
+    })?;
+    let fatal_set = &results[fatal_index];
+
+    // Remaining sets, labeled by matching size rank to flow rank.
+    let mut rest: Vec<(usize, usize)> = results
+        .iter()
+        .enumerate()
+        .filter(|(i, _)| *i != fatal_index)
+        .map(|(i, s)| (i, s.len()))
+        .collect();
+    rest.sort_by_key(|&(_, len)| len);
+
+    let mut flow_order: Vec<usize> = (0..hospitals).collect();
+    flow_order.sort_by(|&a, &b| {
+        priors.flows[a]
+            .partial_cmp(&priors.flows[b])
+            .expect("no NaN")
+    });
+
+    // hospital_sets[h] = the observed set Eve believes is hospital h+1.
+    let mut hospital_sets: Vec<&BTreeSet<u64>> = vec![fatal_set; hospitals];
+    for (rank, &(result_index, _)) in rest.iter().enumerate() {
+        hospital_sets[flow_order[rank]] = &results[result_index];
+    }
+
+    let fatal_ratio = hospital_sets
+        .iter()
+        .map(|set| {
+            if set.is_empty() {
+                0.0
+            } else {
+                set.intersection(fatal_set).count() as f64 / set.len() as f64
+            }
+        })
+        .collect();
+    Some(HospitalInference { fatal_ratio })
+}
+
+/// End-to-end E2 run against one PH: generate the population, encrypt,
+/// replay Alex's four queries, hand Eve the *unlabeled* result-id
+/// sets, and return `(true ratios, Eve's estimates)` per hospital.
+///
+/// # Errors
+/// Propagates PH failures.
+pub fn run_inference<P: DatabasePh>(
+    ph: &P,
+    relation: &Relation,
+    priors: &HospitalPriors,
+) -> Result<(Vec<f64>, HospitalInference), PhError> {
+    let table_ct = ph.encrypt_table(relation)?;
+    let hospitals = priors.flows.len() as i64;
+
+    // Alex's workload, in the paper's order; Eve's inference gets the
+    // sets in a scrambled order so labeling is actually exercised.
+    let mut queries: Vec<Query> = (1..=hospitals)
+        .map(|h| Query::select("hospital", Value::int(h)))
+        .collect();
+    queries.push(Query::select("outcome", true));
+
+    let mut results: Vec<BTreeSet<u64>> = Vec::with_capacity(queries.len());
+    for q in &queries {
+        let qct = ph.encrypt_query(q)?;
+        let result = P::apply(&table_ct, &qct);
+        results.push(P::doc_ids(&result).into_iter().collect());
+    }
+    // Scramble deterministically (reverse) — Eve must not rely on order.
+    results.reverse();
+
+    let inference = infer_from_results(priors, relation.len(), &results)
+        .ok_or(PhError::Protocol("inference needs all four results".into()))?;
+
+    let truth = (1..=hospitals)
+        .map(|h| HospitalConfig::true_fatal_ratio(relation, h))
+        .collect();
+    Ok((truth, inference))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbph_baselines::PlaintextPh;
+    use dbph_core::FinalSwpPh;
+    use dbph_crypto::SecretKey;
+    use dbph_relation::schema::hospital_schema;
+
+    fn population(seed: u64) -> Relation {
+        HospitalConfig { patients: 2000, ..HospitalConfig::default() }.generate(seed)
+    }
+
+    #[test]
+    fn inference_is_accurate_against_plaintext() {
+        let ph = PlaintextPh::new(hospital_schema());
+        let r = population(1);
+        let (truth, inferred) = run_inference(&ph, &r, &HospitalPriors::default()).unwrap();
+        for (h, (true_ratio, estimate)) in
+            truth.iter().zip(&inferred.fatal_ratio).enumerate()
+        {
+            assert!(
+                (true_ratio - estimate).abs() < 0.03,
+                "hospital {h}: true {true_ratio} vs inferred {estimate}"
+            );
+        }
+    }
+
+    #[test]
+    fn inference_is_equally_accurate_against_the_papers_construction() {
+        // The punchline: q > 0 leaks the same statistic under the
+        // "secure" scheme, because access patterns are identical.
+        let ph = FinalSwpPh::new(hospital_schema(), &SecretKey::from_bytes([3u8; 32])).unwrap();
+        let r = population(2);
+        let (truth, inferred) = run_inference(&ph, &r, &HospitalPriors::default()).unwrap();
+        for (h, (true_ratio, estimate)) in
+            truth.iter().zip(&inferred.fatal_ratio).enumerate()
+        {
+            assert!(
+                (true_ratio - estimate).abs() < 0.03,
+                "hospital {h}: true {true_ratio} vs inferred {estimate}"
+            );
+        }
+    }
+
+    #[test]
+    fn labeling_survives_scrambled_result_order() {
+        // run_inference reverses the result order before handing it to
+        // Eve; accuracy above already proves labeling works. Here we
+        // additionally check the fatal set is identified correctly on
+        // a hand-built transcript.
+        let priors = HospitalPriors::default();
+        let n = 1000usize;
+        let mk = |ids: std::ops::Range<u64>| ids.collect::<BTreeSet<u64>>();
+        // Sizes: h1=200, h2=300, h3=500, fatal=80 (ids overlap h1 fully).
+        let fatal = mk(0..80);
+        let h1 = mk(0..200);
+        let h2 = mk(200..500);
+        let h3 = mk(500..1000);
+        let results = vec![h3, fatal, h1, h2]; // arbitrary order
+        let inf = infer_from_results(&priors, n, &results).unwrap();
+        assert!((inf.fatal_ratio[0] - 80.0 / 200.0).abs() < 1e-9);
+        assert_eq!(inf.fatal_ratio[1], 0.0);
+        assert_eq!(inf.fatal_ratio[2], 0.0);
+    }
+
+    #[test]
+    fn wrong_result_count_is_rejected() {
+        let priors = HospitalPriors::default();
+        assert!(infer_from_results(&priors, 10, &[]).is_none());
+        let three = vec![BTreeSet::new(), BTreeSet::new(), BTreeSet::new()];
+        assert!(infer_from_results(&priors, 10, &three).is_none());
+    }
+}

@@ -1,0 +1,126 @@
+//! The passive clause of Theorem 2.1.
+//!
+//! The paper notes that even a *passive* adversary — one who merely
+//! watches Alex's queries and their results — defeats Definition 2.1
+//! once `q > 0`: "Although if the adversary is passive, the case is
+//! less obvious, in both cases the security of the encrypted data
+//! cannot be guaranteed."
+//!
+//! The demonstration needs nothing but result-set *sizes*: Eve chooses
+//! two tables whose (publicly known) workload produces different
+//! selectivities, then reads the cardinality of the one result she
+//! observes. No oracle, no ciphertext inspection.
+
+use dbph_core::DatabasePh;
+use dbph_crypto::DeterministicRng;
+use dbph_relation::schema::hospital_schema;
+use dbph_relation::{tuple, Query, Relation};
+
+use crate::dbgame::{DbAdversary, Transcript};
+
+/// Passive size distinguisher: `T₁` routes `split₁` of `n` patients to
+/// hospital 1, `T₂` routes `split₂`; Alex's known workload includes
+/// `σ_hospital=1`, whose result size reveals the table.
+pub struct PassiveSizeAdversary {
+    total: usize,
+    split1: usize,
+    split2: usize,
+}
+
+impl PassiveSizeAdversary {
+    /// Creates the adversary. Both splits must be ≤ `total` and
+    /// distinct (otherwise there is nothing to distinguish).
+    ///
+    /// # Panics
+    /// Panics on degenerate parameters.
+    #[must_use]
+    pub fn new(total: usize, split1: usize, split2: usize) -> Self {
+        assert!(split1 <= total && split2 <= total && split1 != split2);
+        PassiveSizeAdversary { total, split1, split2 }
+    }
+
+    fn table_with_split(&self, in_hospital_one: usize) -> Relation {
+        let tuples = (0..self.total)
+            .map(|i| {
+                let hospital = if i < in_hospital_one { 1i64 } else { 2i64 };
+                tuple![i as i64, format!("P{i:06}"), hospital, false]
+            })
+            .collect();
+        Relation::from_tuples(hospital_schema(), tuples).expect("valid by construction")
+    }
+}
+
+impl Default for PassiveSizeAdversary {
+    fn default() -> Self {
+        PassiveSizeAdversary::new(20, 5, 9)
+    }
+}
+
+impl<P: DatabasePh> DbAdversary<P> for PassiveSizeAdversary {
+    fn choose_tables(&self, _rng: &mut DeterministicRng) -> (Relation, Relation) {
+        (self.table_with_split(self.split1), self.table_with_split(self.split2))
+    }
+
+    fn passive_workload(&self, _rng: &mut DeterministicRng) -> Vec<Query> {
+        // The application's routine query, known to Eve; she never
+        // sees its plaintext, only the encrypted query and its result.
+        vec![Query::select("hospital", 1i64)]
+    }
+
+    fn guess(&self, transcript: &Transcript<P>, _rng: &mut DeterministicRng) -> usize {
+        match transcript.interactions.first() {
+            Some(i) => {
+                let size = P::ciphertext_len(&i.result);
+                // Guess the split whose expected size is closer.
+                let d1 = size.abs_diff(self.split1);
+                let d2 = size.abs_diff(self.split2);
+                usize::from(d2 < d1)
+            }
+            None => 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dbgame::{run_db_game, AdversaryMode};
+    use dbph_core::FinalSwpPh;
+    use dbph_crypto::SecretKey;
+
+    fn factory(rng: &mut DeterministicRng) -> FinalSwpPh {
+        FinalSwpPh::new(hospital_schema(), &SecretKey::generate(rng)).unwrap()
+    }
+
+    #[test]
+    fn passive_observation_breaks_q_1() {
+        let est = run_db_game(
+            &factory,
+            &PassiveSizeAdversary::default(),
+            AdversaryMode::Passive,
+            1,
+            200,
+            55,
+        );
+        assert!(est.advantage() > 0.95, "{est}");
+    }
+
+    #[test]
+    fn same_adversary_blind_at_q_0() {
+        let est = run_db_game(
+            &factory,
+            &PassiveSizeAdversary::default(),
+            AdversaryMode::Passive,
+            0,
+            300,
+            56,
+        );
+        assert!(est.advantage().abs() < 0.15, "{est}");
+    }
+
+    #[test]
+    #[should_panic]
+    fn degenerate_splits_rejected() {
+        let _ = PassiveSizeAdversary::new(10, 3, 3);
+    }
+}

@@ -1,0 +1,210 @@
+//! The §1 two-table salary distinguisher (experiment E1).
+//!
+//! "Let Eve produce two tables: table 1: (171, 4900), (481, 1200);
+//! table 2: (171, 4900), (481, 4900). […] Since the intervals are
+//! encrypted deterministically, the weak encryptions of the 'salary'
+//! attribute of the first table will differ, and the analogous weak
+//! encryption for the second table will be identical."
+//!
+//! The adversary is parameterized by an *equality probe* — the
+//! ciphertext inspection Eve performs, which is necessarily
+//! representation-specific (bucket tags, hash tags, deterministic
+//! cells, or SWP cipher words). Constructors are provided for every
+//! scheme in the workspace; against the SWP construction the probe
+//! finds no equal pairs on either table and degenerates to guessing.
+
+use dbph_baselines::{bucketization::BucketTable, damiani::HashTable, det::DetTable};
+use dbph_core::{DatabasePh, EncryptedTable};
+use dbph_crypto::DeterministicRng;
+use dbph_relation::{tuple, Attribute, AttrType, Relation, Schema};
+
+use crate::dbgame::{DbAdversary, Transcript};
+
+/// The `Accounts(id:INT, salary:INT)` schema of the paper's tables 1–2.
+#[must_use]
+pub fn salary_schema() -> Schema {
+    Schema::new(
+        "Accounts",
+        vec![
+            Attribute::new("id", AttrType::Int),
+            Attribute::new("salary", AttrType::Int),
+        ],
+    )
+    .expect("static schema is valid")
+}
+
+/// The paper's table 1: distinct salaries.
+#[must_use]
+pub fn table_one() -> Relation {
+    Relation::from_tuples(
+        salary_schema(),
+        vec![tuple![171i64, 4900i64], tuple![481i64, 1200i64]],
+    )
+    .expect("static table is valid")
+}
+
+/// The paper's table 2: equal salaries.
+#[must_use]
+pub fn table_two() -> Relation {
+    Relation::from_tuples(
+        salary_schema(),
+        vec![tuple![171i64, 4900i64], tuple![481i64, 4900i64]],
+    )
+    .expect("static table is valid")
+}
+
+/// How the adversary decides whether the two stored tuples carry an
+/// *observably equal* salary index.
+type EqualityProbe<Ct> = Box<dyn Fn(&Ct) -> bool + Send + Sync>;
+
+/// The salary-pair adversary over a PH with table ciphertext `Ct`.
+pub struct SalaryPairAdversary<P: DatabasePh> {
+    probe: EqualityProbe<P::TableCt>,
+}
+
+impl<P: DatabasePh> SalaryPairAdversary<P> {
+    /// Builds the adversary from a scheme-specific equality probe:
+    /// `probe(ct)` must return `true` when the two tuples' salary
+    /// indexes look equal in the ciphertext.
+    #[must_use]
+    pub fn with_probe(probe: EqualityProbe<P::TableCt>) -> Self {
+        SalaryPairAdversary { probe }
+    }
+}
+
+impl<P: DatabasePh> DbAdversary<P> for SalaryPairAdversary<P> {
+    fn choose_tables(&self, _rng: &mut DeterministicRng) -> (Relation, Relation) {
+        (table_one(), table_two())
+    }
+
+    fn guess(&self, transcript: &Transcript<P>, _rng: &mut DeterministicRng) -> usize {
+        // Equal salary indexes ⇒ table 2 (index 1); distinct ⇒ table 1.
+        usize::from((self.probe)(&transcript.challenge))
+    }
+}
+
+/// Salary attribute position in [`salary_schema`].
+const SALARY: usize = 1;
+
+/// Probe for the Hacıgümüş bucketization scheme: compare the permuted
+/// bucket tags of the salary attribute.
+#[must_use]
+pub fn bucketization_adversary<P>() -> SalaryPairAdversary<P>
+where
+    P: DatabasePh<TableCt = BucketTable>,
+{
+    SalaryPairAdversary::with_probe(Box::new(|ct: &BucketTable| {
+        ct.docs.len() == 2 && ct.docs[0].1.tags[SALARY] == ct.docs[1].1.tags[SALARY]
+    }))
+}
+
+/// Probe for the Damiani hash-index scheme: compare the hash tags.
+#[must_use]
+pub fn damiani_adversary<P>() -> SalaryPairAdversary<P>
+where
+    P: DatabasePh<TableCt = HashTable>,
+{
+    SalaryPairAdversary::with_probe(Box::new(|ct: &HashTable| {
+        ct.docs.len() == 2 && ct.docs[0].1.tags[SALARY] == ct.docs[1].1.tags[SALARY]
+    }))
+}
+
+/// Probe for the deterministic per-cell scheme: compare cell
+/// ciphertexts.
+#[must_use]
+pub fn det_adversary<P>() -> SalaryPairAdversary<P>
+where
+    P: DatabasePh<TableCt = DetTable>,
+{
+    SalaryPairAdversary::with_probe(Box::new(|ct: &DetTable| {
+        ct.docs.len() == 2 && ct.docs[0].1[SALARY] == ct.docs[1].1[SALARY]
+    }))
+}
+
+/// Probe for the SWP construction: compare the cipher words of the
+/// salary attribute. The final scheme randomizes per location, so this
+/// probe never fires and the adversary degrades to a constant guess —
+/// exactly the q = 0 security the paper claims.
+#[must_use]
+pub fn swp_adversary<P>() -> SalaryPairAdversary<P>
+where
+    P: DatabasePh<TableCt = EncryptedTable>,
+{
+    SalaryPairAdversary::with_probe(Box::new(|ct: &EncryptedTable| {
+        ct.docs.len() == 2 && ct.docs[0].1[SALARY] == ct.docs[1].1[SALARY]
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::advantage::AdvantageEstimate;
+    use crate::dbgame::{run_db_game, AdversaryMode};
+    use dbph_baselines::{BucketConfig, BucketizationPh, DamianiPh, DeterministicPh};
+    use dbph_core::FinalSwpPh;
+    use dbph_crypto::SecretKey;
+
+    fn run_salary<P, F>(factory: F, adversary: &SalaryPairAdversary<P>) -> AdvantageEstimate
+    where
+        P: DatabasePh,
+        F: Fn(&mut DeterministicRng) -> P + Sync,
+    {
+        run_db_game(&factory, adversary, AdversaryMode::Passive, 0, 200, 101)
+    }
+
+    #[test]
+    fn breaks_bucketization() {
+        let est = run_salary(
+            |rng: &mut DeterministicRng| {
+                let cfg = BucketConfig::uniform(&salary_schema(), 16, (0, 10_000)).unwrap();
+                BucketizationPh::new(salary_schema(), cfg, &SecretKey::generate(rng)).unwrap()
+            },
+            &bucketization_adversary(),
+        );
+        assert!(est.advantage() > 0.95, "{est}");
+    }
+
+    #[test]
+    fn breaks_damiani() {
+        let est = run_salary(
+            |rng: &mut DeterministicRng| {
+                DamianiPh::new(salary_schema(), &SecretKey::generate(rng)).unwrap()
+            },
+            &damiani_adversary(),
+        );
+        assert!(est.advantage() > 0.95, "{est}");
+    }
+
+    #[test]
+    fn breaks_deterministic() {
+        let est = run_salary(
+            |rng: &mut DeterministicRng| {
+                DeterministicPh::new(salary_schema(), &SecretKey::generate(rng))
+            },
+            &det_adversary(),
+        );
+        assert!(est.advantage() > 0.95, "{est}");
+    }
+
+    #[test]
+    fn fails_against_swp_construction() {
+        let est = run_salary(
+            |rng: &mut DeterministicRng| {
+                FinalSwpPh::new(salary_schema(), &SecretKey::generate(rng)).unwrap()
+            },
+            &swp_adversary(),
+        );
+        assert!(est.advantage().abs() < 0.15, "{est}");
+        assert!(est.consistent_with_guessing(), "{est}");
+    }
+
+    #[test]
+    fn paper_tables_have_the_documented_shape() {
+        let t1 = table_one();
+        let t2 = table_two();
+        assert_eq!(t1.len(), 2);
+        assert_eq!(t2.len(), 2);
+        assert_ne!(t1.tuples()[0].get(1), t1.tuples()[1].get(1));
+        assert_eq!(t2.tuples()[0].get(1), t2.tuples()[1].get(1));
+    }
+}

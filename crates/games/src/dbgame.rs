@@ -1,0 +1,245 @@
+//! Definition 2.1 — indistinguishability for database PHs.
+//!
+//! "1. Eve chooses two tables T₁(R), T₂(R) containing the same numbers
+//! of tuples […] 2. Alex chooses i ∈ {1,2} uniformly at random and
+//! presents E_k(T_i) to Eve. 3. Eve receives at most q encrypted
+//! queries issued to E_k(T_i) and computes the results (in case of
+//! active adversary Eve has access to the queries encryption oracle
+//! and issues q encryptions of plaintext queries of her choice).
+//! 4. Eve must guess i."
+//!
+//! The harness is generic over [`DatabasePh`], so one adversary can be
+//! run against *every* scheme in the workspace — including the paper's
+//! own construction, which is precisely how Theorem 2.1 ("any database
+//! PH is insecure in this sense if q > 0") is demonstrated
+//! constructively in experiment E3.
+
+use dbph_core::{DatabasePh, PhError};
+use dbph_crypto::{DeterministicRng, EntropySource};
+use dbph_relation::{Query, Relation};
+
+use crate::advantage::{parallel_trials, AdvantageEstimate};
+
+/// Whether Eve merely observes Alex's queries (passive) or chooses
+/// them through an encryption oracle (active).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdversaryMode {
+    /// Step 3, first clause: Eve watches `q` of Alex's queries and
+    /// their results.
+    Passive,
+    /// Step 3, parenthetical: Eve picks `q` plaintext queries and
+    /// receives their encryptions (she runs `ψ` herself — it is
+    /// keyless).
+    Active,
+}
+
+/// One observed query interaction.
+pub struct QueryInteraction<P: DatabasePh> {
+    /// The encrypted query Eve saw (or requested).
+    pub query_ct: P::QueryCt,
+    /// The server-side result `ψ(E(T_i))` — a sub-ciphertext whose
+    /// cardinality and tuple identities are visible.
+    pub result: P::TableCt,
+    /// In active mode, the plaintext query Eve chose. `None` in
+    /// passive mode (Eve does not get Alex's plaintext).
+    pub plaintext: Option<Query>,
+}
+
+/// Everything Eve holds when she must guess.
+pub struct Transcript<P: DatabasePh> {
+    /// The challenge ciphertext `E_k(T_i)`.
+    pub challenge: P::TableCt,
+    /// The `q` query interactions.
+    pub interactions: Vec<QueryInteraction<P>>,
+}
+
+/// An adversary for the Definition 2.1 game.
+pub trait DbAdversary<P: DatabasePh>: Send + Sync {
+    /// Step 1: the two challenge tables. Must share a schema and
+    /// cardinality (the harness enforces both).
+    fn choose_tables(&self, rng: &mut DeterministicRng) -> (Relation, Relation);
+
+    /// Passive mode: the plaintext queries *Alex* issues (the
+    /// application's workload — independent of the challenge bit).
+    fn passive_workload(&self, _rng: &mut DeterministicRng) -> Vec<Query> {
+        Vec::new()
+    }
+
+    /// Active mode: the plaintext queries Eve asks the oracle to
+    /// encrypt.
+    fn oracle_queries(&self, _rng: &mut DeterministicRng) -> Vec<Query> {
+        Vec::new()
+    }
+
+    /// Step 4: guess `i` (0 or 1) from the transcript.
+    fn guess(&self, transcript: &Transcript<P>, rng: &mut DeterministicRng) -> usize;
+}
+
+/// Runs the Definition 2.1 game.
+///
+/// * `factory` builds a fresh PH (fresh key!) per trial from the
+///   trial's RNG.
+/// * `q` caps the number of query interactions, per the definition's
+///   "at most q". `q = 0` is the paper's relaxed setting, where its §3
+///   construction is claimed secure.
+///
+/// # Panics
+/// Panics when the adversary violates the game's rules (mismatched
+/// schemas or cardinalities) or the PH fails on its own inputs —
+/// these are programming errors in experiments, not runtime
+/// conditions.
+pub fn run_db_game<P, A, F>(
+    factory: &F,
+    adversary: &A,
+    mode: AdversaryMode,
+    q: usize,
+    trials: usize,
+    seed: u64,
+) -> AdvantageEstimate
+where
+    P: DatabasePh,
+    A: DbAdversary<P>,
+    F: Fn(&mut DeterministicRng) -> P + Sync,
+{
+    parallel_trials(trials, |t| {
+        run_single_trial(factory, adversary, mode, q, seed, t).expect("game trial failed")
+    })
+}
+
+fn run_single_trial<P, A, F>(
+    factory: &F,
+    adversary: &A,
+    mode: AdversaryMode,
+    q: usize,
+    seed: u64,
+    trial: usize,
+) -> Result<bool, PhError>
+where
+    P: DatabasePh,
+    A: DbAdversary<P>,
+    F: Fn(&mut DeterministicRng) -> P,
+{
+    let mut rng = DeterministicRng::from_seed(seed).child(&format!("db-trial-{trial}"));
+    let ph = factory(&mut rng);
+
+    let (t1, t2) = adversary.choose_tables(&mut rng);
+    assert_eq!(
+        t1.len(),
+        t2.len(),
+        "Definition 2.1 requires equal-cardinality tables"
+    );
+    assert_eq!(t1.schema(), t2.schema(), "challenge tables must share a schema");
+
+    let b = usize::from(rng.coin());
+    let challenge = ph.encrypt_table(if b == 0 { &t1 } else { &t2 })?;
+
+    let plaintext_queries = match mode {
+        AdversaryMode::Passive => adversary.passive_workload(&mut rng),
+        AdversaryMode::Active => adversary.oracle_queries(&mut rng),
+    };
+
+    let mut interactions = Vec::new();
+    for query in plaintext_queries.into_iter().take(q) {
+        let query_ct = ph.encrypt_query(&query)?;
+        let result = P::apply(&challenge, &query_ct);
+        interactions.push(QueryInteraction {
+            query_ct,
+            result,
+            plaintext: match mode {
+                AdversaryMode::Active => Some(query),
+                AdversaryMode::Passive => None,
+            },
+        });
+    }
+
+    let transcript = Transcript { challenge, interactions };
+    Ok(adversary.guess(&transcript, &mut rng) == b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attacks::guessing::GuessingAdversary;
+    use dbph_baselines::PlaintextPh;
+    use dbph_relation::schema::emp_schema;
+
+    #[test]
+    fn guessing_adversary_calibrates_to_zero_advantage() {
+        let factory = |_rng: &mut DeterministicRng| PlaintextPh::new(emp_schema());
+        let est = run_db_game(
+            &factory,
+            &GuessingAdversary,
+            AdversaryMode::Passive,
+            0,
+            400,
+            11,
+        );
+        assert!(est.advantage().abs() < 0.15, "{est}");
+    }
+
+    #[test]
+    fn q_caps_interactions() {
+        // An adversary that wins only when it sees a query result: with
+        // q = 0 it must stay blind even in active mode.
+        struct NeedsQueries;
+        impl DbAdversary<PlaintextPh> for NeedsQueries {
+            fn choose_tables(&self, _rng: &mut DeterministicRng) -> (Relation, Relation) {
+                let t1 = Relation::from_tuples(
+                    emp_schema(),
+                    vec![dbph_relation::tuple!["A", "HR", 1i64]],
+                )
+                .unwrap();
+                let t2 = Relation::from_tuples(
+                    emp_schema(),
+                    vec![dbph_relation::tuple!["B", "HR", 1i64]],
+                )
+                .unwrap();
+                (t1, t2)
+            }
+            fn oracle_queries(&self, _rng: &mut DeterministicRng) -> Vec<Query> {
+                vec![Query::select("name", "A")]
+            }
+            fn guess(
+                &self,
+                transcript: &Transcript<PlaintextPh>,
+                _rng: &mut DeterministicRng,
+            ) -> usize {
+                match transcript.interactions.first() {
+                    Some(i) => usize::from(PlaintextPh::ciphertext_len(&i.result) == 0),
+                    None => 0, // blind
+                }
+            }
+        }
+        let factory = |_rng: &mut DeterministicRng| PlaintextPh::new(emp_schema());
+        let blind = run_db_game(&factory, &NeedsQueries, AdversaryMode::Active, 0, 300, 5);
+        assert!(blind.advantage().abs() < 0.2, "{blind}");
+        let sighted = run_db_game(&factory, &NeedsQueries, AdversaryMode::Active, 1, 300, 5);
+        assert!(sighted.advantage() > 0.95, "{sighted}");
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-cardinality")]
+    fn mismatched_cardinalities_rejected() {
+        struct Bad;
+        impl DbAdversary<PlaintextPh> for Bad {
+            fn choose_tables(&self, _rng: &mut DeterministicRng) -> (Relation, Relation) {
+                let t1 = Relation::empty(emp_schema());
+                let t2 = Relation::from_tuples(
+                    emp_schema(),
+                    vec![dbph_relation::tuple!["A", "HR", 1i64]],
+                )
+                .unwrap();
+                (t1, t2)
+            }
+            fn guess(
+                &self,
+                _t: &Transcript<PlaintextPh>,
+                _rng: &mut DeterministicRng,
+            ) -> usize {
+                0
+            }
+        }
+        let factory = |_rng: &mut DeterministicRng| PlaintextPh::new(emp_schema());
+        let _ = run_db_game(&factory, &Bad, AdversaryMode::Passive, 0, 1, 1);
+    }
+}

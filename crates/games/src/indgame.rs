@@ -1,0 +1,178 @@
+//! Definition 1.2 — classical indistinguishability.
+//!
+//! "1. Eve chooses two plaintexts m₁, m₂ of the same length and
+//! presents them to Alex. 2. Alex chooses i ∈ {1,2} uniformly at
+//! random and presents E_k(m_i) to Eve. 3. Eve must guess i."
+//!
+//! The harness is byte-level and scheme-agnostic: the challenger is
+//! any closure from plaintext to ciphertext (fresh key per trial, per
+//! the definition's key distribution). Experiment E5 runs it against
+//! the CPA-secure stream cipher (advantage ≈ 0) and the deterministic
+//! AES-ECB cell cipher (advantage ≈ 1 via the classic equal-blocks
+//! distinguisher).
+
+use dbph_crypto::DeterministicRng;
+
+use crate::advantage::{parallel_trials, AdvantageEstimate};
+
+/// An adversary for the Definition 1.2 game.
+pub trait IndAdversary: Send + Sync {
+    /// Step 1: the two challenge plaintexts (must have equal length).
+    fn choose(&self) -> (Vec<u8>, Vec<u8>);
+
+    /// Step 3: guess which plaintext `ciphertext` encrypts (0 or 1).
+    fn guess(&self, ciphertext: &[u8]) -> usize;
+}
+
+/// Runs the Definition 1.2 game for `trials` independent keys.
+///
+/// `encrypt(rng, plaintext)` is Alex: it must draw any key material
+/// and randomness from `rng`, so each trial uses a fresh key.
+///
+/// # Panics
+/// Panics if the adversary's plaintexts have different lengths
+/// (disallowed by the definition).
+pub fn run_ind_game<A, E>(adversary: &A, encrypt: E, trials: usize, seed: u64) -> AdvantageEstimate
+where
+    A: IndAdversary,
+    E: Fn(&mut DeterministicRng, &[u8]) -> Vec<u8> + Sync,
+{
+    parallel_trials(trials, |t| {
+        let mut rng = DeterministicRng::from_seed(seed).child(&format!("ind-trial-{t}"));
+        let (m1, m2) = adversary.choose();
+        assert_eq!(m1.len(), m2.len(), "Definition 1.2 requires equal-length plaintexts");
+        use dbph_crypto::EntropySource;
+        let b = usize::from(rng.coin());
+        let ct = encrypt(&mut rng, if b == 0 { &m1 } else { &m2 });
+        adversary.guess(&ct) == b
+    })
+}
+
+/// The classic equal-blocks distinguisher against 16-byte-block
+/// deterministic (ECB) encryption: `m₁` has two equal blocks, `m₂`
+/// two distinct ones; equal ciphertext blocks reveal `m₁`.
+pub struct EqualBlocksAdversary;
+
+impl IndAdversary for EqualBlocksAdversary {
+    fn choose(&self) -> (Vec<u8>, Vec<u8>) {
+        let mut m1 = vec![0xAAu8; 32];
+        let m2 = {
+            let mut m = vec![0xAAu8; 32];
+            m[16..].fill(0xBB);
+            m
+        };
+        // Keep both exactly 32 bytes (two AES blocks).
+        m1.truncate(32);
+        (m1, m2)
+    }
+
+    fn guess(&self, ciphertext: &[u8]) -> usize {
+        // ECB of m₁ has ct-block0 == ct-block1 (padding lives in block 2).
+        if ciphertext.len() >= 32 && ciphertext[..16] == ciphertext[16..32] {
+            0
+        } else {
+            1
+        }
+    }
+}
+
+/// A blind-guessing adversary — calibrates the harness (advantage ≈ 0
+/// against anything).
+pub struct BlindAdversary;
+
+impl IndAdversary for BlindAdversary {
+    fn choose(&self) -> (Vec<u8>, Vec<u8>) {
+        (vec![0u8; 16], vec![1u8; 16])
+    }
+
+    fn guess(&self, ciphertext: &[u8]) -> usize {
+        // Deterministic but uncorrelated with the challenge bit.
+        usize::from(ciphertext.first().copied().unwrap_or(0) & 1 == 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbph_crypto::cipher::{DeterministicCipher, EcbCipher, RandomizedCipher, StreamCipher};
+    use dbph_crypto::SecretKey;
+
+    fn fresh_key(rng: &mut DeterministicRng) -> SecretKey {
+        SecretKey::generate(rng)
+    }
+
+    #[test]
+    fn ecb_loses_to_equal_blocks_adversary() {
+        let est = run_ind_game(
+            &EqualBlocksAdversary,
+            |rng, m| {
+                let cipher = EcbCipher::new(&fresh_key(rng), b"cell");
+                cipher.encrypt_det(m)
+            },
+            200,
+            1,
+        );
+        assert!(est.advantage() > 0.95, "{est}");
+    }
+
+    #[test]
+    fn stream_cipher_resists_equal_blocks_adversary() {
+        let est = run_ind_game(
+            &EqualBlocksAdversary,
+            |rng, m| {
+                let cipher = StreamCipher::new(&fresh_key(rng), b"payload");
+                let mut r = rng.child("enc");
+                cipher.encrypt(&mut r, m)
+            },
+            400,
+            2,
+        );
+        assert!(est.advantage().abs() < 0.15, "{est}");
+        assert!(est.consistent_with_guessing(), "{est}");
+    }
+
+    #[test]
+    fn blind_adversary_has_no_advantage_anywhere() {
+        let est = run_ind_game(
+            &BlindAdversary,
+            |rng, m| {
+                let cipher = EcbCipher::new(&fresh_key(rng), b"cell");
+                cipher.encrypt_det(m)
+            },
+            400,
+            3,
+        );
+        assert!(est.advantage().abs() < 0.15, "{est}");
+    }
+
+    #[test]
+    fn game_is_reproducible_per_seed() {
+        let run = || {
+            run_ind_game(
+                &EqualBlocksAdversary,
+                |rng, m| {
+                    let cipher = EcbCipher::new(&fresh_key(rng), b"cell");
+                    cipher.encrypt_det(m)
+                },
+                100,
+                7,
+            )
+        };
+        assert_eq!(run().wins, run().wins);
+    }
+
+    #[test]
+    #[should_panic(expected = "equal-length")]
+    fn unequal_lengths_rejected() {
+        struct Bad;
+        impl IndAdversary for Bad {
+            fn choose(&self) -> (Vec<u8>, Vec<u8>) {
+                (vec![0; 4], vec![0; 5])
+            }
+            fn guess(&self, _: &[u8]) -> usize {
+                0
+            }
+        }
+        let _ = run_ind_game(&Bad, |_, m| m.to_vec(), 1, 1);
+    }
+}

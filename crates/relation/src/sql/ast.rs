@@ -1,0 +1,45 @@
+//! Abstract syntax for the SQL subset.
+
+use crate::dnf::Dnf;
+use crate::query::{Projection, Query};
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// A parsed `SELECT` statement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SelectStatement {
+    /// Projected columns (or `*`).
+    pub projection: Projection,
+    /// Table to read.
+    pub table: String,
+    /// Optional filter: an `OR` of `AND`-conjunctions of equality
+    /// predicates (DNF; `AND` binds tighter than `OR`).
+    pub filter: Option<Dnf>,
+}
+
+/// A parsed SQL statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// `CREATE TABLE name (col TYPE, …)`.
+    CreateTable(Schema),
+    /// `DROP TABLE name`.
+    DropTable(String),
+    /// `INSERT INTO name VALUES (…), (…)` — rows are raw value lists,
+    /// validated against the schema at execution time.
+    Insert {
+        /// Target table.
+        table: String,
+        /// Rows of literal values.
+        rows: Vec<Vec<Value>>,
+    },
+    /// `SELECT … FROM … [WHERE …]`.
+    Select(SelectStatement),
+    /// `DELETE FROM name WHERE …` (the `WHERE` clause is mandatory —
+    /// unconditional deletion must be spelled `DROP TABLE`).
+    Delete {
+        /// Target table.
+        table: String,
+        /// Conjunction of equality predicates selecting the victims.
+        filter: Query,
+    },
+}

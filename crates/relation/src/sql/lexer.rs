@@ -1,0 +1,253 @@
+//! SQL lexer.
+
+use crate::error::RelationError;
+
+/// Kinds of tokens the parser consumes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (case preserved; keyword matching is
+    /// case-insensitive in the parser).
+    Ident(String),
+    /// A single-quoted string literal, with `''` unescaped.
+    StringLit(String),
+    /// An integer literal (sign handled in the parser).
+    IntLit(i64),
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `=`
+    Equals,
+    /// `*`
+    Star,
+    /// `;`
+    Semicolon,
+    /// `-` (unary minus before an integer literal)
+    Minus,
+}
+
+/// A token plus its starting byte offset (for error messages).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What was lexed.
+    pub kind: TokenKind,
+    /// Byte offset of the first character in the input.
+    pub position: usize,
+}
+
+/// A whole-input lexer producing a `Vec<Token>` up front — statements
+/// are short, so there is no need for streaming.
+pub struct Lexer;
+
+impl Lexer {
+    /// Tokenizes `input`.
+    ///
+    /// # Errors
+    /// Returns [`RelationError::SqlSyntax`] on unterminated strings,
+    /// malformed numbers, or unexpected characters.
+    pub fn tokenize(input: &str) -> Result<Vec<Token>, RelationError> {
+        let bytes = input.as_bytes();
+        let mut tokens = Vec::new();
+        let mut i = 0usize;
+
+        while i < bytes.len() {
+            let c = bytes[i] as char;
+            match c {
+                ' ' | '\t' | '\r' | '\n' => i += 1,
+                '(' => {
+                    tokens.push(Token { kind: TokenKind::LParen, position: i });
+                    i += 1;
+                }
+                ')' => {
+                    tokens.push(Token { kind: TokenKind::RParen, position: i });
+                    i += 1;
+                }
+                ',' => {
+                    tokens.push(Token { kind: TokenKind::Comma, position: i });
+                    i += 1;
+                }
+                '=' => {
+                    tokens.push(Token { kind: TokenKind::Equals, position: i });
+                    i += 1;
+                }
+                '*' => {
+                    tokens.push(Token { kind: TokenKind::Star, position: i });
+                    i += 1;
+                }
+                ';' => {
+                    tokens.push(Token { kind: TokenKind::Semicolon, position: i });
+                    i += 1;
+                }
+                '-' => {
+                    tokens.push(Token { kind: TokenKind::Minus, position: i });
+                    i += 1;
+                }
+                '\'' => {
+                    let start = i;
+                    i += 1;
+                    let mut s = String::new();
+                    loop {
+                        if i >= bytes.len() {
+                            return Err(RelationError::SqlSyntax {
+                                position: start,
+                                message: "unterminated string literal".into(),
+                            });
+                        }
+                        if bytes[i] == b'\'' {
+                            // '' is an escaped quote.
+                            if i + 1 < bytes.len() && bytes[i + 1] == b'\'' {
+                                s.push('\'');
+                                i += 2;
+                            } else {
+                                i += 1;
+                                break;
+                            }
+                        } else {
+                            // Advance over a full UTF-8 scalar.
+                            let ch_len = utf8_len(bytes[i]);
+                            let end = (i + ch_len).min(bytes.len());
+                            s.push_str(
+                                std::str::from_utf8(&bytes[i..end]).map_err(|_| {
+                                    RelationError::SqlSyntax {
+                                        position: i,
+                                        message: "invalid UTF-8 in string literal".into(),
+                                    }
+                                })?,
+                            );
+                            i = end;
+                        }
+                    }
+                    tokens.push(Token { kind: TokenKind::StringLit(s), position: start });
+                }
+                '0'..='9' => {
+                    let start = i;
+                    while i < bytes.len() && bytes[i].is_ascii_digit() {
+                        i += 1;
+                    }
+                    let text = &input[start..i];
+                    let value = text.parse::<i64>().map_err(|_| RelationError::SqlSyntax {
+                        position: start,
+                        message: format!("integer literal out of range: {text}"),
+                    })?;
+                    tokens.push(Token { kind: TokenKind::IntLit(value), position: start });
+                }
+                c if c.is_ascii_alphabetic() || c == '_' => {
+                    let start = i;
+                    while i < bytes.len()
+                        && ((bytes[i] as char).is_ascii_alphanumeric() || bytes[i] == b'_')
+                    {
+                        i += 1;
+                    }
+                    tokens.push(Token {
+                        kind: TokenKind::Ident(input[start..i].to_string()),
+                        position: start,
+                    });
+                }
+                other => {
+                    return Err(RelationError::SqlSyntax {
+                        position: i,
+                        message: format!("unexpected character {other:?}"),
+                    });
+                }
+            }
+        }
+        Ok(tokens)
+    }
+}
+
+/// Length in bytes of the UTF-8 scalar starting with `first`.
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7F => 1,
+        0xC0..=0xDF => 2,
+        0xE0..=0xEF => 3,
+        _ => 4,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(sql: &str) -> Vec<TokenKind> {
+        Lexer::tokenize(sql).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("SELECT * FROM t;"),
+            vec![
+                TokenKind::Ident("SELECT".into()),
+                TokenKind::Star,
+                TokenKind::Ident("FROM".into()),
+                TokenKind::Ident("t".into()),
+                TokenKind::Semicolon,
+            ]
+        );
+    }
+
+    #[test]
+    fn string_literals_with_escapes() {
+        assert_eq!(
+            kinds("'Montgomery' 'O''Hara' ''"),
+            vec![
+                TokenKind::StringLit("Montgomery".into()),
+                TokenKind::StringLit("O'Hara".into()),
+                TokenKind::StringLit(String::new()),
+            ]
+        );
+    }
+
+    #[test]
+    fn unicode_in_strings() {
+        assert_eq!(kinds("'héllo'"), vec![TokenKind::StringLit("héllo".into())]);
+    }
+
+    #[test]
+    fn integers_and_minus() {
+        assert_eq!(
+            kinds("-42 7500"),
+            vec![TokenKind::Minus, TokenKind::IntLit(42), TokenKind::IntLit(7500)]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_errors_with_position() {
+        match Lexer::tokenize("SELECT 'oops").unwrap_err() {
+            RelationError::SqlSyntax { position, message } => {
+                assert_eq!(position, 7);
+                assert!(message.contains("unterminated"));
+            }
+            other => panic!("unexpected error {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unexpected_character_errors() {
+        assert!(matches!(
+            Lexer::tokenize("SELECT @"),
+            Err(RelationError::SqlSyntax { position: 7, .. })
+        ));
+    }
+
+    #[test]
+    fn integer_overflow_rejected() {
+        assert!(Lexer::tokenize("99999999999999999999").is_err());
+    }
+
+    #[test]
+    fn positions_are_byte_offsets() {
+        let toks = Lexer::tokenize("a  b").unwrap();
+        assert_eq!(toks[0].position, 0);
+        assert_eq!(toks[1].position, 3);
+    }
+
+    #[test]
+    fn whitespace_only_is_empty() {
+        assert!(Lexer::tokenize("  \t\n ").unwrap().is_empty());
+        assert!(Lexer::tokenize("").unwrap().is_empty());
+    }
+}

@@ -1,0 +1,237 @@
+//! A small SQL subset, sufficient to replay every query in the paper.
+//!
+//! Supported statements:
+//!
+//! ```sql
+//! CREATE TABLE Emp (name STRING(10), dept STRING(5), salary INT);
+//! INSERT INTO Emp VALUES ('Montgomery', 'HR', 7500), ('Smith', 'IT', 4900);
+//! SELECT * FROM Emp WHERE name = 'Montgomery';
+//! SELECT name, salary FROM Emp WHERE dept = 'IT' AND salary = 4900;
+//! DROP TABLE Emp;
+//! ```
+//!
+//! `WHERE` supports only conjunctions of equality predicates — exactly
+//! the fragment the paper's privacy homomorphism preserves (§3). The
+//! parser is a hand-written recursive-descent over a separate lexer;
+//! both report byte positions on error.
+
+mod ast;
+mod lexer;
+mod parser;
+
+pub use ast::{SelectStatement, Statement};
+pub use lexer::{Lexer, Token, TokenKind};
+pub use parser::parse_statement;
+
+use crate::catalog::Catalog;
+use crate::error::RelationError;
+use crate::exec;
+use crate::relation::Relation;
+use crate::tuple::Tuple;
+
+/// The result of executing one SQL statement against a catalog.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecOutcome {
+    /// `CREATE TABLE` succeeded.
+    Created,
+    /// `DROP TABLE` succeeded.
+    Dropped,
+    /// `INSERT` succeeded with this many rows.
+    Inserted(usize),
+    /// `DELETE` removed this many rows.
+    Deleted(usize),
+    /// `SELECT` produced these projected rows (column names included).
+    Rows {
+        /// Projected column names, in output order.
+        columns: Vec<String>,
+        /// Result tuples, projected.
+        rows: Vec<Tuple>,
+    },
+}
+
+/// Parses and executes one statement against `catalog` — the plaintext
+/// reference engine used by examples and conformance tests.
+///
+/// # Errors
+/// Returns parse errors and execution errors (unknown table, type
+/// mismatches, …).
+pub fn execute(catalog: &mut Catalog, sql: &str) -> Result<ExecOutcome, RelationError> {
+    match parse_statement(sql)? {
+        Statement::CreateTable(schema) => {
+            catalog.create_table(schema)?;
+            Ok(ExecOutcome::Created)
+        }
+        Statement::DropTable(name) => {
+            catalog.drop_table(&name)?;
+            Ok(ExecOutcome::Dropped)
+        }
+        Statement::Insert { table, rows } => {
+            let relation = catalog.get_mut(&table)?;
+            let n = rows.len();
+            relation.insert_all(rows.into_iter().map(Tuple::new))?;
+            Ok(ExecOutcome::Inserted(n))
+        }
+        Statement::Delete { table, filter } => {
+            let relation = catalog.get_mut(&table)?;
+            let removed = exec::delete(relation, &filter)?;
+            Ok(ExecOutcome::Deleted(removed))
+        }
+        Statement::Select(stmt) => {
+            let relation = catalog.get(&stmt.table)?;
+            let filtered: Relation = match &stmt.filter {
+                Some(dnf) => crate::dnf::select_dnf(relation, dnf)?,
+                None => relation.clone(),
+            };
+            let indices = stmt.projection.resolve(filtered.schema())?;
+            let columns = indices
+                .iter()
+                .map(|&i| filtered.schema().attributes()[i].name.clone())
+                .collect();
+            let rows = exec::project(&filtered, &stmt.projection)?;
+            Ok(ExecOutcome::Rows { columns, rows })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    fn setup() -> Catalog {
+        let mut c = Catalog::new();
+        execute(
+            &mut c,
+            "CREATE TABLE Emp (name STRING(10), dept STRING(5), salary INT)",
+        )
+        .unwrap();
+        execute(
+            &mut c,
+            "INSERT INTO Emp VALUES ('Montgomery', 'HR', 7500), ('Smith', 'IT', 4900), ('Jones', 'IT', 1200)",
+        )
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn end_to_end_select() {
+        let mut c = setup();
+        let out = execute(&mut c, "SELECT * FROM Emp WHERE name = 'Montgomery'").unwrap();
+        match out {
+            ExecOutcome::Rows { columns, rows } => {
+                assert_eq!(columns, vec!["name", "dept", "salary"]);
+                assert_eq!(rows.len(), 1);
+                assert_eq!(rows[0].get(2), Some(&Value::int(7500)));
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn projection_and_conjunction() {
+        let mut c = setup();
+        let out = execute(
+            &mut c,
+            "SELECT name FROM Emp WHERE dept = 'IT' AND salary = 4900",
+        )
+        .unwrap();
+        match out {
+            ExecOutcome::Rows { columns, rows } => {
+                assert_eq!(columns, vec!["name"]);
+                assert_eq!(rows, vec![Tuple::new(vec![Value::str("Smith")])]);
+            }
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn select_without_where_returns_all() {
+        let mut c = setup();
+        match execute(&mut c, "SELECT * FROM Emp").unwrap() {
+            ExecOutcome::Rows { rows, .. } => assert_eq!(rows.len(), 3),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+    }
+
+    #[test]
+    fn insert_counts_rows() {
+        let mut c = setup();
+        let out = execute(&mut c, "INSERT INTO Emp VALUES ('Ng', 'IT', 4900)").unwrap();
+        assert_eq!(out, ExecOutcome::Inserted(1));
+    }
+
+    #[test]
+    fn insert_type_errors_surface() {
+        let mut c = setup();
+        assert!(execute(&mut c, "INSERT INTO Emp VALUES (1, 'HR', 7500)").is_err());
+        assert!(execute(&mut c, "INSERT INTO Emp VALUES ('VeryLongName', 'HR', 1)").is_err());
+    }
+
+    #[test]
+    fn drop_table_works() {
+        let mut c = setup();
+        assert_eq!(execute(&mut c, "DROP TABLE Emp").unwrap(), ExecOutcome::Dropped);
+        assert!(execute(&mut c, "SELECT * FROM Emp").is_err());
+    }
+
+    #[test]
+    fn delete_removes_matching_rows() {
+        let mut c = setup();
+        let out = execute(&mut c, "DELETE FROM Emp WHERE dept = 'IT'").unwrap();
+        assert_eq!(out, ExecOutcome::Deleted(2));
+        match execute(&mut c, "SELECT * FROM Emp").unwrap() {
+            ExecOutcome::Rows { rows, .. } => assert_eq!(rows.len(), 1),
+            other => panic!("unexpected outcome {other:?}"),
+        }
+        // Deleting nothing is fine.
+        assert_eq!(
+            execute(&mut c, "DELETE FROM Emp WHERE dept = 'IT'").unwrap(),
+            ExecOutcome::Deleted(0)
+        );
+    }
+
+    #[test]
+    fn delete_requires_where() {
+        let mut c = setup();
+        assert!(execute(&mut c, "DELETE FROM Emp").is_err());
+    }
+
+    #[test]
+    fn delete_with_conjunction() {
+        let mut c = setup();
+        let out = execute(
+            &mut c,
+            "DELETE FROM Emp WHERE dept = 'IT' AND salary = 4900",
+        )
+        .unwrap();
+        assert_eq!(out, ExecOutcome::Deleted(1));
+    }
+
+    #[test]
+    fn hospital_queries_from_the_paper() {
+        // §2: the four queries Eve observes. BOOL models outcome
+        // (TRUE = fatal).
+        let mut c = Catalog::new();
+        execute(
+            &mut c,
+            "CREATE TABLE Patients (id INT, name STRING(24), hospital INT, outcome BOOL)",
+        )
+        .unwrap();
+        execute(
+            &mut c,
+            "INSERT INTO Patients VALUES (1, 'John', 1, TRUE), (2, 'Mary', 2, FALSE), (3, 'Ann', 3, FALSE)",
+        )
+        .unwrap();
+        for (q, expected) in [
+            ("SELECT * FROM Patients WHERE hospital = 1", 1usize),
+            ("SELECT * FROM Patients WHERE hospital = 2", 1),
+            ("SELECT * FROM Patients WHERE hospital = 3", 1),
+            ("SELECT * FROM Patients WHERE outcome = TRUE", 1),
+        ] {
+            match execute(&mut c, q).unwrap() {
+                ExecOutcome::Rows { rows, .. } => assert_eq!(rows.len(), expected, "{q}"),
+                other => panic!("unexpected outcome {other:?}"),
+            }
+        }
+    }
+}

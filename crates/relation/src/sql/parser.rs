@@ -1,0 +1,434 @@
+//! Recursive-descent parser for the SQL subset.
+
+use super::ast::{SelectStatement, Statement};
+use super::lexer::{Lexer, Token, TokenKind};
+use crate::error::RelationError;
+use crate::query::{ExactSelect, Projection, Query};
+use crate::schema::{Attribute, Schema};
+use crate::types::AttrType;
+use crate::value::Value;
+
+/// Parses a single SQL statement (an optional trailing `;` is allowed).
+///
+/// # Errors
+/// Returns [`RelationError::SqlSyntax`] with a byte position on any
+/// lexical or grammatical problem.
+pub fn parse_statement(sql: &str) -> Result<Statement, RelationError> {
+    let tokens = Lexer::tokenize(sql)?;
+    let mut p = Parser { tokens, pos: 0, input_len: sql.len() };
+    let stmt = p.statement()?;
+    p.accept_semicolon();
+    p.expect_end()?;
+    Ok(stmt)
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+    input_len: usize,
+}
+
+impl Parser {
+    fn statement(&mut self) -> Result<Statement, RelationError> {
+        let kw = self.expect_ident("statement keyword")?;
+        match kw.to_ascii_uppercase().as_str() {
+            "CREATE" => self.create_table(),
+            "DROP" => self.drop_table(),
+            "INSERT" => self.insert(),
+            "SELECT" => self.select(),
+            "DELETE" => self.delete(),
+            other => Err(self.err_here(format!(
+                "expected CREATE, DROP, INSERT, SELECT or DELETE, found {other}"
+            ))),
+        }
+    }
+
+    fn create_table(&mut self) -> Result<Statement, RelationError> {
+        self.expect_keyword("TABLE")?;
+        let name = self.expect_ident("table name")?;
+        self.expect(TokenKind::LParen, "(")?;
+        let mut attrs = Vec::new();
+        loop {
+            let col = self.expect_ident("column name")?;
+            let ty = self.attr_type()?;
+            attrs.push(Attribute::new(col, ty));
+            if self.accept(&TokenKind::Comma) {
+                continue;
+            }
+            self.expect(TokenKind::RParen, ")")?;
+            break;
+        }
+        Ok(Statement::CreateTable(Schema::new(name, attrs)?))
+    }
+
+    fn attr_type(&mut self) -> Result<AttrType, RelationError> {
+        let ty = self.expect_ident("type name")?;
+        match ty.to_ascii_uppercase().as_str() {
+            "INT" | "INTEGER" => Ok(AttrType::Int),
+            "BOOL" | "BOOLEAN" => Ok(AttrType::Bool),
+            "STRING" | "VARCHAR" | "CHAR" => {
+                self.expect(TokenKind::LParen, "(")?;
+                let width = match self.next() {
+                    Some(Token { kind: TokenKind::IntLit(n), .. }) if *n > 0 => *n as usize,
+                    _ => return Err(self.err_here("expected positive width".into())),
+                };
+                self.expect(TokenKind::RParen, ")")?;
+                Ok(AttrType::Str { max_len: width })
+            }
+            other => Err(self.err_here(format!("unknown type {other}"))),
+        }
+    }
+
+    fn drop_table(&mut self) -> Result<Statement, RelationError> {
+        self.expect_keyword("TABLE")?;
+        let name = self.expect_ident("table name")?;
+        Ok(Statement::DropTable(name))
+    }
+
+    fn insert(&mut self) -> Result<Statement, RelationError> {
+        self.expect_keyword("INTO")?;
+        let table = self.expect_ident("table name")?;
+        self.expect_keyword("VALUES")?;
+        let mut rows = Vec::new();
+        loop {
+            self.expect(TokenKind::LParen, "(")?;
+            let mut row = Vec::new();
+            loop {
+                row.push(self.literal()?);
+                if self.accept(&TokenKind::Comma) {
+                    continue;
+                }
+                self.expect(TokenKind::RParen, ")")?;
+                break;
+            }
+            rows.push(row);
+            if self.accept(&TokenKind::Comma) {
+                continue;
+            }
+            break;
+        }
+        Ok(Statement::Insert { table, rows })
+    }
+
+    fn select(&mut self) -> Result<Statement, RelationError> {
+        let projection = if self.accept(&TokenKind::Star) {
+            Projection::All
+        } else {
+            let mut cols = vec![self.expect_ident("column name")?];
+            while self.accept(&TokenKind::Comma) {
+                cols.push(self.expect_ident("column name")?);
+            }
+            Projection::Columns(cols)
+        };
+        self.expect_keyword("FROM")?;
+        let table = self.expect_ident("table name")?;
+        let filter = if self.accept_keyword("WHERE") {
+            Some(self.dnf()?)
+        } else {
+            None
+        };
+        Ok(Statement::Select(SelectStatement { projection, table, filter }))
+    }
+
+    /// `conj (OR conj)*` where `conj = pred (AND pred)*`.
+    fn dnf(&mut self) -> Result<crate::dnf::Dnf, RelationError> {
+        let mut disjuncts = vec![self.conjunction()?];
+        while self.accept_keyword("OR") {
+            disjuncts.push(self.conjunction()?);
+        }
+        crate::dnf::Dnf::new(disjuncts)
+    }
+
+    fn conjunction(&mut self) -> Result<Query, RelationError> {
+        let mut terms = vec![self.predicate()?];
+        while self.accept_keyword("AND") {
+            terms.push(self.predicate()?);
+        }
+        Query::conjunction(terms)
+    }
+
+    fn delete(&mut self) -> Result<Statement, RelationError> {
+        self.expect_keyword("FROM")?;
+        let table = self.expect_ident("table name")?;
+        self.expect_keyword("WHERE")?;
+        let mut terms = vec![self.predicate()?];
+        while self.accept_keyword("AND") {
+            terms.push(self.predicate()?);
+        }
+        Ok(Statement::Delete { table, filter: Query::conjunction(terms)? })
+    }
+
+    fn predicate(&mut self) -> Result<ExactSelect, RelationError> {
+        let attribute = self.expect_ident("attribute name")?;
+        self.expect(TokenKind::Equals, "=")?;
+        let value = self.literal()?;
+        Ok(ExactSelect { attribute, value })
+    }
+
+    fn literal(&mut self) -> Result<Value, RelationError> {
+        match self.next() {
+            Some(Token { kind: TokenKind::StringLit(s), .. }) => Ok(Value::Str(s.clone())),
+            Some(Token { kind: TokenKind::IntLit(n), .. }) => Ok(Value::Int(*n)),
+            Some(Token { kind: TokenKind::Minus, .. }) => match self.next() {
+                Some(Token { kind: TokenKind::IntLit(n), .. }) => Ok(Value::Int(-n)),
+                _ => Err(self.err_here("expected integer after '-'".into())),
+            },
+            Some(Token { kind: TokenKind::Ident(word), .. }) => {
+                match word.to_ascii_uppercase().as_str() {
+                    "TRUE" => Ok(Value::Bool(true)),
+                    "FALSE" => Ok(Value::Bool(false)),
+                    other => Err(self.err_here(format!(
+                        "expected literal, found identifier {other}"
+                    ))),
+                }
+            }
+            _ => Err(self.err_here("expected literal".into())),
+        }
+    }
+
+    // --- token plumbing -------------------------------------------------
+
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<&Token> {
+        let t = self.tokens.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn accept(&mut self, kind: &TokenKind) -> bool {
+        if self.peek().map(|t| &t.kind) == Some(kind) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn accept_keyword(&mut self, kw: &str) -> bool {
+        if let Some(Token { kind: TokenKind::Ident(word), .. }) = self.peek() {
+            if word.eq_ignore_ascii_case(kw) {
+                self.pos += 1;
+                return true;
+            }
+        }
+        false
+    }
+
+    fn accept_semicolon(&mut self) {
+        let _ = self.accept(&TokenKind::Semicolon);
+    }
+
+    fn expect(&mut self, kind: TokenKind, name: &str) -> Result<(), RelationError> {
+        if self.accept(&kind) {
+            Ok(())
+        } else {
+            Err(self.err_here(format!("expected {name}")))
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), RelationError> {
+        if self.accept_keyword(kw) {
+            Ok(())
+        } else {
+            Err(self.err_here(format!("expected {kw}")))
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, RelationError> {
+        match self.next() {
+            Some(Token { kind: TokenKind::Ident(word), .. }) => Ok(word.clone()),
+            _ => Err(self.err_here(format!("expected {what}"))),
+        }
+    }
+
+    fn expect_end(&self) -> Result<(), RelationError> {
+        match self.peek() {
+            None => Ok(()),
+            Some(t) => Err(RelationError::SqlSyntax {
+                position: t.position,
+                message: "unexpected trailing input".into(),
+            }),
+        }
+    }
+
+    fn err_here(&self, message: String) -> RelationError {
+        let position = self
+            .tokens
+            .get(self.pos.saturating_sub(1))
+            .map_or(self.input_len, |t| t.position);
+        RelationError::SqlSyntax { position, message }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_create_table() {
+        let stmt = parse_statement(
+            "CREATE TABLE Emp (name STRING(10), dept STRING(5), salary INT);",
+        )
+        .unwrap();
+        match stmt {
+            Statement::CreateTable(schema) => {
+                assert_eq!(schema.name(), "Emp");
+                assert_eq!(schema.arity(), 3);
+                assert_eq!(schema.attributes()[0].ty, AttrType::Str { max_len: 10 });
+                assert_eq!(schema.attributes()[2].ty, AttrType::Int);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_type_synonyms() {
+        let stmt =
+            parse_statement("CREATE TABLE t (a VARCHAR(3), b INTEGER, c BOOLEAN)").unwrap();
+        match stmt {
+            Statement::CreateTable(schema) => {
+                assert_eq!(schema.attributes()[0].ty, AttrType::Str { max_len: 3 });
+                assert_eq!(schema.attributes()[1].ty, AttrType::Int);
+                assert_eq!(schema.attributes()[2].ty, AttrType::Bool);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_insert_multi_row() {
+        let stmt =
+            parse_statement("INSERT INTO Emp VALUES ('A', 'HR', 1), ('B', 'IT', -2)").unwrap();
+        match stmt {
+            Statement::Insert { table, rows } => {
+                assert_eq!(table, "Emp");
+                assert_eq!(rows.len(), 2);
+                assert_eq!(rows[1][2], Value::Int(-2));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_select_star_where() {
+        let stmt = parse_statement("SELECT * FROM Emp WHERE name = 'Montgomery'").unwrap();
+        match stmt {
+            Statement::Select(s) => {
+                assert_eq!(s.projection, Projection::All);
+                assert_eq!(s.table, "Emp");
+                let dnf = s.filter.unwrap();
+                assert!(dnf.is_single());
+                let q = &dnf.disjuncts()[0];
+                assert!(q.is_simple());
+                assert_eq!(q.terms()[0], ExactSelect::new("name", "Montgomery"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_select_projection_conjunction() {
+        let stmt = parse_statement(
+            "SELECT name, salary FROM Emp WHERE dept = 'IT' AND salary = 4900 AND flag = TRUE",
+        )
+        .unwrap();
+        match stmt {
+            Statement::Select(s) => {
+                assert_eq!(
+                    s.projection,
+                    Projection::Columns(vec!["name".into(), "salary".into()])
+                );
+                assert_eq!(s.filter.unwrap().disjuncts()[0].terms().len(), 3);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_or_creates_dnf() {
+        let stmt = parse_statement(
+            "SELECT * FROM Emp WHERE dept = 'IT' AND salary = 4900 OR name = 'Montgomery'",
+        )
+        .unwrap();
+        match stmt {
+            Statement::Select(s) => {
+                let dnf = s.filter.unwrap();
+                assert_eq!(dnf.disjuncts().len(), 2);
+                assert_eq!(dnf.disjuncts()[0].terms().len(), 2, "AND binds tighter");
+                assert_eq!(dnf.disjuncts()[1].terms().len(), 1);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_or_requires_right_operand() {
+        assert!(parse_statement("SELECT * FROM t WHERE a = 1 OR").is_err());
+    }
+
+    #[test]
+    fn parse_boolean_literals() {
+        let stmt = parse_statement("SELECT * FROM t WHERE outcome = FALSE").unwrap();
+        match stmt {
+            Statement::Select(s) => {
+                assert_eq!(s.filter.unwrap().disjuncts()[0].terms()[0].value, Value::Bool(false));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parse_drop() {
+        assert_eq!(
+            parse_statement("DROP TABLE Emp").unwrap(),
+            Statement::DropTable("Emp".into())
+        );
+    }
+
+    #[test]
+    fn keywords_are_case_insensitive() {
+        assert!(parse_statement("select * from t where a = 1").is_ok());
+        assert!(parse_statement("Select * From t Where a = 1 And b = 2").is_ok());
+    }
+
+    #[test]
+    fn syntax_errors_have_positions() {
+        for bad in [
+            "SELECT",
+            "SELECT * FROM",
+            "SELECT * WHERE a = 1",
+            "CREATE TABLE t",
+            "CREATE TABLE t (a STRING)",
+            "CREATE TABLE t (a STRING(0))",
+            "INSERT INTO t VALUES",
+            "INSERT INTO t VALUES (1,)",
+            "SELECT * FROM t WHERE a = ",
+            "SELECT * FROM t WHERE a = b",
+            "SELECT * FROM t extra garbage",
+            "UPDATE t SET a = 1",
+            "",
+        ] {
+            let err = parse_statement(bad).unwrap_err();
+            assert!(
+                matches!(err, RelationError::SqlSyntax { .. } | RelationError::BadStringWidth(_)),
+                "{bad}: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn negative_literal_in_where() {
+        let stmt = parse_statement("SELECT * FROM t WHERE x = -5").unwrap();
+        match stmt {
+            Statement::Select(s) => {
+                assert_eq!(s.filter.unwrap().disjuncts()[0].terms()[0].value, Value::Int(-5));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,176 @@
+//! Tuples: ordered value lists conforming to a schema.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::error::RelationError;
+use crate::schema::Schema;
+use crate::value::Value;
+
+/// A tuple of attribute values, in schema attribute order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Tuple {
+    values: Vec<Value>,
+}
+
+impl Tuple {
+    /// Creates a tuple without schema validation (validated on insert).
+    #[must_use]
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple { values }
+    }
+
+    /// Creates a tuple and validates it against `schema`.
+    ///
+    /// # Errors
+    /// Returns arity or type errors from validation.
+    pub fn checked(values: Vec<Value>, schema: &Schema) -> Result<Self, RelationError> {
+        let t = Tuple::new(values);
+        t.validate(schema)?;
+        Ok(t)
+    }
+
+    /// Validates arity and per-attribute types against `schema`.
+    ///
+    /// # Errors
+    /// Returns [`RelationError::ArityMismatch`] or the first value's
+    /// type error.
+    pub fn validate(&self, schema: &Schema) -> Result<(), RelationError> {
+        if self.values.len() != schema.arity() {
+            return Err(RelationError::ArityMismatch {
+                expected: schema.arity(),
+                actual: self.values.len(),
+            });
+        }
+        for (value, attr) in self.values.iter().zip(schema.attributes()) {
+            value.check_type(&attr.ty, &attr.name)?;
+        }
+        Ok(())
+    }
+
+    /// The values in attribute order.
+    #[must_use]
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Value at attribute position `index`.
+    #[must_use]
+    pub fn get(&self, index: usize) -> Option<&Value> {
+        self.values.get(index)
+    }
+
+    /// Number of values.
+    #[must_use]
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Projects the tuple onto the given attribute positions.
+    #[must_use]
+    pub fn project(&self, indices: &[usize]) -> Tuple {
+        Tuple::new(indices.iter().map(|&i| self.values[i].clone()).collect())
+    }
+
+    /// Consumes the tuple, returning its values.
+    #[must_use]
+    pub fn into_values(self) -> Vec<Value> {
+        self.values
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple::new(values)
+    }
+}
+
+/// Builds a tuple from anything convertible to values.
+///
+/// ```
+/// use dbph_relation::tuple;
+/// let t = tuple!["Montgomery", "HR", 7500i64];
+/// assert_eq!(t.arity(), 3);
+/// ```
+#[macro_export]
+macro_rules! tuple {
+    ($($v:expr),* $(,)?) => {
+        $crate::Tuple::new(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::emp_schema;
+
+    #[test]
+    fn checked_accepts_conforming() {
+        let t = Tuple::checked(
+            vec![Value::str("Montgomery"), Value::str("HR"), Value::int(7500)],
+            &emp_schema(),
+        )
+        .unwrap();
+        assert_eq!(t.arity(), 3);
+        assert_eq!(t.get(2), Some(&Value::int(7500)));
+        assert_eq!(t.get(3), None);
+    }
+
+    #[test]
+    fn checked_rejects_arity() {
+        let r = Tuple::checked(vec![Value::int(1)], &emp_schema());
+        assert_eq!(
+            r.unwrap_err(),
+            RelationError::ArityMismatch { expected: 3, actual: 1 }
+        );
+    }
+
+    #[test]
+    fn checked_rejects_types() {
+        let r = Tuple::checked(
+            vec![Value::int(1), Value::str("HR"), Value::int(7500)],
+            &emp_schema(),
+        );
+        assert!(matches!(r, Err(RelationError::TypeMismatch { .. })));
+    }
+
+    #[test]
+    fn checked_rejects_overlong_strings() {
+        let r = Tuple::checked(
+            vec![Value::str("Montgomery"), Value::str("TOOLONG"), Value::int(1)],
+            &emp_schema(),
+        );
+        assert!(matches!(r, Err(RelationError::StringTooLong { .. })));
+    }
+
+    #[test]
+    fn projection() {
+        let t = tuple!["Montgomery", "HR", 7500i64];
+        let p = t.project(&[2, 0]);
+        assert_eq!(p.values(), &[Value::int(7500), Value::str("Montgomery")]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(tuple!["a", 1i64, true].to_string(), "('a', 1, TRUE)");
+    }
+
+    #[test]
+    fn tuple_macro_builds_values() {
+        let t = tuple!["x", 9i64];
+        assert_eq!(t.values(), &[Value::str("x"), Value::int(9)]);
+    }
+}

@@ -1,0 +1,115 @@
+//! Attribute types.
+//!
+//! The paper's relations use fixed-maximum-width strings and integers
+//! (`Emp(name:string[9], dept:string[5], salary:int)`). Width bounds
+//! matter: the database PH pads every value to the width of the widest
+//! attribute, so `STRING(n)` is part of the schema, not a hint.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::error::RelationError;
+
+/// Maximum declarable `STRING` width in bytes.
+pub const MAX_STRING_WIDTH: usize = 65_535;
+
+/// Width of the byte encoding of an `INT` value (two's-complement big
+/// endian, order-preserving after sign-bit flip — see
+/// [`crate::value::Value::encode`]).
+pub const INT_WIDTH: usize = 8;
+
+/// Width of the byte encoding of a `BOOL` value.
+pub const BOOL_WIDTH: usize = 1;
+
+/// The type of an attribute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AttrType {
+    /// A UTF-8 string of at most `max_len` bytes (`STRING(n)` in SQL).
+    Str {
+        /// Maximum encoded length in bytes.
+        max_len: usize,
+    },
+    /// A 64-bit signed integer (`INT` in SQL).
+    Int,
+    /// A boolean (`BOOL` in SQL). The paper's hospital example uses a
+    /// binary `outcome` attribute; `BOOL` models it directly.
+    Bool,
+}
+
+impl AttrType {
+    /// Validates the type declaration itself.
+    ///
+    /// # Errors
+    /// Returns [`RelationError::BadStringWidth`] for `STRING(0)` or
+    /// widths above [`MAX_STRING_WIDTH`].
+    pub fn validate(&self) -> Result<(), RelationError> {
+        match self {
+            AttrType::Str { max_len } => {
+                if *max_len == 0 || *max_len > MAX_STRING_WIDTH {
+                    Err(RelationError::BadStringWidth(*max_len))
+                } else {
+                    Ok(())
+                }
+            }
+            AttrType::Int | AttrType::Bool => Ok(()),
+        }
+    }
+
+    /// Maximum width of the canonical byte encoding of values of this
+    /// type. This is what the word encoder pads to.
+    #[must_use]
+    pub fn encoded_width(&self) -> usize {
+        match self {
+            AttrType::Str { max_len } => *max_len,
+            AttrType::Int => INT_WIDTH,
+            AttrType::Bool => BOOL_WIDTH,
+        }
+    }
+}
+
+impl fmt::Display for AttrType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AttrType::Str { max_len } => write!(f, "STRING({max_len})"),
+            AttrType::Int => write!(f, "INT"),
+            AttrType::Bool => write!(f, "BOOL"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn validate_accepts_reasonable_widths() {
+        assert!(AttrType::Str { max_len: 1 }.validate().is_ok());
+        assert!(AttrType::Str { max_len: 9 }.validate().is_ok());
+        assert!(AttrType::Str { max_len: MAX_STRING_WIDTH }.validate().is_ok());
+        assert!(AttrType::Int.validate().is_ok());
+        assert!(AttrType::Bool.validate().is_ok());
+    }
+
+    #[test]
+    fn validate_rejects_degenerate_widths() {
+        assert_eq!(
+            AttrType::Str { max_len: 0 }.validate().unwrap_err(),
+            RelationError::BadStringWidth(0)
+        );
+        assert!(AttrType::Str { max_len: MAX_STRING_WIDTH + 1 }.validate().is_err());
+    }
+
+    #[test]
+    fn encoded_widths() {
+        assert_eq!(AttrType::Str { max_len: 9 }.encoded_width(), 9);
+        assert_eq!(AttrType::Int.encoded_width(), 8);
+        assert_eq!(AttrType::Bool.encoded_width(), 1);
+    }
+
+    #[test]
+    fn display_matches_sql_syntax() {
+        assert_eq!(AttrType::Str { max_len: 9 }.to_string(), "STRING(9)");
+        assert_eq!(AttrType::Int.to_string(), "INT");
+        assert_eq!(AttrType::Bool.to_string(), "BOOL");
+    }
+}

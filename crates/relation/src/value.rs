@@ -1,0 +1,260 @@
+//! Typed attribute values and their canonical byte encodings.
+//!
+//! The database PH encrypts *encoded* values, so the encoding must be
+//! injective per type (two distinct values never share bytes) and
+//! stable across versions — a trapdoor computed today must still match
+//! a word encrypted yesterday.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::error::RelationError;
+use crate::types::{AttrType, BOOL_WIDTH, INT_WIDTH};
+
+/// A single attribute value.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Value {
+    /// A UTF-8 string.
+    Str(String),
+    /// A 64-bit signed integer.
+    Int(i64),
+    /// A boolean.
+    Bool(bool),
+}
+
+impl Value {
+    /// Checks that this value inhabits `ty`.
+    ///
+    /// # Errors
+    /// Returns [`RelationError::TypeMismatch`] or
+    /// [`RelationError::StringTooLong`]; `attribute` names the column
+    /// for error messages.
+    pub fn check_type(&self, ty: &AttrType, attribute: &str) -> Result<(), RelationError> {
+        match (self, ty) {
+            (Value::Str(s), AttrType::Str { max_len }) => {
+                if s.len() > *max_len {
+                    Err(RelationError::StringTooLong {
+                        attribute: attribute.to_string(),
+                        max: *max_len,
+                        actual: s.len(),
+                    })
+                } else {
+                    Ok(())
+                }
+            }
+            (Value::Int(_), AttrType::Int) | (Value::Bool(_), AttrType::Bool) => Ok(()),
+            _ => Err(RelationError::TypeMismatch {
+                attribute: attribute.to_string(),
+                expected: ty.to_string(),
+                actual: self.to_string(),
+            }),
+        }
+    }
+
+    /// Canonical byte encoding, *unpadded* (padding to attribute width
+    /// is the word encoder's job):
+    ///
+    /// * `Str` — the UTF-8 bytes.
+    /// * `Int` — 8 bytes big-endian with the sign bit flipped, so the
+    ///   byte order matches numeric order (useful for future range
+    ///   extensions; exact selects only need injectivity).
+    /// * `Bool` — one byte, `0` or `1`.
+    #[must_use]
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            Value::Str(s) => s.as_bytes().to_vec(),
+            Value::Int(i) => ((*i as u64) ^ (1u64 << 63)).to_be_bytes().to_vec(),
+            Value::Bool(b) => vec![u8::from(*b)],
+        }
+    }
+
+    /// Decodes bytes produced by [`Value::encode`], given the type.
+    ///
+    /// # Errors
+    /// Returns [`RelationError::BadValueEncoding`] on wrong widths or
+    /// invalid UTF-8.
+    pub fn decode(ty: &AttrType, bytes: &[u8]) -> Result<Self, RelationError> {
+        match ty {
+            AttrType::Str { max_len } => {
+                if bytes.len() > *max_len {
+                    return Err(RelationError::BadValueEncoding(format!(
+                        "string of {} bytes exceeds declared width {max_len}",
+                        bytes.len()
+                    )));
+                }
+                String::from_utf8(bytes.to_vec())
+                    .map(Value::Str)
+                    .map_err(|_| RelationError::BadValueEncoding("invalid UTF-8".into()))
+            }
+            AttrType::Int => {
+                if bytes.len() != INT_WIDTH {
+                    return Err(RelationError::BadValueEncoding(format!(
+                        "INT needs {INT_WIDTH} bytes, got {}",
+                        bytes.len()
+                    )));
+                }
+                let mut arr = [0u8; INT_WIDTH];
+                arr.copy_from_slice(bytes);
+                let raw = u64::from_be_bytes(arr) ^ (1u64 << 63);
+                Ok(Value::Int(raw as i64))
+            }
+            AttrType::Bool => {
+                if bytes.len() != BOOL_WIDTH {
+                    return Err(RelationError::BadValueEncoding(format!(
+                        "BOOL needs 1 byte, got {}",
+                        bytes.len()
+                    )));
+                }
+                match bytes[0] {
+                    0 => Ok(Value::Bool(false)),
+                    1 => Ok(Value::Bool(true)),
+                    b => Err(RelationError::BadValueEncoding(format!("BOOL byte {b}"))),
+                }
+            }
+        }
+    }
+
+    /// The [`AttrType`] variant this value naturally inhabits, using
+    /// the string's own length as the width.
+    #[must_use]
+    pub fn natural_type(&self) -> AttrType {
+        match self {
+            Value::Str(s) => AttrType::Str { max_len: s.len().max(1) },
+            Value::Int(_) => AttrType::Int,
+            Value::Bool(_) => AttrType::Bool,
+        }
+    }
+
+    /// Convenience constructor for string values.
+    #[must_use]
+    pub fn str(s: impl Into<String>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// Convenience constructor for integer values.
+    #[must_use]
+    pub fn int(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Str(s) => write!(f, "'{}'", s.replace('\'', "''")),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Bool(b) => write!(f, "{}", if *b { "TRUE" } else { "FALSE" }),
+        }
+    }
+}
+
+impl From<&str> for Value {
+    fn from(s: &str) -> Self {
+        Value::Str(s.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(s: String) -> Self {
+        Value::Str(s)
+    }
+}
+
+impl From<i64> for Value {
+    fn from(i: i64) -> Self {
+        Value::Int(i)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(b: bool) -> Self {
+        Value::Bool(b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn type_checks() {
+        let ty = AttrType::Str { max_len: 5 };
+        assert!(Value::str("abcde").check_type(&ty, "a").is_ok());
+        assert!(Value::str("").check_type(&ty, "a").is_ok());
+        assert!(matches!(
+            Value::str("abcdef").check_type(&ty, "a"),
+            Err(RelationError::StringTooLong { .. })
+        ));
+        assert!(matches!(
+            Value::int(1).check_type(&ty, "a"),
+            Err(RelationError::TypeMismatch { .. })
+        ));
+        assert!(Value::int(42).check_type(&AttrType::Int, "n").is_ok());
+        assert!(Value::Bool(true).check_type(&AttrType::Bool, "b").is_ok());
+        assert!(Value::Bool(true).check_type(&AttrType::Int, "b").is_err());
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let cases = vec![
+            (Value::str("Montgomery"), AttrType::Str { max_len: 10 }),
+            (Value::str(""), AttrType::Str { max_len: 5 }),
+            (Value::int(0), AttrType::Int),
+            (Value::int(7500), AttrType::Int),
+            (Value::int(-1), AttrType::Int),
+            (Value::int(i64::MIN), AttrType::Int),
+            (Value::int(i64::MAX), AttrType::Int),
+            (Value::Bool(true), AttrType::Bool),
+            (Value::Bool(false), AttrType::Bool),
+        ];
+        for (v, ty) in cases {
+            let enc = v.encode();
+            assert_eq!(Value::decode(&ty, &enc).unwrap(), v, "{v}");
+        }
+    }
+
+    #[test]
+    fn int_encoding_preserves_order() {
+        let values = [i64::MIN, -100, -1, 0, 1, 42, 7500, i64::MAX];
+        for w in values.windows(2) {
+            assert!(
+                Value::int(w[0]).encode() < Value::int(w[1]).encode(),
+                "{} vs {}",
+                w[0],
+                w[1]
+            );
+        }
+    }
+
+    #[test]
+    fn encoding_is_injective_within_type() {
+        assert_ne!(Value::str("a").encode(), Value::str("b").encode());
+        assert_ne!(Value::int(1).encode(), Value::int(2).encode());
+        assert_ne!(Value::Bool(true).encode(), Value::Bool(false).encode());
+    }
+
+    #[test]
+    fn decode_rejects_bad_input() {
+        assert!(Value::decode(&AttrType::Int, &[0u8; 7]).is_err());
+        assert!(Value::decode(&AttrType::Bool, &[2u8]).is_err());
+        assert!(Value::decode(&AttrType::Bool, &[0u8, 0u8]).is_err());
+        assert!(Value::decode(&AttrType::Str { max_len: 2 }, b"abc").is_err());
+        assert!(Value::decode(&AttrType::Str { max_len: 5 }, &[0xFF, 0xFE]).is_err());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Value::str("x").to_string(), "'x'");
+        assert_eq!(Value::str("O'Hara").to_string(), "'O''Hara'");
+        assert_eq!(Value::int(-5).to_string(), "-5");
+        assert_eq!(Value::Bool(true).to_string(), "TRUE");
+    }
+
+    #[test]
+    fn conversions() {
+        assert_eq!(Value::from("s"), Value::str("s"));
+        assert_eq!(Value::from(3i64), Value::int(3));
+        assert_eq!(Value::from(true), Value::Bool(true));
+        assert_eq!(Value::from(String::from("t")), Value::str("t"));
+    }
+}

@@ -1,0 +1,191 @@
+//! Encrypted document collections.
+//!
+//! The paper maps each tuple to a *document* (a set of words, one per
+//! attribute) and outsources the encrypted collection. This module
+//! stores the server's view — documents of cipher words, addressable
+//! by `(doc_id, word_index)` — and implements the keyless collection
+//! scan a server runs per trapdoor.
+
+use serde::{Deserialize, Serialize};
+
+use crate::error::SwpError;
+use crate::params::SwpParams;
+use crate::search::matches;
+use crate::traits::{CipherWord, Location, SearchableScheme, TrapdoorData};
+use crate::word::Word;
+
+/// An encrypted document: the cipher words of one plaintext document,
+/// in word order, plus the document id that fixes its PRG locations.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EncryptedDocument {
+    /// Collection-unique document identifier.
+    pub doc_id: u64,
+    /// Cipher words in position order.
+    pub words: Vec<CipherWord>,
+}
+
+/// A collection of encrypted documents — the server-side store.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EncryptedCollection {
+    params: SwpParams,
+    docs: Vec<EncryptedDocument>,
+}
+
+impl EncryptedCollection {
+    /// Creates an empty collection.
+    #[must_use]
+    pub fn new(params: SwpParams) -> Self {
+        EncryptedCollection { params, docs: Vec::new() }
+    }
+
+    /// The collection's parameters (public: the server needs them to
+    /// run the match).
+    #[must_use]
+    pub fn params(&self) -> &SwpParams {
+        &self.params
+    }
+
+    /// The stored documents.
+    #[must_use]
+    pub fn documents(&self) -> &[EncryptedDocument] {
+        &self.docs
+    }
+
+    /// Number of documents.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether the collection is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+
+    /// Encrypts `words` as document `doc_id` under `scheme` and stores
+    /// it.
+    ///
+    /// # Errors
+    /// Propagates word-length errors from the scheme.
+    pub fn insert_document<S: SearchableScheme>(
+        &mut self,
+        scheme: &S,
+        doc_id: u64,
+        words: &[Word],
+    ) -> Result<(), SwpError> {
+        let mut enc = Vec::with_capacity(words.len());
+        for (i, w) in words.iter().enumerate() {
+            enc.push(scheme.encrypt_word(Location::new(doc_id, i as u32), w)?);
+        }
+        self.docs.push(EncryptedDocument { doc_id, words: enc });
+        Ok(())
+    }
+
+    /// Keyless server-side search: returns the locations whose cipher
+    /// words match `trapdoor` (including any false positives).
+    #[must_use]
+    pub fn search<T: TrapdoorData>(&self, trapdoor: &T) -> Vec<Location> {
+        let mut hits = Vec::new();
+        for doc in &self.docs {
+            for (i, cw) in doc.words.iter().enumerate() {
+                if matches(&self.params, trapdoor, cw) {
+                    hits.push(Location::new(doc.doc_id, i as u32));
+                }
+            }
+        }
+        hits
+    }
+
+    /// Decrypts every word of document `doc_id`.
+    ///
+    /// # Errors
+    /// Fails for unknown ids or schemes that cannot decrypt.
+    pub fn decrypt_document<S: SearchableScheme>(
+        &self,
+        scheme: &S,
+        doc_id: u64,
+    ) -> Result<Vec<Word>, SwpError> {
+        let doc = self
+            .docs
+            .iter()
+            .find(|d| d.doc_id == doc_id)
+            .ok_or(SwpError::Unsupported("unknown document id"))?;
+        doc.words
+            .iter()
+            .enumerate()
+            .map(|(i, cw)| scheme.decrypt_word(Location::new(doc_id, i as u32), cw))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::final_scheme::FinalScheme;
+    use dbph_crypto::SecretKey;
+
+    fn setup() -> (FinalScheme, EncryptedCollection) {
+        let params = SwpParams::new(11, 4, 32).unwrap();
+        let scheme = FinalScheme::new(params, &SecretKey::from_bytes([9u8; 32]));
+        (scheme, EncryptedCollection::new(params))
+    }
+
+    fn word(s: &str) -> Word {
+        Word::from_bytes_unchecked(s.as_bytes().to_vec())
+    }
+
+    #[test]
+    fn insert_search_decrypt() {
+        let (scheme, mut coll) = setup();
+        // The paper's §3 worked example: the Emp tuple as a document.
+        coll.insert_document(
+            &scheme,
+            0,
+            &[word("MontgomeryN"), word("HR########D"), word("7500######S")],
+        )
+        .unwrap();
+        coll.insert_document(
+            &scheme,
+            1,
+            &[word("Smith#####N"), word("IT########D"), word("4900######S")],
+        )
+        .unwrap();
+        assert_eq!(coll.len(), 2);
+
+        let td = scheme.trapdoor(&word("MontgomeryN")).unwrap();
+        let hits = coll.search(&td);
+        assert_eq!(hits, vec![Location::new(0, 0)]);
+
+        let words = coll.decrypt_document(&scheme, 0).unwrap();
+        assert_eq!(words[0], word("MontgomeryN"));
+        assert_eq!(words[2], word("7500######S"));
+    }
+
+    #[test]
+    fn search_finds_all_occurrences() {
+        let (scheme, mut coll) = setup();
+        for id in 0..5u64 {
+            coll.insert_document(&scheme, id, &[word("IT########D"), word("x#########N")])
+                .unwrap();
+        }
+        let td = scheme.trapdoor(&word("IT########D")).unwrap();
+        let hits = coll.search(&td);
+        assert_eq!(hits.len(), 5);
+        assert!(hits.iter().all(|l| l.word_index == 0));
+    }
+
+    #[test]
+    fn search_on_empty_collection() {
+        let (scheme, coll) = setup();
+        let td = scheme.trapdoor(&word("MontgomeryN")).unwrap();
+        assert!(coll.search(&td).is_empty());
+        assert!(coll.is_empty());
+    }
+
+    #[test]
+    fn decrypt_unknown_document_errors() {
+        let (scheme, coll) = setup();
+        assert!(coll.decrypt_document(&scheme, 99).is_err());
+    }
+}

@@ -1,0 +1,166 @@
+//! SWP Scheme II — controlled searching.
+//!
+//! The check key becomes per-word: `k_W = f_{k'}(W)`. The server can
+//! only test words whose trapdoors Alice has issued — searching no
+//! longer authorizes dictionary attacks over the whole key. The word
+//! itself is still revealed in the trapdoor (fixed by Scheme III), and
+//! decryption from ciphertext alone is impossible, because recovering
+//! the check part of `W` needs `k_W`, which needs all of `W` — the
+//! circularity the final scheme breaks by deriving the key from the
+//! left half only.
+
+use dbph_crypto::prf::{HmacPrf, Prf};
+use dbph_crypto::SecretKey;
+
+use crate::engine::Engine;
+use crate::error::SwpError;
+use crate::params::SwpParams;
+use crate::traits::{CipherWord, Location, SearchableScheme, TrapdoorData};
+use crate::word::Word;
+
+/// Scheme II: per-word check keys `k_W = f_{k'}(W)`.
+#[derive(Clone)]
+pub struct ControlledScheme {
+    engine: Engine,
+    key_prf: HmacPrf,
+}
+
+/// Trapdoor of Scheme II: the plaintext word plus its word key.
+#[derive(Clone)]
+pub struct ControlledTrapdoor {
+    word: Vec<u8>,
+    word_key: Vec<u8>,
+}
+
+impl TrapdoorData for ControlledTrapdoor {
+    fn target(&self) -> &[u8] {
+        &self.word
+    }
+    fn check_key(&self) -> &[u8] {
+        &self.word_key
+    }
+}
+
+impl ControlledScheme {
+    /// Instantiates the scheme from a master key.
+    #[must_use]
+    pub fn new(params: SwpParams, master: &SecretKey) -> Self {
+        ControlledScheme {
+            engine: Engine::new(params, master),
+            key_prf: HmacPrf::new(master.derive(b"dbph/swp/controlled/kprime/v1").as_bytes()),
+        }
+    }
+
+    fn word_key(&self, word: &Word) -> Vec<u8> {
+        self.key_prf.eval(word.as_bytes(), 32)
+    }
+
+    fn check_word(&self, word: &Word) -> Result<(), SwpError> {
+        if word.len() != self.engine.params().word_len {
+            return Err(SwpError::WrongWordLength {
+                expected: self.engine.params().word_len,
+                actual: word.len(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl SearchableScheme for ControlledScheme {
+    type Trapdoor = ControlledTrapdoor;
+
+    fn params(&self) -> &SwpParams {
+        self.engine.params()
+    }
+
+    fn encrypt_word(&self, location: Location, word: &Word) -> Result<CipherWord, SwpError> {
+        self.check_word(word)?;
+        let key = self.word_key(word);
+        Ok(self.engine.encrypt(location, word.as_bytes(), &key))
+    }
+
+    fn decrypt_word(&self, _location: Location, _cipher: &CipherWord) -> Result<Word, SwpError> {
+        Err(SwpError::Unsupported(
+            "Scheme II cannot decrypt: the check key depends on the whole word \
+             (k_W = f_k'(W)), which is unknown until decrypted; the SWP final \
+             scheme fixes this by keying on the left half only",
+        ))
+    }
+
+    fn trapdoor(&self, word: &Word) -> Result<ControlledTrapdoor, SwpError> {
+        self.check_word(word)?;
+        Ok(ControlledTrapdoor {
+            word: word.as_bytes().to_vec(),
+            word_key: self.word_key(word),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::matches;
+
+    fn scheme() -> ControlledScheme {
+        ControlledScheme::new(
+            SwpParams::new(11, 4, 32).unwrap(),
+            &SecretKey::from_bytes([4u8; 32]),
+        )
+    }
+
+    fn word(s: &[u8]) -> Word {
+        Word::from_bytes_unchecked(s.to_vec())
+    }
+
+    #[test]
+    fn search_finds_occurrences() {
+        let s = scheme();
+        let w = word(b"MontgomeryN");
+        let other = word(b"7500######S");
+        let c1 = s.encrypt_word(Location::new(2, 0), &w).unwrap();
+        let c2 = s.encrypt_word(Location::new(2, 1), &other).unwrap();
+        let td = s.trapdoor(&w).unwrap();
+        assert!(matches(s.params(), &td, &c1));
+        assert!(!matches(s.params(), &td, &c2));
+    }
+
+    #[test]
+    fn word_keys_differ_per_word() {
+        let s = scheme();
+        let t1 = s.trapdoor(&word(b"MontgomeryN")).unwrap();
+        let t2 = s.trapdoor(&word(b"HR########D")).unwrap();
+        assert_ne!(t1.check_key(), t2.check_key());
+    }
+
+    #[test]
+    fn trapdoor_does_not_authorize_other_words() {
+        // The control property: a trapdoor for w1 never matches w2's
+        // ciphertexts (beyond the 2^-32 false-positive rate).
+        let s = scheme();
+        let td = s.trapdoor(&word(b"MontgomeryN")).unwrap();
+        for i in 0..64u32 {
+            let w = word(format!("word-{i:05}!").as_bytes());
+            let c = s.encrypt_word(Location::new(9, i), &w).unwrap();
+            assert!(!matches(s.params(), &td, &c));
+        }
+    }
+
+    #[test]
+    fn decrypt_is_unsupported() {
+        let s = scheme();
+        let c = s
+            .encrypt_word(Location::new(0, 0), &word(b"MontgomeryN"))
+            .unwrap();
+        assert!(matches!(
+            s.decrypt_word(Location::new(0, 0), &c),
+            Err(SwpError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn wrong_length_rejected() {
+        let s = scheme();
+        assert!(s.encrypt_word(Location::new(0, 0), &word(b"xx")).is_err());
+        assert!(s.trapdoor(&word(b"xx")).is_err());
+    }
+}

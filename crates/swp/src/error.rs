@@ -1,0 +1,67 @@
+//! Error type for the searchable-encryption crate.
+
+use std::fmt;
+
+use dbph_crypto::CryptoError;
+
+/// Errors raised by SWP schemes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SwpError {
+    /// A word or cipher word had the wrong length for the parameters.
+    WrongWordLength {
+        /// The configured word length in bytes.
+        expected: usize,
+        /// The offending length.
+        actual: usize,
+    },
+    /// Parameter validation failed.
+    BadParams(&'static str),
+    /// The scheme does not support this operation; the string explains
+    /// why and which scheme fixes it (mirrors the SWP paper's own
+    /// development from Scheme I to the final scheme).
+    Unsupported(&'static str),
+    /// An underlying primitive failed.
+    Crypto(CryptoError),
+}
+
+impl fmt::Display for SwpError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SwpError::WrongWordLength { expected, actual } => {
+                write!(f, "wrong word length: expected {expected} bytes, got {actual}")
+            }
+            SwpError::BadParams(why) => write!(f, "bad SWP parameters: {why}"),
+            SwpError::Unsupported(why) => write!(f, "unsupported operation: {why}"),
+            SwpError::Crypto(e) => write!(f, "crypto error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SwpError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SwpError::Crypto(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<CryptoError> for SwpError {
+    fn from(e: CryptoError) -> Self {
+        SwpError::Crypto(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = SwpError::WrongWordLength { expected: 11, actual: 3 };
+        assert!(e.to_string().contains("11"));
+        let e = SwpError::Crypto(CryptoError::AuthenticationFailed);
+        assert!(std::error::Error::source(&e).is_some());
+        assert!(SwpError::BadParams("x").to_string().contains('x'));
+    }
+}

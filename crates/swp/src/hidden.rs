@@ -1,0 +1,157 @@
+//! SWP Scheme III — hidden searches.
+//!
+//! Words are pre-encrypted with the deterministic cipher `E''` before
+//! the stream layer: `X = E''(W)`, `k_X = f_{k'}(X)`. The trapdoor now
+//! reveals only `X` — the server searches without learning the
+//! plaintext word. Decryption from ciphertext alone remains impossible
+//! for the same circularity as Scheme II (the key depends on all of
+//! `X`); the final scheme resolves it.
+
+use dbph_crypto::cipher::{DeterministicCipher, WideBlockPrp};
+use dbph_crypto::prf::{HmacPrf, Prf};
+use dbph_crypto::SecretKey;
+
+use crate::engine::Engine;
+use crate::error::SwpError;
+use crate::params::SwpParams;
+use crate::traits::{CipherWord, Location, SearchableScheme, TrapdoorData};
+use crate::word::Word;
+
+/// Scheme III: deterministic pre-encryption, per-`X` check keys.
+#[derive(Clone)]
+pub struct HiddenScheme {
+    engine: Engine,
+    pre: WideBlockPrp,
+    key_prf: HmacPrf,
+}
+
+/// Trapdoor of Scheme III: the pre-encrypted word and its key. The
+/// plaintext word does not appear.
+#[derive(Clone)]
+pub struct HiddenTrapdoor {
+    x: Vec<u8>,
+    x_key: Vec<u8>,
+}
+
+impl TrapdoorData for HiddenTrapdoor {
+    fn target(&self) -> &[u8] {
+        &self.x
+    }
+    fn check_key(&self) -> &[u8] {
+        &self.x_key
+    }
+}
+
+impl HiddenScheme {
+    /// Instantiates the scheme from a master key.
+    #[must_use]
+    pub fn new(params: SwpParams, master: &SecretKey) -> Self {
+        HiddenScheme {
+            engine: Engine::new(params, master),
+            pre: WideBlockPrp::new(master, b"dbph/swp/pre/v1"),
+            key_prf: HmacPrf::new(master.derive(b"dbph/swp/hidden/kprime/v1").as_bytes()),
+        }
+    }
+
+    fn check_word(&self, word: &Word) -> Result<(), SwpError> {
+        if word.len() != self.engine.params().word_len {
+            return Err(SwpError::WrongWordLength {
+                expected: self.engine.params().word_len,
+                actual: word.len(),
+            });
+        }
+        Ok(())
+    }
+}
+
+impl SearchableScheme for HiddenScheme {
+    type Trapdoor = HiddenTrapdoor;
+
+    fn params(&self) -> &SwpParams {
+        self.engine.params()
+    }
+
+    fn encrypt_word(&self, location: Location, word: &Word) -> Result<CipherWord, SwpError> {
+        self.check_word(word)?;
+        let x = self.pre.encrypt_det(word.as_bytes());
+        let key = self.key_prf.eval(&x, 32);
+        Ok(self.engine.encrypt(location, &x, &key))
+    }
+
+    fn decrypt_word(&self, _location: Location, _cipher: &CipherWord) -> Result<Word, SwpError> {
+        Err(SwpError::Unsupported(
+            "Scheme III cannot decrypt: the check key depends on the whole \
+             pre-ciphertext X = E''(W); the SWP final scheme fixes this by \
+             keying on the left half L only",
+        ))
+    }
+
+    fn trapdoor(&self, word: &Word) -> Result<HiddenTrapdoor, SwpError> {
+        self.check_word(word)?;
+        let x = self.pre.encrypt_det(word.as_bytes());
+        let x_key = self.key_prf.eval(&x, 32);
+        Ok(HiddenTrapdoor { x, x_key })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::search::matches;
+
+    fn scheme() -> HiddenScheme {
+        HiddenScheme::new(
+            SwpParams::new(11, 4, 32).unwrap(),
+            &SecretKey::from_bytes([5u8; 32]),
+        )
+    }
+
+    fn word(s: &[u8]) -> Word {
+        Word::from_bytes_unchecked(s.to_vec())
+    }
+
+    #[test]
+    fn search_finds_occurrences() {
+        let s = scheme();
+        let w = word(b"MontgomeryN");
+        let other = word(b"HR########D");
+        let c1 = s.encrypt_word(Location::new(0, 0), &w).unwrap();
+        let c2 = s.encrypt_word(Location::new(0, 1), &other).unwrap();
+        let td = s.trapdoor(&w).unwrap();
+        assert!(matches(s.params(), &td, &c1));
+        assert!(!matches(s.params(), &td, &c2));
+    }
+
+    #[test]
+    fn trapdoor_hides_plaintext() {
+        // The defining property of Scheme III over Scheme II.
+        let s = scheme();
+        let w = word(b"MontgomeryN");
+        let td = s.trapdoor(&w).unwrap();
+        assert_ne!(td.target(), w.as_bytes());
+    }
+
+    #[test]
+    fn trapdoors_are_deterministic_per_word() {
+        // Deterministic pre-encryption: same word, same trapdoor. This
+        // is what lets the server correlate repeated queries — a leak
+        // the paper accepts for q = 0 and the games measure for q > 0.
+        let s = scheme();
+        let w = word(b"MontgomeryN");
+        let t1 = s.trapdoor(&w).unwrap();
+        let t2 = s.trapdoor(&w).unwrap();
+        assert_eq!(t1.target(), t2.target());
+    }
+
+    #[test]
+    fn decrypt_is_unsupported() {
+        let s = scheme();
+        let c = s
+            .encrypt_word(Location::new(0, 0), &word(b"MontgomeryN"))
+            .unwrap();
+        assert!(matches!(
+            s.decrypt_word(Location::new(0, 0), &c),
+            Err(SwpError::Unsupported(_))
+        ));
+    }
+}

@@ -1,0 +1,101 @@
+//! The server-side match — deliberately keyless.
+//!
+//! This function is everything Eve can do, and everything she needs to
+//! do: given a trapdoor `(X, k)` and a stored cipher word `C`, compute
+//! `P = C ⊕ X` and accept iff the check block verifies,
+//! `F_k(P_left) ≡ P_right (mod 2^check_bits)`.
+//!
+//! A true occurrence always verifies; a non-occurrence verifies with
+//! probability `2^-check_bits` (the false positives the client
+//! filters). Note what Eve learns from a match: *that this location
+//! holds the queried word* — the access-pattern leak at the core of the
+//! paper's Theorem 2.1.
+
+use dbph_crypto::prf::{HmacPrf, Prf};
+
+use crate::params::{check_eq, SwpParams};
+use crate::traits::{CipherWord, TrapdoorData};
+
+/// Returns whether `cipher` matches `trapdoor`. Keyless: callable by
+/// the server (or any adversary holding the trapdoor).
+#[must_use]
+pub fn matches<T: TrapdoorData>(params: &SwpParams, trapdoor: &T, cipher: &CipherWord) -> bool {
+    let target = trapdoor.target();
+    if cipher.0.len() != params.word_len || target.len() != params.word_len {
+        return false;
+    }
+    let split = params.stream_len();
+    // P = C ⊕ X.
+    let s: Vec<u8> = cipher.0[..split]
+        .iter()
+        .zip(target[..split].iter())
+        .map(|(c, x)| c ^ x)
+        .collect();
+    let t: Vec<u8> = cipher.0[split..]
+        .iter()
+        .zip(target[split..].iter())
+        .map(|(c, x)| c ^ x)
+        .collect();
+    let expected = HmacPrf::new(trapdoor.check_key()).eval(&s, params.check_len);
+    check_eq(params, &expected, &t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone)]
+    struct RawTrapdoor {
+        target: Vec<u8>,
+        key: Vec<u8>,
+    }
+
+    impl TrapdoorData for RawTrapdoor {
+        fn target(&self) -> &[u8] {
+            &self.target
+        }
+        fn check_key(&self) -> &[u8] {
+            &self.key
+        }
+    }
+
+    #[test]
+    fn match_accepts_consistent_pair() {
+        // Hand-build C = <s ⊕ x_left, F_k(s) ⊕ x_right> and verify.
+        let params = SwpParams::new(8, 3, 24).unwrap();
+        let x = b"abcdefgh".to_vec();
+        let key = vec![7u8; 32];
+        let s = vec![0x11u8; 5];
+        let f = HmacPrf::new(&key).eval(&s, 3);
+        let mut c = Vec::new();
+        c.extend(x[..5].iter().zip(&s).map(|(a, b)| a ^ b));
+        c.extend(x[5..].iter().zip(&f).map(|(a, b)| a ^ b));
+        let cipher = CipherWord(c);
+        let td = RawTrapdoor { target: x, key };
+        assert!(matches(&params, &td, &cipher));
+    }
+
+    #[test]
+    fn match_rejects_wrong_target() {
+        let params = SwpParams::new(8, 3, 24).unwrap();
+        let key = vec![7u8; 32];
+        let s = vec![0x11u8; 5];
+        let f = HmacPrf::new(&key).eval(&s, 3);
+        let x = b"abcdefgh".to_vec();
+        let mut c = Vec::new();
+        c.extend(x[..5].iter().zip(&s).map(|(a, b)| a ^ b));
+        c.extend(x[5..].iter().zip(&f).map(|(a, b)| a ^ b));
+        let cipher = CipherWord(c);
+        let td = RawTrapdoor { target: b"abcdefgX".to_vec(), key };
+        assert!(!matches(&params, &td, &cipher));
+    }
+
+    #[test]
+    fn match_rejects_wrong_lengths() {
+        let params = SwpParams::new(8, 3, 24).unwrap();
+        let td = RawTrapdoor { target: vec![0; 8], key: vec![0; 32] };
+        assert!(!matches(&params, &td, &CipherWord(vec![0; 7])));
+        let td_short = RawTrapdoor { target: vec![0; 7], key: vec![0; 32] };
+        assert!(!matches(&params, &td_short, &CipherWord(vec![0; 8])));
+    }
+}

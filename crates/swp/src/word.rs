@@ -1,0 +1,112 @@
+//! Fixed-length words — the unit of searchable encryption.
+//!
+//! The paper's §3 encoding produces "words that are strings of the same
+//! length": `value | padding | attribute-id`. At this crate's level a
+//! word is just an opaque fixed-length byte string; the database PH in
+//! `dbph-core` owns the attribute encoding.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+use crate::error::SwpError;
+use crate::params::SwpParams;
+
+/// A word: an owned byte string of the scheme's fixed word length.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Word(Vec<u8>);
+
+impl Word {
+    /// Wraps bytes as a word, checking the length against `params`.
+    ///
+    /// # Errors
+    /// Returns [`SwpError::WrongWordLength`] on a length mismatch.
+    pub fn new(bytes: Vec<u8>, params: &SwpParams) -> Result<Self, SwpError> {
+        if bytes.len() != params.word_len {
+            return Err(SwpError::WrongWordLength {
+                expected: params.word_len,
+                actual: bytes.len(),
+            });
+        }
+        Ok(Word(bytes))
+    }
+
+    /// Wraps bytes without length validation (for call sites that
+    /// guarantee the invariant structurally).
+    #[must_use]
+    pub fn from_bytes_unchecked(bytes: Vec<u8>) -> Self {
+        Word(bytes)
+    }
+
+    /// The word's bytes.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Word length in bytes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True when the word is empty (only possible via `unchecked`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// Consumes the word, returning its bytes.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.0
+    }
+}
+
+impl fmt::Display for Word {
+    /// Hex rendering — words are generally not printable text.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for b in &self.0 {
+            write!(f, "{b:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+impl AsRef<[u8]> for Word {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> SwpParams {
+        SwpParams::new(11, 4, 32).unwrap()
+    }
+
+    #[test]
+    fn new_checks_length() {
+        assert!(Word::new(vec![0u8; 11], &params()).is_ok());
+        assert_eq!(
+            Word::new(vec![0u8; 10], &params()).unwrap_err(),
+            SwpError::WrongWordLength { expected: 11, actual: 10 }
+        );
+    }
+
+    #[test]
+    fn accessors() {
+        let w = Word::new(b"MontgomeryN".to_vec(), &params()).unwrap();
+        assert_eq!(w.len(), 11);
+        assert!(!w.is_empty());
+        assert_eq!(w.as_bytes(), b"MontgomeryN");
+        assert_eq!(w.clone().into_bytes(), b"MontgomeryN".to_vec());
+    }
+
+    #[test]
+    fn display_is_hex() {
+        let w = Word::from_bytes_unchecked(vec![0xDE, 0xAD]);
+        assert_eq!(w.to_string(), "dead");
+    }
+}

@@ -1,0 +1,119 @@
+//! Cross-scheme property tests for the SWP searchable encryption
+//! variants.
+
+use proptest::prelude::*;
+
+use dbph_crypto::SecretKey;
+use dbph_swp::{
+    matches, BasicScheme, ControlledScheme, FinalScheme, HiddenScheme, Location,
+    SearchableScheme, SwpParams, Word,
+};
+
+fn params() -> SwpParams {
+    SwpParams::new(16, 4, 32).unwrap()
+}
+
+fn word(bytes: Vec<u8>) -> Word {
+    Word::from_bytes_unchecked(bytes)
+}
+
+/// Checks the two universal search laws for any scheme: a stored word
+/// matches its own trapdoor (completeness) and a different word does
+/// not (soundness, up to the 2^-32 false-positive rate — treated as
+/// never for test sizes).
+fn search_laws<S: SearchableScheme>(
+    scheme: &S,
+    w: &Word,
+    other: &Word,
+    loc: Location,
+) -> Result<(), TestCaseError> {
+    let c = scheme.encrypt_word(loc, w).unwrap();
+    let td = scheme.trapdoor(w).unwrap();
+    prop_assert!(matches(scheme.params(), &td, &c), "completeness violated");
+    if other != w {
+        let c_other = scheme.encrypt_word(loc, other).unwrap();
+        prop_assert!(
+            !matches(scheme.params(), &td, &c_other),
+            "soundness violated"
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #[test]
+    fn all_schemes_satisfy_search_laws(
+        w_bytes in proptest::collection::vec(any::<u8>(), 16),
+        other_bytes in proptest::collection::vec(any::<u8>(), 16),
+        doc in any::<u64>(), idx in any::<u32>(), key in any::<[u8; 32]>(),
+    ) {
+        let master = SecretKey::from_bytes(key);
+        let loc = Location::new(doc, idx);
+        let w = word(w_bytes);
+        let other = word(other_bytes);
+        search_laws(&BasicScheme::new(params(), &master), &w, &other, loc)?;
+        search_laws(&ControlledScheme::new(params(), &master), &w, &other, loc)?;
+        search_laws(&HiddenScheme::new(params(), &master), &w, &other, loc)?;
+        search_laws(&FinalScheme::new(params(), &master), &w, &other, loc)?;
+    }
+
+    #[test]
+    fn decryptable_schemes_roundtrip(
+        w_bytes in proptest::collection::vec(any::<u8>(), 16),
+        doc in any::<u64>(), idx in any::<u32>(), key in any::<[u8; 32]>(),
+    ) {
+        let master = SecretKey::from_bytes(key);
+        let loc = Location::new(doc, idx);
+        let w = word(w_bytes);
+
+        let basic = BasicScheme::new(params(), &master);
+        let c = basic.encrypt_word(loc, &w).unwrap();
+        prop_assert_eq!(basic.decrypt_word(loc, &c).unwrap(), w.clone());
+
+        let final_s = FinalScheme::new(params(), &master);
+        let c = final_s.encrypt_word(loc, &w).unwrap();
+        prop_assert_eq!(final_s.decrypt_word(loc, &c).unwrap(), w);
+    }
+
+    #[test]
+    fn final_scheme_hides_equality_across_locations(
+        w_bytes in proptest::collection::vec(any::<u8>(), 16),
+        a in any::<(u64, u32)>(), b in any::<(u64, u32)>(), key in any::<[u8; 32]>(),
+    ) {
+        prop_assume!(a != b);
+        let scheme = FinalScheme::new(params(), &SecretKey::from_bytes(key));
+        let w = word(w_bytes);
+        let c1 = scheme.encrypt_word(Location::new(a.0, a.1), &w).unwrap();
+        let c2 = scheme.encrypt_word(Location::new(b.0, b.1), &w).unwrap();
+        prop_assert_ne!(c1, c2, "equal words at distinct locations must differ");
+    }
+
+    #[test]
+    fn trapdoors_are_portable_across_locations(
+        w_bytes in proptest::collection::vec(any::<u8>(), 16),
+        locs in proptest::collection::vec(any::<(u64, u32)>(), 1..20),
+        key in any::<[u8; 32]>(),
+    ) {
+        // One trapdoor must find the word wherever it is stored.
+        let scheme = FinalScheme::new(params(), &SecretKey::from_bytes(key));
+        let w = word(w_bytes);
+        let td = scheme.trapdoor(&w).unwrap();
+        for (d, i) in locs {
+            let c = scheme.encrypt_word(Location::new(d, i), &w).unwrap();
+            prop_assert!(matches(scheme.params(), &td, &c));
+        }
+    }
+
+    #[test]
+    fn partial_check_widths_keep_completeness(
+        w_bytes in proptest::collection::vec(any::<u8>(), 16),
+        bits in 1u32..=32, key in any::<[u8; 32]>(),
+    ) {
+        let p = SwpParams::new(16, 4, bits).unwrap();
+        let scheme = FinalScheme::new(p, &SecretKey::from_bytes(key));
+        let w = word(w_bytes);
+        let c = scheme.encrypt_word(Location::new(0, 0), &w).unwrap();
+        let td = scheme.trapdoor(&w).unwrap();
+        prop_assert!(matches(&p, &td, &c), "true matches must survive any check width");
+    }
+}

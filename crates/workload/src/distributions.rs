@@ -1,0 +1,185 @@
+//! Samplers over an [`EntropySource`].
+
+use dbph_crypto::EntropySource;
+
+/// A categorical distribution over `0..k` given non-negative weights.
+#[derive(Debug, Clone)]
+pub struct Categorical {
+    /// Cumulative weights, normalized to sum 1.
+    cumulative: Vec<f64>,
+}
+
+impl Categorical {
+    /// Builds the distribution from weights (need not be normalized).
+    ///
+    /// # Panics
+    /// Panics on empty weights, negative weights, or all-zero weights.
+    #[must_use]
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "categorical needs ≥ 1 weight");
+        assert!(weights.iter().all(|&w| w >= 0.0), "weights must be non-negative");
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must not all be zero");
+        let mut cumulative = Vec::with_capacity(weights.len());
+        let mut acc = 0.0;
+        for &w in weights {
+            acc += w / total;
+            cumulative.push(acc);
+        }
+        // Guard against floating-point drift on the last bucket.
+        *cumulative.last_mut().expect("non-empty") = 1.0;
+        Categorical { cumulative }
+    }
+
+    /// Number of categories.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Whether the distribution has no categories (never true).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cumulative.is_empty()
+    }
+
+    /// Samples a category index.
+    pub fn sample<E: EntropySource>(&self, rng: &mut E) -> usize {
+        let u = uniform_unit(rng);
+        match self
+            .cumulative
+            .binary_search_by(|c| c.partial_cmp(&u).expect("no NaN"))
+        {
+            Ok(i) | Err(i) => i.min(self.cumulative.len() - 1),
+        }
+    }
+}
+
+/// A Zipf distribution over ranks `0..n` with exponent `s` — the
+/// classic skewed value popularity used by the query-workload benches.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    inner: Categorical,
+}
+
+impl Zipf {
+    /// Builds a Zipf distribution over `n` ranks with exponent `s`.
+    ///
+    /// # Panics
+    /// Panics when `n == 0` or `s < 0`.
+    #[must_use]
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs n ≥ 1");
+        assert!(s >= 0.0, "Zipf exponent must be ≥ 0");
+        let weights: Vec<f64> = (1..=n).map(|k| (k as f64).powf(-s)).collect();
+        Zipf { inner: Categorical::new(&weights) }
+    }
+
+    /// Samples a rank in `0..n` (0 = most popular).
+    pub fn sample<E: EntropySource>(&self, rng: &mut E) -> usize {
+        self.inner.sample(rng)
+    }
+}
+
+/// A uniform draw from `[0, 1)`.
+pub fn uniform_unit<E: EntropySource>(rng: &mut E) -> f64 {
+    // 53 random bits into the mantissa range.
+    (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbph_crypto::DeterministicRng;
+
+    #[test]
+    fn categorical_respects_weights() {
+        let dist = Categorical::new(&[0.2, 0.3, 0.5]);
+        let mut rng = DeterministicRng::from_seed(1);
+        let mut counts = [0usize; 3];
+        let trials = 30_000;
+        for _ in 0..trials {
+            counts[dist.sample(&mut rng)] += 1;
+        }
+        let freq: Vec<f64> = counts.iter().map(|&c| c as f64 / trials as f64).collect();
+        assert!((freq[0] - 0.2).abs() < 0.02, "{freq:?}");
+        assert!((freq[1] - 0.3).abs() < 0.02, "{freq:?}");
+        assert!((freq[2] - 0.5).abs() < 0.02, "{freq:?}");
+    }
+
+    #[test]
+    fn categorical_single_category() {
+        let dist = Categorical::new(&[5.0]);
+        let mut rng = DeterministicRng::from_seed(2);
+        for _ in 0..100 {
+            assert_eq!(dist.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn categorical_zero_weight_category_never_sampled() {
+        let dist = Categorical::new(&[1.0, 0.0, 1.0]);
+        let mut rng = DeterministicRng::from_seed(3);
+        for _ in 0..5_000 {
+            assert_ne!(dist.sample(&mut rng), 1);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn categorical_rejects_negative() {
+        let _ = Categorical::new(&[0.5, -0.1]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not all be zero")]
+    fn categorical_rejects_all_zero() {
+        let _ = Categorical::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    fn zipf_is_skewed() {
+        let dist = Zipf::new(100, 1.0);
+        let mut rng = DeterministicRng::from_seed(4);
+        let mut counts = vec![0usize; 100];
+        for _ in 0..20_000 {
+            counts[dist.sample(&mut rng)] += 1;
+        }
+        assert!(counts[0] > counts[10] && counts[10] > counts[50], "{:?}", &counts[..5]);
+    }
+
+    #[test]
+    fn zipf_zero_exponent_is_uniform() {
+        let dist = Zipf::new(4, 0.0);
+        let mut rng = DeterministicRng::from_seed(5);
+        let mut counts = [0usize; 4];
+        for _ in 0..20_000 {
+            counts[dist.sample(&mut rng)] += 1;
+        }
+        for c in counts {
+            assert!((c as f64 / 20_000.0 - 0.25).abs() < 0.02);
+        }
+    }
+
+    #[test]
+    fn uniform_unit_in_range_and_varied() {
+        let mut rng = DeterministicRng::from_seed(6);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let u = uniform_unit(&mut rng);
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        assert!((sum / 10_000.0 - 0.5).abs() < 0.02);
+    }
+
+    #[test]
+    fn sampling_is_reproducible() {
+        let dist = Categorical::new(&[0.5, 0.5]);
+        let mut a = DeterministicRng::from_seed(7);
+        let mut b = DeterministicRng::from_seed(7);
+        for _ in 0..100 {
+            assert_eq!(dist.sample(&mut a), dist.sample(&mut b));
+        }
+    }
+}

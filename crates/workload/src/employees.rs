@@ -1,0 +1,103 @@
+//! Employee-relation generators at benchmark scales.
+
+use dbph_crypto::{DeterministicRng, EntropySource};
+use dbph_relation::{Attribute, AttrType, Relation, Schema, Tuple, Value};
+
+/// Generator for `Emp`-style relations.
+#[derive(Debug, Clone)]
+pub struct EmployeeGen {
+    /// Number of tuples to generate.
+    pub rows: usize,
+    /// Number of distinct departments (`dept-00` …).
+    pub departments: usize,
+    /// Salary range; values are multiples of 100 within it.
+    pub salary_range: (i64, i64),
+}
+
+impl Default for EmployeeGen {
+    fn default() -> Self {
+        EmployeeGen { rows: 1000, departments: 8, salary_range: (1000, 9900) }
+    }
+}
+
+impl EmployeeGen {
+    /// The benchmark schema:
+    /// `Emp(name:STRING(16), dept:STRING(8), salary:INT)`.
+    #[must_use]
+    pub fn schema() -> Schema {
+        Schema::new(
+            "Emp",
+            vec![
+                Attribute::new("name", AttrType::Str { max_len: 16 }),
+                Attribute::new("dept", AttrType::Str { max_len: 8 }),
+                Attribute::new("salary", AttrType::Int),
+            ],
+        )
+        .expect("static schema is valid")
+    }
+
+    /// Generates the relation from `seed`. Names are unique
+    /// (`emp-0000001`, …); departments and salaries are uniform over
+    /// their configured domains.
+    #[must_use]
+    pub fn generate(&self, seed: u64) -> Relation {
+        let mut rng = DeterministicRng::from_seed(seed).child("employees");
+        let mut relation = Relation::empty(Self::schema());
+        let (lo, hi) = self.salary_range;
+        let steps = ((hi - lo) / 100).max(1) as u64 + 1;
+        for i in 0..self.rows {
+            let dept = rng.below(self.departments.max(1) as u64);
+            let salary = lo + (rng.below(steps) as i64) * 100;
+            relation
+                .insert(Tuple::new(vec![
+                    Value::str(format!("emp-{i:07}")),
+                    Value::str(format!("dept-{dept:02}")),
+                    Value::int(salary),
+                ]))
+                .expect("generated tuple conforms to schema");
+        }
+        relation
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_requested_rows() {
+        let g = EmployeeGen { rows: 123, ..EmployeeGen::default() };
+        let r = g.generate(1);
+        assert_eq!(r.len(), 123);
+    }
+
+    #[test]
+    fn departments_bounded_and_salaries_in_range() {
+        let g = EmployeeGen { rows: 500, departments: 4, salary_range: (2000, 3000) };
+        let r = g.generate(2);
+        for t in r.tuples() {
+            let Value::Str(d) = t.get(1).unwrap() else { panic!() };
+            let n: usize = d.trim_start_matches("dept-").parse().unwrap();
+            assert!(n < 4);
+            let Value::Int(s) = t.get(2).unwrap() else { panic!() };
+            assert!((2000..=3000).contains(s));
+            assert_eq!(s % 100, 0);
+        }
+    }
+
+    #[test]
+    fn reproducible() {
+        let g = EmployeeGen::default();
+        assert_eq!(g.generate(9), g.generate(9));
+        assert_ne!(g.generate(9), g.generate(10));
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let g = EmployeeGen { rows: 200, ..EmployeeGen::default() };
+        let r = g.generate(3);
+        let names: std::collections::HashSet<_> =
+            r.tuples().iter().map(|t| t.get(0).unwrap().clone()).collect();
+        assert_eq!(names.len(), 200);
+    }
+}

@@ -1,0 +1,185 @@
+//! The paper's §2 hospital scenario.
+//!
+//! "Alex owns a database with statistics for three competing
+//! hospitals […] Each patient is described by the attributes id, name,
+//! hospital, and outcome. Eve knows the database schema, the number of
+//! hospitals, and has good estimates of the distribution of patient
+//! flows (0.2, 0.3, 0.5 resp.) and the ratio of fatal vs. successful
+//! outcomes (0.08, 0.92)."
+//!
+//! The generator reproduces exactly that population; the E2/E3
+//! experiments run the paper's four queries against it and play Eve.
+
+use dbph_crypto::{DeterministicRng, EntropySource};
+use dbph_relation::schema::hospital_schema;
+use dbph_relation::{Relation, Tuple, Value};
+
+use crate::distributions::{uniform_unit, Categorical};
+
+/// Configuration of the hospital population.
+#[derive(Debug, Clone)]
+pub struct HospitalConfig {
+    /// Number of patients.
+    pub patients: usize,
+    /// Patient-flow distribution across hospitals (paper: 0.2/0.3/0.5).
+    /// Hospital ids are `1..=flows.len()`.
+    pub flows: Vec<f64>,
+    /// Probability of a fatal outcome (paper: 0.08).
+    pub fatal_rate: f64,
+}
+
+impl Default for HospitalConfig {
+    fn default() -> Self {
+        HospitalConfig { patients: 1000, flows: vec![0.2, 0.3, 0.5], fatal_rate: 0.08 }
+    }
+}
+
+impl HospitalConfig {
+    /// Number of hospitals.
+    #[must_use]
+    pub fn hospitals(&self) -> usize {
+        self.flows.len()
+    }
+
+    /// Generates the patient relation from `seed`.
+    ///
+    /// Patient names are synthetic (`P000001`, …); ids are sequential.
+    /// Use [`HospitalConfig::generate_with_john`] when an experiment
+    /// needs the paper's named patient.
+    #[must_use]
+    pub fn generate(&self, seed: u64) -> Relation {
+        let mut rng = DeterministicRng::from_seed(seed).child("hospital");
+        let flow = Categorical::new(&self.flows);
+        let mut relation = Relation::empty(hospital_schema());
+        for i in 0..self.patients {
+            let hospital = flow.sample(&mut rng) as i64 + 1;
+            let fatal = uniform_unit(&mut rng) < self.fatal_rate;
+            relation
+                .insert(Tuple::new(vec![
+                    Value::int(i as i64 + 1),
+                    Value::str(format!("P{:06}", i + 1)),
+                    Value::int(hospital),
+                    Value::Bool(fatal),
+                ]))
+                .expect("generated tuple conforms to schema");
+        }
+        relation
+    }
+
+    /// Generates the population plus the paper's patient "John",
+    /// planted with the given hospital and outcome at a random
+    /// position. Returns the relation and John's tuple index.
+    #[must_use]
+    pub fn generate_with_john(
+        &self,
+        seed: u64,
+        john_hospital: i64,
+        john_fatal: bool,
+    ) -> (Relation, usize) {
+        let base = self.generate(seed);
+        let mut rng = DeterministicRng::from_seed(seed).child("john-position");
+        let position = rng.below(base.len() as u64 + 1) as usize;
+
+        let mut tuples = base.into_tuples();
+        let john = Tuple::new(vec![
+            Value::int(tuples.len() as i64 + 1),
+            Value::str("John"),
+            Value::int(john_hospital),
+            Value::Bool(john_fatal),
+        ]);
+        tuples.insert(position, john);
+        let relation =
+            Relation::from_tuples(hospital_schema(), tuples).expect("valid by construction");
+        (relation, position)
+    }
+
+    /// The true fatality ratio of one hospital within `relation` —
+    /// ground truth for the E2 inference experiment.
+    #[must_use]
+    pub fn true_fatal_ratio(relation: &Relation, hospital: i64) -> f64 {
+        let mut total = 0usize;
+        let mut fatal = 0usize;
+        for t in relation.tuples() {
+            if t.get(2) == Some(&Value::int(hospital)) {
+                total += 1;
+                if t.get(3) == Some(&Value::Bool(true)) {
+                    fatal += 1;
+                }
+            }
+        }
+        if total == 0 {
+            0.0
+        } else {
+            fatal as f64 / total as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn population_matches_flows() {
+        let cfg = HospitalConfig { patients: 10_000, ..HospitalConfig::default() };
+        let r = cfg.generate(42);
+        assert_eq!(r.len(), 10_000);
+        let mut counts = [0usize; 3];
+        for t in r.tuples() {
+            let Value::Int(h) = t.get(2).unwrap() else { panic!() };
+            counts[(*h - 1) as usize] += 1;
+        }
+        let freq: Vec<f64> = counts.iter().map(|&c| c as f64 / 10_000.0).collect();
+        assert!((freq[0] - 0.2).abs() < 0.02, "{freq:?}");
+        assert!((freq[1] - 0.3).abs() < 0.02, "{freq:?}");
+        assert!((freq[2] - 0.5).abs() < 0.02, "{freq:?}");
+    }
+
+    #[test]
+    fn fatal_rate_matches() {
+        let cfg = HospitalConfig { patients: 10_000, ..HospitalConfig::default() };
+        let r = cfg.generate(43);
+        let fatal = r
+            .tuples()
+            .iter()
+            .filter(|t| t.get(3) == Some(&Value::Bool(true)))
+            .count();
+        let rate = fatal as f64 / 10_000.0;
+        assert!((rate - 0.08).abs() < 0.01, "rate {rate}");
+    }
+
+    #[test]
+    fn generation_is_reproducible() {
+        let cfg = HospitalConfig::default();
+        assert_eq!(cfg.generate(7), cfg.generate(7));
+        assert_ne!(cfg.generate(7), cfg.generate(8));
+    }
+
+    #[test]
+    fn john_is_planted_once() {
+        let cfg = HospitalConfig { patients: 100, ..HospitalConfig::default() };
+        let (r, pos) = cfg.generate_with_john(5, 2, true);
+        assert_eq!(r.len(), 101);
+        let johns: Vec<_> = r
+            .tuples()
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| t.get(1) == Some(&Value::str("John")))
+            .collect();
+        assert_eq!(johns.len(), 1);
+        assert_eq!(johns[0].0, pos);
+        assert_eq!(johns[0].1.get(2), Some(&Value::int(2)));
+        assert_eq!(johns[0].1.get(3), Some(&Value::Bool(true)));
+    }
+
+    #[test]
+    fn true_ratio_computation() {
+        let cfg = HospitalConfig { patients: 5_000, ..HospitalConfig::default() };
+        let r = cfg.generate(11);
+        let ratio = HospitalConfig::true_fatal_ratio(&r, 1);
+        assert!((0.0..=1.0).contains(&ratio));
+        assert!((ratio - 0.08).abs() < 0.05, "ratio {ratio}");
+        // Unknown hospital: no patients.
+        assert_eq!(HospitalConfig::true_fatal_ratio(&r, 99), 0.0);
+    }
+}

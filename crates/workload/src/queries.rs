@@ -1,0 +1,96 @@
+//! Exact-select query workloads.
+//!
+//! Queries are drawn from a relation's *own* values so result-set
+//! selectivities are realistic; a Zipf rank skews popularity (hot
+//! values get queried more), matching how the benches stress the
+//! schemes.
+
+use dbph_crypto::DeterministicRng;
+use dbph_relation::{Query, Relation, Value};
+
+use crate::distributions::Zipf;
+
+/// Generates `count` single-term exact selects over `attribute`,
+/// sampling values present in `relation` with Zipf(`skew`) popularity
+/// over the distinct-value ranks.
+///
+/// # Panics
+/// Panics when the attribute is unknown or the relation is empty.
+#[must_use]
+pub fn exact_selects(
+    relation: &Relation,
+    attribute: &str,
+    count: usize,
+    skew: f64,
+    seed: u64,
+) -> Vec<Query> {
+    let index = relation
+        .schema()
+        .index_of(attribute)
+        .expect("attribute must exist");
+    assert!(!relation.is_empty(), "cannot draw queries from an empty relation");
+
+    // Distinct values ordered by first occurrence (stable across runs).
+    let mut distinct: Vec<Value> = Vec::new();
+    for t in relation.tuples() {
+        let v = t.get(index).expect("bound index");
+        if !distinct.contains(v) {
+            distinct.push(v.clone());
+        }
+    }
+
+    let zipf = Zipf::new(distinct.len(), skew);
+    let mut rng = DeterministicRng::from_seed(seed).child("queries");
+    (0..count)
+        .map(|_| Query::select(attribute, distinct[zipf.sample(&mut rng)].clone()))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::employees::EmployeeGen;
+
+    fn relation() -> Relation {
+        EmployeeGen { rows: 300, departments: 6, ..EmployeeGen::default() }.generate(5)
+    }
+
+    #[test]
+    fn queries_use_present_values() {
+        let r = relation();
+        let qs = exact_selects(&r, "dept", 50, 1.0, 1);
+        assert_eq!(qs.len(), 50);
+        for q in &qs {
+            let result = dbph_relation::exec::select(&r, q).unwrap();
+            assert!(!result.is_empty(), "query {q} must hit");
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_popularity() {
+        let r = relation();
+        let hot = exact_selects(&r, "dept", 400, 2.0, 2);
+        let mut counts = std::collections::HashMap::new();
+        for q in &hot {
+            *counts.entry(q.terms()[0].value.clone()).or_insert(0usize) += 1;
+        }
+        let max = counts.values().max().copied().unwrap();
+        assert!(max > 400 / 6 * 2, "skewed max {max}");
+    }
+
+    #[test]
+    fn reproducible() {
+        let r = relation();
+        assert_eq!(
+            exact_selects(&r, "dept", 20, 1.0, 3),
+            exact_selects(&r, "dept", 20, 1.0, 3)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "attribute must exist")]
+    fn unknown_attribute_panics() {
+        let r = relation();
+        let _ = exact_selects(&r, "nope", 1, 1.0, 1);
+    }
+}

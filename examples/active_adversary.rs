@@ -1,0 +1,48 @@
+//! Theorem 2.1, live: one oracle query defeats any database PH.
+//!
+//! The generic cardinality adversary plays the Definition 2.1 game
+//! against the paper's own construction at q = 0 (blind) and q = 1
+//! (perfect); then the §2 "John" attack localizes a known patient with
+//! a handful of oracle-encrypted queries.
+//!
+//! Run with: `cargo run --example active_adversary`
+
+use dbph::core::FinalSwpPh;
+use dbph::crypto::{DeterministicRng, SecretKey};
+use dbph::games::attacks::active::{locate_john, CardinalityAdversary};
+use dbph::games::{run_db_game, AdversaryMode};
+use dbph::relation::schema::hospital_schema;
+use dbph::workload::HospitalConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let factory = |rng: &mut DeterministicRng| {
+        FinalSwpPh::new(hospital_schema(), &SecretKey::generate(rng)).unwrap()
+    };
+    let adversary = CardinalityAdversary::default();
+    let trials = 300;
+
+    println!("Definition 2.1 game vs the paper's §3 construction:");
+    let q0 = run_db_game(&factory, &adversary, AdversaryMode::Active, 0, trials, 12);
+    println!("  q = 0: {q0}");
+    let q1 = run_db_game(&factory, &adversary, AdversaryMode::Active, 1, trials, 12);
+    println!("  q = 1: {q1}");
+    println!();
+    println!("One encrypted query flips the adversary from blind to perfect —");
+    println!("Theorem 2.1, demonstrated against the scheme the paper proves");
+    println!("secure for q = 0.\n");
+
+    // The narrative version: where was John treated, and how did it end?
+    let config = HospitalConfig { patients: 500, ..HospitalConfig::default() };
+    let (relation, _) = config.generate_with_john(7, 2, true);
+    let ph = FinalSwpPh::new(hospital_schema(), &SecretKey::from_bytes([1u8; 32]))?;
+    let findings = locate_john(&ph, &relation, 3)?;
+    println!(
+        "The \"John\" attack (σ_name:John ∩ σ_hospital:X ∩ σ_outcome:fatal):"
+    );
+    println!(
+        "  John was treated in hospital {:?}; fatal outcome: {}.",
+        findings.hospital, findings.fatal
+    );
+    println!("  (Planted ground truth: hospital 2, fatal = true.)");
+    Ok(())
+}

@@ -1,0 +1,93 @@
+//! A small SQL session over an outsourced, encrypted table.
+//!
+//! Shows the library as a downstream user would consume it: SQL
+//! statements are parsed locally, DDL and inserts are executed against
+//! the encrypted server, and `SELECT … WHERE a = v [AND …]` runs as
+//! encrypted exact selects with client-side projection — while a
+//! plaintext reference engine checks every result.
+//!
+//! Run with: `cargo run --example encrypted_sql`
+
+use dbph::core::{Client, FinalSwpPh, Server};
+use dbph::crypto::SecretKey;
+use dbph::relation::sql::{self, ExecOutcome, Statement};
+use dbph::relation::{Catalog, Tuple};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let script = [
+        "CREATE TABLE Emp (name STRING(16), dept STRING(8), salary INT)",
+        "INSERT INTO Emp VALUES ('Montgomery', 'HR', 7500), ('Smith', 'IT', 4900)",
+        "INSERT INTO Emp VALUES ('Jones', 'IT', 1200), ('Ng', 'IT', 4900)",
+        "SELECT * FROM Emp WHERE name = 'Montgomery'",
+        "SELECT name, salary FROM Emp WHERE dept = 'IT' AND salary = 4900",
+        "SELECT name FROM Emp WHERE dept = 'HR' OR salary = 1200",
+        "DELETE FROM Emp WHERE name = 'Jones'",
+        "SELECT * FROM Emp",
+    ];
+
+    // Plaintext reference engine (runs locally) …
+    let mut reference = Catalog::new();
+    // … and the encrypted deployment (client + untrusted server).
+    let server = Server::new();
+    let master = SecretKey::from_bytes([33u8; 32]);
+    let mut client: Option<Client> = None;
+
+    for statement_text in script {
+        println!("sql> {statement_text}");
+        let reference_outcome = sql::execute(&mut reference, statement_text)?;
+
+        match sql::parse_statement(statement_text)? {
+            Statement::CreateTable(schema) => {
+                let ph = FinalSwpPh::new(schema.clone(), &master)?;
+                let mut c = Client::new(ph, server.clone());
+                // Outsource the empty table so inserts have a target.
+                c.outsource(&dbph::relation::Relation::empty(schema))?;
+                client = Some(c);
+                println!("  created (outsourced under client key)");
+            }
+            Statement::Insert { rows, .. } => {
+                let c = client.as_mut().expect("CREATE TABLE first");
+                for row in rows {
+                    c.insert(&Tuple::new(row))?;
+                }
+                println!("  inserted");
+            }
+            Statement::Select(stmt) => {
+                let c = client.as_ref().expect("CREATE TABLE first");
+                let rows = match &stmt.filter {
+                    Some(dnf) => {
+                        let relation = c.select_dnf(dnf)?;
+                        dbph::relation::exec::project(&relation, &stmt.projection)?
+                    }
+                    None => {
+                        let all = c.fetch_all()?;
+                        dbph::relation::exec::project(&all, &stmt.projection)?
+                    }
+                };
+                for row in &rows {
+                    println!("  {row}");
+                }
+                // Cross-check against the plaintext engine.
+                if let ExecOutcome::Rows { rows: expected, .. } = reference_outcome {
+                    let mut a = rows.clone();
+                    let mut b = expected.clone();
+                    a.sort();
+                    b.sort();
+                    assert_eq!(a, b, "encrypted result diverged from plaintext reference");
+                    println!("  ✓ matches plaintext reference ({} row(s))", rows.len());
+                }
+            }
+            Statement::Delete { filter, .. } => {
+                let c = client.as_ref().expect("CREATE TABLE first");
+                let removed = c.delete(&filter)?;
+                println!("  deleted {removed} row(s)");
+            }
+            Statement::DropTable(_) => {
+                client.take();
+                println!("  dropped");
+            }
+        }
+        println!();
+    }
+    Ok(())
+}

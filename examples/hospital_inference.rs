@@ -1,0 +1,52 @@
+//! The §2 hospital scenario: why `q > 0` cannot be secured.
+//!
+//! Generates the paper's three-hospital patient population, outsources
+//! it under the §3 construction, lets Alex run his four routine
+//! queries — and then plays Eve, who knows only the priors, labeling
+//! the encrypted transcript and extracting hospital 1's fatality
+//! ratio.
+//!
+//! Run with: `cargo run --example hospital_inference`
+
+use dbph::core::FinalSwpPh;
+use dbph::crypto::SecretKey;
+use dbph::games::attacks::hospital::{run_inference, HospitalPriors};
+use dbph::relation::schema::hospital_schema;
+use dbph::workload::HospitalConfig;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = HospitalConfig { patients: 3000, ..HospitalConfig::default() };
+    let relation = config.generate(2024);
+    println!(
+        "Generated {} patients across {} hospitals (flows {:?}, fatal rate {}).\n",
+        relation.len(),
+        config.hospitals(),
+        config.flows,
+        config.fatal_rate
+    );
+
+    let ph = FinalSwpPh::new(hospital_schema(), &SecretKey::from_bytes([42u8; 32]))?;
+
+    // Alex issues:
+    //   SELECT * FROM Patients WHERE hospital = 1;
+    //   SELECT * FROM Patients WHERE hospital = 2;
+    //   SELECT * FROM Patients WHERE hospital = 3;
+    //   SELECT * FROM Patients WHERE outcome = 'fatal';
+    // Eve sees four encrypted queries and four result-id sets, in
+    // scrambled order, plus her priors.
+    let priors = HospitalPriors::default();
+    let (truth, inferred) = run_inference(&ph, &relation, &priors)?;
+
+    println!("Eve's inference vs ground truth (fatality ratio per hospital):");
+    println!("  hospital | true    | Eve's estimate");
+    for (h, (true_ratio, estimate)) in truth.iter().zip(&inferred.fatal_ratio).enumerate() {
+        println!("  {:>8} | {true_ratio:.4}  | {estimate:.4}", h + 1);
+    }
+
+    println!();
+    println!("The table was encrypted with the paper's own provably-q=0-secure");
+    println!("construction — yet Eve recovered per-hospital statistics exactly,");
+    println!("because result sizes and intersections leak once queries flow.");
+    println!("This is the paper's argument for restricting security claims to q = 0.");
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! The §1 payroll attack: breaking bucketization with two tables.
+//!
+//! Eve crafts the paper's tables 1 and 2 — same ids, salaries that are
+//! distinct in one table and equal in the other — and distinguishes
+//! their encryptions under Hacıgümüş-style bucketization with one look
+//! at the salary tags. The same adversary gets nothing against the §3
+//! construction.
+//!
+//! Run with: `cargo run --example payroll_attack`
+
+use dbph::baselines::{BucketConfig, BucketizationPh};
+use dbph::core::{DatabasePh, FinalSwpPh};
+use dbph::crypto::{DeterministicRng, SecretKey};
+use dbph::games::attacks::salary::{
+    bucketization_adversary, salary_schema, swp_adversary, table_one, table_two,
+};
+use dbph::games::{run_db_game, AdversaryMode};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("Eve's two chosen tables (paper §1):");
+    println!("table 1:\n{}", table_one());
+    println!("table 2:\n{}\n", table_two());
+
+    // One concrete encryption, to see the leak with the naked eye.
+    let key = SecretKey::from_bytes([7u8; 32]);
+    let cfg = BucketConfig::uniform(&salary_schema(), 16, (0, 10_000))?;
+    let buckets = BucketizationPh::new(salary_schema(), cfg, &key)?;
+    let ct1 = buckets.encrypt_table(&table_one())?;
+    let ct2 = buckets.encrypt_table(&table_two())?;
+    println!("Bucketization salary tags, table 1: {:?} vs {:?}",
+        ct1.docs[0].1.tags[1], ct1.docs[1].1.tags[1]);
+    println!("Bucketization salary tags, table 2: {:?} vs {:?}",
+        ct2.docs[0].1.tags[1], ct2.docs[1].1.tags[1]);
+    println!("Equal tags in exactly one of them — that *is* the distinguisher.\n");
+
+    // Now measured, in the Definition 2.1 game (q = 0, passive).
+    let trials = 300;
+    let est = run_db_game(
+        &|rng: &mut DeterministicRng| {
+            let cfg = BucketConfig::uniform(&salary_schema(), 16, (0, 10_000)).unwrap();
+            BucketizationPh::new(salary_schema(), cfg, &SecretKey::generate(rng)).unwrap()
+        },
+        &bucketization_adversary(),
+        AdversaryMode::Passive,
+        0,
+        trials,
+        99,
+    );
+    println!("Measured vs bucketization: {est}");
+
+    let est = run_db_game(
+        &|rng: &mut DeterministicRng| {
+            FinalSwpPh::new(salary_schema(), &SecretKey::generate(rng)).unwrap()
+        },
+        &swp_adversary(),
+        AdversaryMode::Passive,
+        0,
+        trials,
+        99,
+    );
+    println!("Measured vs swp-final:     {est}");
+    println!();
+    println!("Bucketization falls with advantage ≈ 1; the paper's construction");
+    println!("leaves the same adversary at a coin flip.");
+    Ok(())
+}

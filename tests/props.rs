@@ -1,0 +1,240 @@
+//! Property-based tests (proptest) over the core invariants.
+
+use proptest::prelude::*;
+
+use dbph::core::wire::{WireDecode, WireEncode};
+use dbph::core::{DatabasePh, FinalSwpPh, VarlenPh, WordCodec};
+use dbph::crypto::cipher::{
+    DeterministicCipher, RandomizedCipher, SealedCipher, StreamCipher, WideBlockPrp,
+};
+use dbph::crypto::{DeterministicRng, SecretKey};
+use dbph::relation::{Attribute, AttrType, Query, Relation, Schema, Tuple, Value};
+use dbph::swp::{matches, FinalScheme, Location, SearchableScheme, SwpParams, Word};
+
+fn key_from(bytes: [u8; 32]) -> SecretKey {
+    SecretKey::from_bytes(bytes)
+}
+
+// --- crypto layer ----------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn stream_cipher_roundtrips(data in proptest::collection::vec(any::<u8>(), 0..512),
+                                key in any::<[u8; 32]>(), seed in any::<u64>()) {
+        let cipher = StreamCipher::new(&key_from(key), b"prop");
+        let mut rng = DeterministicRng::from_seed(seed);
+        let ct = cipher.encrypt(&mut rng, &data);
+        prop_assert_eq!(cipher.decrypt(&ct).unwrap(), data);
+    }
+
+    #[test]
+    fn sealed_cipher_roundtrips_and_rejects_flips(
+        data in proptest::collection::vec(any::<u8>(), 0..256),
+        key in any::<[u8; 32]>(), seed in any::<u64>(), flip in any::<(usize, u8)>()) {
+        let cipher = SealedCipher::new(&key_from(key), b"prop");
+        let mut rng = DeterministicRng::from_seed(seed);
+        let ct = cipher.encrypt(&mut rng, &data);
+        prop_assert_eq!(cipher.decrypt(&ct).unwrap(), data.clone());
+
+        let (pos, bit) = flip;
+        let mut bad = ct.clone();
+        let i = pos % bad.len();
+        let mask = 1u8 << (bit % 8);
+        bad[i] ^= mask;
+        prop_assert!(cipher.decrypt(&bad).is_err(), "flip at {} mask {:02x}", i, mask);
+    }
+
+    #[test]
+    fn wide_prp_is_a_permutation(data in proptest::collection::vec(any::<u8>(), 2..128),
+                                 key in any::<[u8; 32]>()) {
+        let prp = WideBlockPrp::new(&key_from(key), b"prop");
+        let ct = prp.encrypt_det(&data);
+        prop_assert_eq!(ct.len(), data.len());
+        prop_assert_eq!(prp.decrypt_det(&ct).unwrap(), data);
+    }
+
+    #[test]
+    fn kdf_labels_never_collide(label_a in "[a-z]{1,16}", label_b in "[a-z]{1,16}",
+                                master in any::<[u8; 32]>()) {
+        prop_assume!(label_a != label_b);
+        let k = key_from(master);
+        let ka = k.derive(label_a.as_bytes());
+        let kb = k.derive(label_b.as_bytes());
+        prop_assert_ne!(ka.as_bytes(), kb.as_bytes());
+    }
+}
+
+// --- SWP layer -------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn swp_never_has_false_negatives(word_bytes in proptest::collection::vec(any::<u8>(), 13),
+                                     doc in any::<u64>(), idx in any::<u32>(),
+                                     key in any::<[u8; 32]>()) {
+        let params = SwpParams::new(13, 4, 32).unwrap();
+        let scheme = FinalScheme::new(params, &key_from(key));
+        let w = Word::from_bytes_unchecked(word_bytes);
+        let c = scheme.encrypt_word(Location::new(doc, idx), &w).unwrap();
+        let td = scheme.trapdoor(&w).unwrap();
+        prop_assert!(matches(&params, &td, &c), "a stored word must always match its trapdoor");
+    }
+
+    #[test]
+    fn swp_decrypts_what_it_encrypts(word_bytes in proptest::collection::vec(any::<u8>(), 13),
+                                     doc in any::<u64>(), idx in any::<u32>(),
+                                     key in any::<[u8; 32]>()) {
+        let params = SwpParams::new(13, 4, 32).unwrap();
+        let scheme = FinalScheme::new(params, &key_from(key));
+        let w = Word::from_bytes_unchecked(word_bytes);
+        let loc = Location::new(doc, idx);
+        let c = scheme.encrypt_word(loc, &w).unwrap();
+        prop_assert_eq!(scheme.decrypt_word(loc, &c).unwrap(), w);
+    }
+}
+
+// --- relation + encoding layer ---------------------------------------------
+
+/// Strategy: a value fitting `STRING(24)`.
+fn arb_str_value() -> impl Strategy<Value = Value> {
+    "[a-zA-Z0-9#_ ]{0,24}".prop_map(Value::Str)
+}
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        arb_str_value(),
+        any::<i64>().prop_map(Value::Int),
+        any::<bool>().prop_map(Value::Bool),
+    ]
+}
+
+fn test_schema() -> Schema {
+    Schema::new(
+        "Prop",
+        vec![
+            Attribute::new("s", AttrType::Str { max_len: 24 }),
+            Attribute::new("i", AttrType::Int),
+            Attribute::new("b", AttrType::Bool),
+        ],
+    )
+    .unwrap()
+}
+
+fn arb_tuple() -> impl Strategy<Value = Tuple> {
+    (arb_str_value(), any::<i64>(), any::<bool>())
+        .prop_map(|(s, i, b)| Tuple::new(vec![s, Value::Int(i), Value::Bool(b)]))
+}
+
+proptest! {
+    #[test]
+    fn value_encoding_roundtrips(v in arb_value()) {
+        let ty = v.natural_type();
+        let enc = v.encode();
+        prop_assert_eq!(Value::decode(&ty, &enc).unwrap(), v);
+    }
+
+    #[test]
+    fn word_codec_roundtrips_tuples(t in arb_tuple()) {
+        let codec = WordCodec::new(test_schema());
+        let words = codec.encode_tuple(&t).unwrap();
+        prop_assert_eq!(codec.decode_tuple(&words).unwrap(), t);
+    }
+
+    #[test]
+    fn word_codec_is_injective(a in arb_tuple(), b in arb_tuple()) {
+        prop_assume!(a != b);
+        let codec = WordCodec::new(test_schema());
+        prop_assert_ne!(codec.encode_tuple(&a).unwrap(), codec.encode_tuple(&b).unwrap());
+    }
+}
+
+// --- homomorphism law over random relations --------------------------------
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn homomorphism_law_over_random_relations(
+        tuples in proptest::collection::vec(arb_tuple(), 0..25),
+        probe in arb_tuple(),
+        key in any::<[u8; 32]>(),
+    ) {
+        let relation = Relation::from_tuples(test_schema(), tuples).unwrap();
+        // Query for a value that may or may not be present.
+        let queries = [
+            Query::select("s", probe.get(0).unwrap().clone()),
+            Query::select("i", probe.get(1).unwrap().clone()),
+            Query::select("b", probe.get(2).unwrap().clone()),
+        ];
+        let swp = FinalSwpPh::new(test_schema(), &key_from(key)).unwrap();
+        let varlen = VarlenPh::new(test_schema(), &key_from(key)).unwrap();
+        for q in &queries {
+            dbph::core::ph::check_homomorphism_law(&swp, &relation, q).unwrap();
+            dbph::core::ph::check_homomorphism_law(&varlen, &relation, q).unwrap();
+        }
+    }
+}
+
+// --- wire format -----------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn wire_roundtrips_strings(s in ".*") {
+        let bytes = s.to_wire();
+        prop_assert_eq!(String::from_wire(&bytes).unwrap(), s);
+    }
+
+    #[test]
+    fn wire_roundtrips_nested_vectors(
+        v in proptest::collection::vec(
+            (any::<u64>(), proptest::collection::vec(any::<u8>(), 0..32)), 0..16)) {
+        let bytes = v.to_wire();
+        prop_assert_eq!(Vec::<(u64, Vec<u8>)>::from_wire(&bytes).unwrap(), v);
+    }
+
+    #[test]
+    fn wire_never_panics_on_random_input(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        // Decoding arbitrary bytes must return Err, never panic.
+        let _ = dbph::core::swp_ph::EncryptedTable::from_wire(&bytes);
+        let _ = dbph::core::protocol::ClientMessage::from_wire(&bytes);
+        let _ = dbph::core::protocol::ServerResponse::from_wire(&bytes);
+        let _ = String::from_wire(&bytes);
+        let _ = Vec::<u64>::from_wire(&bytes);
+    }
+
+    #[test]
+    fn encrypted_tables_survive_the_wire(
+        tuples in proptest::collection::vec(arb_tuple(), 0..10),
+        key in any::<[u8; 32]>(),
+    ) {
+        let relation = Relation::from_tuples(test_schema(), tuples).unwrap();
+        let ph = FinalSwpPh::new(test_schema(), &key_from(key)).unwrap();
+        let ct = ph.encrypt_table(&relation).unwrap();
+        let restored = dbph::core::swp_ph::EncryptedTable::from_wire(&ct.to_wire()).unwrap();
+        prop_assert_eq!(&restored, &ct);
+        // And the restored ciphertext still decrypts.
+        prop_assert!(ph.decrypt_table(&restored).unwrap().same_multiset(&relation));
+    }
+}
+
+// --- SQL -------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn sql_parser_never_panics(input in ".{0,200}") {
+        let _ = dbph::relation::sql::parse_statement(&input);
+    }
+
+    #[test]
+    fn sql_string_literals_roundtrip(s in "[a-zA-Z0-9' ]{0,20}") {
+        // Render a value as SQL and parse it back through a SELECT.
+        let v = Value::Str(s.clone());
+        let sql = format!("SELECT * FROM t WHERE a = {v}");
+        let stmt = dbph::relation::sql::parse_statement(&sql).unwrap();
+        match stmt {
+            dbph::relation::sql::Statement::Select(sel) => {
+                let dnf = sel.filter.unwrap();
+                prop_assert_eq!(&dnf.disjuncts()[0].terms()[0].value, &v);
+            }
+            other => prop_assert!(false, "unexpected {:?}", other),
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! Security-regression tests: the experiment outcomes of E1/E3/E5 are
+//! pinned as bands, so a refactor that silently reintroduces leakage
+//! (or breaks an attack) fails CI. Trials are kept small; the full
+//! tables come from the experiment binaries.
+
+use dbph::baselines::{BucketConfig, BucketizationPh, DamianiPh, DeterministicPh};
+use dbph::core::FinalSwpPh;
+use dbph::crypto::cipher::{DeterministicCipher, EcbCipher, RandomizedCipher, StreamCipher};
+use dbph::crypto::{DeterministicRng, SecretKey};
+use dbph::games::attacks::active::CardinalityAdversary;
+use dbph::games::attacks::salary::{
+    bucketization_adversary, damiani_adversary, det_adversary, salary_schema, swp_adversary,
+};
+use dbph::games::indgame::EqualBlocksAdversary;
+use dbph::games::{run_db_game, run_ind_game, AdversaryMode};
+use dbph::relation::schema::hospital_schema;
+
+const TRIALS: usize = 120;
+
+#[test]
+fn e1_band_bucketization_breaks() {
+    let est = run_db_game(
+        &|rng: &mut DeterministicRng| {
+            let cfg = BucketConfig::uniform(&salary_schema(), 16, (0, 10_000)).unwrap();
+            BucketizationPh::new(salary_schema(), cfg, &SecretKey::generate(rng)).unwrap()
+        },
+        &bucketization_adversary(),
+        AdversaryMode::Passive,
+        0,
+        TRIALS,
+        201,
+    );
+    assert!(est.advantage() > 0.9, "{est}");
+}
+
+#[test]
+fn e1_band_damiani_breaks() {
+    let est = run_db_game(
+        &|rng: &mut DeterministicRng| {
+            DamianiPh::new(salary_schema(), &SecretKey::generate(rng)).unwrap()
+        },
+        &damiani_adversary(),
+        AdversaryMode::Passive,
+        0,
+        TRIALS,
+        202,
+    );
+    assert!(est.advantage() > 0.9, "{est}");
+}
+
+#[test]
+fn e1_band_deterministic_breaks() {
+    let est = run_db_game(
+        &|rng: &mut DeterministicRng| {
+            DeterministicPh::new(salary_schema(), &SecretKey::generate(rng))
+        },
+        &det_adversary(),
+        AdversaryMode::Passive,
+        0,
+        TRIALS,
+        203,
+    );
+    assert!(est.advantage() > 0.9, "{est}");
+}
+
+#[test]
+fn e1_band_swp_resists() {
+    let est = run_db_game(
+        &|rng: &mut DeterministicRng| {
+            FinalSwpPh::new(salary_schema(), &SecretKey::generate(rng)).unwrap()
+        },
+        &swp_adversary(),
+        AdversaryMode::Passive,
+        0,
+        400,
+        204,
+    );
+    assert!(est.advantage().abs() < 0.15, "{est}");
+}
+
+#[test]
+fn e3_band_theorem_2_1_at_q0_and_q1() {
+    let factory = |rng: &mut DeterministicRng| {
+        FinalSwpPh::new(hospital_schema(), &SecretKey::generate(rng)).unwrap()
+    };
+    let adversary = CardinalityAdversary::default();
+    let q0 = run_db_game(&factory, &adversary, AdversaryMode::Active, 0, 400, 205);
+    assert!(q0.advantage().abs() < 0.15, "q=0 must be blind: {q0}");
+    let q1 = run_db_game(&factory, &adversary, AdversaryMode::Active, 1, TRIALS, 205);
+    assert!(q1.advantage() > 0.9, "q=1 must break: {q1}");
+}
+
+#[test]
+fn e5_band_ind_game() {
+    let ecb = |rng: &mut DeterministicRng, m: &[u8]| {
+        EcbCipher::new(&SecretKey::generate(rng), b"cell").encrypt_det(m)
+    };
+    let stream = |rng: &mut DeterministicRng, m: &[u8]| {
+        let cipher = StreamCipher::new(&SecretKey::generate(rng), b"payload");
+        let mut r = rng.child("enc");
+        cipher.encrypt(&mut r, m)
+    };
+    let broken = run_ind_game(&EqualBlocksAdversary, ecb, TRIALS, 206);
+    assert!(broken.advantage() > 0.9, "{broken}");
+    let secure = run_ind_game(&EqualBlocksAdversary, stream, 400, 207);
+    assert!(secure.advantage().abs() < 0.15, "{secure}");
+}
