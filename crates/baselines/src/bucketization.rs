@@ -49,11 +49,7 @@ impl BucketConfig {
     ///
     /// # Errors
     /// Requires `buckets ≥ 2` and a non-empty range.
-    pub fn uniform(
-        schema: &Schema,
-        buckets: u64,
-        int_range: (i64, i64),
-    ) -> Result<Self, PhError> {
+    pub fn uniform(schema: &Schema, buckets: u64, int_range: (i64, i64)) -> Result<Self, PhError> {
         if buckets < 2 {
             return Err(PhError::Unsupported("bucketization needs ≥ 2 buckets"));
         }
@@ -69,14 +65,16 @@ impl BucketConfig {
     ///
     /// # Errors
     /// Requires one entry per attribute with `buckets ≥ 2`.
-    pub fn per_attribute(
-        schema: &Schema,
-        per_attr: Vec<AttrBuckets>,
-    ) -> Result<Self, PhError> {
+    pub fn per_attribute(schema: &Schema, per_attr: Vec<AttrBuckets>) -> Result<Self, PhError> {
         if per_attr.len() != schema.arity() {
-            return Err(PhError::Unsupported("one bucket config per attribute required"));
+            return Err(PhError::Unsupported(
+                "one bucket config per attribute required",
+            ));
         }
-        if per_attr.iter().any(|a| a.buckets < 2 || a.int_range.0 >= a.int_range.1) {
+        if per_attr
+            .iter()
+            .any(|a| a.buckets < 2 || a.int_range.0 >= a.int_range.1)
+        {
             return Err(PhError::Unsupported("degenerate bucket configuration"));
         }
         Ok(BucketConfig { per_attr })
@@ -149,8 +147,7 @@ impl BucketizationPh {
             let label = format!("dbph/bucket/prp/{i}/v1");
             let key = master.derive(label.as_bytes());
             prps.push(
-                FeistelPrp::new(key.as_bytes(), config.attr(i).buckets)
-                    .map_err(PhError::from)?,
+                FeistelPrp::new(key.as_bytes(), config.attr(i).buckets).map_err(PhError::from)?,
             );
         }
         Ok(BucketizationPh {
@@ -182,8 +179,8 @@ impl BucketizationPh {
             (Value::Str(s), AttrType::Str { .. }) => {
                 let digest = Sha256::digest(s.as_bytes());
                 u64::from_be_bytes([
-                    digest[0], digest[1], digest[2], digest[3], digest[4], digest[5],
-                    digest[6], digest[7],
+                    digest[0], digest[1], digest[2], digest[3], digest[4], digest[5], digest[6],
+                    digest[7],
                 ]) % cfg.buckets
             }
             (Value::Bool(b), AttrType::Bool) => u64::from(*b) % cfg.buckets,
@@ -358,11 +355,8 @@ mod tests {
         // The permutation is keyed: a different master gives different tags.
         let config = BucketConfig::uniform(&emp_schema(), 16, (0, 10_000)).unwrap();
         let other =
-            BucketizationPh::new(emp_schema(), config, &SecretKey::from_bytes([9u8; 32]))
-                .unwrap();
-        let differs = (0..16u64).any(|b| {
-            ph.prps[2].permute(b) != other.prps[2].permute(b)
-        });
+            BucketizationPh::new(emp_schema(), config, &SecretKey::from_bytes([9u8; 32])).unwrap();
+        let differs = (0..16u64).any(|b| ph.prps[2].permute(b) != other.prps[2].permute(b));
         assert!(differs);
     }
 

@@ -107,8 +107,7 @@ impl DamianiPh {
         mac.update(&value.encode());
         let digest = mac.finalize();
         let full = u64::from_be_bytes([
-            digest[0], digest[1], digest[2], digest[3], digest[4], digest[5], digest[6],
-            digest[7],
+            digest[0], digest[1], digest[2], digest[3], digest[4], digest[5], digest[6], digest[7],
         ]);
         Ok(full & ((1u64 << self.tag_bits) - 1))
     }
@@ -241,7 +240,10 @@ mod tests {
         let ph = ph();
         let ct = ph.encrypt_table(&emp()).unwrap();
         assert_eq!(ct.docs[1].1.tags[2], ct.docs[3].1.tags[2], "4900 == 4900");
-        assert_ne!(ct.docs[0].1.tags[2], ct.docs[1].1.tags[2], "7500 != 4900 (w.h.p.)");
+        assert_ne!(
+            ct.docs[0].1.tags[2], ct.docs[1].1.tags[2],
+            "7500 != 4900 (w.h.p.)"
+        );
     }
 
     #[test]

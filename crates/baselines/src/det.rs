@@ -142,12 +142,7 @@ impl DatabasePh for DeterministicPh {
         let docs = table
             .docs
             .iter()
-            .filter(|(_, cells)| {
-                query
-                    .terms
-                    .iter()
-                    .all(|(i, ct)| cells.get(*i) == Some(ct))
-            })
+            .filter(|(_, cells)| query.terms.iter().all(|(i, ct)| cells.get(*i) == Some(ct)))
             .cloned()
             .collect();
         DetTable { docs }

@@ -60,8 +60,7 @@ pub fn decode_tuple(schema: &Schema, bytes: &[u8]) -> Result<Tuple, PhError> {
                 "value {i}: type tag {tag}, expected {expected_tag}"
             )));
         }
-        let v = Value::decode(ty, &raw)
-            .map_err(|e| PhError::CorruptCiphertext(e.to_string()))?;
+        let v = Value::decode(ty, &raw).map_err(|e| PhError::CorruptCiphertext(e.to_string()))?;
         values.push(v);
     }
     r.expect_end()?;
@@ -115,7 +114,9 @@ impl PayloadCipher {
     /// short.
     pub fn decrypt(&self, ciphertext: &[u8]) -> Result<Vec<u8>, PhError> {
         if ciphertext.len() < chacha20::NONCE_LEN {
-            return Err(PhError::CorruptCiphertext("payload shorter than nonce".into()));
+            return Err(PhError::CorruptCiphertext(
+                "payload shorter than nonce".into(),
+            ));
         }
         let mut nonce = [0u8; chacha20::NONCE_LEN];
         nonce.copy_from_slice(&ciphertext[..chacha20::NONCE_LEN]);
@@ -154,7 +155,10 @@ mod tests {
         let t = tuple!["Montgomery", "HR", 7500i64];
         let bytes = encode_tuple(&t);
         for cut in [0, 1, bytes.len() / 2, bytes.len() - 1] {
-            assert!(decode_tuple(&emp_schema(), &bytes[..cut]).is_err(), "cut {cut}");
+            assert!(
+                decode_tuple(&emp_schema(), &bytes[..cut]).is_err(),
+                "cut {cut}"
+            );
         }
     }
 

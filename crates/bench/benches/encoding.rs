@@ -16,7 +16,11 @@ const ROWS: usize = 2000;
 
 fn bench_encoding(c: &mut Criterion) {
     let schema = EmployeeGen::schema();
-    let relation = EmployeeGen { rows: ROWS, ..EmployeeGen::default() }.generate(5);
+    let relation = EmployeeGen {
+        rows: ROWS,
+        ..EmployeeGen::default()
+    }
+    .generate(5);
     let key = SecretKey::from_bytes([22u8; 32]);
     let query = Query::select("salary", 1000i64);
 

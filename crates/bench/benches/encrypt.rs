@@ -18,7 +18,11 @@ fn master() -> SecretKey {
 }
 
 fn bench_encrypt(c: &mut Criterion) {
-    let relation = EmployeeGen { rows: ROWS, ..EmployeeGen::default() }.generate(1);
+    let relation = EmployeeGen {
+        rows: ROWS,
+        ..EmployeeGen::default()
+    }
+    .generate(1);
     let schema = EmployeeGen::schema();
 
     let mut group = c.benchmark_group("table_encrypt");

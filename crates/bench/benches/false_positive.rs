@@ -17,19 +17,20 @@ use dbph_workload::EmployeeGen;
 
 fn bench_filter(c: &mut Criterion) {
     let schema = EmployeeGen::schema();
-    let relation = EmployeeGen { rows: 2000, ..EmployeeGen::default() }.generate(4);
+    let relation = EmployeeGen {
+        rows: 2000,
+        ..EmployeeGen::default()
+    }
+    .generate(4);
     let query = Query::select("dept", "dept-00");
     let word_len = WordCodec::new(schema.clone()).word_len();
 
     let mut group = c.benchmark_group("decrypt_and_filter");
     for check_bits in [4u32, 8, 16, 32] {
         let params = SwpParams::new(word_len, 4, check_bits).unwrap();
-        let ph = FinalSwpPh::with_params(
-            schema.clone(),
-            &SecretKey::from_bytes([19u8; 32]),
-            params,
-        )
-        .unwrap();
+        let ph =
+            FinalSwpPh::with_params(schema.clone(), &SecretKey::from_bytes([19u8; 32]), params)
+                .unwrap();
         let ct = ph.encrypt_table(&relation).unwrap();
         let qct = ph.encrypt_query(&query).unwrap();
         let server_result = FinalSwpPh::apply(&ct, &qct);

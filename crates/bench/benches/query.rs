@@ -26,7 +26,11 @@ fn bench_query(c: &mut Criterion) {
 
     let mut group = c.benchmark_group("exact_select");
     for &rows in &SIZES {
-        let relation = EmployeeGen { rows, ..EmployeeGen::default() }.generate(2);
+        let relation = EmployeeGen {
+            rows,
+            ..EmployeeGen::default()
+        }
+        .generate(2);
         group.throughput(Throughput::Elements(rows as u64));
 
         let swp = FinalSwpPh::new(schema.clone(), &master()).unwrap();
@@ -55,7 +59,11 @@ fn bench_query(c: &mut Criterion) {
     // End-to-end (encrypt query + apply + decrypt + filter) at one size.
     let mut e2e = c.benchmark_group("exact_select_end_to_end");
     let rows = 4000;
-    let relation = EmployeeGen { rows, ..EmployeeGen::default() }.generate(3);
+    let relation = EmployeeGen {
+        rows,
+        ..EmployeeGen::default()
+    }
+    .generate(3);
     let swp = FinalSwpPh::new(schema, &master()).unwrap();
     let ct = swp.encrypt_table(&relation).unwrap();
     e2e.throughput(Throughput::Elements(rows as u64));

@@ -1,0 +1,93 @@
+//! Sharded scan engine vs. the seed single-threaded scan.
+//!
+//! The server-side `ψ` is a full trapdoor scan; this bench pins the
+//! throughput of the seed reference (`dbph_core::server::execute_query`,
+//! which re-runs the HMAC key schedule per `(trapdoor, word)` pair)
+//! against the sharded engine (`ShardedTable::scan`, which prepares
+//! each trapdoor once and fans the scan out over shards with scoped
+//! threads). On a single core the win comes from the hoisted key
+//! schedule; on multicore hardware the shards add near-linear scaling
+//! on top. Results are byte-identical across all configurations — the
+//! sharding tests enforce that; this file only measures.
+//!
+//! Regenerate the checked-in artifact with:
+//! `CRITERION_JSON=BENCH_shard_scan.json cargo bench -p dbph-bench --bench shard_scan`
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+
+use dbph_core::protocol::WireTrapdoor;
+use dbph_core::server::execute_query;
+use dbph_core::storage::ShardedTable;
+use dbph_core::{DatabasePh, FinalSwpPh};
+use dbph_crypto::SecretKey;
+use dbph_relation::query::ExactSelect;
+use dbph_relation::Query;
+use dbph_workload::EmployeeGen;
+
+const ROWS: usize = 10_000;
+const SHARDS: [usize; 4] = [1, 2, 4, 8];
+
+fn bench_shard_scan(c: &mut Criterion) {
+    let relation = EmployeeGen {
+        rows: ROWS,
+        ..EmployeeGen::default()
+    }
+    .generate(7);
+    let ph = FinalSwpPh::new(EmployeeGen::schema(), &SecretKey::from_bytes([21u8; 32])).unwrap();
+    let table = ph.encrypt_table(&relation).unwrap();
+    // A selective query (~1/8 of the table matches) — the paper's
+    // exact-select workhorse.
+    let qct = ph.encrypt_query(&Query::select("dept", "dept-02")).unwrap();
+    let terms: Vec<WireTrapdoor> = qct.terms.iter().map(WireTrapdoor::from_trapdoor).collect();
+
+    // Sanity: every configuration returns the same result set.
+    let reference = execute_query(&table, &terms);
+    for shards in SHARDS {
+        let sharded = ShardedTable::from_table(table.clone(), shards);
+        assert_eq!(
+            sharded.scan(&terms),
+            reference,
+            "sharded scan diverged at {shards}"
+        );
+    }
+
+    let mut group = c.benchmark_group("shard_scan");
+    group.throughput(Throughput::Elements(ROWS as u64));
+
+    group.bench_function(BenchmarkId::new("seed", "execute_query"), |b| {
+        b.iter(|| execute_query(&table, &terms))
+    });
+
+    for shards in SHARDS {
+        let sharded = ShardedTable::from_table(table.clone(), shards);
+        group.bench_function(BenchmarkId::new("sharded", shards), |b| {
+            b.iter(|| sharded.scan(&terms))
+        });
+    }
+    group.finish();
+
+    // Conjunctive queries stress per-term preparation harder.
+    let conj = Query::conjunction(vec![
+        ExactSelect::new("dept", "dept-02"),
+        ExactSelect::new("salary", 5500i64),
+    ])
+    .unwrap();
+    let qct = ph.encrypt_query(&conj).unwrap();
+    let conj_terms: Vec<WireTrapdoor> = qct.terms.iter().map(WireTrapdoor::from_trapdoor).collect();
+
+    let mut group = c.benchmark_group("shard_scan_conjunction");
+    group.throughput(Throughput::Elements(ROWS as u64));
+    group.bench_function(BenchmarkId::new("seed", "execute_query"), |b| {
+        b.iter(|| execute_query(&table, &conj_terms))
+    });
+    for shards in [1usize, 4] {
+        let sharded = ShardedTable::from_table(table.clone(), shards);
+        group.bench_function(BenchmarkId::new("sharded", shards), |b| {
+            b.iter(|| sharded.scan(&conj_terms))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_shard_scan);
+criterion_main!(benches);

@@ -9,8 +9,8 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Through
 
 use dbph_crypto::SecretKey;
 use dbph_swp::{
-    matches, BasicScheme, ControlledScheme, FinalScheme, HiddenScheme, Location,
-    SearchableScheme, SwpParams, Word,
+    matches, BasicScheme, ControlledScheme, FinalScheme, HiddenScheme, Location, SearchableScheme,
+    SwpParams, Word,
 };
 
 const WORDS: usize = 2000;
@@ -29,12 +29,7 @@ fn master() -> SecretKey {
     SecretKey::from_bytes([20u8; 32])
 }
 
-fn bench_scheme<S: SearchableScheme>(
-    c: &mut Criterion,
-    name: &str,
-    scheme: &S,
-    corpus: &[Word],
-) {
+fn bench_scheme<S: SearchableScheme>(c: &mut Criterion, name: &str, scheme: &S, corpus: &[Word]) {
     let mut group = c.benchmark_group("swp_encrypt_word");
     group.throughput(Throughput::Elements(corpus.len() as u64));
     group.bench_function(BenchmarkId::new(name, corpus.len()), |b| {
@@ -70,10 +65,30 @@ fn bench_scheme<S: SearchableScheme>(
 
 fn bench_variants(c: &mut Criterion) {
     let corpus = words();
-    bench_scheme(c, "I-basic", &BasicScheme::new(params(), &master()), &corpus);
-    bench_scheme(c, "II-controlled", &ControlledScheme::new(params(), &master()), &corpus);
-    bench_scheme(c, "III-hidden", &HiddenScheme::new(params(), &master()), &corpus);
-    bench_scheme(c, "IV-final", &FinalScheme::new(params(), &master()), &corpus);
+    bench_scheme(
+        c,
+        "I-basic",
+        &BasicScheme::new(params(), &master()),
+        &corpus,
+    );
+    bench_scheme(
+        c,
+        "II-controlled",
+        &ControlledScheme::new(params(), &master()),
+        &corpus,
+    );
+    bench_scheme(
+        c,
+        "III-hidden",
+        &HiddenScheme::new(params(), &master()),
+        &corpus,
+    );
+    bench_scheme(
+        c,
+        "IV-final",
+        &FinalScheme::new(params(), &master()),
+        &corpus,
+    );
 }
 
 criterion_group!(benches, bench_variants);

@@ -16,9 +16,12 @@ use dbph_workload::EmployeeGen;
 const ROWS: usize = 2000;
 
 fn bench_wire(c: &mut Criterion) {
-    let relation = EmployeeGen { rows: ROWS, ..EmployeeGen::default() }.generate(6);
-    let ph = FinalSwpPh::new(EmployeeGen::schema(), &SecretKey::from_bytes([23u8; 32]))
-        .unwrap();
+    let relation = EmployeeGen {
+        rows: ROWS,
+        ..EmployeeGen::default()
+    }
+    .generate(6);
+    let ph = FinalSwpPh::new(EmployeeGen::schema(), &SecretKey::from_bytes([23u8; 32])).unwrap();
     let table = ph.encrypt_table(&relation).unwrap();
     let bytes = table.to_wire();
 

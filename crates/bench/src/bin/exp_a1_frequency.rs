@@ -81,7 +81,10 @@ fn main() {
     let rate = FrequencyAttack::new(swp_classes(DEPT))
         .recovery_rate(&swp, &relation, DEPT, &known)
         .expect("attack runs");
-    table.row(&["swp-final (this paper, §3)".into(), format!("{:.1}%", rate * 100.0)]);
+    table.row(&[
+        "swp-final (this paper, §3)".into(),
+        format!("{:.1}%", rate * 100.0),
+    ]);
 
     table.print();
     println!();

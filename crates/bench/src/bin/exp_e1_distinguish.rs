@@ -42,8 +42,8 @@ fn main() {
 
     let est = run_db_game(
         &|rng: &mut DeterministicRng| {
-            let cfg = BucketConfig::uniform(&salary_schema(), 16, (0, 10_000))
-                .expect("static config");
+            let cfg =
+                BucketConfig::uniform(&salary_schema(), 16, (0, 10_000)).expect("static config");
             BucketizationPh::new(salary_schema(), cfg, &SecretKey::generate(rng))
                 .expect("static schema")
         },

@@ -30,17 +30,13 @@ fn args() -> (usize, u64, u64) {
 
 /// Mean absolute error of Eve's per-hospital fatality estimates,
 /// averaged over seeds.
-fn mean_error<P: DatabasePh>(
-    make_ph: impl Fn(u64) -> P,
-    populations: &[(u64, Relation)],
-) -> f64 {
+fn mean_error<P: DatabasePh>(make_ph: impl Fn(u64) -> P, populations: &[(u64, Relation)]) -> f64 {
     let priors = HospitalPriors::default();
     let mut total = 0.0;
     let mut count = 0usize;
     for (seed, relation) in populations {
         let ph = make_ph(*seed);
-        let (truth, inferred) =
-            run_inference(&ph, relation, &priors).expect("inference runs");
+        let (truth, inferred) = run_inference(&ph, relation, &priors).expect("inference runs");
         for (true_ratio, estimate) in truth.iter().zip(&inferred.fatal_ratio) {
             total += (true_ratio - estimate).abs();
             count += 1;
@@ -60,7 +56,10 @@ fn main() {
     println!("# patients = {patients}, seeds = {seeds}, priors = flows 0.2/0.3/0.5, fatal 0.08");
     println!();
 
-    let cfg = HospitalConfig { patients, ..HospitalConfig::default() };
+    let cfg = HospitalConfig {
+        patients,
+        ..HospitalConfig::default()
+    };
     let populations: Vec<(u64, Relation)> = (0..seeds)
         .map(|i| {
             let s = base_seed + i;
@@ -85,7 +84,10 @@ fn main() {
 
     table.row(&[
         "plaintext".into(),
-        format!("{:.4}", mean_error(|_s| PlaintextPh::new(hospital_schema()), &populations)),
+        format!(
+            "{:.4}",
+            mean_error(|_s| PlaintextPh::new(hospital_schema()), &populations)
+        ),
     ]);
     table.row(&[
         "swp-final (this paper, §3)".into(),
@@ -111,7 +113,10 @@ fn main() {
         "deterministic-ecb".into(),
         format!(
             "{:.4}",
-            mean_error(|s| DeterministicPh::new(hospital_schema(), &key(s)), &populations)
+            mean_error(
+                |s| DeterministicPh::new(hospital_schema(), &key(s)),
+                &populations
+            )
         ),
     ]);
     table.row(&[
@@ -132,8 +137,7 @@ fn main() {
                 |s| {
                     let cfg = BucketConfig::uniform(&hospital_schema(), 16, (0, 10_000))
                         .expect("static config");
-                    BucketizationPh::new(hospital_schema(), cfg, &key(s))
-                        .expect("static schema")
+                    BucketizationPh::new(hospital_schema(), cfg, &key(s)).expect("static schema")
                 },
                 &populations
             )

@@ -43,7 +43,9 @@ where
 fn main() {
     let (trials, seed) = args();
     println!("# E3 — Theorem 2.1: any database PH is insecure at q > 0");
-    println!("# generic cardinality adversary, Def 2.1 active mode; trials = {trials}, seed = {seed}");
+    println!(
+        "# generic cardinality adversary, Def 2.1 active mode; trials = {trials}, seed = {seed}"
+    );
     println!();
 
     let mut table = Table::new(&["scheme", "advantage @ q=0", "advantage @ q=1"]);
@@ -51,8 +53,7 @@ fn main() {
     game_row(
         "swp-final (this paper, §3)",
         |rng: &mut DeterministicRng| {
-            FinalSwpPh::new(hospital_schema(), &SecretKey::generate(rng))
-                .expect("static schema")
+            FinalSwpPh::new(hospital_schema(), &SecretKey::generate(rng)).expect("static schema")
         },
         trials,
         seed,
@@ -88,8 +89,8 @@ fn main() {
     game_row(
         "hacigumus-buckets",
         |rng: &mut DeterministicRng| {
-            let cfg = BucketConfig::uniform(&hospital_schema(), 16, (0, 10_000))
-                .expect("static config");
+            let cfg =
+                BucketConfig::uniform(&hospital_schema(), 16, (0, 10_000)).expect("static config");
             BucketizationPh::new(hospital_schema(), cfg, &SecretKey::generate(rng))
                 .expect("static schema")
         },
@@ -110,8 +111,22 @@ fn main() {
     let swp_factory = |rng: &mut DeterministicRng| {
         FinalSwpPh::new(hospital_schema(), &SecretKey::generate(rng)).expect("static schema")
     };
-    let p0 = run_db_game(&swp_factory, &passive, AdversaryMode::Passive, 0, trials, seed);
-    let p1 = run_db_game(&swp_factory, &passive, AdversaryMode::Passive, 1, trials, seed);
+    let p0 = run_db_game(
+        &swp_factory,
+        &passive,
+        AdversaryMode::Passive,
+        0,
+        trials,
+        seed,
+    );
+    let p1 = run_db_game(
+        &swp_factory,
+        &passive,
+        AdversaryMode::Passive,
+        1,
+        trials,
+        seed,
+    );
     table.row(&[
         "swp-final, PASSIVE size adversary".to_string(),
         format!("{:.3}", p0.advantage()),
@@ -128,7 +143,10 @@ fn main() {
 
     // Part 2 — the "John" narrative.
     println!("# E3b — locating John (paper §2 narrative), swp-final, 200 patients");
-    let cfg = HospitalConfig { patients: 200, ..HospitalConfig::default() };
+    let cfg = HospitalConfig {
+        patients: 200,
+        ..HospitalConfig::default()
+    };
     let mut john_table = Table::new(&["planted (hospital, fatal)", "inferred (hospital, fatal)"]);
     for (h, fatal) in [(1i64, false), (2, true), (3, false), (2, false)] {
         let (relation, _) = cfg.generate_with_john(seed + h as u64, h, fatal);

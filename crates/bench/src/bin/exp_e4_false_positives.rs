@@ -62,16 +62,15 @@ fn main() {
     println!("# word_len = 13 bytes, check block = 4 bytes, {words} random words per row");
     println!();
 
-    let mut table = Table::new(&[
-        "check_bits",
-        "predicted 2^-m",
-        "measured FP rate",
-        "ratio",
-    ]);
+    let mut table = Table::new(&["check_bits", "predicted 2^-m", "measured FP rate", "ratio"]);
     for bits in [1u32, 2, 4, 6, 8, 10, 12, 16] {
         let predicted = 2f64.powi(-(bits as i32));
         let measured = word_level_fp(bits, words, seed);
-        let ratio = if predicted > 0.0 { measured / predicted } else { f64::NAN };
+        let ratio = if predicted > 0.0 {
+            measured / predicted
+        } else {
+            f64::NAN
+        };
         table.row(&[
             bits.to_string(),
             format!("{predicted:.6}"),
@@ -86,7 +85,11 @@ fn main() {
 
     // End-to-end: server superset factor + correctness after filtering.
     println!("# E4b — end-to-end superset factor on Emp(1000 rows), query dept = 'dept-00'");
-    let relation: Relation = EmployeeGen { rows: 1000, ..EmployeeGen::default() }.generate(seed);
+    let relation: Relation = EmployeeGen {
+        rows: 1000,
+        ..EmployeeGen::default()
+    }
+    .generate(seed);
     let schema = EmployeeGen::schema();
     let codec_len = WordCodec::new(schema.clone()).word_len();
 

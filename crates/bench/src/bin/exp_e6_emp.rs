@@ -41,12 +41,16 @@ fn main() {
     .expect("static table");
 
     let server = Server::new();
-    let ph = FinalSwpPh::new(emp_schema(), &SecretKey::from_bytes([6u8; 32]))
-        .expect("static schema");
+    let ph =
+        FinalSwpPh::new(emp_schema(), &SecretKey::from_bytes([6u8; 32])).expect("static schema");
     let mut client = Client::new(ph, server.clone());
 
     client.outsource(&relation).expect("outsource");
-    println!("## Outsourced {} tuples as {} encrypted documents", relation.len(), relation.len());
+    println!(
+        "## Outsourced {} tuples as {} encrypted documents",
+        relation.len(),
+        relation.len()
+    );
 
     let query = Query::select("name", "Montgomery");
     let result = client.select(&query).expect("select");
@@ -61,10 +65,18 @@ fn main() {
     println!("## What Eve recorded:");
     for event in server.observer().events() {
         match event {
-            dbph_core::server::ServerEvent::Upload { name, tuples, bytes } => {
+            dbph_core::server::ServerEvent::Upload {
+                name,
+                tuples,
+                bytes,
+            } => {
                 println!("  upload:   table {name:?}, {tuples} tuple ciphertexts, {bytes} bytes");
             }
-            dbph_core::server::ServerEvent::Query { terms, matched_doc_ids, .. } => {
+            dbph_core::server::ServerEvent::Query {
+                terms,
+                matched_doc_ids,
+                ..
+            } => {
                 println!(
                     "  query:    {} trapdoor(s), matched doc ids {matched_doc_ids:?}",
                     terms.len()
@@ -72,7 +84,10 @@ fn main() {
                 for t in &terms {
                     println!(
                         "            trapdoor target (E''(word), hex): {}",
-                        t.target.iter().map(|b| format!("{b:02x}")).collect::<String>()
+                        t.target
+                            .iter()
+                            .map(|b| format!("{b:02x}"))
+                            .collect::<String>()
                     );
                 }
             }

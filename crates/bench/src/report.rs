@@ -14,7 +14,10 @@ impl Table {
     /// Creates a table with the given column headers.
     #[must_use]
     pub fn new(header: &[&str]) -> Self {
-        Table { header: header.iter().map(ToString::to_string).collect(), rows: Vec::new() }
+        Table {
+            header: header.iter().map(ToString::to_string).collect(),
+            rows: Vec::new(),
+        }
     }
 
     /// Appends a row (must match the header arity).
@@ -75,8 +78,7 @@ mod tests {
         assert!(s.contains("| scheme    | advantage |"));
         assert!(s.lines().count() == 4);
         // All lines same width.
-        let widths: std::collections::HashSet<usize> =
-            s.lines().map(str::len).collect();
+        let widths: std::collections::HashSet<usize> = s.lines().map(str::len).collect();
         assert_eq!(widths.len(), 1);
     }
 

@@ -29,7 +29,12 @@ impl Client {
     #[must_use]
     pub fn new(ph: FinalSwpPh, server: Server) -> Self {
         let table_name = ph.schema().name().to_string();
-        Client { ph, server, table_name, next_doc_id: 0 }
+        Client {
+            ph,
+            server,
+            table_name,
+            next_doc_id: 0,
+        }
     }
 
     /// The table name used on the server.
@@ -47,20 +52,37 @@ impl Client {
         match self.send(msg)? {
             ServerResponse::Ok => Ok(()),
             ServerResponse::Error(e) => Err(PhError::Protocol(e)),
-            ServerResponse::Table(_) => {
+            ServerResponse::Table(_) | ServerResponse::Tables(_) => {
                 Err(PhError::Protocol("unexpected table response".into()))
             }
         }
     }
 
-    fn expect_table(
-        &self,
-        msg: &ClientMessage,
-    ) -> Result<crate::swp_ph::EncryptedTable, PhError> {
+    fn expect_table(&self, msg: &ClientMessage) -> Result<crate::swp_ph::EncryptedTable, PhError> {
         match self.send(msg)? {
             ServerResponse::Table(t) => Ok(t),
             ServerResponse::Error(e) => Err(PhError::Protocol(e)),
-            ServerResponse::Ok => Err(PhError::Protocol("expected table response".into())),
+            ServerResponse::Ok | ServerResponse::Tables(_) => {
+                Err(PhError::Protocol("expected table response".into()))
+            }
+        }
+    }
+
+    fn expect_tables(
+        &self,
+        msg: &ClientMessage,
+        expected: usize,
+    ) -> Result<Vec<crate::swp_ph::EncryptedTable>, PhError> {
+        match self.send(msg)? {
+            ServerResponse::Tables(ts) if ts.len() == expected => Ok(ts),
+            ServerResponse::Tables(ts) => Err(PhError::Protocol(format!(
+                "batch response arity mismatch: sent {expected} queries, got {} results",
+                ts.len()
+            ))),
+            ServerResponse::Error(e) => Err(PhError::Protocol(e)),
+            ServerResponse::Ok | ServerResponse::Table(_) => {
+                Err(PhError::Protocol("expected batch table response".into()))
+            }
         }
     }
 
@@ -84,16 +106,44 @@ impl Client {
     /// Fails on binding errors, protocol failures, or corrupt results.
     pub fn select(&self, query: &Query) -> Result<Relation, PhError> {
         let qct = self.ph.encrypt_query(query)?;
-        let terms = qct
-            .terms
-            .iter()
-            .map(WireTrapdoor::from_trapdoor)
-            .collect();
+        let terms = qct.terms.iter().map(WireTrapdoor::from_trapdoor).collect();
         let result = self.expect_table(&ClientMessage::Query {
             name: self.table_name.clone(),
             terms,
         })?;
         self.ph.decrypt_result(&result, query)
+    }
+
+    /// Runs several exact-select (or conjunctive) queries in **one**
+    /// round-trip, returning one decrypted, false-positive-filtered
+    /// relation per query, in order. The server sees exactly the same
+    /// trapdoors and records exactly the same per-query transcript
+    /// events as `queries.len()` calls to [`Self::select`] — batching
+    /// amortizes transport, not leakage.
+    ///
+    /// # Errors
+    /// Fails on binding errors, protocol failures, or corrupt results.
+    pub fn select_many(&self, queries: &[Query]) -> Result<Vec<Relation>, PhError> {
+        if queries.is_empty() {
+            return Ok(Vec::new());
+        }
+        let mut encrypted = Vec::with_capacity(queries.len());
+        for query in queries {
+            let qct = self.ph.encrypt_query(query)?;
+            encrypted.push(qct.terms.iter().map(WireTrapdoor::from_trapdoor).collect());
+        }
+        let results = self.expect_tables(
+            &ClientMessage::QueryBatch {
+                name: self.table_name.clone(),
+                queries: encrypted,
+            },
+            queries.len(),
+        )?;
+        queries
+            .iter()
+            .zip(results.iter())
+            .map(|(query, table)| self.ph.decrypt_result(table, query))
+            .collect()
     }
 
     /// Runs a disjunctive (DNF) query: one encrypted exact-select per
@@ -169,6 +219,36 @@ impl Client {
         Ok(())
     }
 
+    /// Encrypts and appends a batch of tuples in **one** round-trip.
+    /// The server applies the batch atomically (all ids fresh or
+    /// nothing stored) and records one `Append` event per tuple, just
+    /// as `tuples.len()` calls to [`Self::insert`] would.
+    ///
+    /// # Errors
+    /// Fails on validation or server rejection; on rejection no tuple
+    /// of the batch was stored.
+    pub fn insert_many(&mut self, tuples: &[Tuple]) -> Result<(), PhError> {
+        use crate::ph::IncrementalPh as _;
+        if tuples.is_empty() {
+            return Ok(());
+        }
+        let mut delta = crate::swp_ph::EncryptedTable {
+            params: *self.ph.params(),
+            docs: Vec::new(),
+            next_doc_id: self.next_doc_id,
+        };
+        for tuple in tuples {
+            self.ph.append_tuple(&mut delta, tuple)?;
+        }
+        let next = delta.next_doc_id;
+        self.expect_ok(&ClientMessage::AppendBatch {
+            name: self.table_name.clone(),
+            docs: delta.docs,
+        })?;
+        self.next_doc_id = next;
+        Ok(())
+    }
+
     /// Deletes the tuples matching `query`, returning how many were
     /// removed. Two phases: the server returns the *candidate* set for
     /// the encrypted query (which may contain false positives); the
@@ -239,8 +319,9 @@ impl Client {
     /// # Errors
     /// Fails on protocol or decryption errors.
     pub fn fetch_all(&self) -> Result<Relation, PhError> {
-        let table =
-            self.expect_table(&ClientMessage::FetchAll { name: self.table_name.clone() })?;
+        let table = self.expect_table(&ClientMessage::FetchAll {
+            name: self.table_name.clone(),
+        })?;
         self.ph.decrypt_table(&table)
     }
 
@@ -249,7 +330,9 @@ impl Client {
     /// # Errors
     /// Fails on server rejection.
     pub fn drop_table(&self) -> Result<(), PhError> {
-        self.expect_ok(&ClientMessage::DropTable { name: self.table_name.clone() })
+        self.expect_ok(&ClientMessage::DropTable {
+            name: self.table_name.clone(),
+        })
     }
 }
 
@@ -299,6 +382,67 @@ mod tests {
     }
 
     #[test]
+    fn select_many_matches_individual_selects() {
+        for shards in [1, 4] {
+            let server = Server::with_shards(shards);
+            let ph = FinalSwpPh::new(emp_schema(), &SecretKey::from_bytes([11u8; 32])).unwrap();
+            let mut client = Client::new(ph, server.clone());
+            client.outsource(&emp()).unwrap();
+            let queries = [
+                Query::select("dept", "IT"),
+                Query::select("name", "Montgomery"),
+                Query::select("salary", 9999i64),
+            ];
+            let batched = client.select_many(&queries).unwrap();
+            assert_eq!(batched.len(), 3);
+            for (query, batch_result) in queries.iter().zip(&batched) {
+                let single = client.select(query).unwrap();
+                assert!(
+                    batch_result.same_multiset(&single),
+                    "batched result diverged for {query} at {shards} shard(s)"
+                );
+            }
+            // One transcript event per batched query, plus the three
+            // singles re-run above.
+            assert_eq!(server.observer().queries().len(), 6);
+        }
+    }
+
+    #[test]
+    fn select_many_empty_is_empty() {
+        let (mut client, _server) = setup();
+        client.outsource(&emp()).unwrap();
+        assert!(client.select_many(&[]).unwrap().is_empty());
+    }
+
+    #[test]
+    fn insert_many_matches_repeated_insert() {
+        let (mut client, server) = setup();
+        client.outsource(&emp()).unwrap();
+        client
+            .insert_many(&[
+                tuple!["Kim", "HR", 9000i64],
+                tuple!["Lee", "IT", 9000i64],
+                tuple!["Park", "IT", 1200i64],
+            ])
+            .unwrap();
+        let result = client.select(&Query::select("salary", 9000i64)).unwrap();
+        assert_eq!(result.len(), 2);
+        assert_eq!(client.fetch_all().unwrap().len(), 6);
+        // Exactly one Append event per inserted tuple.
+        let appends = server
+            .observer()
+            .events()
+            .iter()
+            .filter(|e| matches!(e, crate::server::ServerEvent::Append { .. }))
+            .count();
+        assert_eq!(appends, 3);
+        // Follow-up single inserts continue from the batch's ids.
+        client.insert(&tuple!["Choi", "HR", 1i64]).unwrap();
+        assert_eq!(client.fetch_all().unwrap().len(), 7);
+    }
+
+    #[test]
     fn projection() {
         let (mut client, _server) = setup();
         client.outsource(&emp()).unwrap();
@@ -321,7 +465,10 @@ mod tests {
 
         let events = server.observer().events();
         let rendered = format!("{events:?}");
-        assert!(!rendered.contains("Montgomery"), "plaintext leaked to server");
+        assert!(
+            !rendered.contains("Montgomery"),
+            "plaintext leaked to server"
+        );
         assert!(!rendered.contains("7500"));
     }
 
@@ -372,7 +519,9 @@ mod tests {
         // c1's table must not yield the plaintext.
         let ph2 = FinalSwpPh::new(emp_schema(), &SecretKey::from_bytes([2u8; 32])).unwrap();
         let c2 = Client::new(ph2, server);
-        if let Ok(r) = c2.fetch_all() { assert!(!r.same_multiset(&emp())) }
+        if let Ok(r) = c2.fetch_all() {
+            assert!(!r.same_multiset(&emp()))
+        }
     }
 
     #[test]
@@ -422,12 +571,8 @@ mod tests {
         let server = Server::new();
         let codec_len = crate::encoding::WordCodec::new(emp_schema()).word_len();
         let params = SwpParams::new(codec_len, 4, 2).unwrap();
-        let ph = FinalSwpPh::with_params(
-            emp_schema(),
-            &SecretKey::from_bytes([44u8; 32]),
-            params,
-        )
-        .unwrap();
+        let ph = FinalSwpPh::with_params(emp_schema(), &SecretKey::from_bytes([44u8; 32]), params)
+            .unwrap();
         let mut client = Client::new(ph, server);
         let mut big = Relation::empty(emp_schema());
         for i in 0..200i64 {
@@ -445,8 +590,7 @@ mod tests {
     fn rekey_preserves_data_and_invalidates_old_key() {
         let (mut client, server) = setup();
         client.outsource(&emp()).unwrap();
-        let new_ph =
-            FinalSwpPh::new(emp_schema(), &SecretKey::from_bytes([222u8; 32])).unwrap();
+        let new_ph = FinalSwpPh::new(emp_schema(), &SecretKey::from_bytes([222u8; 32])).unwrap();
         client.rekey(new_ph).unwrap();
 
         // Data survives under the new key.
@@ -455,10 +599,11 @@ mod tests {
         assert_eq!(r.len(), 2);
 
         // A reader with the old key can no longer decrypt.
-        let old_ph =
-            FinalSwpPh::new(emp_schema(), &SecretKey::from_bytes([11u8; 32])).unwrap();
+        let old_ph = FinalSwpPh::new(emp_schema(), &SecretKey::from_bytes([11u8; 32])).unwrap();
         let old_reader = Client::new(old_ph, server);
-        if let Ok(rel) = old_reader.fetch_all() { assert!(!rel.same_multiset(&emp())) }
+        if let Ok(rel) = old_reader.fetch_all() {
+            assert!(!rel.same_multiset(&emp()))
+        }
     }
 
     #[test]
@@ -470,7 +615,10 @@ mod tests {
             &SecretKey::from_bytes([5u8; 32]),
         )
         .unwrap();
-        assert!(matches!(client.rekey(other), Err(PhError::SchemaMismatch { .. })));
+        assert!(matches!(
+            client.rekey(other),
+            Err(PhError::SchemaMismatch { .. })
+        ));
     }
 
     #[test]

@@ -81,15 +81,11 @@ impl WordCodec {
     /// Fails if the attribute index is out of range or the value does
     /// not fit the attribute's declared width.
     pub fn encode(&self, attr_index: usize, value: &Value) -> Result<Word, PhError> {
-        let attr = self
-            .schema
-            .attributes()
-            .get(attr_index)
-            .ok_or_else(|| {
-                PhError::Relation(dbph_relation::RelationError::UnknownAttribute(format!(
-                    "index {attr_index}"
-                )))
-            })?;
+        let attr = self.schema.attributes().get(attr_index).ok_or_else(|| {
+            PhError::Relation(dbph_relation::RelationError::UnknownAttribute(format!(
+                "index {attr_index}"
+            )))
+        })?;
         value.check_type(&attr.ty, &attr.name)?;
 
         let bytes = value.encode();
@@ -319,8 +315,12 @@ mod tests {
     #[test]
     fn query_terms_reject_bad_queries() {
         let c = codec();
-        assert!(c.encode_query_terms(&Query::select("missing", 1i64)).is_err());
-        assert!(c.encode_query_terms(&Query::select("salary", "nope")).is_err());
+        assert!(c
+            .encode_query_terms(&Query::select("missing", 1i64))
+            .is_err());
+        assert!(c
+            .encode_query_terms(&Query::select("salary", "nope"))
+            .is_err());
     }
 
     #[test]

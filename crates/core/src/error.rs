@@ -96,7 +96,10 @@ mod tests {
         let e: PhError = CryptoError::AuthenticationFailed.into();
         assert!(e.to_string().contains("tag"));
 
-        let e = PhError::SchemaMismatch { expected: "A".into(), actual: "B".into() };
+        let e = PhError::SchemaMismatch {
+            expected: "A".into(),
+            actual: "B".into(),
+        };
         assert!(e.to_string().contains('A') && e.to_string().contains('B'));
     }
 }

@@ -27,6 +27,23 @@
 //!   stores ciphertext and executes trapdoors, an observer recording
 //!   everything the server sees (the adversary's transcript), and a
 //!   client holding the only key.
+//! * [`storage`] — the server's execution engine: each table is
+//!   partitioned into contiguous document shards
+//!   ([`storage::ShardedTable`]) scanned in parallel with trapdoors
+//!   prepared once per query ([`dbph_swp::PreparedTrapdoor`]).
+//!   Results are byte-identical for every shard count, and the
+//!   observer transcript is unchanged — sharding is Eve spending her
+//!   own cores, not Alex leaking more. What the scan still *does*
+//!   reveal is exactly the seed's leakage: the access pattern
+//!   (matched document ids per query) and, trivially to Eve herself,
+//!   per-shard match counts — a deliberate non-goal to hide, since
+//!   Eve picks the partition.
+//! * [`protocol`] batching — [`protocol::ClientMessage::QueryBatch`] /
+//!   [`protocol::ClientMessage::AppendBatch`] amortize round-trips for
+//!   multi-query and multi-insert sessions
+//!   ([`Client::select_many`] / [`Client::insert_many`]); the server
+//!   records the same per-query / per-document events as the
+//!   unbatched protocol, tagged with a [`server::BatchRef`].
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -38,6 +55,7 @@ pub mod ph;
 pub mod protocol;
 pub mod server;
 pub mod snapshot;
+pub mod storage;
 pub mod swp_ph;
 pub mod varlen;
 pub mod wire;
@@ -47,5 +65,6 @@ pub use encoding::WordCodec;
 pub use error::PhError;
 pub use ph::{DatabasePh, IncrementalPh};
 pub use server::{Observer, Server};
+pub use storage::{ShardedTable, TableStore};
 pub use swp_ph::{EncryptedQuery, EncryptedTable, FinalSwpPh, SwpPh};
 pub use varlen::VarlenPh;

@@ -85,11 +85,7 @@ pub trait DatabasePh: Clone + Send + Sync {
     ///
     /// # Errors
     /// Propagates decryption and binding failures.
-    fn decrypt_result(
-        &self,
-        result: &Self::TableCt,
-        query: &Query,
-    ) -> Result<Relation, PhError> {
+    fn decrypt_result(&self, result: &Self::TableCt, query: &Query) -> Result<Relation, PhError> {
         let candidates = self.decrypt_table(result)?;
         exec::select(&candidates, query).map_err(PhError::from)
     }

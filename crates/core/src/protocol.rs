@@ -55,7 +55,10 @@ impl WireEncode for WireTrapdoor {
 
 impl WireDecode for WireTrapdoor {
     fn decode(r: &mut Reader<'_>) -> Result<Self, PhError> {
-        Ok(WireTrapdoor { target: Vec::decode(r)?, check_key: Vec::decode(r)? })
+        Ok(WireTrapdoor {
+            target: Vec::decode(r)?,
+            check_key: Vec::decode(r)?,
+        })
     }
 }
 
@@ -67,6 +70,8 @@ mod tag {
     pub const APPEND: u8 = 4;
     pub const DROP: u8 = 5;
     pub const DELETE: u8 = 6;
+    pub const QUERY_BATCH: u8 = 7;
+    pub const APPEND_BATCH: u8 = 8;
 }
 
 /// A message from Alex to Eve.
@@ -115,6 +120,26 @@ pub enum ClientMessage {
         /// Document ids confirmed for deletion by the client.
         doc_ids: Vec<u64>,
     },
+    /// Run several trapdoor conjunctions in one round-trip. The server
+    /// answers with [`ServerResponse::Tables`], one result per query
+    /// in order, and records one `Query` event per entry — batching
+    /// amortizes transport, it does not coarsen the transcript.
+    QueryBatch {
+        /// Target table.
+        name: String,
+        /// One trapdoor conjunction per query (AND semantics within
+        /// each entry, as in [`Self::Query`]).
+        queries: Vec<Vec<WireTrapdoor>>,
+    },
+    /// Append several encrypted tuples in one round-trip, atomically:
+    /// ids must be fresh and strictly increasing or the whole batch is
+    /// rejected with no effect.
+    AppendBatch {
+        /// Target table.
+        name: String,
+        /// The new documents: `(id, cipher words)` in append order.
+        docs: Vec<(u64, Vec<CipherWord>)>,
+    },
 }
 
 impl WireEncode for ClientMessage {
@@ -134,7 +159,11 @@ impl WireEncode for ClientMessage {
                 buf.push(tag::FETCH_ALL);
                 name.encode(buf);
             }
-            ClientMessage::Append { name, doc_id, words } => {
+            ClientMessage::Append {
+                name,
+                doc_id,
+                words,
+            } => {
                 buf.push(tag::APPEND);
                 name.encode(buf);
                 doc_id.encode(buf);
@@ -148,6 +177,16 @@ impl WireEncode for ClientMessage {
                 buf.push(tag::DELETE);
                 name.encode(buf);
                 doc_ids.encode(buf);
+            }
+            ClientMessage::QueryBatch { name, queries } => {
+                buf.push(tag::QUERY_BATCH);
+                name.encode(buf);
+                queries.encode(buf);
+            }
+            ClientMessage::AppendBatch { name, docs } => {
+                buf.push(tag::APPEND_BATCH);
+                name.encode(buf);
+                docs.encode(buf);
             }
         }
     }
@@ -164,16 +203,28 @@ impl WireDecode for ClientMessage {
                 name: String::decode(r)?,
                 terms: Vec::decode(r)?,
             }),
-            tag::FETCH_ALL => Ok(ClientMessage::FetchAll { name: String::decode(r)? }),
+            tag::FETCH_ALL => Ok(ClientMessage::FetchAll {
+                name: String::decode(r)?,
+            }),
             tag::APPEND => Ok(ClientMessage::Append {
                 name: String::decode(r)?,
                 doc_id: u64::decode(r)?,
                 words: Vec::decode(r)?,
             }),
-            tag::DROP => Ok(ClientMessage::DropTable { name: String::decode(r)? }),
+            tag::DROP => Ok(ClientMessage::DropTable {
+                name: String::decode(r)?,
+            }),
             tag::DELETE => Ok(ClientMessage::DeleteDocs {
                 name: String::decode(r)?,
                 doc_ids: Vec::decode(r)?,
+            }),
+            tag::QUERY_BATCH => Ok(ClientMessage::QueryBatch {
+                name: String::decode(r)?,
+                queries: Vec::decode(r)?,
+            }),
+            tag::APPEND_BATCH => Ok(ClientMessage::AppendBatch {
+                name: String::decode(r)?,
+                docs: Vec::decode(r)?,
             }),
             t => Err(PhError::Wire(format!("unknown client message tag {t}"))),
         }
@@ -189,6 +240,9 @@ pub enum ServerResponse {
     Table(EncryptedTable),
     /// The operation failed; human-readable reason.
     Error(String),
+    /// One table ciphertext per query of a
+    /// [`ClientMessage::QueryBatch`], in query order.
+    Tables(Vec<EncryptedTable>),
 }
 
 impl WireEncode for ServerResponse {
@@ -203,6 +257,10 @@ impl WireEncode for ServerResponse {
                 buf.push(2);
                 e.encode(buf);
             }
+            ServerResponse::Tables(ts) => {
+                buf.push(3);
+                ts.encode(buf);
+            }
         }
     }
 }
@@ -213,6 +271,7 @@ impl WireDecode for ServerResponse {
             0 => Ok(ServerResponse::Ok),
             1 => Ok(ServerResponse::Table(EncryptedTable::decode(r)?)),
             2 => Ok(ServerResponse::Error(String::decode(r)?)),
+            3 => Ok(ServerResponse::Tables(Vec::decode(r)?)),
             t => Err(PhError::Wire(format!("unknown response tag {t}"))),
         }
     }
@@ -234,10 +293,16 @@ mod tests {
     #[test]
     fn all_client_messages_roundtrip() {
         let msgs = vec![
-            ClientMessage::CreateTable { name: "Emp".into(), table: sample_table() },
+            ClientMessage::CreateTable {
+                name: "Emp".into(),
+                table: sample_table(),
+            },
             ClientMessage::Query {
                 name: "Emp".into(),
-                terms: vec![WireTrapdoor { target: vec![1; 13], check_key: vec![2; 32] }],
+                terms: vec![WireTrapdoor {
+                    target: vec![1; 13],
+                    check_key: vec![2; 32],
+                }],
             },
             ClientMessage::FetchAll { name: "Emp".into() },
             ClientMessage::Append {
@@ -246,7 +311,37 @@ mod tests {
                 words: vec![CipherWord(vec![3; 13])],
             },
             ClientMessage::DropTable { name: "Emp".into() },
-            ClientMessage::DeleteDocs { name: "Emp".into(), doc_ids: vec![0, 7, 9] },
+            ClientMessage::DeleteDocs {
+                name: "Emp".into(),
+                doc_ids: vec![0, 7, 9],
+            },
+            ClientMessage::QueryBatch {
+                name: "Emp".into(),
+                queries: vec![
+                    vec![WireTrapdoor {
+                        target: vec![1; 13],
+                        check_key: vec![2; 32],
+                    }],
+                    vec![],
+                    vec![
+                        WireTrapdoor {
+                            target: vec![3; 13],
+                            check_key: vec![4; 32],
+                        },
+                        WireTrapdoor {
+                            target: vec![5; 13],
+                            check_key: vec![6; 32],
+                        },
+                    ],
+                ],
+            },
+            ClientMessage::AppendBatch {
+                name: "Emp".into(),
+                docs: vec![
+                    (7, vec![CipherWord(vec![3; 13])]),
+                    (8, vec![CipherWord(vec![4; 13]), CipherWord(vec![5; 13])]),
+                ],
+            },
         ];
         for m in msgs {
             let bytes = m.to_wire();
@@ -260,6 +355,8 @@ mod tests {
             ServerResponse::Ok,
             ServerResponse::Table(sample_table()),
             ServerResponse::Error("nope".into()),
+            ServerResponse::Tables(vec![]),
+            ServerResponse::Tables(vec![sample_table(), sample_table()]),
         ] {
             let bytes = r.to_wire();
             assert_eq!(ServerResponse::from_wire(&bytes).unwrap(), r);

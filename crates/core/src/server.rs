@@ -1,17 +1,24 @@
 //! Eve — the untrusted database service provider.
 //!
-//! The server stores table ciphertexts, executes `ψ` (the keyless
-//! trapdoor scan), and — crucially for the security analysis — records
-//! *everything it observes* in an [`Observer`]. The games and examples
-//! read that transcript to play the adversary: the paper's point is
-//! that an honest-but-curious Eve's transcript already determines what
-//! any future adversary buying her archive learns.
+//! The server executes `ψ` (the keyless trapdoor scan) over tables
+//! held in a [`crate::storage::TableStore`] — partitioned into shards
+//! and scanned in parallel — and, crucially for the security analysis,
+//! records *everything it observes* in an [`Observer`]. The games and
+//! examples read that transcript to play the adversary: the paper's
+//! point is that an honest-but-curious Eve's transcript already
+//! determines what any future adversary buying her archive learns.
 //!
 //! The server never sees key material. Its only computational
-//! capability over ciphertexts is [`dbph_swp::matches`], and its whole
-//! interface is `handle(bytes) -> bytes`.
+//! capability over ciphertexts is [`dbph_swp::matches`] (via the
+//! prepared batch form), and its whole interface is
+//! `handle(bytes) -> bytes`. Sharding and batching change *when* work
+//! happens, never *what* Eve learns: the observer transcript for any
+//! workload is identical across shard counts, and a batched message
+//! produces exactly the per-query/per-document events its unbatched
+//! equivalent would, tagged with a [`BatchRef`] so transcript analyses
+//! can still see message boundaries.
 
-use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use parking_lot::RwLock;
@@ -19,8 +26,13 @@ use parking_lot::RwLock;
 use dbph_swp::matches;
 
 use crate::protocol::{ClientMessage, ServerResponse, WireTrapdoor};
+use crate::storage::TableStore;
 use crate::swp_ph::EncryptedTable;
 use crate::wire::{WireDecode, WireEncode};
+
+/// Which batched message an event belongs to: `(batch id, index within
+/// the batch)`. Batch ids are assigned per server, in arrival order.
+pub type BatchRef = (u64, usize);
 
 /// One observed server-side event, as recorded by [`Observer`].
 #[derive(Debug, Clone, PartialEq)]
@@ -43,13 +55,22 @@ pub enum ServerEvent {
         terms: Vec<WireTrapdoor>,
         /// Matching document ids (the result set Eve computes herself).
         matched_doc_ids: Vec<u64>,
+        /// `Some` when the query arrived inside a
+        /// [`ClientMessage::QueryBatch`]; `None` for single-query
+        /// messages. Batching changes framing, not per-query leakage,
+        /// and the transcript keeps both facts analyzable.
+        batch: Option<BatchRef>,
     },
-    /// A tuple was appended.
+    /// A tuple was appended. Emitted exactly once per document, for
+    /// single appends and for each document of an
+    /// [`ClientMessage::AppendBatch`] alike.
     Append {
         /// Table name.
         name: String,
         /// The new document's id.
         doc_id: u64,
+        /// `Some` when the append arrived inside a batch.
+        batch: Option<BatchRef>,
     },
     /// The whole table was downloaded.
     FetchAll {
@@ -65,8 +86,13 @@ pub enum ServerEvent {
     DeleteDocs {
         /// Table name.
         name: String,
-        /// The ids the client confirmed — more access pattern for Eve.
+        /// The ids exactly as received on the wire — duplicates and
+        /// absent ids included, since Eve observes the raw message
+        /// (a request for a missing id is itself information).
         doc_ids: Vec<u64>,
+        /// The ids actually removed, in document order, each recorded
+        /// exactly once — the access pattern the delete realized.
+        removed: Vec<u64>,
     },
 }
 
@@ -94,15 +120,18 @@ impl Observer {
     }
 
     /// Only the query events — the transcript the §2 attacks consume.
+    /// Batched and unbatched queries appear identically here.
     #[must_use]
     pub fn queries(&self) -> Vec<(Vec<WireTrapdoor>, Vec<u64>)> {
         self.events
             .read()
             .iter()
             .filter_map(|e| match e {
-                ServerEvent::Query { terms, matched_doc_ids, .. } => {
-                    Some((terms.clone(), matched_doc_ids.clone()))
-                }
+                ServerEvent::Query {
+                    terms,
+                    matched_doc_ids,
+                    ..
+                } => Some((terms.clone(), matched_doc_ids.clone())),
                 _ => None,
             })
             .collect()
@@ -115,15 +144,28 @@ impl Observer {
 }
 
 /// The outsourced database server.
-#[derive(Clone, Default)]
+#[derive(Clone)]
 pub struct Server {
-    tables: Arc<RwLock<HashMap<String, EncryptedTable>>>,
+    store: Arc<TableStore>,
     observer: Observer,
+    /// Next batch id (shared across clones — clones are the same
+    /// logical server).
+    next_batch: Arc<AtomicU64>,
 }
 
-/// `ψ` as Eve runs it: keep documents where every trapdoor matches at
-/// least one cipher word. A free function over ciphertext — no key, no
-/// scheme type, just the public parameters and the received trapdoors.
+impl Default for Server {
+    fn default() -> Self {
+        Server::new()
+    }
+}
+
+/// `ψ` as Eve runs it, in the seed's single-threaded reference form:
+/// keep documents where every trapdoor matches at least one cipher
+/// word. A free function over ciphertext — no key, no scheme type,
+/// just the public parameters and the received trapdoors. The sharded
+/// engine ([`crate::storage::ShardedTable::scan`]) must return exactly
+/// this function's output; the conformance tests and the
+/// `shard_scan` bench hold it to that.
 #[must_use]
 pub fn execute_query(table: &EncryptedTable, terms: &[WireTrapdoor]) -> EncryptedTable {
     let docs = table
@@ -136,14 +178,41 @@ pub fn execute_query(table: &EncryptedTable, terms: &[WireTrapdoor]) -> Encrypte
         })
         .cloned()
         .collect();
-    EncryptedTable { params: table.params, docs, next_doc_id: table.next_doc_id }
+    EncryptedTable {
+        params: table.params,
+        docs,
+        next_doc_id: table.next_doc_id,
+    }
 }
 
 impl Server {
-    /// Creates an empty server.
+    /// Creates an empty server with unsharded (single-shard) storage —
+    /// the paper-faithful configuration.
     #[must_use]
     pub fn new() -> Self {
-        Server::default()
+        Server::with_shards(1)
+    }
+
+    /// Creates an empty server that partitions each table into
+    /// `shards` shards and scans them in parallel. Results and
+    /// transcripts are identical for every shard count; only
+    /// throughput changes.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    #[must_use]
+    pub fn with_shards(shards: usize) -> Self {
+        Server {
+            store: Arc::new(TableStore::new(shards)),
+            observer: Observer::new(),
+            next_batch: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// The configured shard count.
+    #[must_use]
+    pub fn shards(&self) -> usize {
+        self.store.shard_count()
     }
 
     /// The server's transcript recorder.
@@ -163,72 +232,115 @@ impl Server {
         response.to_wire()
     }
 
+    fn run_query(
+        &self,
+        name: &str,
+        terms: Vec<WireTrapdoor>,
+        batch: Option<BatchRef>,
+    ) -> Result<EncryptedTable, String> {
+        let result = self.store.query(name, &terms).map_err(|e| e.to_string())?;
+        self.observer.record(ServerEvent::Query {
+            name: name.to_string(),
+            terms,
+            matched_doc_ids: result.doc_ids(),
+            batch,
+        });
+        Ok(result)
+    }
+
     fn dispatch(&self, msg: ClientMessage) -> ServerResponse {
         match msg {
             ClientMessage::CreateTable { name, table } => {
-                let mut tables = self.tables.write();
-                if tables.contains_key(&name) {
-                    return ServerResponse::Error(format!("table exists: {name}"));
+                let (tuples, bytes) = (table.len(), table.ciphertext_bytes());
+                match self.store.create(&name, table) {
+                    Ok(()) => {
+                        self.observer.record(ServerEvent::Upload {
+                            name,
+                            tuples,
+                            bytes,
+                        });
+                        ServerResponse::Ok
+                    }
+                    Err(e) => ServerResponse::Error(e.to_string()),
                 }
-                self.observer.record(ServerEvent::Upload {
-                    name: name.clone(),
-                    tuples: table.len(),
-                    bytes: table.ciphertext_bytes(),
-                });
-                tables.insert(name, table);
-                ServerResponse::Ok
             }
-            ClientMessage::Query { name, terms } => {
-                let tables = self.tables.read();
-                let Some(table) = tables.get(&name) else {
-                    return ServerResponse::Error(format!("unknown table: {name}"));
-                };
-                let result = execute_query(table, &terms);
-                self.observer.record(ServerEvent::Query {
-                    name,
-                    terms,
-                    matched_doc_ids: result.doc_ids(),
-                });
-                ServerResponse::Table(result)
-            }
-            ClientMessage::FetchAll { name } => {
-                let tables = self.tables.read();
-                let Some(table) = tables.get(&name) else {
-                    return ServerResponse::Error(format!("unknown table: {name}"));
-                };
-                self.observer.record(ServerEvent::FetchAll { name });
-                ServerResponse::Table(table.clone())
-            }
-            ClientMessage::Append { name, doc_id, words } => {
-                let mut tables = self.tables.write();
-                let Some(table) = tables.get_mut(&name) else {
-                    return ServerResponse::Error(format!("unknown table: {name}"));
-                };
-                if doc_id < table.next_doc_id {
-                    return ServerResponse::Error(format!("stale doc id {doc_id}"));
+            ClientMessage::Query { name, terms } => match self.run_query(&name, terms, None) {
+                Ok(result) => ServerResponse::Table(result),
+                Err(e) => ServerResponse::Error(e),
+            },
+            ClientMessage::QueryBatch { name, queries } => {
+                let batch_id = self.next_batch.fetch_add(1, Ordering::Relaxed);
+                let mut results = Vec::with_capacity(queries.len());
+                for (index, terms) in queries.into_iter().enumerate() {
+                    match self.run_query(&name, terms, Some((batch_id, index))) {
+                        Ok(result) => results.push(result),
+                        Err(e) => {
+                            return ServerResponse::Error(format!("batch query {index}: {e}"))
+                        }
+                    }
                 }
-                table.docs.push((doc_id, words));
-                table.next_doc_id = doc_id + 1;
-                self.observer.record(ServerEvent::Append { name, doc_id });
-                ServerResponse::Ok
+                ServerResponse::Tables(results)
             }
-            ClientMessage::DropTable { name } => {
-                let mut tables = self.tables.write();
-                if tables.remove(&name).is_none() {
-                    return ServerResponse::Error(format!("unknown table: {name}"));
+            ClientMessage::FetchAll { name } => match self.store.fetch_all(&name) {
+                Ok(table) => {
+                    self.observer.record(ServerEvent::FetchAll { name });
+                    ServerResponse::Table(table)
                 }
-                self.observer.record(ServerEvent::Drop { name });
-                ServerResponse::Ok
+                Err(e) => ServerResponse::Error(e.to_string()),
+            },
+            ClientMessage::Append {
+                name,
+                doc_id,
+                words,
+            } => match self.store.append_batch(&name, vec![(doc_id, words)]) {
+                Ok(()) => {
+                    self.observer.record(ServerEvent::Append {
+                        name,
+                        doc_id,
+                        batch: None,
+                    });
+                    ServerResponse::Ok
+                }
+                Err(e) => ServerResponse::Error(e.to_string()),
+            },
+            ClientMessage::AppendBatch { name, docs } => {
+                let batch_id = self.next_batch.fetch_add(1, Ordering::Relaxed);
+                let doc_ids: Vec<u64> = docs.iter().map(|(id, _)| *id).collect();
+                match self.store.append_batch(&name, docs) {
+                    Ok(()) => {
+                        // The batch is atomic, so exactly these docs
+                        // were stored: one Append event each.
+                        for (index, doc_id) in doc_ids.into_iter().enumerate() {
+                            self.observer.record(ServerEvent::Append {
+                                name: name.clone(),
+                                doc_id,
+                                batch: Some((batch_id, index)),
+                            });
+                        }
+                        ServerResponse::Ok
+                    }
+                    Err(e) => ServerResponse::Error(e.to_string()),
+                }
             }
+            ClientMessage::DropTable { name } => match self.store.drop_table(&name) {
+                Ok(()) => {
+                    self.observer.record(ServerEvent::Drop { name });
+                    ServerResponse::Ok
+                }
+                Err(e) => ServerResponse::Error(e.to_string()),
+            },
             ClientMessage::DeleteDocs { name, doc_ids } => {
-                let mut tables = self.tables.write();
-                let Some(table) = tables.get_mut(&name) else {
-                    return ServerResponse::Error(format!("unknown table: {name}"));
-                };
-                let victims: std::collections::BTreeSet<u64> = doc_ids.iter().copied().collect();
-                table.docs.retain(|(id, _)| !victims.contains(id));
-                self.observer.record(ServerEvent::DeleteDocs { name, doc_ids });
-                ServerResponse::Ok
+                match self.store.delete_docs(&name, &doc_ids) {
+                    Ok(removed) => {
+                        self.observer.record(ServerEvent::DeleteDocs {
+                            name,
+                            doc_ids,
+                            removed,
+                        });
+                        ServerResponse::Ok
+                    }
+                    Err(e) => ServerResponse::Error(e.to_string()),
+                }
             }
         }
     }
@@ -242,7 +354,9 @@ mod tests {
     fn table(n: usize) -> EncryptedTable {
         EncryptedTable {
             params: SwpParams::new(13, 4, 32).unwrap(),
-            docs: (0..n as u64).map(|i| (i, vec![CipherWord(vec![i as u8; 13])])).collect(),
+            docs: (0..n as u64)
+                .map(|i| (i, vec![CipherWord(vec![i as u8; 13])]))
+                .collect(),
             next_doc_id: n as u64,
         }
     }
@@ -255,7 +369,13 @@ mod tests {
     fn create_fetch_drop() {
         let s = Server::new();
         assert_eq!(
-            send(&s, ClientMessage::CreateTable { name: "t".into(), table: table(3) }),
+            send(
+                &s,
+                ClientMessage::CreateTable {
+                    name: "t".into(),
+                    table: table(3)
+                }
+            ),
             ServerResponse::Ok
         );
         match send(&s, ClientMessage::FetchAll { name: "t".into() }) {
@@ -275,9 +395,21 @@ mod tests {
     #[test]
     fn duplicate_create_rejected() {
         let s = Server::new();
-        send(&s, ClientMessage::CreateTable { name: "t".into(), table: table(1) });
+        send(
+            &s,
+            ClientMessage::CreateTable {
+                name: "t".into(),
+                table: table(1),
+            },
+        );
         assert!(matches!(
-            send(&s, ClientMessage::CreateTable { name: "t".into(), table: table(1) }),
+            send(
+                &s,
+                ClientMessage::CreateTable {
+                    name: "t".into(),
+                    table: table(1)
+                }
+            ),
             ServerResponse::Error(_)
         ));
     }
@@ -285,7 +417,13 @@ mod tests {
     #[test]
     fn append_enforces_fresh_ids() {
         let s = Server::new();
-        send(&s, ClientMessage::CreateTable { name: "t".into(), table: table(2) });
+        send(
+            &s,
+            ClientMessage::CreateTable {
+                name: "t".into(),
+                table: table(2),
+            },
+        );
         assert_eq!(
             send(
                 &s,
@@ -320,18 +458,27 @@ mod tests {
     #[test]
     fn observer_records_uploads_and_queries() {
         let s = Server::new();
-        send(&s, ClientMessage::CreateTable { name: "t".into(), table: table(2) });
+        send(
+            &s,
+            ClientMessage::CreateTable {
+                name: "t".into(),
+                table: table(2),
+            },
+        );
         send(
             &s,
             ClientMessage::Query {
                 name: "t".into(),
-                terms: vec![WireTrapdoor { target: vec![0; 13], check_key: vec![0; 32] }],
+                terms: vec![WireTrapdoor {
+                    target: vec![0; 13],
+                    check_key: vec![0; 32],
+                }],
             },
         );
         let events = s.observer().events();
         assert_eq!(events.len(), 2);
         assert!(matches!(events[0], ServerEvent::Upload { tuples: 2, .. }));
-        assert!(matches!(events[1], ServerEvent::Query { .. }));
+        assert!(matches!(events[1], ServerEvent::Query { batch: None, .. }));
         assert_eq!(s.observer().queries().len(), 1);
         s.observer().clear();
         assert!(s.observer().events().is_empty());
@@ -341,8 +488,200 @@ mod tests {
     fn query_on_unknown_table_errors() {
         let s = Server::new();
         assert!(matches!(
-            send(&s, ClientMessage::Query { name: "none".into(), terms: vec![] }),
+            send(
+                &s,
+                ClientMessage::Query {
+                    name: "none".into(),
+                    terms: vec![]
+                }
+            ),
             ServerResponse::Error(_)
         ));
+    }
+
+    #[test]
+    fn query_batch_returns_one_table_per_query_and_tags_events() {
+        let s = Server::with_shards(3);
+        send(
+            &s,
+            ClientMessage::CreateTable {
+                name: "t".into(),
+                table: table(4),
+            },
+        );
+        let all = || vec![]; // empty conjunction: matches every doc
+        match send(
+            &s,
+            ClientMessage::QueryBatch {
+                name: "t".into(),
+                queries: vec![all(), all(), all()],
+            },
+        ) {
+            ServerResponse::Tables(results) => {
+                assert_eq!(results.len(), 3);
+                for r in &results {
+                    assert_eq!(r.doc_ids(), vec![0, 1, 2, 3]);
+                }
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        let batches: Vec<Option<BatchRef>> = s
+            .observer()
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                ServerEvent::Query { batch, .. } => Some(*batch),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(batches, vec![Some((0, 0)), Some((0, 1)), Some((0, 2))]);
+        // A second batch gets a fresh id.
+        send(
+            &s,
+            ClientMessage::QueryBatch {
+                name: "t".into(),
+                queries: vec![all()],
+            },
+        );
+        assert!(matches!(
+            s.observer().events().last(),
+            Some(ServerEvent::Query {
+                batch: Some((1, 0)),
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn query_batch_on_unknown_table_errors() {
+        let s = Server::new();
+        assert!(matches!(
+            send(
+                &s,
+                ClientMessage::QueryBatch {
+                    name: "none".into(),
+                    queries: vec![vec![]]
+                }
+            ),
+            ServerResponse::Error(_)
+        ));
+    }
+
+    #[test]
+    fn append_batch_is_atomic_and_emits_one_event_per_doc() {
+        let s = Server::with_shards(2);
+        send(
+            &s,
+            ClientMessage::CreateTable {
+                name: "t".into(),
+                table: table(2),
+            },
+        );
+        let word = || vec![CipherWord(vec![9; 13])];
+        assert_eq!(
+            send(
+                &s,
+                ClientMessage::AppendBatch {
+                    name: "t".into(),
+                    docs: vec![(2, word()), (3, word()), (4, word())],
+                }
+            ),
+            ServerResponse::Ok
+        );
+        let appended: Vec<(u64, Option<BatchRef>)> = s
+            .observer()
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                ServerEvent::Append { doc_id, batch, .. } => Some((*doc_id, *batch)),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(
+            appended,
+            vec![(2, Some((0, 0))), (3, Some((0, 1))), (4, Some((0, 2)))]
+        );
+
+        // A stale id anywhere rejects the whole batch with no events.
+        let before = s.observer().events().len();
+        assert!(matches!(
+            send(
+                &s,
+                ClientMessage::AppendBatch {
+                    name: "t".into(),
+                    docs: vec![(5, word()), (4, word())],
+                }
+            ),
+            ServerResponse::Error(_)
+        ));
+        assert_eq!(s.observer().events().len(), before);
+        match send(&s, ClientMessage::FetchAll { name: "t".into() }) {
+            ServerResponse::Table(t) => assert_eq!(t.doc_ids(), vec![0, 1, 2, 3, 4]),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn delete_docs_records_each_removed_id_once() {
+        let s = Server::new();
+        send(
+            &s,
+            ClientMessage::CreateTable {
+                name: "t".into(),
+                table: table(4),
+            },
+        );
+        assert_eq!(
+            send(
+                &s,
+                ClientMessage::DeleteDocs {
+                    name: "t".into(),
+                    // Duplicates and a missing id: the transcript keeps
+                    // the wire message verbatim, while `removed` lists
+                    // each actually-removed id exactly once.
+                    doc_ids: vec![2, 2, 0, 99],
+                }
+            ),
+            ServerResponse::Ok
+        );
+        assert!(matches!(
+            s.observer().events().last(),
+            Some(ServerEvent::DeleteDocs { doc_ids, removed, .. })
+                if *doc_ids == vec![2, 2, 0, 99] && *removed == vec![0, 2]
+        ));
+    }
+
+    #[test]
+    fn sharded_server_matches_seed_scan() {
+        // The sharded execution path must return exactly what the seed
+        // reference `execute_query` returns.
+        let t = table(100);
+        let terms = vec![WireTrapdoor {
+            target: vec![3; 13],
+            check_key: vec![0; 32],
+        }];
+        let reference = execute_query(&t, &terms);
+        for shards in [1, 2, 4, 7] {
+            let s = Server::with_shards(shards);
+            send(
+                &s,
+                ClientMessage::CreateTable {
+                    name: "t".into(),
+                    table: t.clone(),
+                },
+            );
+            match send(
+                &s,
+                ClientMessage::Query {
+                    name: "t".into(),
+                    terms: terms.clone(),
+                },
+            ) {
+                ServerResponse::Table(result) => {
+                    assert_eq!(result, reference, "{shards} shards diverged from seed scan");
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
     }
 }

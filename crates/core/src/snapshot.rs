@@ -55,7 +55,9 @@ pub fn import(bytes: &[u8]) -> Result<(String, EncryptedTable), PhError> {
     }
     let version = u16::decode(&mut r)?;
     if version != VERSION {
-        return Err(PhError::Wire(format!("unsupported snapshot version {version}")));
+        return Err(PhError::Wire(format!(
+            "unsupported snapshot version {version}"
+        )));
     }
     let name = String::decode(&mut r)?;
     let table = EncryptedTable::decode(&mut r)?;

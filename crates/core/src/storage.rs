@@ -1,0 +1,502 @@
+//! Sharded ciphertext storage and the parallel scan engine.
+//!
+//! The paper's `ψ` is a keyless trapdoor scan over *all* tuple
+//! ciphertexts — there is no index to consult, by design, so the only
+//! scaling lever that keeps the leakage profile intact is running the
+//! same scan on more cores. This module extracts table storage out of
+//! [`crate::server::Server`] into a [`TableStore`] whose tables are
+//! partitioned into contiguous shards of documents
+//! ([`ShardedTable`]); a query prepares its trapdoors once
+//! ([`dbph_swp::PreparedTrapdoor`] hoists the per-word HMAC key
+//! schedule out of the scan loop) and matches every shard in parallel
+//! with scoped threads.
+//!
+//! Two properties are load-bearing and tested:
+//!
+//! * **Shard-count invariance.** Shards are *contiguous* chunks of the
+//!   document vector and results are concatenated in shard order, so a
+//!   scan returns byte-identical results for any shard count —
+//!   including the 1-shard layout, which is exactly the seed's
+//!   single-threaded loop. Appends land in the last shard (with an
+//!   order-preserving contiguous repartition once it outgrows its
+//!   fair share); deletes retain per shard. Document order is
+//!   therefore preserved verbatim, never re-sorted.
+//! * **Unchanged leakage.** Sharding is server-internal. Eve already
+//!   sees every ciphertext, every trapdoor, and every matched
+//!   document id; how she spreads the scan over her own cores reveals
+//!   nothing new to her and nothing new *about* her inputs. The
+//!   [`crate::server::Observer`] transcript for any operation is
+//!   identical for every shard count (shard-local match counts are a
+//!   function of the partition Eve herself chose, not extra leakage
+//!   from Alex).
+
+use std::collections::{BTreeSet, HashMap};
+
+use parking_lot::RwLock;
+
+use dbph_swp::{matches_document, CipherWord, PreparedTrapdoor, TrapdoorData};
+
+use crate::error::PhError;
+use crate::swp_ph::EncryptedTable;
+
+/// One document: `(document id, cipher words in attribute order)`.
+pub type Doc = (u64, Vec<CipherWord>);
+
+/// Splits `docs` into `shard_count` contiguous chunks of near-equal
+/// size (the first `len % shard_count` chunks hold one extra
+/// document). Concatenated in order, the chunks reproduce `docs`
+/// exactly — the invariant every scan and reassembly relies on.
+fn partition(mut docs: Vec<Doc>, shard_count: usize) -> Vec<Vec<Doc>> {
+    let total = docs.len();
+    let base = total / shard_count;
+    let extra = total % shard_count;
+    let mut boundaries: Vec<usize> = Vec::with_capacity(shard_count);
+    let mut start = 0usize;
+    for i in 0..shard_count {
+        boundaries.push(start);
+        start += base + usize::from(i < extra);
+    }
+    // Split back-to-front so each split_off is O(tail).
+    let mut shards: Vec<Vec<Doc>> = Vec::with_capacity(shard_count);
+    for &b in boundaries.iter().rev() {
+        shards.push(docs.split_off(b));
+    }
+    shards.reverse();
+    shards
+}
+
+/// An [`EncryptedTable`] partitioned into contiguous document shards.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardedTable {
+    params: dbph_swp::SwpParams,
+    /// Contiguous chunks of the original document vector; concatenated
+    /// in order they reproduce it exactly.
+    shards: Vec<Vec<Doc>>,
+    next_doc_id: u64,
+}
+
+impl ShardedTable {
+    /// Partitions `table` into `shard_count` contiguous chunks of
+    /// near-equal size (the first `len % shard_count` shards hold one
+    /// extra document).
+    ///
+    /// # Panics
+    /// Panics if `shard_count == 0`.
+    #[must_use]
+    pub fn from_table(table: EncryptedTable, shard_count: usize) -> Self {
+        assert!(shard_count > 0, "shard_count must be ≥ 1");
+        let EncryptedTable {
+            params,
+            docs,
+            next_doc_id,
+        } = table;
+        ShardedTable {
+            params,
+            shards: partition(docs, shard_count),
+            next_doc_id,
+        }
+    }
+
+    /// Reassembles the flat [`EncryptedTable`] (documents in original
+    /// order).
+    #[must_use]
+    pub fn to_table(&self) -> EncryptedTable {
+        EncryptedTable {
+            params: self.params,
+            docs: self.shards.iter().flatten().cloned().collect(),
+            next_doc_id: self.next_doc_id,
+        }
+    }
+
+    /// Number of shards (fixed at construction).
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Documents per shard, in shard order.
+    #[must_use]
+    pub fn shard_sizes(&self) -> Vec<usize> {
+        self.shards.iter().map(Vec::len).collect()
+    }
+
+    /// Total number of documents.
+    #[must_use]
+    pub fn doc_count(&self) -> usize {
+        self.shards.iter().map(Vec::len).sum()
+    }
+
+    /// Next fresh document id.
+    #[must_use]
+    pub fn next_doc_id(&self) -> u64 {
+        self.next_doc_id
+    }
+
+    /// Appends one document to the last shard (preserving global
+    /// document order). The caller has already validated freshness.
+    ///
+    /// When the last shard grows past twice its fair share the table
+    /// is repartitioned — still contiguous, still order-preserving —
+    /// so insert-heavy workloads keep all shards scan-worthy instead
+    /// of collapsing onto one hot shard. The O(n) repartition is paid
+    /// at geometrically spaced appends, so the amortized cost per
+    /// append stays O(shard count).
+    fn push(&mut self, doc_id: u64, words: Vec<CipherWord>) {
+        self.shards
+            .last_mut()
+            .expect("≥ 1 shard by construction")
+            .push((doc_id, words));
+        self.next_doc_id = doc_id + 1;
+        let shard_count = self.shards.len();
+        if shard_count > 1 {
+            let last = self.shards[shard_count - 1].len();
+            let fair = self.doc_count() / shard_count;
+            if last >= 64 && last > 2 * fair {
+                let docs: Vec<Doc> = std::mem::take(&mut self.shards)
+                    .into_iter()
+                    .flatten()
+                    .collect();
+                self.shards = partition(docs, shard_count);
+            }
+        }
+    }
+
+    /// Removes the given ids wherever they live; returns the removed
+    /// ids in document order.
+    fn delete(&mut self, victims: &BTreeSet<u64>) -> Vec<u64> {
+        let mut removed = Vec::new();
+        for shard in &mut self.shards {
+            shard.retain(|(id, _)| {
+                if victims.contains(id) {
+                    removed.push(*id);
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        removed
+    }
+
+    /// Below this many documents, thread-spawn overhead outweighs the
+    /// scan itself and the engine stays sequential.
+    const PARALLEL_THRESHOLD: usize = 512;
+
+    /// `ψ` over the sharded layout: prepares each trapdoor once, scans
+    /// all shards (in parallel when the table is large enough and more
+    /// than one core is available), and concatenates matches in shard
+    /// order — byte-identical to the seed's single loop for every
+    /// shard count and worker count.
+    #[must_use]
+    pub fn scan<T: TrapdoorData>(&self, terms: &[T]) -> EncryptedTable {
+        let prepared: Vec<PreparedTrapdoor> = terms.iter().map(PreparedTrapdoor::new).collect();
+        // Spawning more threads than cores only adds overhead; so does
+        // parallelizing a tiny scan.
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let workers = self.shards.len().min(cores);
+        let docs = if workers <= 1 || self.doc_count() < Self::PARALLEL_THRESHOLD {
+            let mut docs = Vec::new();
+            for shard in 0..self.shards.len() {
+                docs.extend(self.scan_shard(shard, &prepared));
+            }
+            docs
+        } else {
+            // Deal contiguous runs of shards to `workers` threads; the
+            // runs concatenate in order, so results stay order-exact.
+            let per_worker = self.shards.len().div_ceil(workers);
+            let mut per_run: Vec<Vec<Doc>> = Vec::with_capacity(workers);
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..self.shards.len())
+                    .step_by(per_worker)
+                    .map(|start| {
+                        let prepared = &prepared;
+                        let end = (start + per_worker).min(self.shards.len());
+                        scope.spawn(move || {
+                            let mut matched = Vec::new();
+                            for shard in start..end {
+                                matched.extend(self.scan_shard(shard, prepared));
+                            }
+                            matched
+                        })
+                    })
+                    .collect();
+                for h in handles {
+                    match h.join() {
+                        Ok(matched) => per_run.push(matched),
+                        Err(payload) => std::panic::resume_unwind(payload),
+                    }
+                }
+            });
+            per_run.into_iter().flatten().collect()
+        };
+        EncryptedTable {
+            params: self.params,
+            docs,
+            next_doc_id: self.next_doc_id,
+        }
+    }
+
+    fn scan_shard(&self, shard: usize, terms: &[PreparedTrapdoor]) -> Vec<Doc> {
+        self.shards[shard]
+            .iter()
+            .filter(|(_, words)| matches_document(&self.params, terms, words))
+            .cloned()
+            .collect()
+    }
+
+    /// Total ciphertext bytes across all shards (words only, like
+    /// [`EncryptedTable::ciphertext_bytes`]).
+    #[must_use]
+    pub fn ciphertext_bytes(&self) -> usize {
+        self.shards
+            .iter()
+            .flatten()
+            .map(|(_, words)| words.iter().map(|w| w.0.len()).sum::<usize>())
+            .sum()
+    }
+}
+
+/// Thread-safe named-table storage with a fixed shard count per table.
+///
+/// This is the state the server owns; every method is the storage half
+/// of one protocol operation. Methods return [`PhError::Protocol`] for
+/// conditions the server reports to the client as errors.
+pub struct TableStore {
+    shard_count: usize,
+    tables: RwLock<HashMap<String, ShardedTable>>,
+}
+
+impl TableStore {
+    /// A store partitioning each table into `shard_count` shards.
+    ///
+    /// # Panics
+    /// Panics if `shard_count == 0`.
+    #[must_use]
+    pub fn new(shard_count: usize) -> Self {
+        assert!(shard_count > 0, "shard_count must be ≥ 1");
+        TableStore {
+            shard_count,
+            tables: RwLock::new(HashMap::new()),
+        }
+    }
+
+    /// The configured shard count.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shard_count
+    }
+
+    /// Stores a freshly uploaded table under `name`.
+    ///
+    /// # Errors
+    /// Fails if the name is taken.
+    pub fn create(&self, name: &str, table: EncryptedTable) -> Result<(), PhError> {
+        let mut tables = self.tables.write();
+        if tables.contains_key(name) {
+            return Err(PhError::Protocol(format!("table exists: {name}")));
+        }
+        tables.insert(
+            name.to_string(),
+            ShardedTable::from_table(table, self.shard_count),
+        );
+        Ok(())
+    }
+
+    /// Runs one trapdoor scan.
+    ///
+    /// # Errors
+    /// Fails for unknown tables.
+    pub fn query<T: TrapdoorData>(
+        &self,
+        name: &str,
+        terms: &[T],
+    ) -> Result<EncryptedTable, PhError> {
+        let tables = self.tables.read();
+        let table = tables
+            .get(name)
+            .ok_or_else(|| PhError::Protocol(format!("unknown table: {name}")))?;
+        Ok(table.scan(terms))
+    }
+
+    /// Reassembles the full table ciphertext.
+    ///
+    /// # Errors
+    /// Fails for unknown tables.
+    pub fn fetch_all(&self, name: &str) -> Result<EncryptedTable, PhError> {
+        let tables = self.tables.read();
+        tables
+            .get(name)
+            .map(ShardedTable::to_table)
+            .ok_or_else(|| PhError::Protocol(format!("unknown table: {name}")))
+    }
+
+    /// Appends a batch of documents atomically: every id must be fresh
+    /// (≥ the table's next id) and strictly increasing within the
+    /// batch, or nothing is stored.
+    ///
+    /// # Errors
+    /// Fails for unknown tables and stale/unordered ids.
+    pub fn append_batch(&self, name: &str, docs: Vec<Doc>) -> Result<(), PhError> {
+        let mut tables = self.tables.write();
+        let table = tables
+            .get_mut(name)
+            .ok_or_else(|| PhError::Protocol(format!("unknown table: {name}")))?;
+        let mut expected_min = table.next_doc_id;
+        for (doc_id, _) in &docs {
+            if *doc_id < expected_min {
+                return Err(PhError::Protocol(format!("stale doc id {doc_id}")));
+            }
+            expected_min = doc_id + 1;
+        }
+        for (doc_id, words) in docs {
+            table.push(doc_id, words);
+        }
+        Ok(())
+    }
+
+    /// Deletes documents by id; returns the ids actually removed, in
+    /// document order (each at most once, regardless of duplicates in
+    /// `doc_ids`).
+    ///
+    /// # Errors
+    /// Fails for unknown tables.
+    pub fn delete_docs(&self, name: &str, doc_ids: &[u64]) -> Result<Vec<u64>, PhError> {
+        let mut tables = self.tables.write();
+        let table = tables
+            .get_mut(name)
+            .ok_or_else(|| PhError::Protocol(format!("unknown table: {name}")))?;
+        let victims: BTreeSet<u64> = doc_ids.iter().copied().collect();
+        Ok(table.delete(&victims))
+    }
+
+    /// Drops the table.
+    ///
+    /// # Errors
+    /// Fails for unknown tables.
+    pub fn drop_table(&self, name: &str) -> Result<(), PhError> {
+        if self.tables.write().remove(name).is_none() {
+            return Err(PhError::Protocol(format!("unknown table: {name}")));
+        }
+        Ok(())
+    }
+
+    /// Tuple count and ciphertext size of a stored table, if present
+    /// (used by tests and diagnostics; Eve knows both anyway).
+    #[must_use]
+    pub fn stats(&self, name: &str) -> Option<(usize, usize)> {
+        let tables = self.tables.read();
+        let table = tables.get(name)?;
+        Some((table.doc_count(), table.ciphertext_bytes()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dbph_swp::SwpParams;
+
+    fn table(n: usize) -> EncryptedTable {
+        EncryptedTable {
+            params: SwpParams::new(13, 4, 32).unwrap(),
+            docs: (0..n as u64)
+                .map(|i| (i, vec![CipherWord(vec![i as u8; 13])]))
+                .collect(),
+            next_doc_id: n as u64,
+        }
+    }
+
+    #[test]
+    fn partition_is_contiguous_and_balanced() {
+        let st = ShardedTable::from_table(table(10), 4);
+        assert_eq!(st.shard_sizes(), vec![3, 3, 2, 2]);
+        assert_eq!(st.to_table(), table(10));
+        // Degenerate cases: more shards than docs, and empty tables.
+        let st = ShardedTable::from_table(table(2), 5);
+        assert_eq!(st.shard_sizes(), vec![1, 1, 0, 0, 0]);
+        assert_eq!(st.to_table(), table(2));
+        let st = ShardedTable::from_table(table(0), 3);
+        assert_eq!(st.doc_count(), 0);
+        assert_eq!(st.to_table(), table(0));
+    }
+
+    #[test]
+    fn append_lands_in_last_shard_and_preserves_order() {
+        let mut st = ShardedTable::from_table(table(4), 2);
+        st.push(4, vec![CipherWord(vec![9; 13])]);
+        assert_eq!(st.shard_sizes(), vec![2, 3]);
+        let flat = st.to_table();
+        assert_eq!(flat.doc_ids(), vec![0, 1, 2, 3, 4]);
+        assert_eq!(flat.next_doc_id, 5);
+    }
+
+    #[test]
+    fn heavy_appends_rebalance_across_shards() {
+        // Start empty (the encrypted_sql example's flow) and append
+        // many docs: without rebalancing they would all pile into the
+        // last shard and the parallel scan would degenerate.
+        let mut st = ShardedTable::from_table(table(0), 4);
+        for i in 0..1000u64 {
+            st.push(i, vec![CipherWord(vec![i as u8; 13])]);
+        }
+        let sizes = st.shard_sizes();
+        assert!(
+            sizes.iter().all(|&s| s > 0),
+            "appends must spread over shards, got {sizes:?}"
+        );
+        let max = *sizes.iter().max().unwrap();
+        let total: usize = sizes.iter().sum();
+        assert_eq!(total, 1000);
+        assert!(
+            max <= 2 * (total / sizes.len()) + 64,
+            "no shard may dominate after rebalancing, got {sizes:?}"
+        );
+        // Order is still exactly insertion order.
+        assert_eq!(st.to_table().doc_ids(), (0..1000).collect::<Vec<u64>>());
+        assert_eq!(st.next_doc_id(), 1000);
+    }
+
+    #[test]
+    fn delete_returns_each_id_once_in_doc_order() {
+        let mut st = ShardedTable::from_table(table(6), 3);
+        let removed = st.delete(&[4, 1, 1, 99].iter().copied().collect());
+        assert_eq!(removed, vec![1, 4]);
+        assert_eq!(st.to_table().doc_ids(), vec![0, 2, 3, 5]);
+    }
+
+    #[test]
+    fn store_rejects_duplicates_stale_ids_and_unknown_names() {
+        let store = TableStore::new(2);
+        store.create("t", table(3)).unwrap();
+        assert!(store.create("t", table(3)).is_err());
+        assert!(store.fetch_all("nope").is_err());
+        assert!(store.drop_table("nope").is_err());
+        // Stale id anywhere in a batch rejects the whole batch.
+        let bad = vec![
+            (3, vec![CipherWord(vec![1; 13])]),
+            (3, vec![CipherWord(vec![2; 13])]),
+        ];
+        assert!(store.append_batch("t", bad).is_err());
+        assert_eq!(store.stats("t"), Some((3, 3 * 13)));
+    }
+
+    #[test]
+    fn batch_append_is_atomic() {
+        let store = TableStore::new(2);
+        store.create("t", table(2)).unwrap();
+        let bad = vec![
+            (2, vec![CipherWord(vec![1; 13])]),
+            (1, vec![CipherWord(vec![2; 13])]), // stale
+        ];
+        assert!(store.append_batch("t", bad).is_err());
+        // The valid prefix must not have been applied.
+        assert_eq!(store.fetch_all("t").unwrap().doc_ids(), vec![0, 1]);
+        let good = vec![
+            (2, vec![CipherWord(vec![1; 13])]),
+            (7, vec![CipherWord(vec![2; 13])]),
+        ];
+        store.append_batch("t", good).unwrap();
+        let flat = store.fetch_all("t").unwrap();
+        assert_eq!(flat.doc_ids(), vec![0, 1, 2, 7]);
+        assert_eq!(flat.next_doc_id, 8);
+    }
+}

@@ -149,7 +149,11 @@ impl<S: SearchableScheme> SwpPh<S> {
                 "scheme word length must equal the codec word length",
             )));
         }
-        Ok(SwpPh { scheme, codec, name })
+        Ok(SwpPh {
+            scheme,
+            codec,
+            name,
+        })
     }
 
     /// The underlying codec (exposed for the experiment binaries).
@@ -270,15 +274,18 @@ impl<S: SearchableScheme> DatabasePh for SwpPh<S> {
             .docs
             .iter()
             .filter(|(_, words)| {
-                query.terms.iter().all(|trapdoor| {
-                    words
-                        .iter()
-                        .any(|cw| matches(&table.params, trapdoor, cw))
-                })
+                query
+                    .terms
+                    .iter()
+                    .all(|trapdoor| words.iter().any(|cw| matches(&table.params, trapdoor, cw)))
             })
             .cloned()
             .collect();
-        EncryptedTable { params: table.params, docs, next_doc_id: table.next_doc_id }
+        EncryptedTable {
+            params: table.params,
+            docs,
+            next_doc_id: table.next_doc_id,
+        }
     }
 
     fn ciphertext_len(table: &EncryptedTable) -> usize {
@@ -436,7 +443,8 @@ mod tests {
         use crate::ph::IncrementalPh as _;
         let ph = ph();
         let mut ct = ph.encrypt_table(&emp()).unwrap();
-        ph.append_tuple(&mut ct, &tuple!["Kim", "HR", 7500i64]).unwrap();
+        ph.append_tuple(&mut ct, &tuple!["Kim", "HR", 7500i64])
+            .unwrap();
         assert_eq!(ct.len(), 5);
 
         let q = Query::select("salary", 7500i64);
@@ -444,7 +452,11 @@ mod tests {
         let result = FinalSwpPh::apply(&ct, &qct);
         let rel = ph.decrypt_result(&result, &q).unwrap();
         assert_eq!(rel.len(), 2);
-        let names: Vec<_> = rel.tuples().iter().map(|t| t.get(0).unwrap().clone()).collect();
+        let names: Vec<_> = rel
+            .tuples()
+            .iter()
+            .map(|t| t.get(0).unwrap().clone())
+            .collect();
         assert!(names.contains(&Value::str("Kim")));
         assert!(names.contains(&Value::str("Montgomery")));
     }
@@ -483,6 +495,8 @@ mod tests {
         let ct = ph1.encrypt_table(&emp()).unwrap();
         // Decryption under the wrong key either errors (decode fails)
         // or yields garbage that is not the original relation.
-        if let Ok(r) = ph2.decrypt_table(&ct) { assert!(!r.same_multiset(&emp())) }
+        if let Ok(r) = ph2.decrypt_table(&ct) {
+            assert!(!r.same_multiset(&emp()))
+        }
     }
 }

@@ -20,9 +20,7 @@ use serde::{Deserialize, Serialize};
 
 use dbph_crypto::SecretKey;
 use dbph_relation::{Query, Relation, Schema, Tuple, Value};
-use dbph_swp::{
-    matches, CipherWord, FinalScheme, Location, SearchableScheme, SwpParams, Word,
-};
+use dbph_swp::{matches, CipherWord, FinalScheme, Location, SearchableScheme, SwpParams, Word};
 
 use crate::error::PhError;
 use crate::ph::{DatabasePh, IncrementalPh};
@@ -104,7 +102,11 @@ impl VarlenPh {
             schemes.push(FinalScheme::new(p, &master.derive(label.as_bytes())));
             params.push(p);
         }
-        Ok(VarlenPh { schema, schemes, params })
+        Ok(VarlenPh {
+            schema,
+            schemes,
+            params,
+        })
     }
 
     /// Per-attribute parameters (public).
@@ -143,10 +145,15 @@ impl VarlenPh {
         }
         let value_len = u16::from_be_bytes([bytes[0], bytes[1]]) as usize;
         if value_len > word_len - FRAMING {
-            return Err(PhError::CorruptCiphertext("value length exceeds capacity".into()));
+            return Err(PhError::CorruptCiphertext(
+                "value length exceeds capacity".into(),
+            ));
         }
-        Value::decode(&self.schema.attributes()[attr_index].ty, &bytes[2..2 + value_len])
-            .map_err(|e| PhError::CorruptCiphertext(e.to_string()))
+        Value::decode(
+            &self.schema.attributes()[attr_index].ty,
+            &bytes[2..2 + value_len],
+        )
+        .map_err(|e| PhError::CorruptCiphertext(e.to_string()))
     }
 
     fn encrypt_tuple(&self, doc_id: u64, tuple: &Tuple) -> Result<Vec<CipherWord>, PhError> {
@@ -354,7 +361,8 @@ mod tests {
         use crate::ph::IncrementalPh as _;
         let ph = VarlenPh::new(emp_schema(), &master()).unwrap();
         let mut ct = ph.encrypt_table(&emp()).unwrap();
-        ph.append_tuple(&mut ct, &tuple!["Kim", "HR", 7500i64]).unwrap();
+        ph.append_tuple(&mut ct, &tuple!["Kim", "HR", 7500i64])
+            .unwrap();
         let q = Query::select("dept", "HR");
         let sub = VarlenPh::apply(&ct, &ph.encrypt_query(&q).unwrap());
         assert_eq!(ph.decrypt_result(&sub, &q).unwrap().len(), 2);

@@ -92,7 +92,10 @@ impl<'a> Reader<'a> {
         if self.remaining() == 0 {
             Ok(())
         } else {
-            Err(PhError::Wire(format!("{} trailing byte(s)", self.remaining())))
+            Err(PhError::Wire(format!(
+                "{} trailing byte(s)",
+                self.remaining()
+            )))
         }
     }
 }
@@ -192,7 +195,9 @@ impl<T: WireDecode> WireDecode for Vec<T> {
         let len = usize::decode(r)?;
         // Guard against length bombs: each element needs ≥ 1 byte.
         if len > r.remaining() {
-            return Err(PhError::Wire(format!("length {len} exceeds remaining input")));
+            return Err(PhError::Wire(format!(
+                "length {len} exceeds remaining input"
+            )));
         }
         let mut out = Vec::with_capacity(len);
         for _ in 0..len {
@@ -377,7 +382,13 @@ mod tests {
         let table = crate::swp_ph::EncryptedTable {
             params: dbph_swp::SwpParams::new(13, 4, 32).unwrap(),
             docs: vec![
-                (0, vec![dbph_swp::CipherWord(vec![1; 13]), dbph_swp::CipherWord(vec![2; 13])]),
+                (
+                    0,
+                    vec![
+                        dbph_swp::CipherWord(vec![1; 13]),
+                        dbph_swp::CipherWord(vec![2; 13]),
+                    ],
+                ),
                 (1, vec![dbph_swp::CipherWord(vec![3; 13])]),
             ],
             next_doc_id: 2,

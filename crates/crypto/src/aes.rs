@@ -55,12 +55,8 @@ fn build_sboxes() -> ([u8; 256], [u8; 256]) {
     let mut inv_sbox = [0u8; 256];
     for x in 0..=255u8 {
         let b = inv[x as usize];
-        let s = b
-            ^ b.rotate_left(1)
-            ^ b.rotate_left(2)
-            ^ b.rotate_left(3)
-            ^ b.rotate_left(4)
-            ^ 0x63;
+        let s =
+            b ^ b.rotate_left(1) ^ b.rotate_left(2) ^ b.rotate_left(3) ^ b.rotate_left(4) ^ 0x63;
         sbox[x as usize] = s;
         inv_sbox[s as usize] = x;
     }
@@ -89,7 +85,10 @@ impl Aes128 {
     /// Returns [`CryptoError::InvalidKeyLength`] unless `key` is 16 bytes.
     pub fn new(key: &[u8]) -> Result<Self, CryptoError> {
         if key.len() != KEY_LEN {
-            return Err(CryptoError::InvalidKeyLength { expected: KEY_LEN, actual: key.len() });
+            return Err(CryptoError::InvalidKeyLength {
+                expected: KEY_LEN,
+                actual: key.len(),
+            });
         }
         let (sbox, _) = sboxes();
         let mut w = [[0u8; 4]; 4 * (ROUNDS + 1)];
@@ -163,7 +162,10 @@ impl Aes128 {
     /// multiple of 16 bytes.
     pub fn ecb_encrypt(&self, data: &mut [u8]) -> Result<(), CryptoError> {
         if !data.len().is_multiple_of(BLOCK_LEN) {
-            return Err(CryptoError::BlockSizeMismatch { block: BLOCK_LEN, actual: data.len() });
+            return Err(CryptoError::BlockSizeMismatch {
+                block: BLOCK_LEN,
+                actual: data.len(),
+            });
         }
         for chunk in data.chunks_exact_mut(BLOCK_LEN) {
             let mut b = [0u8; BLOCK_LEN];
@@ -181,7 +183,10 @@ impl Aes128 {
     /// multiple of 16 bytes.
     pub fn ecb_decrypt(&self, data: &mut [u8]) -> Result<(), CryptoError> {
         if !data.len().is_multiple_of(BLOCK_LEN) {
-            return Err(CryptoError::BlockSizeMismatch { block: BLOCK_LEN, actual: data.len() });
+            return Err(CryptoError::BlockSizeMismatch {
+                block: BLOCK_LEN,
+                actual: data.len(),
+            });
         }
         for chunk in data.chunks_exact_mut(BLOCK_LEN) {
             let mut b = [0u8; BLOCK_LEN];
@@ -244,7 +249,12 @@ fn inv_shift_rows(state: &mut [u8; BLOCK_LEN]) {
 #[inline]
 fn mix_columns(state: &mut [u8; BLOCK_LEN]) {
     for c in 0..4 {
-        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        let col = [
+            state[4 * c],
+            state[4 * c + 1],
+            state[4 * c + 2],
+            state[4 * c + 3],
+        ];
         state[4 * c] = gf_mul(col[0], 2) ^ gf_mul(col[1], 3) ^ col[2] ^ col[3];
         state[4 * c + 1] = col[0] ^ gf_mul(col[1], 2) ^ gf_mul(col[2], 3) ^ col[3];
         state[4 * c + 2] = col[0] ^ col[1] ^ gf_mul(col[2], 2) ^ gf_mul(col[3], 3);
@@ -255,7 +265,12 @@ fn mix_columns(state: &mut [u8; BLOCK_LEN]) {
 #[inline]
 fn inv_mix_columns(state: &mut [u8; BLOCK_LEN]) {
     for c in 0..4 {
-        let col = [state[4 * c], state[4 * c + 1], state[4 * c + 2], state[4 * c + 3]];
+        let col = [
+            state[4 * c],
+            state[4 * c + 1],
+            state[4 * c + 2],
+            state[4 * c + 3],
+        ];
         state[4 * c] =
             gf_mul(col[0], 14) ^ gf_mul(col[1], 11) ^ gf_mul(col[2], 13) ^ gf_mul(col[3], 9);
         state[4 * c + 1] =
@@ -311,9 +326,7 @@ mod tests {
     fn sp800_38a_ecb_vectors() {
         let key = unhex("2b7e151628aed2a6abf7158809cf4f3c");
         let aes = Aes128::new(&key).unwrap();
-        let mut data = unhex(
-            "6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51",
-        );
+        let mut data = unhex("6bc1bee22e409f96e93d7e117393172aae2d8a571e03ac9c9eb76fac45af8e51");
         aes.ecb_encrypt(&mut data).unwrap();
         assert_eq!(
             hex(&data),
@@ -346,11 +359,17 @@ mod tests {
     fn wrong_key_length_rejected() {
         assert_eq!(
             Aes128::new(&[0u8; 15]).unwrap_err(),
-            CryptoError::InvalidKeyLength { expected: 16, actual: 15 }
+            CryptoError::InvalidKeyLength {
+                expected: 16,
+                actual: 15
+            }
         );
         assert_eq!(
             Aes128::new(&[0u8; 32]).unwrap_err(),
-            CryptoError::InvalidKeyLength { expected: 16, actual: 32 }
+            CryptoError::InvalidKeyLength {
+                expected: 16,
+                actual: 32
+            }
         );
     }
 
@@ -360,7 +379,10 @@ mod tests {
         let mut data = vec![0u8; 17];
         assert_eq!(
             aes.ecb_encrypt(&mut data).unwrap_err(),
-            CryptoError::BlockSizeMismatch { block: 16, actual: 17 }
+            CryptoError::BlockSizeMismatch {
+                block: 16,
+                actual: 17
+            }
         );
         assert!(aes.ecb_decrypt(&mut data).is_err());
     }

@@ -74,7 +74,9 @@ impl StreamCipher {
     /// Creates a cipher keyed by a subkey of `master` under `label`.
     #[must_use]
     pub fn new(master: &SecretKey, label: &[u8]) -> Self {
-        StreamCipher { key: *master.derive(label).as_bytes() }
+        StreamCipher {
+            key: *master.derive(label).as_bytes(),
+        }
     }
 
     /// Creates a cipher from raw key bytes (tests, vectors).
@@ -152,7 +154,10 @@ impl RandomizedCipher for SealedCipher {
     fn decrypt(&self, ciphertext: &[u8]) -> Result<Vec<u8>, CryptoError> {
         let min = chacha20::NONCE_LEN + SEAL_TAG_LEN;
         if ciphertext.len() < min {
-            return Err(CryptoError::CiphertextTooShort { minimum: min, actual: ciphertext.len() });
+            return Err(CryptoError::CiphertextTooShort {
+                minimum: min,
+                actual: ciphertext.len(),
+            });
         }
         let (body, tag) = ciphertext.split_at(ciphertext.len() - SEAL_TAG_LEN);
         let expected = HmacSha256::mac(&self.mac_key, body);
@@ -188,12 +193,16 @@ impl WideBlockPrp {
     pub fn new(master: &SecretKey, label: &[u8]) -> Self {
         let base = master.derive(label);
         let mk = |i: u8| HmacPrf::new(base.derive(&[b'r', i]).as_bytes());
-        WideBlockPrp { round_prfs: [mk(0), mk(1), mk(2), mk(3)] }
+        WideBlockPrp {
+            round_prfs: [mk(0), mk(1), mk(2), mk(3)],
+        }
     }
 
     fn check_len(data: &[u8]) -> Result<(), CryptoError> {
         if data.len() < 2 {
-            return Err(CryptoError::InvalidParameter("WideBlockPrp requires ≥ 2 bytes"));
+            return Err(CryptoError::InvalidParameter(
+                "WideBlockPrp requires ≥ 2 bytes",
+            ));
         }
         Ok(())
     }
@@ -297,7 +306,9 @@ impl DeterministicCipher for EcbCipher {
         let mut data = Vec::with_capacity(plaintext.len() + pad);
         data.extend_from_slice(plaintext);
         data.extend(std::iter::repeat_n(pad as u8, pad));
-        self.aes.ecb_encrypt(&mut data).expect("padded to block multiple");
+        self.aes
+            .ecb_encrypt(&mut data)
+            .expect("padded to block multiple");
         data
     }
 
@@ -381,7 +392,10 @@ mod tests {
         for i in 0..ct.len() {
             let mut bad = ct.clone();
             bad[i] ^= 0x01;
-            assert_eq!(c.decrypt(&bad).unwrap_err(), CryptoError::AuthenticationFailed);
+            assert_eq!(
+                c.decrypt(&bad).unwrap_err(),
+                CryptoError::AuthenticationFailed
+            );
         }
         // Truncation must be caught.
         assert!(c.decrypt(&ct[..ct.len() - 1]).is_err());
@@ -397,7 +411,10 @@ mod tests {
         let c2 = SealedCipher::new(&key(), b"two");
         let mut rng = DeterministicRng::from_seed(5);
         let ct = c1.encrypt(&mut rng, b"x");
-        assert_eq!(c2.decrypt(&ct).unwrap_err(), CryptoError::AuthenticationFailed);
+        assert_eq!(
+            c2.decrypt(&ct).unwrap_err(),
+            CryptoError::AuthenticationFailed
+        );
     }
 
     #[test]
@@ -415,7 +432,10 @@ mod tests {
     #[test]
     fn wide_prp_is_deterministic() {
         let prp = WideBlockPrp::new(&key(), b"w");
-        assert_eq!(prp.encrypt_det(b"hello word"), prp.encrypt_det(b"hello word"));
+        assert_eq!(
+            prp.encrypt_det(b"hello word"),
+            prp.encrypt_det(b"hello word")
+        );
     }
 
     #[test]
@@ -442,7 +462,11 @@ mod tests {
         let mut flipped = [0u8; 32];
         flipped[0] = 1;
         let b = prp.encrypt_det(&flipped);
-        let diff: u32 = a.iter().zip(b.iter()).map(|(x, y)| (x ^ y).count_ones()).sum();
+        let diff: u32 = a
+            .iter()
+            .zip(b.iter())
+            .map(|(x, y)| (x ^ y).count_ones())
+            .sum();
         assert!(diff > 64, "avalanche too weak: {diff}/256 bits changed");
     }
 
@@ -476,6 +500,8 @@ mod tests {
         let ct = c.encrypt_det(b"hello");
         // Either decrypts to wrong bytes or errors on padding; both acceptable,
         // but it must never return the original plaintext.
-        if let Ok(pt) = other.decrypt_det(&ct) { assert_ne!(pt, b"hello".to_vec()) }
+        if let Ok(pt) = other.decrypt_det(&ct) {
+            assert_ne!(pt, b"hello".to_vec())
+        }
     }
 }

@@ -44,14 +44,23 @@ impl fmt::Display for CryptoError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CryptoError::InvalidKeyLength { expected, actual } => {
-                write!(f, "invalid key length: expected {expected} bytes, got {actual}")
+                write!(
+                    f,
+                    "invalid key length: expected {expected} bytes, got {actual}"
+                )
             }
             CryptoError::CiphertextTooShort { minimum, actual } => {
-                write!(f, "ciphertext too short: need at least {minimum} bytes, got {actual}")
+                write!(
+                    f,
+                    "ciphertext too short: need at least {minimum} bytes, got {actual}"
+                )
             }
             CryptoError::AuthenticationFailed => write!(f, "authentication tag mismatch"),
             CryptoError::BlockSizeMismatch { block, actual } => {
-                write!(f, "input length {actual} is not a multiple of the {block}-byte block size")
+                write!(
+                    f,
+                    "input length {actual} is not a multiple of the {block}-byte block size"
+                )
             }
             CryptoError::InvalidParameter(what) => write!(f, "invalid parameter: {what}"),
         }
@@ -66,20 +75,34 @@ mod tests {
 
     #[test]
     fn display_formats_are_informative() {
-        let e = CryptoError::InvalidKeyLength { expected: 32, actual: 16 };
+        let e = CryptoError::InvalidKeyLength {
+            expected: 32,
+            actual: 16,
+        };
         assert!(e.to_string().contains("32"));
         assert!(e.to_string().contains("16"));
-        let e = CryptoError::CiphertextTooShort { minimum: 12, actual: 3 };
+        let e = CryptoError::CiphertextTooShort {
+            minimum: 12,
+            actual: 3,
+        };
         assert!(e.to_string().contains("12"));
-        let e = CryptoError::BlockSizeMismatch { block: 16, actual: 17 };
+        let e = CryptoError::BlockSizeMismatch {
+            block: 16,
+            actual: 17,
+        };
         assert!(e.to_string().contains("16-byte"));
-        assert!(CryptoError::AuthenticationFailed.to_string().contains("tag"));
+        assert!(CryptoError::AuthenticationFailed
+            .to_string()
+            .contains("tag"));
         assert!(CryptoError::InvalidParameter("x").to_string().contains('x'));
     }
 
     #[test]
     fn errors_are_comparable() {
-        assert_eq!(CryptoError::AuthenticationFailed, CryptoError::AuthenticationFailed);
+        assert_eq!(
+            CryptoError::AuthenticationFailed,
+            CryptoError::AuthenticationFailed
+        );
         assert_ne!(
             CryptoError::AuthenticationFailed,
             CryptoError::InvalidParameter("domain")

@@ -34,7 +34,9 @@ impl FeistelPrp {
     /// or `domain_size > 2^62` (cycle-walking bound).
     pub fn new(key: &[u8], domain_size: u64) -> Result<Self, CryptoError> {
         if domain_size < 2 {
-            return Err(CryptoError::InvalidParameter("Feistel domain must have ≥ 2 elements"));
+            return Err(CryptoError::InvalidParameter(
+                "Feistel domain must have ≥ 2 elements",
+            ));
         }
         if domain_size > 1u64 << 62 {
             return Err(CryptoError::InvalidParameter("Feistel domain too large"));
@@ -50,7 +52,11 @@ impl FeistelPrp {
                 h.finalize()
             })
             .collect();
-        Ok(FeistelPrp { round_keys, domain_size, half_bits })
+        Ok(FeistelPrp {
+            round_keys,
+            domain_size,
+            half_bits,
+        })
     }
 
     /// The size of the permuted domain.
@@ -103,7 +109,11 @@ impl FeistelPrp {
     /// Panics if `x >= domain_size` — callers own domain validation.
     #[must_use]
     pub fn permute(&self, x: u64) -> u64 {
-        assert!(x < self.domain_size, "Feistel input {x} outside domain {}", self.domain_size);
+        assert!(
+            x < self.domain_size,
+            "Feistel input {x} outside domain {}",
+            self.domain_size
+        );
         // Cycle walking: iterate until we land back inside the domain.
         // Expected iterations < 4 because 2^(2*half_bits) < 4·domain.
         let mut y = self.feistel_forward(x);
@@ -119,7 +129,11 @@ impl FeistelPrp {
     /// Panics if `y >= domain_size`.
     #[must_use]
     pub fn invert(&self, y: u64) -> u64 {
-        assert!(y < self.domain_size, "Feistel input {y} outside domain {}", self.domain_size);
+        assert!(
+            y < self.domain_size,
+            "Feistel input {y} outside domain {}",
+            self.domain_size
+        );
         let mut x = self.feistel_backward(y);
         while x >= self.domain_size {
             x = self.feistel_backward(x);
@@ -140,7 +154,10 @@ mod tests {
             for x in 0..domain {
                 let y = prp.permute(x);
                 assert!(y < domain, "output {y} escapes domain {domain}");
-                assert!(!seen[y as usize], "collision at {x} -> {y} (domain {domain})");
+                assert!(
+                    !seen[y as usize],
+                    "collision at {x} -> {y} (domain {domain})"
+                );
                 seen[y as usize] = true;
                 assert_eq!(prp.invert(y), x, "inverse failed for {x} (domain {domain})");
             }

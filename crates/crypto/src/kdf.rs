@@ -20,7 +20,10 @@ use crate::hmac::{HmacSha256, MAC_LEN};
 /// caller in this workspace approaches.
 #[must_use]
 pub fn derive_key(master: &[u8], label: &[u8], len: usize) -> Vec<u8> {
-    assert!(len <= 255 * MAC_LEN, "derive_key: requested too much output");
+    assert!(
+        len <= 255 * MAC_LEN,
+        "derive_key: requested too much output"
+    );
     // Extract with a fixed salt so short master keys are whitened.
     let prk = HmacSha256::mac(b"dbph/kdf/v1/salt", master);
 
@@ -36,7 +39,9 @@ pub fn derive_key(master: &[u8], label: &[u8], len: usize) -> Vec<u8> {
         let take = (len - out.len()).min(MAC_LEN);
         out.extend_from_slice(&block[..take]);
         previous = block.to_vec();
-        counter = counter.checked_add(1).expect("derive_key: counter overflow");
+        counter = counter
+            .checked_add(1)
+            .expect("derive_key: counter overflow");
     }
     out
 }

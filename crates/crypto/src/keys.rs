@@ -46,7 +46,9 @@ impl SecretKey {
     /// Derives an independent subkey for the given domain label.
     #[must_use]
     pub fn derive(&self, label: &[u8]) -> SecretKey {
-        SecretKey { bytes: kdf::derive_array(&self.bytes, label) }
+        SecretKey {
+            bytes: kdf::derive_array(&self.bytes, label),
+        }
     }
 
     /// Derives `len` bytes of subkey material for the given label.

@@ -25,17 +25,24 @@ pub trait Prf: Clone + Send + Sync {
 /// HMAC-SHA-256 in counter mode as a variable-output-length PRF.
 ///
 /// For output lengths ≤ 32 bytes a single HMAC call suffices; longer
-/// outputs concatenate `HMAC(k, input ‖ ctr)` blocks.
+/// outputs concatenate `HMAC(k, input ‖ ctr)` blocks. The HMAC key
+/// schedule (two compression calls over the padded key) runs once in
+/// [`HmacPrf::new`] and the keyed state is cloned per block — callers
+/// that evaluate the same key against many inputs (the server-side
+/// trapdoor scan above all) get the hoisted schedule for free.
 #[derive(Clone)]
 pub struct HmacPrf {
-    key: Vec<u8>,
+    /// Keyed HMAC state with no message absorbed yet.
+    mac: HmacSha256,
 }
 
 impl HmacPrf {
     /// Creates a PRF instance keyed with `key`.
     #[must_use]
     pub fn new(key: &[u8]) -> Self {
-        HmacPrf { key: key.to_vec() }
+        HmacPrf {
+            mac: HmacSha256::new(key),
+        }
     }
 }
 
@@ -44,7 +51,7 @@ impl Prf for HmacPrf {
         let mut offset = 0usize;
         let mut counter: u32 = 0;
         while offset < out.len() {
-            let mut h = HmacSha256::new(&self.key);
+            let mut h = self.mac.clone();
             h.update(input);
             h.update(&counter.to_be_bytes());
             let block = h.finalize();

@@ -35,7 +35,9 @@ impl ChaChaPrg {
     /// Creates a PRG from arbitrary seed bytes via the KDF.
     #[must_use]
     pub fn from_seed_bytes(seed: &[u8]) -> Self {
-        ChaChaPrg { key: crate::kdf::derive_array(seed, b"dbph/prg/v1") }
+        ChaChaPrg {
+            key: crate::kdf::derive_array(seed, b"dbph/prg/v1"),
+        }
     }
 }
 

@@ -46,13 +46,18 @@ pub trait EntropySource {
     }
 }
 
-/// OS-backed entropy via the `rand` crate's `OsRng`.
+/// OS-backed entropy, read directly from `/dev/urandom` so the crate
+/// needs no external dependency. Non-Unix targets are out of scope for
+/// this workspace.
 pub struct OsEntropy;
 
 impl EntropySource for OsEntropy {
     fn fill(&mut self, out: &mut [u8]) {
-        use rand::RngCore;
-        rand::rngs::OsRng.fill_bytes(out);
+        use std::io::Read;
+        let mut f = std::fs::File::open("/dev/urandom")
+            .expect("OS entropy unavailable: cannot open /dev/urandom");
+        f.read_exact(out)
+            .expect("OS entropy unavailable: short read from /dev/urandom");
     }
 }
 
@@ -72,7 +77,12 @@ impl DeterministicRng {
     #[must_use]
     pub fn from_seed(seed: u64) -> Self {
         let key = crate::kdf::derive_array(&seed.to_le_bytes(), b"dbph/rng/v1");
-        DeterministicRng { key, counter: 0, buf: [0u8; chacha20::BLOCK_LEN], buf_used: chacha20::BLOCK_LEN }
+        DeterministicRng {
+            key,
+            counter: 0,
+            buf: [0u8; chacha20::BLOCK_LEN],
+            buf_used: chacha20::BLOCK_LEN,
+        }
     }
 
     /// Derives an independent child generator; children with different
@@ -82,7 +92,12 @@ impl DeterministicRng {
         let mut seed_material = self.key.to_vec();
         seed_material.extend_from_slice(label.as_bytes());
         let key = crate::kdf::derive_array(&seed_material, b"dbph/rng/child/v1");
-        DeterministicRng { key, counter: 0, buf: [0u8; chacha20::BLOCK_LEN], buf_used: chacha20::BLOCK_LEN }
+        DeterministicRng {
+            key,
+            counter: 0,
+            buf: [0u8; chacha20::BLOCK_LEN],
+            buf_used: chacha20::BLOCK_LEN,
+        }
     }
 
     fn refill(&mut self) {
@@ -165,7 +180,10 @@ mod tests {
             assert!(v < 10);
             seen[v as usize] = true;
         }
-        assert!(seen.iter().all(|&s| s), "all residues should appear in 1000 draws");
+        assert!(
+            seen.iter().all(|&s| s),
+            "all residues should appear in 1000 draws"
+        );
     }
 
     #[test]

@@ -63,7 +63,12 @@ impl Sha256 {
     /// Creates a fresh hasher.
     #[must_use]
     pub fn new() -> Self {
-        Sha256 { state: H0, buf: [0u8; BLOCK_LEN], buf_len: 0, total_len: 0 }
+        Sha256 {
+            state: H0,
+            buf: [0u8; BLOCK_LEN],
+            buf_len: 0,
+            total_len: 0,
+        }
     }
 
     /// Absorbs `data` into the hash state.

@@ -99,10 +99,10 @@ where
         .min(trials);
     let counter = std::sync::atomic::AtomicUsize::new(0);
     let wins = std::sync::atomic::AtomicUsize::new(0);
-    let outcome = crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
             .map(|_| {
-                scope.spawn(|_| loop {
+                scope.spawn(|| loop {
                     let t = counter.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     if t >= trials {
                         break;
@@ -116,14 +116,11 @@ where
         // Join explicitly so a trial panic surfaces with its original
         // payload (useful for should_panic tests and diagnostics).
         for h in handles {
-            h.join()?
+            if let Err(payload) = h.join() {
+                std::panic::resume_unwind(payload);
+            }
         }
-        Ok(())
-    })
-    .expect("scope itself never panics");
-    if let Err(payload) = outcome {
-        std::panic::resume_unwind(payload);
-    }
+    });
     AdvantageEstimate::new(wins.into_inner(), trials)
 }
 

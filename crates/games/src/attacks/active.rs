@@ -47,12 +47,7 @@ impl CardinalityAdversary {
     fn table_with_john_in(&self, hospital: i64) -> Relation {
         let mut tuples = vec![tuple![1i64, "John", hospital, false]];
         for i in 0..self.filler_rows {
-            tuples.push(tuple![
-                i as i64 + 2,
-                format!("P{:06}", i + 2),
-                3i64,
-                false
-            ]);
+            tuples.push(tuple![i as i64 + 2, format!("P{:06}", i + 2), 3i64, false]);
         }
         Relation::from_tuples(hospital_schema(), tuples).expect("valid by construction")
     }
@@ -230,14 +225,14 @@ mod tests {
 
     #[test]
     fn locate_john_finds_hospital_and_outcome() {
-        let cfg = HospitalConfig { patients: 200, ..HospitalConfig::default() };
+        let cfg = HospitalConfig {
+            patients: 200,
+            ..HospitalConfig::default()
+        };
         for (hospital, fatal) in [(1i64, false), (2, true), (3, false)] {
             let (relation, _) = cfg.generate_with_john(77, hospital, fatal);
-            let ph = FinalSwpPh::new(
-                hospital_schema(),
-                &SecretKey::from_bytes([13u8; 32]),
-            )
-            .unwrap();
+            let ph =
+                FinalSwpPh::new(hospital_schema(), &SecretKey::from_bytes([13u8; 32])).unwrap();
             let findings = locate_john(&ph, &relation, 3).unwrap();
             assert_eq!(findings.hospital, Some(hospital));
             assert_eq!(findings.fatal, fatal);
@@ -246,7 +241,10 @@ mod tests {
 
     #[test]
     fn locate_john_works_against_varlen_too() {
-        let cfg = HospitalConfig { patients: 100, ..HospitalConfig::default() };
+        let cfg = HospitalConfig {
+            patients: 100,
+            ..HospitalConfig::default()
+        };
         let (relation, _) = cfg.generate_with_john(78, 2, true);
         let ph = VarlenPh::new(hospital_schema(), &SecretKey::from_bytes([14u8; 32])).unwrap();
         let findings = locate_john(&ph, &relation, 3).unwrap();

@@ -79,9 +79,7 @@ impl<P: DatabasePh> FrequencyAttack<P> {
 /// Equality classes for the deterministic per-cell scheme: the cell
 /// ciphertext bytes *are* the class label.
 #[must_use]
-pub fn det_classes(
-    attr_index: usize,
-) -> EqualityClasses<dbph_baselines::det::DetTable> {
+pub fn det_classes(attr_index: usize) -> EqualityClasses<dbph_baselines::det::DetTable> {
     Box::new(move |ct| {
         let mut interned: HashMap<Vec<u8>, u64> = HashMap::new();
         let mut out = HashMap::new();
@@ -96,9 +94,7 @@ pub fn det_classes(
 
 /// Equality classes for the Damiani hash scheme: the tag is the label.
 #[must_use]
-pub fn damiani_classes(
-    attr_index: usize,
-) -> EqualityClasses<dbph_baselines::damiani::HashTable> {
+pub fn damiani_classes(attr_index: usize) -> EqualityClasses<dbph_baselines::damiani::HashTable> {
     Box::new(move |ct| {
         ct.docs
             .iter()
@@ -125,9 +121,7 @@ pub fn bucket_classes(
 /// repeat, so every document is its own class — frequency analysis
 /// gets no purchase.
 #[must_use]
-pub fn swp_classes(
-    attr_index: usize,
-) -> EqualityClasses<dbph_core::EncryptedTable> {
+pub fn swp_classes(attr_index: usize) -> EqualityClasses<dbph_core::EncryptedTable> {
     Box::new(move |ct| {
         let mut interned: HashMap<Vec<u8>, u64> = HashMap::new();
         let mut out = HashMap::new();
@@ -194,9 +188,8 @@ mod tests {
 
     #[test]
     fn damiani_tags_leak_frequencies_too() {
-        let ph =
-            dbph_baselines::DamianiPh::new(emp_schema(), &SecretKey::from_bytes([63u8; 32]))
-                .unwrap();
+        let ph = dbph_baselines::DamianiPh::new(emp_schema(), &SecretKey::from_bytes([63u8; 32]))
+            .unwrap();
         let attack = FrequencyAttack::new(damiani_classes(1));
         let rate = attack
             .recovery_rate(&ph, &skewed_relation(), 1, &known_distribution())

@@ -25,7 +25,10 @@ impl<P: DatabasePh> DbAdversary<P> for GuessingAdversary {
         .expect("static tables are valid");
         let t2 = Relation::from_tuples(
             emp_schema(),
-            vec![tuple!["Carol", "IT", 3000i64], tuple!["Dave", "HR", 4000i64]],
+            vec![
+                tuple!["Carol", "IT", 3000i64],
+                tuple!["Dave", "HR", 4000i64],
+            ],
         )
         .expect("static tables are valid");
         (t1, t2)

@@ -41,7 +41,10 @@ pub struct HospitalPriors {
 
 impl Default for HospitalPriors {
     fn default() -> Self {
-        HospitalPriors { flows: vec![0.2, 0.3, 0.5], fatal_rate: 0.08 }
+        HospitalPriors {
+            flows: vec![0.2, 0.3, 0.5],
+            fatal_rate: 0.08,
+        }
     }
 }
 
@@ -167,7 +170,11 @@ mod tests {
     use dbph_relation::schema::hospital_schema;
 
     fn population(seed: u64) -> Relation {
-        HospitalConfig { patients: 2000, ..HospitalConfig::default() }.generate(seed)
+        HospitalConfig {
+            patients: 2000,
+            ..HospitalConfig::default()
+        }
+        .generate(seed)
     }
 
     #[test]
@@ -175,9 +182,7 @@ mod tests {
         let ph = PlaintextPh::new(hospital_schema());
         let r = population(1);
         let (truth, inferred) = run_inference(&ph, &r, &HospitalPriors::default()).unwrap();
-        for (h, (true_ratio, estimate)) in
-            truth.iter().zip(&inferred.fatal_ratio).enumerate()
-        {
+        for (h, (true_ratio, estimate)) in truth.iter().zip(&inferred.fatal_ratio).enumerate() {
             assert!(
                 (true_ratio - estimate).abs() < 0.03,
                 "hospital {h}: true {true_ratio} vs inferred {estimate}"
@@ -192,9 +197,7 @@ mod tests {
         let ph = FinalSwpPh::new(hospital_schema(), &SecretKey::from_bytes([3u8; 32])).unwrap();
         let r = population(2);
         let (truth, inferred) = run_inference(&ph, &r, &HospitalPriors::default()).unwrap();
-        for (h, (true_ratio, estimate)) in
-            truth.iter().zip(&inferred.fatal_ratio).enumerate()
-        {
+        for (h, (true_ratio, estimate)) in truth.iter().zip(&inferred.fatal_ratio).enumerate() {
             assert!(
                 (true_ratio - estimate).abs() < 0.03,
                 "hospital {h}: true {true_ratio} vs inferred {estimate}"

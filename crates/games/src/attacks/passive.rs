@@ -36,7 +36,11 @@ impl PassiveSizeAdversary {
     #[must_use]
     pub fn new(total: usize, split1: usize, split2: usize) -> Self {
         assert!(split1 <= total && split2 <= total && split1 != split2);
-        PassiveSizeAdversary { total, split1, split2 }
+        PassiveSizeAdversary {
+            total,
+            split1,
+            split2,
+        }
     }
 
     fn table_with_split(&self, in_hospital_one: usize) -> Relation {
@@ -58,7 +62,10 @@ impl Default for PassiveSizeAdversary {
 
 impl<P: DatabasePh> DbAdversary<P> for PassiveSizeAdversary {
     fn choose_tables(&self, _rng: &mut DeterministicRng) -> (Relation, Relation) {
-        (self.table_with_split(self.split1), self.table_with_split(self.split2))
+        (
+            self.table_with_split(self.split1),
+            self.table_with_split(self.split2),
+        )
     }
 
     fn passive_workload(&self, _rng: &mut DeterministicRng) -> Vec<Query> {

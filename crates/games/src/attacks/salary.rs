@@ -16,7 +16,7 @@
 use dbph_baselines::{bucketization::BucketTable, damiani::HashTable, det::DetTable};
 use dbph_core::{DatabasePh, EncryptedTable};
 use dbph_crypto::DeterministicRng;
-use dbph_relation::{tuple, Attribute, AttrType, Relation, Schema};
+use dbph_relation::{tuple, AttrType, Attribute, Relation, Schema};
 
 use crate::dbgame::{DbAdversary, Transcript};
 

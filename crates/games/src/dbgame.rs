@@ -128,7 +128,11 @@ where
         t2.len(),
         "Definition 2.1 requires equal-cardinality tables"
     );
-    assert_eq!(t1.schema(), t2.schema(), "challenge tables must share a schema");
+    assert_eq!(
+        t1.schema(),
+        t2.schema(),
+        "challenge tables must share a schema"
+    );
 
     let b = usize::from(rng.coin());
     let challenge = ph.encrypt_table(if b == 0 { &t1 } else { &t2 })?;
@@ -152,7 +156,10 @@ where
         });
     }
 
-    let transcript = Transcript { challenge, interactions };
+    let transcript = Transcript {
+        challenge,
+        interactions,
+    };
     Ok(adversary.guess(&transcript, &mut rng) == b)
 }
 
@@ -231,11 +238,7 @@ mod tests {
                 .unwrap();
                 (t1, t2)
             }
-            fn guess(
-                &self,
-                _t: &Transcript<PlaintextPh>,
-                _rng: &mut DeterministicRng,
-            ) -> usize {
+            fn guess(&self, _t: &Transcript<PlaintextPh>, _rng: &mut DeterministicRng) -> usize {
                 0
             }
         }

@@ -40,7 +40,11 @@ where
     parallel_trials(trials, |t| {
         let mut rng = DeterministicRng::from_seed(seed).child(&format!("ind-trial-{t}"));
         let (m1, m2) = adversary.choose();
-        assert_eq!(m1.len(), m2.len(), "Definition 1.2 requires equal-length plaintexts");
+        assert_eq!(
+            m1.len(),
+            m2.len(),
+            "Definition 1.2 requires equal-length plaintexts"
+        );
         use dbph_crypto::EntropySource;
         let b = usize::from(rng.coin());
         let ct = encrypt(&mut rng, if b == 0 { &m1 } else { &m2 });

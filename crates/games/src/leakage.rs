@@ -80,7 +80,11 @@ pub fn profile(events: &[ServerEvent]) -> LeakageProfile {
     for event in events {
         match event {
             ServerEvent::Upload { tuples, .. } => upload_cardinalities.push(*tuples),
-            ServerEvent::Query { terms, matched_doc_ids, .. } => {
+            ServerEvent::Query {
+                terms,
+                matched_doc_ids,
+                ..
+            } => {
                 result_sizes.push(matched_doc_ids.len());
                 // Fingerprint the query by its trapdoor bytes.
                 let mut fingerprint = Vec::new();
@@ -103,7 +107,9 @@ pub fn profile(events: &[ServerEvent]) -> LeakageProfile {
             ServerEvent::DeleteDocs { doc_ids, .. } => {
                 deleted_docs.extend_from_slice(doc_ids);
             }
-            ServerEvent::Append { .. } | ServerEvent::FetchAll { .. } | ServerEvent::Drop { .. } => {}
+            ServerEvent::Append { .. }
+            | ServerEvent::FetchAll { .. }
+            | ServerEvent::Drop { .. } => {}
         }
     }
 

@@ -67,7 +67,11 @@ where
         let mut rng = DeterministicRng::from_seed(seed).child(&format!("coll-trial-{t}"));
         let scheme = factory(&mut rng);
         let (c1, c2) = adversary.choose(&mut rng);
-        assert_eq!(c1.len(), c2.len(), "collections must have equal document counts");
+        assert_eq!(
+            c1.len(),
+            c2.len(),
+            "collections must have equal document counts"
+        );
         for (d1, d2) in c1.iter().zip(c2.iter()) {
             assert_eq!(d1.len(), d2.len(), "documents must have equal word counts");
         }
@@ -106,7 +110,10 @@ impl<'a, A> LiftedAdversary<'a, A> {
     /// Creates the lift for a database adversary over `schema`.
     #[must_use]
     pub fn new(db_adversary: &'a A, schema: Schema) -> Self {
-        LiftedAdversary { db_adversary, codec: WordCodec::new(schema) }
+        LiftedAdversary {
+            db_adversary,
+            codec: WordCodec::new(schema),
+        }
     }
 }
 
@@ -120,7 +127,11 @@ where
         let encode = |r: &dbph_relation::Relation| {
             r.tuples()
                 .iter()
-                .map(|t| self.codec.encode_tuple(t).expect("tables conform to schema"))
+                .map(|t| {
+                    self.codec
+                        .encode_tuple(t)
+                        .expect("tables conform to schema")
+                })
                 .collect()
         };
         (encode(&t1), encode(&t2))
@@ -139,7 +150,10 @@ where
             docs: challenge.to_vec(),
             next_doc_id: challenge.len() as u64,
         };
-        let transcript = Transcript::<SwpPh<S>> { challenge: table, interactions: Vec::new() };
+        let transcript = Transcript::<SwpPh<S>> {
+            challenge: table,
+            interactions: Vec::new(),
+        };
         self.db_adversary.guess(&transcript, rng)
     }
 }
@@ -188,11 +202,7 @@ mod tests {
         fn choose_tables(&self, _rng: &mut DeterministicRng) -> (Relation, Relation) {
             (table_one(), table_two())
         }
-        fn guess(
-            &self,
-            transcript: &Transcript<SwpPh<S>>,
-            _rng: &mut DeterministicRng,
-        ) -> usize {
+        fn guess(&self, transcript: &Transcript<SwpPh<S>>, _rng: &mut DeterministicRng) -> usize {
             let docs = &transcript.challenge.docs;
             usize::from(docs.len() == 2 && docs[0].1[1] == docs[1].1[1])
         }
@@ -272,8 +282,10 @@ mod tests {
 
     #[test]
     fn pinned_scheme_leaks_equality_as_designed() {
-        let scheme =
-            PinnedLocationScheme(FinalScheme::new(params(), &SecretKey::from_bytes([1u8; 32])));
+        let scheme = PinnedLocationScheme(FinalScheme::new(
+            params(),
+            &SecretKey::from_bytes([1u8; 32]),
+        ));
         let w = Word::from_bytes_unchecked(vec![7u8; params().word_len]);
         let c1 = scheme.encrypt_word(Location::new(0, 0), &w).unwrap();
         let c2 = scheme.encrypt_word(Location::new(9, 3), &w).unwrap();

@@ -40,7 +40,9 @@ impl Dnf {
     /// A single-disjunct DNF (an ordinary conjunction).
     #[must_use]
     pub fn single(query: Query) -> Self {
-        Dnf { disjuncts: vec![query] }
+        Dnf {
+            disjuncts: vec![query],
+        }
     }
 
     /// The disjuncts (never empty).
@@ -104,7 +106,8 @@ pub fn select_dnf(relation: &Relation, dnf: &Dnf) -> Result<Relation, RelationEr
     let mut out = Relation::empty(relation.schema().clone());
     for tuple in relation.tuples() {
         if dnf.matches(tuple, &bound) {
-            out.insert(tuple.clone()).expect("same-schema tuple validates");
+            out.insert(tuple.clone())
+                .expect("same-schema tuple validates");
         }
     }
     Ok(out)

@@ -72,13 +72,30 @@ impl fmt::Display for RelationError {
                 write!(f, "STRING width must be between 1 and 65535, got {n}")
             }
             RelationError::ArityMismatch { expected, actual } => {
-                write!(f, "tuple arity mismatch: schema has {expected} attributes, got {actual} values")
+                write!(
+                    f,
+                    "tuple arity mismatch: schema has {expected} attributes, got {actual} values"
+                )
             }
-            RelationError::TypeMismatch { attribute, expected, actual } => {
-                write!(f, "type mismatch on {attribute}: expected {expected}, got {actual}")
+            RelationError::TypeMismatch {
+                attribute,
+                expected,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "type mismatch on {attribute}: expected {expected}, got {actual}"
+                )
             }
-            RelationError::StringTooLong { attribute, max, actual } => {
-                write!(f, "string too long for {attribute}: max {max} bytes, got {actual}")
+            RelationError::StringTooLong {
+                attribute,
+                max,
+                actual,
+            } => {
+                write!(
+                    f,
+                    "string too long for {attribute}: max {max} bytes, got {actual}"
+                )
             }
             RelationError::UnknownAttribute(name) => write!(f, "unknown attribute: {name}"),
             RelationError::UnknownTable(name) => write!(f, "unknown table: {name}"),
@@ -99,11 +116,21 @@ mod tests {
 
     #[test]
     fn display_mentions_relevant_details() {
-        let e = RelationError::ArityMismatch { expected: 3, actual: 2 };
+        let e = RelationError::ArityMismatch {
+            expected: 3,
+            actual: 2,
+        };
         assert!(e.to_string().contains('3') && e.to_string().contains('2'));
-        let e = RelationError::StringTooLong { attribute: "name".into(), max: 9, actual: 12 };
+        let e = RelationError::StringTooLong {
+            attribute: "name".into(),
+            max: 9,
+            actual: 12,
+        };
         assert!(e.to_string().contains("name") && e.to_string().contains('9'));
-        let e = RelationError::SqlSyntax { position: 4, message: "expected FROM".into() };
+        let e = RelationError::SqlSyntax {
+            position: 4,
+            message: "expected FROM".into(),
+        };
         assert!(e.to_string().contains("FROM"));
     }
 }

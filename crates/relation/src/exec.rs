@@ -39,7 +39,11 @@ pub fn select(relation: &Relation, query: &Query) -> Result<Relation, RelationEr
 /// Returns [`RelationError::UnknownAttribute`] for unknown columns.
 pub fn project(relation: &Relation, projection: &Projection) -> Result<Vec<Tuple>, RelationError> {
     let indices = projection.resolve(relation.schema())?;
-    Ok(relation.tuples().iter().map(|t| t.project(&indices)).collect())
+    Ok(relation
+        .tuples()
+        .iter()
+        .map(|t| t.project(&indices))
+        .collect())
 }
 
 /// Deletes `σ_query(relation)` in place, returning how many tuples
@@ -83,7 +87,10 @@ mod tests {
     fn select_by_string() {
         let r = select(&emp(), &Query::select("dept", "IT")).unwrap();
         assert_eq!(r.len(), 3);
-        assert!(r.tuples().iter().all(|t| t.get(1) == Some(&Value::str("IT"))));
+        assert!(r
+            .tuples()
+            .iter()
+            .all(|t| t.get(1) == Some(&Value::str("IT"))));
     }
 
     #[test]
@@ -107,7 +114,11 @@ mod tests {
         .unwrap();
         let r = select(&emp(), &q).unwrap();
         assert_eq!(r.len(), 2);
-        let names: Vec<_> = r.tuples().iter().map(|t| t.get(0).unwrap().clone()).collect();
+        let names: Vec<_> = r
+            .tuples()
+            .iter()
+            .map(|t| t.get(0).unwrap().clone())
+            .collect();
         assert!(names.contains(&Value::str("Smith")));
         assert!(names.contains(&Value::str("Ng")));
     }
@@ -141,9 +152,15 @@ mod tests {
     #[test]
     fn delete_removes_and_counts() {
         let mut r = emp();
-        assert_eq!(delete(&mut r, &Query::select("salary", 4900i64)).unwrap(), 2);
+        assert_eq!(
+            delete(&mut r, &Query::select("salary", 4900i64)).unwrap(),
+            2
+        );
         assert_eq!(r.len(), 2);
-        assert_eq!(delete(&mut r, &Query::select("salary", 4900i64)).unwrap(), 0);
+        assert_eq!(
+            delete(&mut r, &Query::select("salary", 4900i64)).unwrap(),
+            0
+        );
         // Binding errors propagate without mutating.
         assert!(delete(&mut r, &Query::select("missing", 1i64)).is_err());
         assert_eq!(r.len(), 2);

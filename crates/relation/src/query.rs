@@ -28,7 +28,10 @@ impl ExactSelect {
     /// Creates the predicate `attribute = value`.
     #[must_use]
     pub fn new(attribute: impl Into<String>, value: impl Into<Value>) -> Self {
-        ExactSelect { attribute: attribute.into(), value: value.into() }
+        ExactSelect {
+            attribute: attribute.into(),
+            value: value.into(),
+        }
     }
 
     /// Binds the predicate to `schema`: checks the attribute exists
@@ -69,7 +72,9 @@ impl Query {
     /// A single exact select `σ_{attribute = value}`.
     #[must_use]
     pub fn select(attribute: impl Into<String>, value: impl Into<Value>) -> Self {
-        Query { terms: vec![ExactSelect::new(attribute, value)] }
+        Query {
+            terms: vec![ExactSelect::new(attribute, value)],
+        }
     }
 
     /// A conjunction of exact selects.

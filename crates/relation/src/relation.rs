@@ -24,7 +24,10 @@ impl Relation {
     /// Creates an empty relation over `schema`.
     #[must_use]
     pub fn empty(schema: Schema) -> Self {
-        Relation { schema, tuples: Vec::new() }
+        Relation {
+            schema,
+            tuples: Vec::new(),
+        }
     }
 
     /// Creates a relation from tuples, validating each against `schema`.
@@ -167,7 +170,9 @@ mod tests {
         let a = emp();
         let mut shuffled = Relation::empty(emp_schema());
         shuffled.insert(tuple!["Jones", "IT", 1200i64]).unwrap();
-        shuffled.insert(tuple!["Montgomery", "HR", 7500i64]).unwrap();
+        shuffled
+            .insert(tuple!["Montgomery", "HR", 7500i64])
+            .unwrap();
         shuffled.insert(tuple!["Smith", "IT", 4900i64]).unwrap();
         assert!(a.same_multiset(&shuffled));
         assert_ne!(a, shuffled, "Vec equality is order-sensitive");
@@ -183,7 +188,10 @@ mod tests {
         b.insert(tuple!["X", "HR", 1i64]).unwrap();
         b.insert(tuple!["Y", "HR", 1i64]).unwrap();
         b.insert(tuple!["Y", "HR", 1i64]).unwrap();
-        assert!(!a.same_multiset(&b), "same support, different multiplicities");
+        assert!(
+            !a.same_multiset(&b),
+            "same support, different multiplicities"
+        );
     }
 
     #[test]

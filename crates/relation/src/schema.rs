@@ -27,7 +27,10 @@ impl Attribute {
     /// Creates an attribute.
     #[must_use]
     pub fn new(name: impl Into<String>, ty: AttrType) -> Self {
-        Attribute { name: name.into(), ty }
+        Attribute {
+            name: name.into(),
+            ty,
+        }
     }
 }
 
@@ -56,10 +59,7 @@ impl Schema {
     /// Rejects empty/oversized attribute lists, duplicate or invalid
     /// attribute names, invalid relation names, and invalid type
     /// declarations.
-    pub fn new(
-        name: impl Into<String>,
-        attributes: Vec<Attribute>,
-    ) -> Result<Self, RelationError> {
+    pub fn new(name: impl Into<String>, attributes: Vec<Attribute>) -> Result<Self, RelationError> {
         let name = name.into();
         if !is_identifier(&name) {
             return Err(RelationError::BadAttributeName(name));
@@ -200,7 +200,10 @@ mod tests {
                 Attribute::new("a", AttrType::Bool),
             ],
         );
-        assert_eq!(r.unwrap_err(), RelationError::DuplicateAttribute("a".into()));
+        assert_eq!(
+            r.unwrap_err(),
+            RelationError::DuplicateAttribute("a".into())
+        );
     }
 
     #[test]
@@ -229,11 +232,7 @@ mod tests {
 
     #[test]
     fn rejects_invalid_types() {
-        assert!(Schema::new(
-            "t",
-            vec![Attribute::new("a", AttrType::Str { max_len: 0 })]
-        )
-        .is_err());
+        assert!(Schema::new("t", vec![Attribute::new("a", AttrType::Str { max_len: 0 })]).is_err());
     }
 
     #[test]

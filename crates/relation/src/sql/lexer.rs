@@ -57,31 +57,52 @@ impl Lexer {
             match c {
                 ' ' | '\t' | '\r' | '\n' => i += 1,
                 '(' => {
-                    tokens.push(Token { kind: TokenKind::LParen, position: i });
+                    tokens.push(Token {
+                        kind: TokenKind::LParen,
+                        position: i,
+                    });
                     i += 1;
                 }
                 ')' => {
-                    tokens.push(Token { kind: TokenKind::RParen, position: i });
+                    tokens.push(Token {
+                        kind: TokenKind::RParen,
+                        position: i,
+                    });
                     i += 1;
                 }
                 ',' => {
-                    tokens.push(Token { kind: TokenKind::Comma, position: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Comma,
+                        position: i,
+                    });
                     i += 1;
                 }
                 '=' => {
-                    tokens.push(Token { kind: TokenKind::Equals, position: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Equals,
+                        position: i,
+                    });
                     i += 1;
                 }
                 '*' => {
-                    tokens.push(Token { kind: TokenKind::Star, position: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Star,
+                        position: i,
+                    });
                     i += 1;
                 }
                 ';' => {
-                    tokens.push(Token { kind: TokenKind::Semicolon, position: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Semicolon,
+                        position: i,
+                    });
                     i += 1;
                 }
                 '-' => {
-                    tokens.push(Token { kind: TokenKind::Minus, position: i });
+                    tokens.push(Token {
+                        kind: TokenKind::Minus,
+                        position: i,
+                    });
                     i += 1;
                 }
                 '\'' => {
@@ -108,18 +129,19 @@ impl Lexer {
                             // Advance over a full UTF-8 scalar.
                             let ch_len = utf8_len(bytes[i]);
                             let end = (i + ch_len).min(bytes.len());
-                            s.push_str(
-                                std::str::from_utf8(&bytes[i..end]).map_err(|_| {
-                                    RelationError::SqlSyntax {
-                                        position: i,
-                                        message: "invalid UTF-8 in string literal".into(),
-                                    }
-                                })?,
-                            );
+                            s.push_str(std::str::from_utf8(&bytes[i..end]).map_err(|_| {
+                                RelationError::SqlSyntax {
+                                    position: i,
+                                    message: "invalid UTF-8 in string literal".into(),
+                                }
+                            })?);
                             i = end;
                         }
                     }
-                    tokens.push(Token { kind: TokenKind::StringLit(s), position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::StringLit(s),
+                        position: start,
+                    });
                 }
                 '0'..='9' => {
                     let start = i;
@@ -131,7 +153,10 @@ impl Lexer {
                         position: start,
                         message: format!("integer literal out of range: {text}"),
                     })?;
-                    tokens.push(Token { kind: TokenKind::IntLit(value), position: start });
+                    tokens.push(Token {
+                        kind: TokenKind::IntLit(value),
+                        position: start,
+                    });
                 }
                 c if c.is_ascii_alphabetic() || c == '_' => {
                     let start = i;
@@ -172,7 +197,11 @@ mod tests {
     use super::*;
 
     fn kinds(sql: &str) -> Vec<TokenKind> {
-        Lexer::tokenize(sql).unwrap().into_iter().map(|t| t.kind).collect()
+        Lexer::tokenize(sql)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
     }
 
     #[test]
@@ -210,7 +239,11 @@ mod tests {
     fn integers_and_minus() {
         assert_eq!(
             kinds("-42 7500"),
-            vec![TokenKind::Minus, TokenKind::IntLit(42), TokenKind::IntLit(7500)]
+            vec![
+                TokenKind::Minus,
+                TokenKind::IntLit(42),
+                TokenKind::IntLit(7500)
+            ]
         );
     }
 

@@ -170,7 +170,10 @@ mod tests {
     #[test]
     fn drop_table_works() {
         let mut c = setup();
-        assert_eq!(execute(&mut c, "DROP TABLE Emp").unwrap(), ExecOutcome::Dropped);
+        assert_eq!(
+            execute(&mut c, "DROP TABLE Emp").unwrap(),
+            ExecOutcome::Dropped
+        );
         assert!(execute(&mut c, "SELECT * FROM Emp").is_err());
     }
 

@@ -15,7 +15,11 @@ use crate::value::Value;
 /// lexical or grammatical problem.
 pub fn parse_statement(sql: &str) -> Result<Statement, RelationError> {
     let tokens = Lexer::tokenize(sql)?;
-    let mut p = Parser { tokens, pos: 0, input_len: sql.len() };
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        input_len: sql.len(),
+    };
     let stmt = p.statement()?;
     p.accept_semicolon();
     p.expect_end()?;
@@ -69,7 +73,10 @@ impl Parser {
             "STRING" | "VARCHAR" | "CHAR" => {
                 self.expect(TokenKind::LParen, "(")?;
                 let width = match self.next() {
-                    Some(Token { kind: TokenKind::IntLit(n), .. }) if *n > 0 => *n as usize,
+                    Some(Token {
+                        kind: TokenKind::IntLit(n),
+                        ..
+                    }) if *n > 0 => *n as usize,
                     _ => return Err(self.err_here("expected positive width".into())),
                 };
                 self.expect(TokenKind::RParen, ")")?;
@@ -127,7 +134,11 @@ impl Parser {
         } else {
             None
         };
-        Ok(Statement::Select(SelectStatement { projection, table, filter }))
+        Ok(Statement::Select(SelectStatement {
+            projection,
+            table,
+            filter,
+        }))
     }
 
     /// `conj (OR conj)*` where `conj = pred (AND pred)*`.
@@ -155,7 +166,10 @@ impl Parser {
         while self.accept_keyword("AND") {
             terms.push(self.predicate()?);
         }
-        Ok(Statement::Delete { table, filter: Query::conjunction(terms)? })
+        Ok(Statement::Delete {
+            table,
+            filter: Query::conjunction(terms)?,
+        })
     }
 
     fn predicate(&mut self) -> Result<ExactSelect, RelationError> {
@@ -167,21 +181,32 @@ impl Parser {
 
     fn literal(&mut self) -> Result<Value, RelationError> {
         match self.next() {
-            Some(Token { kind: TokenKind::StringLit(s), .. }) => Ok(Value::Str(s.clone())),
-            Some(Token { kind: TokenKind::IntLit(n), .. }) => Ok(Value::Int(*n)),
-            Some(Token { kind: TokenKind::Minus, .. }) => match self.next() {
-                Some(Token { kind: TokenKind::IntLit(n), .. }) => Ok(Value::Int(-n)),
+            Some(Token {
+                kind: TokenKind::StringLit(s),
+                ..
+            }) => Ok(Value::Str(s.clone())),
+            Some(Token {
+                kind: TokenKind::IntLit(n),
+                ..
+            }) => Ok(Value::Int(*n)),
+            Some(Token {
+                kind: TokenKind::Minus,
+                ..
+            }) => match self.next() {
+                Some(Token {
+                    kind: TokenKind::IntLit(n),
+                    ..
+                }) => Ok(Value::Int(-n)),
                 _ => Err(self.err_here("expected integer after '-'".into())),
             },
-            Some(Token { kind: TokenKind::Ident(word), .. }) => {
-                match word.to_ascii_uppercase().as_str() {
-                    "TRUE" => Ok(Value::Bool(true)),
-                    "FALSE" => Ok(Value::Bool(false)),
-                    other => Err(self.err_here(format!(
-                        "expected literal, found identifier {other}"
-                    ))),
-                }
-            }
+            Some(Token {
+                kind: TokenKind::Ident(word),
+                ..
+            }) => match word.to_ascii_uppercase().as_str() {
+                "TRUE" => Ok(Value::Bool(true)),
+                "FALSE" => Ok(Value::Bool(false)),
+                other => Err(self.err_here(format!("expected literal, found identifier {other}"))),
+            },
             _ => Err(self.err_here("expected literal".into())),
         }
     }
@@ -210,7 +235,11 @@ impl Parser {
     }
 
     fn accept_keyword(&mut self, kw: &str) -> bool {
-        if let Some(Token { kind: TokenKind::Ident(word), .. }) = self.peek() {
+        if let Some(Token {
+            kind: TokenKind::Ident(word),
+            ..
+        }) = self.peek()
+        {
             if word.eq_ignore_ascii_case(kw) {
                 self.pos += 1;
                 return true;
@@ -241,7 +270,10 @@ impl Parser {
 
     fn expect_ident(&mut self, what: &str) -> Result<String, RelationError> {
         match self.next() {
-            Some(Token { kind: TokenKind::Ident(word), .. }) => Ok(word.clone()),
+            Some(Token {
+                kind: TokenKind::Ident(word),
+                ..
+            }) => Ok(word.clone()),
             _ => Err(self.err_here(format!("expected {what}"))),
         }
     }
@@ -271,10 +303,9 @@ mod tests {
 
     #[test]
     fn parse_create_table() {
-        let stmt = parse_statement(
-            "CREATE TABLE Emp (name STRING(10), dept STRING(5), salary INT);",
-        )
-        .unwrap();
+        let stmt =
+            parse_statement("CREATE TABLE Emp (name STRING(10), dept STRING(5), salary INT);")
+                .unwrap();
         match stmt {
             Statement::CreateTable(schema) => {
                 assert_eq!(schema.name(), "Emp");
@@ -288,8 +319,7 @@ mod tests {
 
     #[test]
     fn parse_type_synonyms() {
-        let stmt =
-            parse_statement("CREATE TABLE t (a VARCHAR(3), b INTEGER, c BOOLEAN)").unwrap();
+        let stmt = parse_statement("CREATE TABLE t (a VARCHAR(3), b INTEGER, c BOOLEAN)").unwrap();
         match stmt {
             Statement::CreateTable(schema) => {
                 assert_eq!(schema.attributes()[0].ty, AttrType::Str { max_len: 3 });
@@ -376,7 +406,10 @@ mod tests {
         let stmt = parse_statement("SELECT * FROM t WHERE outcome = FALSE").unwrap();
         match stmt {
             Statement::Select(s) => {
-                assert_eq!(s.filter.unwrap().disjuncts()[0].terms()[0].value, Value::Bool(false));
+                assert_eq!(
+                    s.filter.unwrap().disjuncts()[0].terms()[0].value,
+                    Value::Bool(false)
+                );
             }
             other => panic!("unexpected {other:?}"),
         }
@@ -415,7 +448,10 @@ mod tests {
         ] {
             let err = parse_statement(bad).unwrap_err();
             assert!(
-                matches!(err, RelationError::SqlSyntax { .. } | RelationError::BadStringWidth(_)),
+                matches!(
+                    err,
+                    RelationError::SqlSyntax { .. } | RelationError::BadStringWidth(_)
+                ),
                 "{bad}: {err:?}"
             );
         }
@@ -426,7 +462,10 @@ mod tests {
         let stmt = parse_statement("SELECT * FROM t WHERE x = -5").unwrap();
         match stmt {
             Statement::Select(s) => {
-                assert_eq!(s.filter.unwrap().disjuncts()[0].terms()[0].value, Value::Int(-5));
+                assert_eq!(
+                    s.filter.unwrap().disjuncts()[0].terms()[0].value,
+                    Value::Int(-5)
+                );
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -134,7 +134,10 @@ mod tests {
         let r = Tuple::checked(vec![Value::int(1)], &emp_schema());
         assert_eq!(
             r.unwrap_err(),
-            RelationError::ArityMismatch { expected: 3, actual: 1 }
+            RelationError::ArityMismatch {
+                expected: 3,
+                actual: 1
+            }
         );
     }
 
@@ -150,7 +153,11 @@ mod tests {
     #[test]
     fn checked_rejects_overlong_strings() {
         let r = Tuple::checked(
-            vec![Value::str("Montgomery"), Value::str("TOOLONG"), Value::int(1)],
+            vec![
+                Value::str("Montgomery"),
+                Value::str("TOOLONG"),
+                Value::int(1),
+            ],
             &emp_schema(),
         );
         assert!(matches!(r, Err(RelationError::StringTooLong { .. })));

@@ -85,7 +85,11 @@ mod tests {
     fn validate_accepts_reasonable_widths() {
         assert!(AttrType::Str { max_len: 1 }.validate().is_ok());
         assert!(AttrType::Str { max_len: 9 }.validate().is_ok());
-        assert!(AttrType::Str { max_len: MAX_STRING_WIDTH }.validate().is_ok());
+        assert!(AttrType::Str {
+            max_len: MAX_STRING_WIDTH
+        }
+        .validate()
+        .is_ok());
         assert!(AttrType::Int.validate().is_ok());
         assert!(AttrType::Bool.validate().is_ok());
     }
@@ -96,7 +100,11 @@ mod tests {
             AttrType::Str { max_len: 0 }.validate().unwrap_err(),
             RelationError::BadStringWidth(0)
         );
-        assert!(AttrType::Str { max_len: MAX_STRING_WIDTH + 1 }.validate().is_err());
+        assert!(AttrType::Str {
+            max_len: MAX_STRING_WIDTH + 1
+        }
+        .validate()
+        .is_err());
     }
 
     #[test]

@@ -119,7 +119,9 @@ impl Value {
     #[must_use]
     pub fn natural_type(&self) -> AttrType {
         match self {
-            Value::Str(s) => AttrType::Str { max_len: s.len().max(1) },
+            Value::Str(s) => AttrType::Str {
+                max_len: s.len().max(1),
+            },
             Value::Int(_) => AttrType::Int,
             Value::Bool(_) => AttrType::Bool,
         }

@@ -1,0 +1,326 @@
+//! Offline shim for `criterion`.
+//!
+//! Implements the API surface the workspace's benches use
+//! (`criterion_group!`/`criterion_main!`, `Criterion::benchmark_group`,
+//! `BenchmarkGroup::{throughput, bench_function, finish}`,
+//! `BenchmarkId`, `Bencher::iter`, `black_box`) over a simple
+//! wall-clock harness: auto-calibrated iteration counts, several
+//! samples per benchmark, median + min reported.
+//!
+//! Set `CRITERION_JSON=<path>` to also write all results of a bench
+//! run as a JSON array (used to check benchmark artifacts into the
+//! repo), and `CRITERION_SAMPLE_MS` to change the per-sample time
+//! budget (default 150 ms).
+
+#![forbid(unsafe_code)]
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Opaque-to-the-optimizer value laundering.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Units processed per iteration, for derived rates.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Bytes per iteration.
+    Bytes(u64),
+    /// Logical elements per iteration.
+    Elements(u64),
+}
+
+/// A benchmark identifier: `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id with a function name and a parameter rendering.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id from just the parameter.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+/// Accepts both `&str` and [`BenchmarkId`] where criterion does.
+pub trait IntoBenchmarkId {
+    /// The rendered id string.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Measures `f`: calibrates an iteration count to the per-sample
+    /// budget, then records several timed samples.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let budget = sample_budget();
+        // Calibrate: double the batch until one batch costs ≥ ~budget/8.
+        let mut batch: u64 = 1;
+        let per_iter_estimate = loop {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(f());
+            }
+            let elapsed = start.elapsed();
+            if elapsed >= budget / 8 || batch >= 1 << 24 {
+                break elapsed.as_secs_f64() / batch as f64;
+            }
+            batch *= 2;
+        };
+        let target_iters =
+            ((budget.as_secs_f64() / per_iter_estimate.max(1e-9)) as u64).clamp(1, 1 << 24);
+
+        const SAMPLES: usize = 5;
+        self.samples_ns.clear();
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            for _ in 0..target_iters {
+                black_box(f());
+            }
+            let ns = start.elapsed().as_secs_f64() * 1e9 / target_iters as f64;
+            self.samples_ns.push(ns);
+        }
+    }
+}
+
+fn sample_budget() -> Duration {
+    let ms = std::env::var("CRITERION_SAMPLE_MS")
+        .ok()
+        .and_then(|v| v.parse::<u64>().ok())
+        .unwrap_or(150);
+    Duration::from_millis(ms.max(1))
+}
+
+/// One finished measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// `group/function/parameter` path.
+    pub id: String,
+    /// Median nanoseconds per iteration.
+    pub median_ns: f64,
+    /// Fastest sample, nanoseconds per iteration.
+    pub min_ns: f64,
+    /// Declared throughput, if any.
+    pub throughput: Option<Throughput>,
+}
+
+impl BenchResult {
+    fn rate(&self) -> Option<String> {
+        let per_sec = |units: u64| units as f64 / (self.median_ns * 1e-9);
+        match self.throughput {
+            Some(Throughput::Bytes(n)) => {
+                Some(format!("{:.1} MiB/s", per_sec(n) / (1024.0 * 1024.0)))
+            }
+            Some(Throughput::Elements(n)) => Some(format!("{:.0} elem/s", per_sec(n))),
+            None => None,
+        }
+    }
+}
+
+/// The benchmark harness entry point.
+#[derive(Default)]
+pub struct Criterion {
+    results: Vec<BenchResult>,
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        self.run_one(id.into_id(), None, f);
+        self
+    }
+
+    fn run_one<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: String,
+        throughput: Option<Throughput>,
+        mut f: F,
+    ) {
+        let mut bencher = Bencher {
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        let mut ns = bencher.samples_ns;
+        assert!(!ns.is_empty(), "benchmark {id} never called Bencher::iter");
+        ns.sort_by(|a, b| a.total_cmp(b));
+        let result = BenchResult {
+            id,
+            median_ns: ns[ns.len() / 2],
+            min_ns: ns[0],
+            throughput,
+        };
+        let rate = result
+            .rate()
+            .map(|r| format!("  ({r})"))
+            .unwrap_or_default();
+        println!(
+            "bench: {:<56} {:>14.1} ns/iter (min {:.1}){rate}",
+            result.id, result.median_ns, result.min_ns
+        );
+        self.results.push(result);
+    }
+
+    /// Writes collected results as JSON when `CRITERION_JSON` is set.
+    /// Called by [`criterion_main!`]; harmless to call twice.
+    pub fn write_json_if_requested(&self) {
+        let Ok(path) = std::env::var("CRITERION_JSON") else {
+            return;
+        };
+        let mut out = String::from("[\n");
+        for (i, r) in self.results.iter().enumerate() {
+            let (tp_kind, tp_units) = match r.throughput {
+                Some(Throughput::Bytes(n)) => ("\"bytes\"", n),
+                Some(Throughput::Elements(n)) => ("\"elements\"", n),
+                None => ("null", 0),
+            };
+            out.push_str(&format!(
+                "  {{\"id\": \"{}\", \"median_ns\": {:.1}, \"min_ns\": {:.1}, \
+                 \"throughput_kind\": {}, \"throughput_units\": {}}}{}\n",
+                r.id.replace('"', "'"),
+                r.median_ns,
+                r.min_ns,
+                tp_kind,
+                tp_units,
+                if i + 1 == self.results.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("]\n");
+        let mut file =
+            std::fs::File::create(&path).unwrap_or_else(|e| panic!("CRITERION_JSON={path}: {e}"));
+        file.write_all(out.as_bytes())
+            .expect("writing benchmark JSON");
+        println!("benchmark JSON written to {path}");
+    }
+
+    /// All results measured so far.
+    #[must_use]
+    pub fn results(&self) -> &[BenchResult] {
+        &self.results
+    }
+}
+
+/// A group of benchmarks sharing a name prefix and throughput setting.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares the work per iteration for subsequent benchmarks.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkId,
+        f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into_id());
+        self.criterion.run_one(id, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (accepted for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a benchmark group function, as criterion does.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(criterion: &mut $crate::Criterion) {
+            $($target(criterion);)+
+        }
+    };
+}
+
+/// Declares the bench `main` that runs the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::default();
+            $($group(&mut criterion);)+
+            criterion.write_json_if_requested();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        std::env::set_var("CRITERION_SAMPLE_MS", "1");
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        assert_eq!(c.results().len(), 1);
+        assert!(c.results()[0].median_ns >= 0.0);
+    }
+
+    #[test]
+    fn groups_prefix_ids() {
+        std::env::set_var("CRITERION_SAMPLE_MS", "1");
+        let mut c = Criterion::default();
+        {
+            let mut g = c.benchmark_group("g");
+            g.throughput(Throughput::Elements(10));
+            g.bench_function(BenchmarkId::new("f", 4), |b| b.iter(|| black_box(0)));
+            g.finish();
+        }
+        assert_eq!(c.results()[0].id, "g/f/4");
+        assert!(c.results()[0].throughput.is_some());
+    }
+}

@@ -1,0 +1,100 @@
+//! `any::<T>()` and the `Arbitrary` trait for built-in types.
+
+use std::fmt::Debug;
+use std::marker::PhantomData;
+
+use crate::strategy::Any;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized + Debug {
+    /// Draws one uniformly random value.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The canonical strategy for `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+macro_rules! arb_int {
+    ($($ty:ty),+) => {
+        $(
+            impl Arbitrary for $ty {
+                #[allow(clippy::cast_possible_truncation)]
+                fn arbitrary(rng: &mut TestRng) -> Self {
+                    rng.next_u64() as $ty
+                }
+            }
+        )+
+    };
+}
+
+arb_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.coin()
+    }
+}
+
+impl Arbitrary for char {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Mostly ASCII, occasionally the wider plane (valid scalar
+        // values only).
+        if rng.below(4) == 0 {
+            loop {
+                if let Some(c) = char::from_u32(rng.below(0x11_0000) as u32) {
+                    return c;
+                }
+            }
+        } else {
+            (rng.in_range(0x20, 0x7F) as u8) as char
+        }
+    }
+}
+
+impl<T: Arbitrary, const N: usize> Arbitrary for [T; N] {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        std::array::from_fn(|_| T::arbitrary(rng))
+    }
+}
+
+macro_rules! arb_tuple {
+    ($($name:ident),+) => {
+        impl<$($name: Arbitrary),+> Arbitrary for ($($name,)+) {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                ($($name::arbitrary(rng),)+)
+            }
+        }
+    };
+}
+
+arb_tuple!(A, B);
+arb_tuple!(A, B, C);
+arb_tuple!(A, B, C, D);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::Strategy;
+
+    #[test]
+    fn arrays_and_tuples_sample() {
+        let mut rng = TestRng::new(2);
+        let arr = any::<[u8; 32]>().sample(&mut rng);
+        assert_eq!(arr.len(), 32);
+        let (_a, _b): (usize, u8) = any::<(usize, u8)>().sample(&mut rng);
+    }
+
+    #[test]
+    fn chars_are_valid() {
+        let mut rng = TestRng::new(4);
+        for _ in 0..500 {
+            let c = char::arbitrary(&mut rng);
+            let mut buf = [0u8; 4];
+            let _ = c.encode_utf8(&mut buf);
+        }
+    }
+}

@@ -1,0 +1,91 @@
+//! Collection strategies (`proptest::collection::vec`).
+
+use std::ops::{Range, RangeInclusive};
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// An inclusive length range for collection strategies.
+#[derive(Debug, Clone, Copy)]
+pub struct SizeRange {
+    min: usize,
+    max: usize,
+}
+
+impl From<usize> for SizeRange {
+    fn from(n: usize) -> Self {
+        SizeRange { min: n, max: n }
+    }
+}
+
+impl From<Range<usize>> for SizeRange {
+    fn from(r: Range<usize>) -> Self {
+        assert!(r.start < r.end, "empty size range");
+        SizeRange {
+            min: r.start,
+            max: r.end - 1,
+        }
+    }
+}
+
+impl From<RangeInclusive<usize>> for SizeRange {
+    fn from(r: RangeInclusive<usize>) -> Self {
+        assert!(r.start() <= r.end(), "empty size range");
+        SizeRange {
+            min: *r.start(),
+            max: *r.end(),
+        }
+    }
+}
+
+/// A strategy for `Vec<S::Value>` with lengths drawn from a [`SizeRange`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: SizeRange,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let len = if self.size.min == self.size.max {
+            self.size.min
+        } else {
+            rng.in_range(self.size.min as u64, self.size.max as u64 + 1) as usize
+        };
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// `proptest::collection::vec`: vectors of `element` with the given
+/// length (a fixed `usize` or a range).
+pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+    VecStrategy {
+        element,
+        size: size.into(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::any;
+
+    #[test]
+    fn fixed_and_ranged_lengths() {
+        let mut rng = TestRng::new(8);
+        assert_eq!(vec(any::<u8>(), 13).sample(&mut rng).len(), 13);
+        for _ in 0..100 {
+            let v = vec(any::<u8>(), 2..5).sample(&mut rng);
+            assert!((2..5).contains(&v.len()));
+        }
+        let empty = vec(any::<u8>(), 0..1).sample(&mut rng);
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn nested_vectors() {
+        let mut rng = TestRng::new(3);
+        let v = vec((any::<u64>(), vec(any::<u8>(), 0..4)), 0..6).sample(&mut rng);
+        assert!(v.len() < 6);
+    }
+}

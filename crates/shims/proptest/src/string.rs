@@ -1,0 +1,222 @@
+//! String-literal strategies: a tiny regex-subset sampler.
+//!
+//! Proptest treats `&str` as a regex whose language is sampled. This
+//! shim supports the subset the workspace's tests use: sequences of
+//! atoms (`.`, `[class]`, literal characters) each with an optional
+//! quantifier (`*`, `+`, `?`, `{n}`, `{m,n}`). Unsupported syntax
+//! panics loudly rather than sampling the wrong language.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Upper bound substituted for open-ended quantifiers (`*`, `+`).
+const STAR_MAX: usize = 64;
+
+#[derive(Debug, Clone)]
+enum Atom {
+    /// `.` — any scalar value (sampled mostly-ASCII plus some wider
+    /// code points so UTF-8 handling gets exercised).
+    Dot,
+    /// `[...]` — inclusive ranges plus literal characters.
+    Class(Vec<(char, char)>),
+    /// A literal character.
+    Lit(char),
+}
+
+#[derive(Debug, Clone)]
+struct Piece {
+    atom: Atom,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut i = 0;
+    let mut pieces = Vec::new();
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '.' => {
+                i += 1;
+                Atom::Dot
+            }
+            '[' => {
+                i += 1;
+                let mut ranges = Vec::new();
+                assert!(
+                    chars.get(i) != Some(&'^'),
+                    "unsupported regex (negated class) in strategy: {pattern}"
+                );
+                while i < chars.len() && chars[i] != ']' {
+                    let lo = chars[i];
+                    if chars.get(i + 1) == Some(&'-') && chars.get(i + 2).is_some_and(|&c| c != ']')
+                    {
+                        ranges.push((lo, chars[i + 2]));
+                        i += 3;
+                    } else {
+                        ranges.push((lo, lo));
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in strategy: {pattern}");
+                i += 1; // consume ']'
+                Atom::Class(ranges)
+            }
+            '\\' => {
+                let c = *chars
+                    .get(i + 1)
+                    .unwrap_or_else(|| panic!("dangling escape in strategy: {pattern}"));
+                i += 2;
+                Atom::Lit(c)
+            }
+            '(' | ')' | '|' => panic!("unsupported regex syntax in strategy: {pattern}"),
+            c => {
+                i += 1;
+                Atom::Lit(c)
+            }
+        };
+        let (min, max) = match chars.get(i) {
+            Some('*') => {
+                i += 1;
+                (0, STAR_MAX)
+            }
+            Some('+') => {
+                i += 1;
+                (1, STAR_MAX)
+            }
+            Some('?') => {
+                i += 1;
+                (0, 1)
+            }
+            Some('{') => {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .unwrap_or_else(|| panic!("unterminated quantifier in strategy: {pattern}"));
+                let body: String = chars[i + 1..i + close].iter().collect();
+                i += close + 1;
+                match body.split_once(',') {
+                    Some((lo, hi)) => (
+                        lo.trim().parse().expect("bad quantifier"),
+                        hi.trim().parse().expect("bad quantifier"),
+                    ),
+                    None => {
+                        let n: usize = body.trim().parse().expect("bad quantifier");
+                        (n, n)
+                    }
+                }
+            }
+            _ => (1, 1),
+        };
+        assert!(min <= max, "inverted quantifier in strategy: {pattern}");
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+fn sample_atom(atom: &Atom, rng: &mut TestRng) -> char {
+    match atom {
+        Atom::Dot => crate::Arbitrary::arbitrary(rng),
+        Atom::Class(ranges) => {
+            let total: u64 = ranges
+                .iter()
+                .map(|&(lo, hi)| (hi as u64) - (lo as u64) + 1)
+                .sum();
+            let mut pick = rng.below(total);
+            for &(lo, hi) in ranges {
+                let span = (hi as u64) - (lo as u64) + 1;
+                if pick < span {
+                    return char::from_u32(lo as u32 + pick as u32)
+                        .expect("class range produced invalid scalar");
+                }
+                pick -= span;
+            }
+            unreachable!("class sampling out of bounds")
+        }
+        Atom::Lit(c) => *c,
+    }
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+    fn sample(&self, rng: &mut TestRng) -> String {
+        let pieces = parse(self);
+        let mut out = String::new();
+        for piece in &pieces {
+            let reps = if piece.min == piece.max {
+                piece.min
+            } else {
+                rng.in_range(piece.min as u64, piece.max as u64 + 1) as usize
+            };
+            for _ in 0..reps {
+                out.push(sample_atom(&piece.atom, rng));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn class_with_quantifier() {
+        let mut rng = TestRng::new(11);
+        for _ in 0..100 {
+            let s = "[a-z]{1,16}".sample(&mut rng);
+            assert!((1..=16).contains(&s.chars().count()));
+            assert!(s.chars().all(|c| c.is_ascii_lowercase()));
+        }
+    }
+
+    #[test]
+    fn mixed_class_members() {
+        let mut rng = TestRng::new(12);
+        for _ in 0..100 {
+            let s = "[a-zA-Z0-9' ]{0,20}".sample(&mut rng);
+            assert!(s.chars().count() <= 20);
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '\'' || c == ' '));
+        }
+    }
+
+    #[test]
+    fn dot_star_produces_valid_strings() {
+        let mut rng = TestRng::new(13);
+        let mut max_len = 0;
+        for _ in 0..200 {
+            let s = ".*".sample(&mut rng);
+            max_len = max_len.max(s.chars().count());
+            assert!(s.chars().count() <= STAR_MAX);
+        }
+        assert!(
+            max_len > 0,
+            "star should sometimes produce non-empty strings"
+        );
+    }
+
+    #[test]
+    fn bounded_dot() {
+        let mut rng = TestRng::new(14);
+        for _ in 0..50 {
+            let s = ".{0,200}".sample(&mut rng);
+            assert!(s.chars().count() <= 200);
+        }
+    }
+
+    #[test]
+    fn literals_and_escapes() {
+        let mut rng = TestRng::new(15);
+        assert_eq!("abc".sample(&mut rng), "abc");
+        assert_eq!(r"a\.b".sample(&mut rng), "a.b");
+    }
+
+    #[test]
+    #[should_panic(expected = "unsupported regex")]
+    fn alternation_rejected() {
+        let mut rng = TestRng::new(16);
+        let _ = "a|b".sample(&mut rng);
+    }
+}

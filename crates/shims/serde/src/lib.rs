@@ -1,0 +1,9 @@
+//! Offline shim for `serde`.
+//!
+//! Re-exports the no-op derive macros so `use serde::{Deserialize,
+//! Serialize}` + `#[derive(Serialize, Deserialize)]` compile without
+//! network access. Serialization in this workspace goes through the
+//! hand-written `dbph-core::wire` codec, never through serde, so the
+//! derives carry no behavior.
+
+pub use serde_derive::{Deserialize, Serialize};

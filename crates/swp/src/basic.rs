@@ -69,7 +69,9 @@ impl SearchableScheme for BasicScheme {
 
     fn encrypt_word(&self, location: Location, word: &Word) -> Result<CipherWord, SwpError> {
         self.check_word(word)?;
-        Ok(self.engine.encrypt(location, word.as_bytes(), &self.check_key))
+        Ok(self
+            .engine
+            .encrypt(location, word.as_bytes(), &self.check_key))
     }
 
     fn decrypt_word(&self, location: Location, cipher: &CipherWord) -> Result<Word, SwpError> {
@@ -87,7 +89,10 @@ impl SearchableScheme for BasicScheme {
 
     fn trapdoor(&self, word: &Word) -> Result<BasicTrapdoor, SwpError> {
         self.check_word(word)?;
-        Ok(BasicTrapdoor { word: word.as_bytes().to_vec(), key: self.check_key })
+        Ok(BasicTrapdoor {
+            word: word.as_bytes().to_vec(),
+            key: self.check_key,
+        })
     }
 }
 
@@ -143,7 +148,9 @@ mod tests {
         let short = word(b"short");
         assert!(s.encrypt_word(Location::new(0, 0), &short).is_err());
         assert!(s.trapdoor(&short).is_err());
-        assert!(s.decrypt_word(Location::new(0, 0), &CipherWord(vec![0; 3])).is_err());
+        assert!(s
+            .decrypt_word(Location::new(0, 0), &CipherWord(vec![0; 3]))
+            .is_err());
     }
 
     #[test]

@@ -35,7 +35,10 @@ impl EncryptedCollection {
     /// Creates an empty collection.
     #[must_use]
     pub fn new(params: SwpParams) -> Self {
-        EncryptedCollection { params, docs: Vec::new() }
+        EncryptedCollection {
+            params,
+            docs: Vec::new(),
+        }
     }
 
     /// The collection's parameters (public: the server needs them to
@@ -142,13 +145,21 @@ mod tests {
         coll.insert_document(
             &scheme,
             0,
-            &[word("MontgomeryN"), word("HR########D"), word("7500######S")],
+            &[
+                word("MontgomeryN"),
+                word("HR########D"),
+                word("7500######S"),
+            ],
         )
         .unwrap();
         coll.insert_document(
             &scheme,
             1,
-            &[word("Smith#####N"), word("IT########D"), word("4900######S")],
+            &[
+                word("Smith#####N"),
+                word("IT########D"),
+                word("4900######S"),
+            ],
         )
         .unwrap();
         assert_eq!(coll.len(), 2);

@@ -31,7 +31,10 @@ impl Engine {
     /// a fixed label, so all schemes over the same master key agree on
     /// the `S_ℓ` stream.
     pub(crate) fn new(params: SwpParams, master: &SecretKey) -> Self {
-        Engine { params, prg: ChaChaPrg::new(*master.derive(b"dbph/swp/prg/v1").as_bytes()) }
+        Engine {
+            params,
+            prg: ChaChaPrg::new(*master.derive(b"dbph/swp/prg/v1").as_bytes()),
+        }
     }
 
     pub(crate) fn params(&self) -> &SwpParams {
@@ -41,7 +44,8 @@ impl Engine {
     /// The per-location PRG value `S_ℓ` (`stream_len` bytes).
     pub(crate) fn stream_value(&self, location: Location) -> Vec<u8> {
         let offset = u64::from(location.word_index) * self.params.stream_len() as u64;
-        self.prg.stream_at(location.doc_id, offset, self.params.stream_len())
+        self.prg
+            .stream_at(location.doc_id, offset, self.params.stream_len())
     }
 
     /// The check block `F_k(S)` (`check_len` bytes).
@@ -98,7 +102,10 @@ mod tests {
     use super::*;
 
     fn engine() -> Engine {
-        Engine::new(SwpParams::new(11, 4, 32).unwrap(), &SecretKey::from_bytes([1u8; 32]))
+        Engine::new(
+            SwpParams::new(11, 4, 32).unwrap(),
+            &SecretKey::from_bytes([1u8; 32]),
+        )
     }
 
     #[test]

@@ -28,7 +28,10 @@ impl fmt::Display for SwpError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SwpError::WrongWordLength { expected, actual } => {
-                write!(f, "wrong word length: expected {expected} bytes, got {actual}")
+                write!(
+                    f,
+                    "wrong word length: expected {expected} bytes, got {actual}"
+                )
             }
             SwpError::BadParams(why) => write!(f, "bad SWP parameters: {why}"),
             SwpError::Unsupported(why) => write!(f, "unsupported operation: {why}"),
@@ -58,7 +61,10 @@ mod tests {
 
     #[test]
     fn display_and_source() {
-        let e = SwpError::WrongWordLength { expected: 11, actual: 3 };
+        let e = SwpError::WrongWordLength {
+            expected: 11,
+            actual: 3,
+        };
         assert!(e.to_string().contains("11"));
         let e = SwpError::Crypto(CryptoError::AuthenticationFailed);
         assert!(std::error::Error::source(&e).is_some());

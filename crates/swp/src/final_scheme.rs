@@ -207,7 +207,9 @@ mod tests {
         let s = scheme();
         assert!(s.encrypt_word(Location::new(0, 0), &word(b"xx")).is_err());
         assert!(s.trapdoor(&word(b"xx")).is_err());
-        assert!(s.decrypt_word(Location::new(0, 0), &CipherWord(vec![1; 2])).is_err());
+        assert!(s
+            .decrypt_word(Location::new(0, 0), &CipherWord(vec![1; 2]))
+            .is_err());
     }
 
     #[test]

@@ -50,6 +50,6 @@ pub use error::SwpError;
 pub use final_scheme::FinalScheme;
 pub use hidden::HiddenScheme;
 pub use params::SwpParams;
-pub use search::matches;
+pub use search::{matches, matches_document, PreparedTrapdoor};
 pub use traits::{CipherWord, Location, SearchableScheme, TrapdoorData};
 pub use word::Word;

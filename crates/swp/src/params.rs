@@ -41,7 +41,11 @@ impl SwpParams {
         if check_bits == 0 || check_bits as usize > check_len.saturating_mul(8) {
             return Err(SwpError::BadParams("check_bits must be in 1..=8*check_len"));
         }
-        Ok(SwpParams { word_len, check_len, check_bits })
+        Ok(SwpParams {
+            word_len,
+            check_len,
+            check_bits,
+        })
     }
 
     /// Default parameters for a given word length: a 4-byte check
@@ -133,7 +137,11 @@ mod tests {
     fn check_eq_partial_bits_ignores_high_bits() {
         // 12 bits: full first byte + low 4 bits of second byte.
         let p = SwpParams::new(11, 4, 12).unwrap();
-        assert!(check_eq(&p, &[0xAB, 0x0C, 0x00, 0x00], &[0xAB, 0xFC, 0xFF, 0xFF]));
+        assert!(check_eq(
+            &p,
+            &[0xAB, 0x0C, 0x00, 0x00],
+            &[0xAB, 0xFC, 0xFF, 0xFF]
+        ));
         assert!(!check_eq(&p, &[0xAB, 0x0C, 0, 0], &[0xAB, 0x0D, 0, 0]));
         assert!(!check_eq(&p, &[0xAA, 0x0C, 0, 0], &[0xAB, 0x0C, 0, 0]));
     }

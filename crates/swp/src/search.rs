@@ -16,11 +16,11 @@ use dbph_crypto::prf::{HmacPrf, Prf};
 use crate::params::{check_eq, SwpParams};
 use crate::traits::{CipherWord, TrapdoorData};
 
-/// Returns whether `cipher` matches `trapdoor`. Keyless: callable by
-/// the server (or any adversary holding the trapdoor).
-#[must_use]
-pub fn matches<T: TrapdoorData>(params: &SwpParams, trapdoor: &T, cipher: &CipherWord) -> bool {
-    let target = trapdoor.target();
+/// The one implementation of the SWP check: `P = C ⊕ X`, accept iff
+/// `F_k(P_left) ≡ P_right (mod 2^check_bits)`. Both entry points
+/// ([`matches`] and [`PreparedTrapdoor::matches`]) funnel here so the
+/// slow and prepared paths cannot diverge.
+fn check_match(params: &SwpParams, target: &[u8], prf: &HmacPrf, cipher: &CipherWord) -> bool {
     if cipher.0.len() != params.word_len || target.len() != params.word_len {
         return false;
     }
@@ -36,8 +36,74 @@ pub fn matches<T: TrapdoorData>(params: &SwpParams, trapdoor: &T, cipher: &Ciphe
         .zip(target[split..].iter())
         .map(|(c, x)| c ^ x)
         .collect();
-    let expected = HmacPrf::new(trapdoor.check_key()).eval(&s, params.check_len);
+    let expected = prf.eval(&s, params.check_len);
     check_eq(params, &expected, &t)
+}
+
+/// Returns whether `cipher` matches `trapdoor`. Keyless: callable by
+/// the server (or any adversary holding the trapdoor).
+#[must_use]
+pub fn matches<T: TrapdoorData>(params: &SwpParams, trapdoor: &T, cipher: &CipherWord) -> bool {
+    check_match(
+        params,
+        trapdoor.target(),
+        &HmacPrf::new(trapdoor.check_key()),
+        cipher,
+    )
+}
+
+/// A trapdoor preprocessed for scanning many cipher words.
+///
+/// [`matches`] rebuilds the HMAC key schedule (two SHA-256 compression
+/// calls over the padded key) for every `(trapdoor, word)` pair; a
+/// table scan evaluates the same trapdoor against every stored word,
+/// so a prepared trapdoor runs the key schedule once and reuses the
+/// keyed PRF per word. Exactly the same accept/reject decisions as
+/// [`matches`] (they share one implementation) — this is the batch
+/// entry point the sharded scan engine uses.
+#[derive(Clone)]
+pub struct PreparedTrapdoor {
+    target: Vec<u8>,
+    /// PRF keyed with the trapdoor's check key (key schedule done).
+    prf: HmacPrf,
+}
+
+impl PreparedTrapdoor {
+    /// Runs the key schedule for `trapdoor` once.
+    #[must_use]
+    pub fn new<T: TrapdoorData>(trapdoor: &T) -> Self {
+        PreparedTrapdoor {
+            target: trapdoor.target().to_vec(),
+            prf: HmacPrf::new(trapdoor.check_key()),
+        }
+    }
+
+    /// The search target, as received.
+    #[must_use]
+    pub fn target(&self) -> &[u8] {
+        &self.target
+    }
+
+    /// Same decision as [`matches`], skipping the per-word key
+    /// schedule. Keyless, like everything the server runs.
+    #[must_use]
+    pub fn matches(&self, params: &SwpParams, cipher: &CipherWord) -> bool {
+        check_match(params, &self.target, &self.prf, cipher)
+    }
+}
+
+/// Conjunctive document match: every prepared trapdoor must match at
+/// least one of the document's cipher words. This is the whole of `ψ`
+/// for one document under a conjunction of terms.
+#[must_use]
+pub fn matches_document(
+    params: &SwpParams,
+    terms: &[PreparedTrapdoor],
+    words: &[CipherWord],
+) -> bool {
+    terms
+        .iter()
+        .all(|t| words.iter().any(|w| t.matches(params, w)))
 }
 
 #[cfg(test)]
@@ -86,16 +152,108 @@ mod tests {
         c.extend(x[..5].iter().zip(&s).map(|(a, b)| a ^ b));
         c.extend(x[5..].iter().zip(&f).map(|(a, b)| a ^ b));
         let cipher = CipherWord(c);
-        let td = RawTrapdoor { target: b"abcdefgX".to_vec(), key };
+        let td = RawTrapdoor {
+            target: b"abcdefgX".to_vec(),
+            key,
+        };
         assert!(!matches(&params, &td, &cipher));
     }
 
     #[test]
     fn match_rejects_wrong_lengths() {
         let params = SwpParams::new(8, 3, 24).unwrap();
-        let td = RawTrapdoor { target: vec![0; 8], key: vec![0; 32] };
+        let td = RawTrapdoor {
+            target: vec![0; 8],
+            key: vec![0; 32],
+        };
         assert!(!matches(&params, &td, &CipherWord(vec![0; 7])));
-        let td_short = RawTrapdoor { target: vec![0; 7], key: vec![0; 32] };
+        let td_short = RawTrapdoor {
+            target: vec![0; 7],
+            key: vec![0; 32],
+        };
         assert!(!matches(&params, &td_short, &CipherWord(vec![0; 8])));
+    }
+
+    /// Deterministic pseudo-random bytes for equivalence sweeps.
+    fn splatter(seed: u64, len: usize) -> Vec<u8> {
+        let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+        (0..len)
+            .map(|_| {
+                state ^= state << 13;
+                state ^= state >> 7;
+                state ^= state << 17;
+                (state >> 32) as u8
+            })
+            .collect()
+    }
+
+    #[test]
+    fn prepared_matches_agrees_with_matches() {
+        // The prepared fast path must make the *same* decision as the
+        // reference on matching pairs, random pairs, and length
+        // mismatches — across several parameter shapes, including a
+        // check block longer than one HMAC output (counter mode).
+        for (word_len, check_len, check_bits) in
+            [(8, 3, 24), (13, 4, 32), (16, 4, 7), (40, 36, 288)]
+        {
+            let params = SwpParams::new(word_len, check_len, check_bits).unwrap();
+            for seed in 0..50u64 {
+                let key = splatter(seed, 32);
+                let x = splatter(seed ^ 0xA5, word_len);
+                let s = splatter(seed ^ 0x5A, params.stream_len());
+                let f = HmacPrf::new(&key).eval(&s, check_len);
+                let mut c = Vec::new();
+                c.extend(x[..params.stream_len()].iter().zip(&s).map(|(a, b)| a ^ b));
+                c.extend(x[params.stream_len()..].iter().zip(&f).map(|(a, b)| a ^ b));
+                let consistent = CipherWord(c);
+                let random = CipherWord(splatter(seed ^ 0xFF, word_len));
+                let short = CipherWord(splatter(seed, word_len - 1));
+
+                let td = RawTrapdoor { target: x, key };
+                let prepared = PreparedTrapdoor::new(&td);
+                for cipher in [&consistent, &random, &short] {
+                    assert_eq!(
+                        prepared.matches(&params, cipher),
+                        matches(&params, &td, cipher),
+                        "divergence at params {params:?} seed {seed}"
+                    );
+                }
+                assert!(prepared.matches(&params, &consistent));
+            }
+        }
+    }
+
+    #[test]
+    fn matches_document_is_conjunctive() {
+        let params = SwpParams::new(8, 3, 24).unwrap();
+        let make = |seed: u64| {
+            let key = splatter(seed, 32);
+            let x = splatter(seed ^ 1, 8);
+            let s = splatter(seed ^ 2, 5);
+            let f = HmacPrf::new(&key).eval(&s, 3);
+            let mut c = Vec::new();
+            c.extend(x[..5].iter().zip(&s).map(|(a, b)| a ^ b));
+            c.extend(x[5..].iter().zip(&f).map(|(a, b)| a ^ b));
+            (
+                PreparedTrapdoor::new(&RawTrapdoor { target: x, key }),
+                CipherWord(c),
+            )
+        };
+        let (td_a, word_a) = make(10);
+        let (td_b, word_b) = make(20);
+        let doc = vec![word_a.clone(), word_b];
+        assert!(matches_document(
+            &params,
+            &[td_a.clone(), td_b.clone()],
+            &doc
+        ));
+        assert!(
+            matches_document(&params, &[], &doc),
+            "empty conjunction matches everything"
+        );
+        assert!(
+            !matches_document(&params, &[td_a, td_b], &[word_a]),
+            "dropping b's word must break the conjunction"
+        );
     }
 }

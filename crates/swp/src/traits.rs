@@ -98,7 +98,10 @@ mod tests {
     #[test]
     fn location_identity() {
         let a = Location::new(3, 1);
-        let b = Location { doc_id: 3, word_index: 1 };
+        let b = Location {
+            doc_id: 3,
+            word_index: 1,
+        };
         assert_eq!(a, b);
         assert_ne!(a, Location::new(3, 2));
         assert_ne!(a, Location::new(4, 1));

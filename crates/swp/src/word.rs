@@ -91,7 +91,10 @@ mod tests {
         assert!(Word::new(vec![0u8; 11], &params()).is_ok());
         assert_eq!(
             Word::new(vec![0u8; 10], &params()).unwrap_err(),
-            SwpError::WrongWordLength { expected: 11, actual: 10 }
+            SwpError::WrongWordLength {
+                expected: 11,
+                actual: 10
+            }
         );
     }
 

@@ -5,8 +5,8 @@ use proptest::prelude::*;
 
 use dbph_crypto::SecretKey;
 use dbph_swp::{
-    matches, BasicScheme, ControlledScheme, FinalScheme, HiddenScheme, Location,
-    SearchableScheme, SwpParams, Word,
+    matches, BasicScheme, ControlledScheme, FinalScheme, HiddenScheme, Location, SearchableScheme,
+    SwpParams, Word,
 };
 
 fn params() -> SwpParams {

@@ -17,7 +17,10 @@ impl Categorical {
     #[must_use]
     pub fn new(weights: &[f64]) -> Self {
         assert!(!weights.is_empty(), "categorical needs ≥ 1 weight");
-        assert!(weights.iter().all(|&w| w >= 0.0), "weights must be non-negative");
+        assert!(
+            weights.iter().all(|&w| w >= 0.0),
+            "weights must be non-negative"
+        );
         let total: f64 = weights.iter().sum();
         assert!(total > 0.0, "weights must not all be zero");
         let mut cumulative = Vec::with_capacity(weights.len());
@@ -72,7 +75,9 @@ impl Zipf {
         assert!(n > 0, "Zipf needs n ≥ 1");
         assert!(s >= 0.0, "Zipf exponent must be ≥ 0");
         let weights: Vec<f64> = (1..=n).map(|k| (k as f64).powf(-s)).collect();
-        Zipf { inner: Categorical::new(&weights) }
+        Zipf {
+            inner: Categorical::new(&weights),
+        }
     }
 
     /// Samples a rank in `0..n` (0 = most popular).
@@ -145,7 +150,11 @@ mod tests {
         for _ in 0..20_000 {
             counts[dist.sample(&mut rng)] += 1;
         }
-        assert!(counts[0] > counts[10] && counts[10] > counts[50], "{:?}", &counts[..5]);
+        assert!(
+            counts[0] > counts[10] && counts[10] > counts[50],
+            "{:?}",
+            &counts[..5]
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Employee-relation generators at benchmark scales.
 
 use dbph_crypto::{DeterministicRng, EntropySource};
-use dbph_relation::{Attribute, AttrType, Relation, Schema, Tuple, Value};
+use dbph_relation::{AttrType, Attribute, Relation, Schema, Tuple, Value};
 
 /// Generator for `Emp`-style relations.
 #[derive(Debug, Clone)]
@@ -16,7 +16,11 @@ pub struct EmployeeGen {
 
 impl Default for EmployeeGen {
     fn default() -> Self {
-        EmployeeGen { rows: 1000, departments: 8, salary_range: (1000, 9900) }
+        EmployeeGen {
+            rows: 1000,
+            departments: 8,
+            salary_range: (1000, 9900),
+        }
     }
 }
 
@@ -66,20 +70,31 @@ mod tests {
 
     #[test]
     fn generates_requested_rows() {
-        let g = EmployeeGen { rows: 123, ..EmployeeGen::default() };
+        let g = EmployeeGen {
+            rows: 123,
+            ..EmployeeGen::default()
+        };
         let r = g.generate(1);
         assert_eq!(r.len(), 123);
     }
 
     #[test]
     fn departments_bounded_and_salaries_in_range() {
-        let g = EmployeeGen { rows: 500, departments: 4, salary_range: (2000, 3000) };
+        let g = EmployeeGen {
+            rows: 500,
+            departments: 4,
+            salary_range: (2000, 3000),
+        };
         let r = g.generate(2);
         for t in r.tuples() {
-            let Value::Str(d) = t.get(1).unwrap() else { panic!() };
+            let Value::Str(d) = t.get(1).unwrap() else {
+                panic!()
+            };
             let n: usize = d.trim_start_matches("dept-").parse().unwrap();
             assert!(n < 4);
-            let Value::Int(s) = t.get(2).unwrap() else { panic!() };
+            let Value::Int(s) = t.get(2).unwrap() else {
+                panic!()
+            };
             assert!((2000..=3000).contains(s));
             assert_eq!(s % 100, 0);
         }
@@ -94,10 +109,16 @@ mod tests {
 
     #[test]
     fn names_are_unique() {
-        let g = EmployeeGen { rows: 200, ..EmployeeGen::default() };
+        let g = EmployeeGen {
+            rows: 200,
+            ..EmployeeGen::default()
+        };
         let r = g.generate(3);
-        let names: std::collections::HashSet<_> =
-            r.tuples().iter().map(|t| t.get(0).unwrap().clone()).collect();
+        let names: std::collections::HashSet<_> = r
+            .tuples()
+            .iter()
+            .map(|t| t.get(0).unwrap().clone())
+            .collect();
         assert_eq!(names.len(), 200);
     }
 }

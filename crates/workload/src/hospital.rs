@@ -30,7 +30,11 @@ pub struct HospitalConfig {
 
 impl Default for HospitalConfig {
     fn default() -> Self {
-        HospitalConfig { patients: 1000, flows: vec![0.2, 0.3, 0.5], fatal_rate: 0.08 }
+        HospitalConfig {
+            patients: 1000,
+            flows: vec![0.2, 0.3, 0.5],
+            fatal_rate: 0.08,
+        }
     }
 }
 
@@ -121,12 +125,17 @@ mod tests {
 
     #[test]
     fn population_matches_flows() {
-        let cfg = HospitalConfig { patients: 10_000, ..HospitalConfig::default() };
+        let cfg = HospitalConfig {
+            patients: 10_000,
+            ..HospitalConfig::default()
+        };
         let r = cfg.generate(42);
         assert_eq!(r.len(), 10_000);
         let mut counts = [0usize; 3];
         for t in r.tuples() {
-            let Value::Int(h) = t.get(2).unwrap() else { panic!() };
+            let Value::Int(h) = t.get(2).unwrap() else {
+                panic!()
+            };
             counts[(*h - 1) as usize] += 1;
         }
         let freq: Vec<f64> = counts.iter().map(|&c| c as f64 / 10_000.0).collect();
@@ -137,7 +146,10 @@ mod tests {
 
     #[test]
     fn fatal_rate_matches() {
-        let cfg = HospitalConfig { patients: 10_000, ..HospitalConfig::default() };
+        let cfg = HospitalConfig {
+            patients: 10_000,
+            ..HospitalConfig::default()
+        };
         let r = cfg.generate(43);
         let fatal = r
             .tuples()
@@ -157,7 +169,10 @@ mod tests {
 
     #[test]
     fn john_is_planted_once() {
-        let cfg = HospitalConfig { patients: 100, ..HospitalConfig::default() };
+        let cfg = HospitalConfig {
+            patients: 100,
+            ..HospitalConfig::default()
+        };
         let (r, pos) = cfg.generate_with_john(5, 2, true);
         assert_eq!(r.len(), 101);
         let johns: Vec<_> = r
@@ -174,7 +189,10 @@ mod tests {
 
     #[test]
     fn true_ratio_computation() {
-        let cfg = HospitalConfig { patients: 5_000, ..HospitalConfig::default() };
+        let cfg = HospitalConfig {
+            patients: 5_000,
+            ..HospitalConfig::default()
+        };
         let r = cfg.generate(11);
         let ratio = HospitalConfig::true_fatal_ratio(&r, 1);
         assert!((0.0..=1.0).contains(&ratio));

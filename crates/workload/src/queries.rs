@@ -28,7 +28,10 @@ pub fn exact_selects(
         .schema()
         .index_of(attribute)
         .expect("attribute must exist");
-    assert!(!relation.is_empty(), "cannot draw queries from an empty relation");
+    assert!(
+        !relation.is_empty(),
+        "cannot draw queries from an empty relation"
+    );
 
     // Distinct values ordered by first occurrence (stable across runs).
     let mut distinct: Vec<Value> = Vec::new();
@@ -52,7 +55,12 @@ mod tests {
     use crate::employees::EmployeeGen;
 
     fn relation() -> Relation {
-        EmployeeGen { rows: 300, departments: 6, ..EmployeeGen::default() }.generate(5)
+        EmployeeGen {
+            rows: 300,
+            departments: 6,
+            ..EmployeeGen::default()
+        }
+        .generate(5)
     }
 
     #[test]

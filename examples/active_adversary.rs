@@ -32,13 +32,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("secure for q = 0.\n");
 
     // The narrative version: where was John treated, and how did it end?
-    let config = HospitalConfig { patients: 500, ..HospitalConfig::default() };
+    let config = HospitalConfig {
+        patients: 500,
+        ..HospitalConfig::default()
+    };
     let (relation, _) = config.generate_with_john(7, 2, true);
     let ph = FinalSwpPh::new(hospital_schema(), &SecretKey::from_bytes([1u8; 32]))?;
     let findings = locate_john(&ph, &relation, 3)?;
-    println!(
-        "The \"John\" attack (σ_name:John ∩ σ_hospital:X ∩ σ_outcome:fatal):"
-    );
+    println!("The \"John\" attack (σ_name:John ∩ σ_hospital:X ∩ σ_outcome:fatal):");
     println!(
         "  John was treated in hospital {:?}; fatal outcome: {}.",
         findings.hospital, findings.fatal

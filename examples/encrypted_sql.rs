@@ -47,10 +47,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             }
             Statement::Insert { rows, .. } => {
                 let c = client.as_mut().expect("CREATE TABLE first");
-                for row in rows {
-                    c.insert(&Tuple::new(row))?;
-                }
-                println!("  inserted");
+                // Multi-row INSERTs ship as one AppendBatch message —
+                // one round-trip, identical per-tuple server events.
+                let tuples: Vec<Tuple> = rows.into_iter().map(Tuple::new).collect();
+                c.insert_many(&tuples)?;
+                println!("  inserted {} row(s) in one batch", tuples.len());
             }
             Statement::Select(stmt) => {
                 let c = client.as_ref().expect("CREATE TABLE first");

@@ -15,7 +15,10 @@ use dbph::relation::schema::hospital_schema;
 use dbph::workload::HospitalConfig;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let config = HospitalConfig { patients: 3000, ..HospitalConfig::default() };
+    let config = HospitalConfig {
+        patients: 3000,
+        ..HospitalConfig::default()
+    };
     let relation = config.generate(2024);
     println!(
         "Generated {} patients across {} hospitals (flows {:?}, fatal rate {}).\n",

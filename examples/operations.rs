@@ -21,7 +21,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let ph = FinalSwpPh::new(EmployeeGen::schema(), &old_key)?;
     let mut client = Client::new(ph, server.clone());
 
-    let relation = EmployeeGen { rows: 500, ..EmployeeGen::default() }.generate(77);
+    let relation = EmployeeGen {
+        rows: 500,
+        ..EmployeeGen::default()
+    }
+    .generate(77);
     client.outsource(&relation)?;
     println!("Outsourced {} tuples.", relation.len());
 

@@ -27,10 +27,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let buckets = BucketizationPh::new(salary_schema(), cfg, &key)?;
     let ct1 = buckets.encrypt_table(&table_one())?;
     let ct2 = buckets.encrypt_table(&table_two())?;
-    println!("Bucketization salary tags, table 1: {:?} vs {:?}",
-        ct1.docs[0].1.tags[1], ct1.docs[1].1.tags[1]);
-    println!("Bucketization salary tags, table 2: {:?} vs {:?}",
-        ct2.docs[0].1.tags[1], ct2.docs[1].1.tags[1]);
+    println!(
+        "Bucketization salary tags, table 1: {:?} vs {:?}",
+        ct1.docs[0].1.tags[1], ct1.docs[1].1.tags[1]
+    );
+    println!(
+        "Bucketization salary tags, table 2: {:?} vs {:?}",
+        ct2.docs[0].1.tags[1], ct2.docs[1].1.tags[1]
+    );
     println!("Equal tags in exactly one of them — that *is* the distinguisher.\n");
 
     // Now measured, in the Definition 2.1 game (q = 0, passive).

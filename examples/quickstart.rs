@@ -61,9 +61,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("\nAfter insert, table holds {} tuples.", all.len());
 
     // What did Eve learn? Ciphertext sizes and access patterns — no values.
-    println!("\nEve's transcript ({} events):", server.observer().events().len());
+    println!(
+        "\nEve's transcript ({} events):",
+        server.observer().events().len()
+    );
     for (terms, matched) in server.observer().queries() {
-        println!("  observed {} trapdoor(s); matching doc ids: {matched:?}", terms.len());
+        println!(
+            "  observed {} trapdoor(s); matching doc ids: {matched:?}",
+            terms.len()
+        );
     }
     Ok(())
 }

@@ -38,21 +38,33 @@ fn check_all_queries<P: DatabasePh>(ph: &P, relation: &Relation) {
 
 #[test]
 fn swp_final_obeys_the_law() {
-    let r = EmployeeGen { rows: 200, ..EmployeeGen::default() }.generate(1);
+    let r = EmployeeGen {
+        rows: 200,
+        ..EmployeeGen::default()
+    }
+    .generate(1);
     let ph = FinalSwpPh::new(EmployeeGen::schema(), &key()).unwrap();
     check_all_queries(&ph, &r);
 }
 
 #[test]
 fn varlen_obeys_the_law() {
-    let r = EmployeeGen { rows: 200, ..EmployeeGen::default() }.generate(2);
+    let r = EmployeeGen {
+        rows: 200,
+        ..EmployeeGen::default()
+    }
+    .generate(2);
     let ph = VarlenPh::new(EmployeeGen::schema(), &key()).unwrap();
     check_all_queries(&ph, &r);
 }
 
 #[test]
 fn bucketization_obeys_the_law() {
-    let r = EmployeeGen { rows: 200, ..EmployeeGen::default() }.generate(3);
+    let r = EmployeeGen {
+        rows: 200,
+        ..EmployeeGen::default()
+    }
+    .generate(3);
     let cfg = BucketConfig::uniform(&EmployeeGen::schema(), 8, (0, 10_000)).unwrap();
     let ph = BucketizationPh::new(EmployeeGen::schema(), cfg, &key()).unwrap();
     check_all_queries(&ph, &r);
@@ -60,7 +72,11 @@ fn bucketization_obeys_the_law() {
 
 #[test]
 fn damiani_obeys_the_law() {
-    let r = EmployeeGen { rows: 200, ..EmployeeGen::default() }.generate(4);
+    let r = EmployeeGen {
+        rows: 200,
+        ..EmployeeGen::default()
+    }
+    .generate(4);
     let ph = DamianiPh::new(EmployeeGen::schema(), &key()).unwrap();
     check_all_queries(&ph, &r);
 }
@@ -68,21 +84,33 @@ fn damiani_obeys_the_law() {
 #[test]
 fn damiani_with_tiny_tags_obeys_the_law() {
     // 3-bit tags: collisions everywhere, filter must cope.
-    let r = EmployeeGen { rows: 150, ..EmployeeGen::default() }.generate(5);
+    let r = EmployeeGen {
+        rows: 150,
+        ..EmployeeGen::default()
+    }
+    .generate(5);
     let ph = DamianiPh::with_tag_bits(EmployeeGen::schema(), &key(), 3).unwrap();
     check_all_queries(&ph, &r);
 }
 
 #[test]
 fn deterministic_obeys_the_law() {
-    let r = EmployeeGen { rows: 200, ..EmployeeGen::default() }.generate(6);
+    let r = EmployeeGen {
+        rows: 200,
+        ..EmployeeGen::default()
+    }
+    .generate(6);
     let ph = DeterministicPh::new(EmployeeGen::schema(), &key());
     check_all_queries(&ph, &r);
 }
 
 #[test]
 fn plaintext_obeys_the_law() {
-    let r = EmployeeGen { rows: 200, ..EmployeeGen::default() }.generate(7);
+    let r = EmployeeGen {
+        rows: 200,
+        ..EmployeeGen::default()
+    }
+    .generate(7);
     let ph = PlaintextPh::new(EmployeeGen::schema());
     check_all_queries(&ph, &r);
 }
@@ -97,13 +125,21 @@ fn swp_ph_over_basic_scheme_obeys_the_law() {
     let word_len = WordCodec::new(schema.clone()).word_len();
     let scheme = BasicScheme::new(SwpParams::for_word_len(word_len).unwrap(), &key());
     let ph = SwpPh::over_scheme(schema, scheme, "swp-basic").unwrap();
-    let r = EmployeeGen { rows: 100, ..EmployeeGen::default() }.generate(20);
+    let r = EmployeeGen {
+        rows: 100,
+        ..EmployeeGen::default()
+    }
+    .generate(20);
     check_all_queries(&ph, &r);
 }
 
 #[test]
 fn all_schemes_agree_on_hospital_workload() {
-    let relation = HospitalConfig { patients: 300, ..HospitalConfig::default() }.generate(8);
+    let relation = HospitalConfig {
+        patients: 300,
+        ..HospitalConfig::default()
+    }
+    .generate(8);
     let queries: Vec<Query> = (1..=3i64)
         .map(|h| Query::select("hospital", Value::int(h)))
         .chain(std::iter::once(Query::select("outcome", true)))
@@ -124,7 +160,11 @@ fn result_cardinality_is_what_the_plaintext_engine_says() {
     // The observable result-set size (pre-filter, exact schemes) must
     // equal plaintext selectivity — the quantity the paper's attacks
     // read off.
-    let r = EmployeeGen { rows: 500, ..EmployeeGen::default() }.generate(9);
+    let r = EmployeeGen {
+        rows: 500,
+        ..EmployeeGen::default()
+    }
+    .generate(9);
     let ph = FinalSwpPh::new(EmployeeGen::schema(), &key()).unwrap();
     let ct = ph.encrypt_table(&r).unwrap();
     for q in emp_queries() {
@@ -138,7 +178,11 @@ fn result_cardinality_is_what_the_plaintext_engine_says() {
 
 #[test]
 fn fresh_keys_produce_unlinkable_ciphertexts() {
-    let r = EmployeeGen { rows: 20, ..EmployeeGen::default() }.generate(10);
+    let r = EmployeeGen {
+        rows: 20,
+        ..EmployeeGen::default()
+    }
+    .generate(10);
     let ph1 = FinalSwpPh::new(EmployeeGen::schema(), &SecretKey::from_bytes([1u8; 32])).unwrap();
     let ph2 = FinalSwpPh::new(EmployeeGen::schema(), &SecretKey::from_bytes([2u8; 32])).unwrap();
     let c1 = ph1.encrypt_table(&r).unwrap();
@@ -161,13 +205,20 @@ fn emp_paper_example_on_every_scheme() {
     .unwrap();
     let q = Query::select("name", "Montgomery");
 
-    check_homomorphism_law(&FinalSwpPh::new(emp_schema(), &key()).unwrap(), &relation, &q)
-        .unwrap();
-    check_homomorphism_law(&VarlenPh::new(emp_schema(), &key()).unwrap(), &relation, &q)
-        .unwrap();
+    check_homomorphism_law(
+        &FinalSwpPh::new(emp_schema(), &key()).unwrap(),
+        &relation,
+        &q,
+    )
+    .unwrap();
+    check_homomorphism_law(&VarlenPh::new(emp_schema(), &key()).unwrap(), &relation, &q).unwrap();
     check_homomorphism_law(&DeterministicPh::new(emp_schema(), &key()), &relation, &q).unwrap();
-    check_homomorphism_law(&DamianiPh::new(emp_schema(), &key()).unwrap(), &relation, &q)
-        .unwrap();
+    check_homomorphism_law(
+        &DamianiPh::new(emp_schema(), &key()).unwrap(),
+        &relation,
+        &q,
+    )
+    .unwrap();
     check_homomorphism_law(&PlaintextPh::new(emp_schema()), &relation, &q).unwrap();
     let cfg = BucketConfig::uniform(&emp_schema(), 8, (0, 10_000)).unwrap();
     check_homomorphism_law(

@@ -19,13 +19,17 @@ fn setup(seed: u8) -> (Client, Server) {
 #[test]
 fn large_table_full_lifecycle() {
     let (mut client, _server) = setup(1);
-    let relation = EmployeeGen { rows: 1000, ..EmployeeGen::default() }.generate(11);
+    let relation = EmployeeGen {
+        rows: 1000,
+        ..EmployeeGen::default()
+    }
+    .generate(11);
     client.outsource(&relation).unwrap();
 
     // Query a hot department.
     let result = client.select(&Query::select("dept", "dept-00")).unwrap();
-    let expected = dbph::relation::exec::select(&relation, &Query::select("dept", "dept-00"))
-        .unwrap();
+    let expected =
+        dbph::relation::exec::select(&relation, &Query::select("dept", "dept-00")).unwrap();
     assert!(result.same_multiset(&expected));
 
     // Insert a batch and re-query.
@@ -48,8 +52,7 @@ fn large_table_full_lifecycle() {
 #[test]
 fn multiple_tables_coexist_on_one_server() {
     let server = Server::new();
-    let emp_ph = FinalSwpPh::new(EmployeeGen::schema(), &SecretKey::from_bytes([3u8; 32]))
-        .unwrap();
+    let emp_ph = FinalSwpPh::new(EmployeeGen::schema(), &SecretKey::from_bytes([3u8; 32])).unwrap();
     let hosp_ph = FinalSwpPh::new(
         dbph::relation::schema::hospital_schema(),
         &SecretKey::from_bytes([4u8; 32]),
@@ -60,11 +63,21 @@ fn multiple_tables_coexist_on_one_server() {
     let mut hosp_client = Client::new(hosp_ph, server.clone());
 
     emp_client
-        .outsource(&EmployeeGen { rows: 50, ..EmployeeGen::default() }.generate(12))
+        .outsource(
+            &EmployeeGen {
+                rows: 50,
+                ..EmployeeGen::default()
+            }
+            .generate(12),
+        )
         .unwrap();
     hosp_client
         .outsource(
-            &dbph::workload::HospitalConfig { patients: 50, ..Default::default() }.generate(13),
+            &dbph::workload::HospitalConfig {
+                patients: 50,
+                ..Default::default()
+            }
+            .generate(13),
         )
         .unwrap();
 
@@ -85,7 +98,11 @@ fn server_rejects_garbage_bytes_gracefully() {
 #[test]
 fn truncated_messages_are_rejected_not_panicking() {
     let (mut client, server) = setup(5);
-    let relation = EmployeeGen { rows: 5, ..EmployeeGen::default() }.generate(14);
+    let relation = EmployeeGen {
+        rows: 5,
+        ..EmployeeGen::default()
+    }
+    .generate(14);
     client.outsource(&relation).unwrap();
 
     // Take a valid query message and truncate it at every prefix length.
@@ -145,18 +162,26 @@ fn corrupted_stored_word_is_filtered_or_detected() {
 fn stale_append_rejected_fresh_append_accepted() {
     let (mut client, server) = setup(7);
     client
-        .outsource(&EmployeeGen { rows: 3, ..EmployeeGen::default() }.generate(15))
+        .outsource(
+            &EmployeeGen {
+                rows: 3,
+                ..EmployeeGen::default()
+            }
+            .generate(15),
+        )
         .unwrap();
 
     // Direct protocol-level stale append (doc id 0 already taken).
-    let resp = ServerResponse::from_wire(&server.handle(
-        &ClientMessage::Append {
-            name: "Emp".into(),
-            doc_id: 0,
-            words: vec![],
-        }
-        .to_wire(),
-    ))
+    let resp = ServerResponse::from_wire(
+        &server.handle(
+            &ClientMessage::Append {
+                name: "Emp".into(),
+                doc_id: 0,
+                words: vec![],
+            }
+            .to_wire(),
+        ),
+    )
     .unwrap();
     assert!(matches!(resp, ServerResponse::Error(_)));
 
@@ -186,8 +211,7 @@ fn concurrent_clients_share_one_server_safely() {
                 )
                 .unwrap();
                 let ph =
-                    FinalSwpPh::new(schema.clone(), &SecretKey::from_bytes([worker; 32]))
-                        .unwrap();
+                    FinalSwpPh::new(schema.clone(), &SecretKey::from_bytes([worker; 32])).unwrap();
                 let mut client = Client::new(ph, server);
                 client
                     .outsource(&dbph::relation::Relation::empty(schema))
@@ -208,7 +232,11 @@ fn concurrent_clients_share_one_server_safely() {
 #[test]
 fn observer_transcript_contains_no_plaintext_for_any_workload() {
     let (mut client, server) = setup(8);
-    let relation = EmployeeGen { rows: 100, ..EmployeeGen::default() }.generate(16);
+    let relation = EmployeeGen {
+        rows: 100,
+        ..EmployeeGen::default()
+    }
+    .generate(16);
     client.outsource(&relation).unwrap();
     for q in [
         Query::select("dept", "dept-01"),

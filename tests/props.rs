@@ -8,7 +8,7 @@ use dbph::crypto::cipher::{
     DeterministicCipher, RandomizedCipher, SealedCipher, StreamCipher, WideBlockPrp,
 };
 use dbph::crypto::{DeterministicRng, SecretKey};
-use dbph::relation::{Attribute, AttrType, Query, Relation, Schema, Tuple, Value};
+use dbph::relation::{AttrType, Attribute, Query, Relation, Schema, Tuple, Value};
 use dbph::swp::{matches, FinalScheme, Location, SearchableScheme, SwpParams, Word};
 
 fn key_from(bytes: [u8; 32]) -> SecretKey {
@@ -212,6 +212,77 @@ proptest! {
         prop_assert_eq!(&restored, &ct);
         // And the restored ciphertext still decrypts.
         prop_assert!(ph.decrypt_table(&restored).unwrap().same_multiset(&relation));
+    }
+}
+
+// --- batched protocol messages ---------------------------------------------
+
+fn arb_trapdoor() -> impl Strategy<Value = dbph::core::protocol::WireTrapdoor> {
+    (
+        proptest::collection::vec(any::<u8>(), 0..24),
+        proptest::collection::vec(any::<u8>(), 0..40),
+    )
+        .prop_map(|(target, check_key)| dbph::core::protocol::WireTrapdoor { target, check_key })
+}
+
+fn arb_cipher_words() -> impl Strategy<Value = Vec<dbph::swp::CipherWord>> {
+    proptest::collection::vec(
+        proptest::collection::vec(any::<u8>(), 0..24).prop_map(dbph::swp::CipherWord),
+        0..6,
+    )
+}
+
+proptest! {
+    #[test]
+    fn query_batch_messages_roundtrip(
+        name in "[a-zA-Z0-9_]{1,16}",
+        queries in proptest::collection::vec(
+            proptest::collection::vec(arb_trapdoor(), 0..5), 0..8),
+    ) {
+        let msg = dbph::core::protocol::ClientMessage::QueryBatch { name, queries };
+        let bytes = msg.to_wire();
+        prop_assert_eq!(
+            dbph::core::protocol::ClientMessage::from_wire(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn append_batch_messages_roundtrip(
+        name in "[a-zA-Z0-9_]{1,16}",
+        docs in proptest::collection::vec((any::<u64>(), arb_cipher_words()), 0..8),
+    ) {
+        let msg = dbph::core::protocol::ClientMessage::AppendBatch { name, docs };
+        let bytes = msg.to_wire();
+        prop_assert_eq!(
+            dbph::core::protocol::ClientMessage::from_wire(&bytes).unwrap(), msg);
+    }
+
+    #[test]
+    fn tables_responses_roundtrip(
+        tuples in proptest::collection::vec(arb_tuple(), 0..6),
+        splits in any::<u8>(),
+        key in any::<[u8; 32]>(),
+    ) {
+        // A Tables response carrying several (possibly empty) results.
+        let relation = Relation::from_tuples(test_schema(), tuples).unwrap();
+        let ph = FinalSwpPh::new(test_schema(), &key_from(key)).unwrap();
+        let ct = ph.encrypt_table(&relation).unwrap();
+        let n = usize::from(splits % 4);
+        let response =
+            dbph::core::protocol::ServerResponse::Tables(vec![ct; n]);
+        let bytes = response.to_wire();
+        prop_assert_eq!(
+            dbph::core::protocol::ServerResponse::from_wire(&bytes).unwrap(), response);
+    }
+
+    #[test]
+    fn batch_decoding_never_panics_on_random_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..256),
+        tag in 7u8..9,
+    ) {
+        // Frame random payloads under the batch tags specifically.
+        let mut framed = vec![tag];
+        framed.extend_from_slice(&bytes);
+        let _ = dbph::core::protocol::ClientMessage::from_wire(&framed);
     }
 }
 

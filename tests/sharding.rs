@@ -1,0 +1,273 @@
+//! Shard-count invariance: the sharded parallel scan engine must be
+//! observationally identical to the seed's single-threaded scan.
+//!
+//! Three obligations, matching `dbph::core::storage`'s contract:
+//!
+//! 1. **Byte-identical results.** For any workload and query, an
+//!    N-shard server's serialized query response equals the 1-shard
+//!    server's, which in turn equals the reference `execute_query`
+//!    free function (the seed scan).
+//! 2. **Equivalent transcripts.** The `Observer` event list for a
+//!    whole session is equal across shard counts.
+//! 3. **Batching leaks per-query, not per-batch.** A `QueryBatch`
+//!    produces the same `Query` events (terms + matched ids) as the
+//!    same queries sent one at a time; only the `batch` tag differs.
+
+use dbph::core::protocol::{ClientMessage, ServerResponse, WireTrapdoor};
+use dbph::core::server::{execute_query, ServerEvent};
+use dbph::core::wire::{WireDecode, WireEncode};
+use dbph::core::{Client, DatabasePh, FinalSwpPh, Server};
+use dbph::crypto::SecretKey;
+use dbph::relation::{Query, Relation, Tuple, Value};
+use dbph::workload::EmployeeGen;
+
+use proptest::prelude::*;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn master() -> SecretKey {
+    SecretKey::from_bytes([77u8; 32])
+}
+
+fn ph() -> FinalSwpPh {
+    FinalSwpPh::new(EmployeeGen::schema(), &master()).unwrap()
+}
+
+fn sample_queries() -> Vec<Query> {
+    vec![
+        Query::select("dept", "dept-00"),
+        Query::select("dept", "dept-03"),
+        Query::select("salary", 5500i64),
+        Query::select("name", "emp-0000042"),
+        Query::select("name", "no-such-emp"),
+    ]
+}
+
+/// Drives one full session against a server and returns every raw
+/// response the server produced.
+fn drive_session(server: &Server, relation: &Relation, queries: &[Query]) -> Vec<Vec<u8>> {
+    let scheme = ph();
+    let table = scheme.encrypt_table(relation).unwrap();
+    let mut responses = Vec::new();
+    let mut send = |msg: ClientMessage| {
+        let bytes = server.handle(&msg.to_wire());
+        responses.push(bytes);
+    };
+    send(ClientMessage::CreateTable {
+        name: "Emp".into(),
+        table,
+    });
+    for query in queries {
+        let qct = scheme.encrypt_query(query).unwrap();
+        send(ClientMessage::Query {
+            name: "Emp".into(),
+            terms: qct.terms.iter().map(WireTrapdoor::from_trapdoor).collect(),
+        });
+    }
+    // Exercise the mutation paths too: append, delete, fetch.
+    let extra = scheme
+        .encrypt_table(
+            &Relation::from_tuples(
+                EmployeeGen::schema(),
+                vec![Tuple::new(vec![
+                    Value::str("emp-x"),
+                    Value::str("dept-00"),
+                    Value::int(7777),
+                ])],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+    let (_, words) = extra.docs[0].clone();
+    send(ClientMessage::Append {
+        name: "Emp".into(),
+        doc_id: relation.len() as u64,
+        words,
+    });
+    send(ClientMessage::DeleteDocs {
+        name: "Emp".into(),
+        doc_ids: vec![1, 3, 3, 999_999],
+    });
+    send(ClientMessage::FetchAll { name: "Emp".into() });
+    responses
+}
+
+#[test]
+fn results_and_transcripts_identical_across_shard_counts() {
+    let relation = EmployeeGen {
+        rows: 300,
+        ..EmployeeGen::default()
+    }
+    .generate(9);
+    let queries = sample_queries();
+
+    let baseline_server = Server::new();
+    assert_eq!(baseline_server.shards(), 1);
+    let baseline_responses = drive_session(&baseline_server, &relation, &queries);
+    let baseline_events = baseline_server.observer().events();
+
+    for shards in SHARD_COUNTS {
+        let server = Server::with_shards(shards);
+        let responses = drive_session(&server, &relation, &queries);
+        assert_eq!(
+            responses, baseline_responses,
+            "raw wire responses diverged at {shards} shard(s)"
+        );
+        assert_eq!(
+            server.observer().events(),
+            baseline_events,
+            "observer transcript diverged at {shards} shard(s)"
+        );
+    }
+}
+
+#[test]
+fn sharded_scan_equals_reference_execute_query() {
+    let relation = EmployeeGen {
+        rows: 200,
+        ..EmployeeGen::default()
+    }
+    .generate(4);
+    let scheme = ph();
+    let table = scheme.encrypt_table(&relation).unwrap();
+
+    for query in sample_queries() {
+        let qct = scheme.encrypt_query(&query).unwrap();
+        let terms: Vec<WireTrapdoor> = qct.terms.iter().map(WireTrapdoor::from_trapdoor).collect();
+        let reference = execute_query(&table, &terms);
+        for shards in SHARD_COUNTS {
+            let server = Server::with_shards(shards);
+            let create = ClientMessage::CreateTable {
+                name: "Emp".into(),
+                table: table.clone(),
+            };
+            let _ = server.handle(&create.to_wire());
+            let resp = server.handle(
+                &ClientMessage::Query {
+                    name: "Emp".into(),
+                    terms: terms.clone(),
+                }
+                .to_wire(),
+            );
+            match ServerResponse::from_wire(&resp).unwrap() {
+                ServerResponse::Table(result) => assert_eq!(
+                    result, reference,
+                    "{shards}-shard scan diverged from execute_query for {query}"
+                ),
+                other => panic!("unexpected response {other:?}"),
+            }
+        }
+    }
+}
+
+#[test]
+fn batched_queries_leak_exactly_like_single_queries() {
+    let relation = EmployeeGen {
+        rows: 120,
+        ..EmployeeGen::default()
+    }
+    .generate(2);
+    let queries = sample_queries();
+
+    // One at a time…
+    let singles = Server::new();
+    let mut client = Client::new(ph(), singles.clone());
+    client.outsource(&relation).unwrap();
+    let single_results: Vec<Relation> = queries.iter().map(|q| client.select(q).unwrap()).collect();
+
+    // …versus one batch on a sharded server.
+    let batched = Server::with_shards(4);
+    let mut batch_client = Client::new(ph(), batched.clone());
+    batch_client.outsource(&relation).unwrap();
+    let batch_results = batch_client.select_many(&queries).unwrap();
+
+    for (s, b) in single_results.iter().zip(&batch_results) {
+        assert!(
+            s.same_multiset(b),
+            "batched result differs from single-query result"
+        );
+    }
+
+    // Per-query leakage (terms + matched ids) is identical; only the
+    // batch tag differs.
+    assert_eq!(singles.observer().queries(), batched.observer().queries());
+    let tags: Vec<Option<(u64, usize)>> = batched
+        .observer()
+        .events()
+        .iter()
+        .filter_map(|e| match e {
+            ServerEvent::Query { batch, .. } => Some(*batch),
+            _ => None,
+        })
+        .collect();
+    assert_eq!(
+        tags,
+        (0..queries.len()).map(|i| Some((0, i))).collect::<Vec<_>>(),
+        "batch membership tags must record the message boundary"
+    );
+}
+
+// --- randomized invariance -------------------------------------------------
+
+fn arb_relation() -> impl Strategy<Value = Relation> {
+    proptest::collection::vec(("[a-z]{0,12}", 0i64..50, any::<bool>()), 0..40).prop_map(|rows| {
+        let schema = dbph::relation::Schema::new(
+            "Rnd",
+            vec![
+                dbph::relation::Attribute::new("s", dbph::relation::AttrType::Str { max_len: 12 }),
+                dbph::relation::Attribute::new("i", dbph::relation::AttrType::Int),
+                dbph::relation::Attribute::new("b", dbph::relation::AttrType::Bool),
+            ],
+        )
+        .unwrap();
+        Relation::from_tuples(
+            schema,
+            rows.into_iter()
+                .map(|(s, i, b)| Tuple::new(vec![Value::Str(s), Value::Int(i), Value::Bool(b)]))
+                .collect(),
+        )
+        .unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    #[test]
+    fn random_relations_and_queries_are_shard_invariant(
+        relation in arb_relation(),
+        probe_s in "[a-z]{0,12}",
+        probe_i in 0i64..50,
+        key in any::<[u8; 32]>(),
+    ) {
+        let scheme =
+            FinalSwpPh::new(relation.schema().clone(), &SecretKey::from_bytes(key)).unwrap();
+        let table = scheme.encrypt_table(&relation).unwrap();
+        for query in [
+            Query::select("s", probe_s.clone()),
+            Query::select("i", probe_i),
+            Query::select("b", true),
+        ] {
+            let qct = scheme.encrypt_query(&query).unwrap();
+            let terms: Vec<WireTrapdoor> =
+                qct.terms.iter().map(WireTrapdoor::from_trapdoor).collect();
+            let reference = execute_query(&table, &terms);
+            for shards in [1usize, 3, 8] {
+                let server = Server::with_shards(shards);
+                let _ = server.handle(
+                    &ClientMessage::CreateTable { name: "Rnd".into(), table: table.clone() }
+                        .to_wire(),
+                );
+                let resp = server.handle(
+                    &ClientMessage::Query { name: "Rnd".into(), terms: terms.clone() }.to_wire(),
+                );
+                match ServerResponse::from_wire(&resp).unwrap() {
+                    ServerResponse::Table(result) => {
+                        prop_assert_eq!(&result, &reference,
+                            "{} shards diverged for {}", shards, &query);
+                    }
+                    other => return Err(TestCaseError::fail(format!("unexpected {other:?}"))),
+                }
+            }
+        }
+    }
+}

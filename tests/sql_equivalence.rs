@@ -21,7 +21,8 @@ fn run_both(
         Statement::CreateTable(schema) => {
             let ph = FinalSwpPh::new(schema.clone(), master).unwrap();
             let mut c = Client::new(ph, server.clone());
-            c.outsource(&dbph::relation::Relation::empty(schema)).unwrap();
+            c.outsource(&dbph::relation::Relation::empty(schema))
+                .unwrap();
             *client = Some(c);
         }
         Statement::Insert { rows, .. } => {
@@ -42,7 +43,10 @@ fn run_both(
                     dbph::relation::exec::project(&all, &stmt.projection).unwrap()
                 }
             };
-            let ExecOutcome::Rows { rows: mut expected, .. } = reference_outcome else {
+            let ExecOutcome::Rows {
+                rows: mut expected, ..
+            } = reference_outcome
+            else {
                 panic!("reference did not produce rows");
             };
             encrypted_rows.sort();
@@ -141,5 +145,11 @@ fn randomized_workload_agrees() {
             );
         }
     }
-    run_both(&mut reference, &mut client, &server, &master, "SELECT * FROM T");
+    run_both(
+        &mut reference,
+        &mut client,
+        &server,
+        &master,
+        "SELECT * FROM T",
+    );
 }
