@@ -147,24 +147,35 @@ impl Client {
     }
 
     /// Runs a disjunctive (DNF) query: one encrypted exact-select per
-    /// disjunct, results unioned by document identity client-side,
-    /// with per-disjunct false-positive filtering. Each disjunct leaks
-    /// its own access pattern to the server — no more, no less than
-    /// running it standalone.
+    /// disjunct — all disjuncts shipped in a single `QueryBatch`
+    /// round-trip and fanned over the server's worker pool — results
+    /// unioned by document identity client-side, with per-disjunct
+    /// false-positive filtering. Each disjunct leaks its own access
+    /// pattern to the server — no more, no less than running it
+    /// standalone; batching changes framing (one message, one batch
+    /// tag), never per-disjunct leakage.
     ///
     /// # Errors
     /// Fails on binding, protocol, or decryption errors.
     pub fn select_dnf(&self, dnf: &Dnf) -> Result<Relation, PhError> {
         let bound = dnf.bind(self.ph.schema())?;
-        let mut seen: std::collections::BTreeMap<u64, Tuple> = std::collections::BTreeMap::new();
-        for (query, indices) in dnf.disjuncts().iter().zip(&bound) {
+        let mut encrypted = Vec::with_capacity(dnf.disjuncts().len());
+        for query in dnf.disjuncts() {
             let qct = self.ph.encrypt_query(query)?;
-            let terms = qct.terms.iter().map(WireTrapdoor::from_trapdoor).collect();
-            let candidates = self.expect_table(&ClientMessage::Query {
+            encrypted.push(qct.terms.iter().map(WireTrapdoor::from_trapdoor).collect());
+        }
+        let candidate_tables = self.expect_tables(
+            &ClientMessage::QueryBatch {
                 name: self.table_name.clone(),
-                terms,
-            })?;
-            for (doc_id, tuple) in self.ph.decrypt_docs(&candidates)? {
+                queries: encrypted,
+            },
+            dnf.disjuncts().len(),
+        )?;
+        let mut seen: std::collections::BTreeMap<u64, Tuple> = std::collections::BTreeMap::new();
+        for ((query, indices), candidates) in
+            dnf.disjuncts().iter().zip(&bound).zip(&candidate_tables)
+        {
+            for (doc_id, tuple) in self.ph.decrypt_docs(candidates)? {
                 let exact = query
                     .terms()
                     .iter()

@@ -1,0 +1,319 @@
+//! Persistent worker-pool executor for the server's scan engine.
+//!
+//! PR 1 parallelized a single query across shards with
+//! `std::thread::scope`, which re-spawns (and re-joins) OS threads for
+//! every query — fine for one big scan, wasteful for a `QueryBatch`
+//! where K queries each pay the spawn cost and still run one after
+//! another. This module replaces that with a fixed set of long-lived
+//! workers fed by a work queue: a batch of K queries over S shards
+//! becomes K×S independent tasks drained concurrently by however many
+//! cores the machine has.
+//!
+//! Two properties matter for the rest of the system:
+//!
+//! * **Submission-order results.** [`Executor::scatter`] returns its
+//!   results in the order the jobs were submitted, no matter in which
+//!   order workers finish them. The batch scan relies on this to keep
+//!   wire responses in query order (and the tests complete tasks out
+//!   of order on purpose to prove it).
+//! * **Panic transparency.** A panicking job does not kill a worker or
+//!   wedge the pool: the payload is carried back to the `scatter`
+//!   caller and resumed there, matching what `std::thread::scope`'s
+//!   join did in PR 1.
+//!
+//! Scheduling is server-internal and leakage-free by the same argument
+//! as sharding: Eve already holds every ciphertext and trapdoor, so
+//! how she orders her own work reveals nothing new. The transcript
+//! obligations live in `server.rs` (events recorded strictly in batch
+//! order, after the join) and are enforced by `tests/sharding.rs`.
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, OnceLock};
+use std::thread::JoinHandle;
+
+use parking_lot::{Condvar, Mutex};
+
+/// A queued unit of work.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Queue state shared between the pool handle and its workers.
+struct Inner {
+    queue: Mutex<VecDeque<Job>>,
+    /// Signaled when a job is queued or shutdown begins.
+    available: Condvar,
+    /// Set once by `Drop`; workers drain the queue, then exit.
+    shutdown: AtomicBool,
+}
+
+/// A fixed-size pool of long-lived worker threads.
+///
+/// Construct one with [`Executor::new`] (tests use explicit sizes to
+/// pin scheduling behavior) or share the process-wide pool sized to
+/// `available_parallelism` via [`Executor::global`]. Dropping a pool
+/// lets queued work finish, then joins every worker; the global pool
+/// is never dropped.
+pub struct Executor {
+    inner: Arc<Inner>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Executor {
+    /// Spawns a pool of `workers` threads (clamped to at least 1).
+    #[must_use]
+    pub fn new(workers: usize) -> Self {
+        let workers = workers.max(1);
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(VecDeque::new()),
+            available: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let inner = Arc::clone(&inner);
+                std::thread::Builder::new()
+                    .name(format!("dbph-worker-{i}"))
+                    .spawn(move || worker_loop(&inner))
+                    .expect("spawning pool worker")
+            })
+            .collect();
+        Executor {
+            inner,
+            workers: handles,
+        }
+    }
+
+    /// The process-wide pool, created on first use with one worker per
+    /// available core. This is what [`crate::server::Server`] and
+    /// [`crate::storage::TableStore`] use unless handed a dedicated
+    /// pool.
+    #[must_use]
+    pub fn global() -> Arc<Executor> {
+        static GLOBAL: OnceLock<Arc<Executor>> = OnceLock::new();
+        Arc::clone(GLOBAL.get_or_init(|| {
+            let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+            Arc::new(Executor::new(cores))
+        }))
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Runs every job and returns their results **in submission
+    /// order**, regardless of completion order.
+    ///
+    /// With a single worker (or a single job) the jobs run inline on
+    /// the caller's thread in submission order — same results, zero
+    /// queue/channel overhead — so a 1-worker pool is exactly the
+    /// sequential engine, which the invariance tests use as the
+    /// reference.
+    ///
+    /// # Panics
+    /// If a job panics, the first observed payload is resumed on the
+    /// caller's thread after all jobs of the batch have finished
+    /// (mirroring a scoped-thread join). Jobs must not call `scatter`
+    /// on the same pool: a worker blocking on its own pool's results
+    /// can deadlock.
+    pub fn scatter<R, F>(&self, jobs: Vec<F>) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: FnOnce() -> R + Send + 'static,
+    {
+        if self.workers() <= 1 || jobs.len() <= 1 {
+            return jobs.into_iter().map(|job| job()).collect();
+        }
+        let n = jobs.len();
+        let (tx, rx) = mpsc::channel();
+        {
+            let mut queue = self.inner.queue.lock();
+            for (index, job) in jobs.into_iter().enumerate() {
+                let tx = tx.clone();
+                queue.push_back(Box::new(move || {
+                    let result = catch_unwind(AssertUnwindSafe(job));
+                    // The receiver only disappears if the caller
+                    // panicked out of the collection loop; dropping
+                    // the result is then the right thing.
+                    let _ = tx.send((index, result));
+                }));
+            }
+        }
+        self.inner.available.notify_all();
+        drop(tx);
+
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        let mut panic = None;
+        for _ in 0..n {
+            let (index, result) = rx.recv().expect("pool dropped a result channel");
+            match result {
+                Ok(value) => slots[index] = Some(value),
+                // Keep the first payload when several jobs panic.
+                Err(payload) => {
+                    if panic.is_none() {
+                        panic = Some(payload);
+                    }
+                }
+            }
+        }
+        if let Some(payload) = panic {
+            resume_unwind(payload);
+        }
+        slots
+            .into_iter()
+            .map(|slot| slot.expect("every task reported exactly once"))
+            .collect()
+    }
+}
+
+impl Drop for Executor {
+    fn drop(&mut self) {
+        // The flag must flip while holding the queue mutex: a worker
+        // that has just seen `shutdown == false` still holds the lock
+        // until its `wait` releases it, so storing under the lock (and
+        // notifying before releasing) cannot slip into that window —
+        // the classic lost-wakeup that would leave `join` hanging.
+        {
+            let _queue = self.inner.queue.lock();
+            self.inner.shutdown.store(true, Ordering::SeqCst);
+            self.inner.available.notify_all();
+        }
+        for handle in self.workers.drain(..) {
+            let _ = handle.join();
+        }
+    }
+}
+
+fn worker_loop(inner: &Inner) {
+    loop {
+        let job = {
+            let mut queue = inner.queue.lock();
+            loop {
+                if let Some(job) = queue.pop_front() {
+                    break Some(job);
+                }
+                if inner.shutdown.load(Ordering::SeqCst) {
+                    break None;
+                }
+                inner.available.wait(&mut queue);
+            }
+        };
+        match job {
+            // A panicking job must not take the worker down with it;
+            // `scatter` already captured the payload for the caller.
+            Some(job) => {
+                let _ = catch_unwind(AssertUnwindSafe(job));
+            }
+            None => return,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+    use std::time::Duration;
+
+    #[test]
+    fn scatter_returns_results_in_submission_order() {
+        let pool = Executor::new(4);
+        // Later tasks finish first: earlier tasks sleep longer.
+        let results = pool.scatter(
+            (0..8u64)
+                .map(|i| {
+                    move || {
+                        std::thread::sleep(Duration::from_millis((8 - i) * 3));
+                        i * 10
+                    }
+                })
+                .collect(),
+        );
+        assert_eq!(results, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn single_worker_pool_runs_inline_and_in_order() {
+        let pool = Executor::new(1);
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let results = pool.scatter(
+            (0..5usize)
+                .map(|i| {
+                    let order = Arc::clone(&order);
+                    move || {
+                        order.lock().push(i);
+                        i
+                    }
+                })
+                .collect(),
+        );
+        assert_eq!(results, vec![0, 1, 2, 3, 4]);
+        assert_eq!(*order.lock(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn pool_survives_many_batches() {
+        let pool = Executor::new(3);
+        for round in 0..50usize {
+            let results = pool.scatter((0..6usize).map(|i| move || round + i).collect());
+            assert_eq!(results, (round..round + 6).collect::<Vec<_>>());
+        }
+        assert_eq!(pool.workers(), 3);
+    }
+
+    #[test]
+    fn panicking_job_propagates_and_pool_stays_usable() {
+        let pool = Executor::new(2);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            pool.scatter(
+                (0..4usize)
+                    .map(|i| move || assert!(i != 2, "job 2 exploded"))
+                    .collect(),
+            )
+        }));
+        assert!(caught.is_err(), "panic must reach the scatter caller");
+        // The pool is still fully operational afterwards.
+        let results = pool.scatter((0..4usize).map(|i| move || i + 1).collect());
+        assert_eq!(results, vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn zero_requested_workers_clamps_to_one() {
+        let pool = Executor::new(0);
+        assert_eq!(pool.workers(), 1);
+        assert_eq!(pool.scatter(vec![|| 7]), vec![7]);
+    }
+
+    #[test]
+    fn drop_joins_all_workers_after_queued_work() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = Executor::new(2);
+            let results = pool.scatter(
+                (0..10usize)
+                    .map(|_| {
+                        let counter = Arc::clone(&counter);
+                        move || counter.fetch_add(1, Ordering::SeqCst)
+                    })
+                    .collect(),
+            );
+            assert_eq!(results.len(), 10);
+        } // Drop here: workers must exit cleanly.
+        assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn global_pool_is_shared_and_sized_to_the_machine() {
+        let a = Executor::global();
+        let b = Executor::global();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert!(a.workers() >= 1);
+        assert_eq!(
+            a.scatter((0..3usize).map(|i| move || i * i).collect()),
+            vec![0, 1, 4]
+        );
+    }
+}

@@ -27,17 +27,23 @@
 //!   stores ciphertext and executes trapdoors, an observer recording
 //!   everything the server sees (the adversary's transcript), and a
 //!   client holding the only key.
-//! * [`storage`] — the server's execution engine: each table is
-//!   partitioned into contiguous document shards
-//!   ([`storage::ShardedTable`]) scanned in parallel with trapdoors
-//!   prepared once per query ([`dbph_swp::PreparedTrapdoor`]).
-//!   Results are byte-identical for every shard count, and the
-//!   observer transcript is unchanged — sharding is Eve spending her
-//!   own cores, not Alex leaking more. What the scan still *does*
-//!   reveal is exactly the seed's leakage: the access pattern
-//!   (matched document ids per query) and, trivially to Eve herself,
-//!   per-shard match counts — a deliberate non-goal to hide, since
-//!   Eve picks the partition.
+//! * [`storage`] / [`executor`] — the server's execution engine: each
+//!   table is partitioned into contiguous document shards
+//!   ([`storage::ShardedTable`]) and every scan runs on a persistent
+//!   worker pool ([`executor::Executor`], long-lived threads sized to
+//!   the machine). A whole `QueryBatch` fans out as K×S
+//!   `(query, shard)` tasks drained concurrently, with a per-batch
+//!   trapdoor memo preparing each distinct trapdoor once
+//!   ([`dbph_swp::PreparedTrapdoor`]) and sharing per-shard match sets
+//!   between queries that repeat a term. Results are byte-identical
+//!   for every shard count *and* pool size, and the observer
+//!   transcript is unchanged — scheduling is Eve spending her own
+//!   cores, not Alex leaking more. What the scan still *does* reveal
+//!   is exactly the seed's leakage: the access pattern (matched
+//!   document ids per query), trapdoor equality across queries
+//!   (visible on the wire with or without the memo), and, trivially
+//!   to Eve herself, per-shard match counts — deliberate non-goals to
+//!   hide, since Eve picks the partition and the schedule.
 //! * [`protocol`] batching — [`protocol::ClientMessage::QueryBatch`] /
 //!   [`protocol::ClientMessage::AppendBatch`] amortize round-trips for
 //!   multi-query and multi-insert sessions
@@ -51,6 +57,7 @@
 pub mod client;
 pub mod encoding;
 pub mod error;
+pub mod executor;
 pub mod ph;
 pub mod protocol;
 pub mod server;
@@ -63,6 +70,7 @@ pub mod wire;
 pub use client::Client;
 pub use encoding::WordCodec;
 pub use error::PhError;
+pub use executor::Executor;
 pub use ph::{DatabasePh, IncrementalPh};
 pub use server::{Observer, Server};
 pub use storage::{ShardedTable, TableStore};

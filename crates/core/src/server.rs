@@ -25,6 +25,7 @@ use parking_lot::RwLock;
 
 use dbph_swp::matches;
 
+use crate::executor::Executor;
 use crate::protocol::{ClientMessage, ServerResponse, WireTrapdoor};
 use crate::storage::TableStore;
 use crate::swp_ph::EncryptedTable;
@@ -194,9 +195,9 @@ impl Server {
     }
 
     /// Creates an empty server that partitions each table into
-    /// `shards` shards and scans them in parallel. Results and
-    /// transcripts are identical for every shard count; only
-    /// throughput changes.
+    /// `shards` shards and scans them on the process-wide worker pool.
+    /// Results and transcripts are identical for every shard count;
+    /// only throughput changes.
     ///
     /// # Panics
     /// Panics if `shards == 0`.
@@ -209,10 +210,37 @@ impl Server {
         }
     }
 
+    /// Creates an empty server with a **dedicated** worker pool of
+    /// `workers` threads instead of the shared process-wide pool. A
+    /// 1-worker pool executes every task inline in submission order —
+    /// the sequential reference engine — so the invariance tests sweep
+    /// `workers` to prove results and transcripts are pool-size
+    /// independent.
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    #[must_use]
+    pub fn with_pool(shards: usize, workers: usize) -> Self {
+        Server {
+            store: Arc::new(TableStore::with_pool(
+                shards,
+                Arc::new(Executor::new(workers)),
+            )),
+            observer: Observer::new(),
+            next_batch: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
     /// The configured shard count.
     #[must_use]
     pub fn shards(&self) -> usize {
         self.store.shard_count()
+    }
+
+    /// Worker threads in this server's scan pool.
+    #[must_use]
+    pub fn pool_workers(&self) -> usize {
+        self.store.pool().workers()
     }
 
     /// The server's transcript recorder.
@@ -270,16 +298,32 @@ impl Server {
             },
             ClientMessage::QueryBatch { name, queries } => {
                 let batch_id = self.next_batch.fetch_add(1, Ordering::Relaxed);
-                let mut results = Vec::with_capacity(queries.len());
-                for (index, terms) in queries.into_iter().enumerate() {
-                    match self.run_query(&name, terms, Some((batch_id, index))) {
-                        Ok(result) => results.push(result),
-                        Err(e) => {
-                            return ServerResponse::Error(format!("batch query {index}: {e}"))
+                // The whole batch fans into the worker pool at once
+                // (K queries × S shards tasks, duplicate terms shared
+                // through the per-batch trapdoor memo). Events are
+                // recorded strictly in batch order *after* the join,
+                // so the transcript is byte-for-byte the one the
+                // sequential engine would have produced no matter
+                // which worker finished which task first.
+                match self.store.query_batch(&name, &queries) {
+                    Ok(results) => {
+                        for (index, (terms, result)) in
+                            queries.into_iter().zip(&results).enumerate()
+                        {
+                            self.observer.record(ServerEvent::Query {
+                                name: name.clone(),
+                                terms,
+                                matched_doc_ids: result.doc_ids(),
+                                batch: Some((batch_id, index)),
+                            });
                         }
+                        ServerResponse::Tables(results)
                     }
+                    // The batch executes as one fan-out, so failures
+                    // (today: unknown table) are batch-wide — no
+                    // per-query index to report.
+                    Err(e) => ServerResponse::Error(format!("query batch: {e}")),
                 }
-                ServerResponse::Tables(results)
             }
             ClientMessage::FetchAll { name } => match self.store.fetch_all(&name) {
                 Ok(table) => {

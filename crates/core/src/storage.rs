@@ -1,17 +1,25 @@
-//! Sharded ciphertext storage and the parallel scan engine.
+//! Sharded ciphertext storage and the batch-parallel scan engine.
 //!
 //! The paper's `ψ` is a keyless trapdoor scan over *all* tuple
 //! ciphertexts — there is no index to consult, by design, so the only
 //! scaling lever that keeps the leakage profile intact is running the
 //! same scan on more cores. This module extracts table storage out of
 //! [`crate::server::Server`] into a [`TableStore`] whose tables are
-//! partitioned into contiguous shards of documents
-//! ([`ShardedTable`]); a query prepares its trapdoors once
-//! ([`dbph_swp::PreparedTrapdoor`] hoists the per-word HMAC key
-//! schedule out of the scan loop) and matches every shard in parallel
-//! with scoped threads.
+//! partitioned into contiguous shards of documents ([`ShardedTable`]).
 //!
-//! Two properties are load-bearing and tested:
+//! PR 1 scanned one query at a time, each fanned over shards with
+//! scoped threads re-spawned per query. This revision feeds a
+//! persistent worker pool ([`crate::executor::Executor`]) instead: a
+//! [`ShardedTable::scan_batch_on`] call turns K queries over S shards
+//! into K×S `(query, shard)` tasks drained concurrently, so cross-query
+//! parallelism stacks on top of cross-shard parallelism. A per-batch
+//! [`TrapdoorMemo`] prepares each *distinct* trapdoor once
+//! ([`dbph_swp::PreparedTrapdoor`] hoists the per-word HMAC key
+//! schedule) and memoizes each term's per-shard match set, so duplicate
+//! terms across the batch — hot values repeat in real workloads — are
+//! matched against the table once, not once per query.
+//!
+//! Three properties are load-bearing and tested:
 //!
 //! * **Shard-count invariance.** Shards are *contiguous* chunks of the
 //!   document vector and results are concatenated in shard order, so a
@@ -19,34 +27,48 @@
 //!   including the 1-shard layout, which is exactly the seed's
 //!   single-threaded loop. Appends land in the last shard (with an
 //!   order-preserving contiguous repartition once it outgrows its
-//!   fair share); deletes retain per shard. Document order is
-//!   therefore preserved verbatim, never re-sorted.
-//! * **Unchanged leakage.** Sharding is server-internal. Eve already
-//!   sees every ciphertext, every trapdoor, and every matched
-//!   document id; how she spreads the scan over her own cores reveals
+//!   fair share); deletes retain per shard and repartition once a
+//!   shard is hollowed out below half its fair share. Document order
+//!   is therefore preserved verbatim, never re-sorted.
+//! * **Pool-size invariance.** Results are assembled into slots indexed
+//!   by `(query, shard)`, so completion order cannot reorder them; a
+//!   1-worker pool runs the identical task list inline and is the
+//!   sequential reference the tests compare against.
+//! * **Unchanged leakage.** Sharding, pooling, and the trapdoor memo
+//!   are server-internal. Eve already sees every ciphertext, every
+//!   trapdoor, and every matched document id; how she spreads her own
+//!   work over her own cores — or notices that two queries carry the
+//!   same trapdoor bytes, which are equal on the wire anyway — reveals
 //!   nothing new to her and nothing new *about* her inputs. The
 //!   [`crate::server::Observer`] transcript for any operation is
-//!   identical for every shard count (shard-local match counts are a
-//!   function of the partition Eve herself chose, not extra leakage
-//!   from Alex).
+//!   identical for every shard and pool count.
 
 use std::collections::{BTreeSet, HashMap};
+use std::sync::{Arc, OnceLock};
 
 use parking_lot::RwLock;
 
-use dbph_swp::{matches_document, CipherWord, PreparedTrapdoor, TrapdoorData};
+use dbph_swp::{matches_document, CipherWord, PreparedTrapdoor, SwpParams, TrapdoorData};
 
 use crate::error::PhError;
+use crate::executor::Executor;
 use crate::swp_ph::EncryptedTable;
 
 /// One document: `(document id, cipher words in attribute order)`.
 pub type Doc = (u64, Vec<CipherWord>);
 
+/// A shard: a contiguous chunk of the document vector. `Arc`-backed so
+/// scan tasks on the persistent pool can borrow it `'static`-ly and
+/// snapshots are O(shard count); mutation goes through
+/// [`Arc::make_mut`] (copy-on-write, so an in-flight scan keeps its
+/// consistent view).
+type Shard = Arc<Vec<Doc>>;
+
 /// Splits `docs` into `shard_count` contiguous chunks of near-equal
 /// size (the first `len % shard_count` chunks hold one extra
 /// document). Concatenated in order, the chunks reproduce `docs`
 /// exactly — the invariant every scan and reassembly relies on.
-fn partition(mut docs: Vec<Doc>, shard_count: usize) -> Vec<Vec<Doc>> {
+fn partition(mut docs: Vec<Doc>, shard_count: usize) -> Vec<Shard> {
     let total = docs.len();
     let base = total / shard_count;
     let extra = total % shard_count;
@@ -57,21 +79,150 @@ fn partition(mut docs: Vec<Doc>, shard_count: usize) -> Vec<Vec<Doc>> {
         start += base + usize::from(i < extra);
     }
     // Split back-to-front so each split_off is O(tail).
-    let mut shards: Vec<Vec<Doc>> = Vec::with_capacity(shard_count);
+    let mut shards: Vec<Shard> = Vec::with_capacity(shard_count);
     for &b in boundaries.iter().rev() {
-        shards.push(docs.split_off(b));
+        shards.push(Arc::new(docs.split_off(b)));
     }
     shards.reverse();
     shards
 }
 
+/// Reclaims the flat document vector from a shard list, avoiding the
+/// per-document clone whenever a shard is unshared.
+fn flatten(shards: Vec<Shard>) -> Vec<Doc> {
+    let mut docs = Vec::with_capacity(shards.iter().map(|s| s.len()).sum());
+    for shard in shards {
+        match Arc::try_unwrap(shard) {
+            Ok(owned) => docs.extend(owned),
+            Err(shared) => docs.extend(shared.iter().cloned()),
+        }
+    }
+    docs
+}
+
+/// Intersects two ascending index lists (two-pointer merge).
+fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Indices (ascending) of the documents in `docs` matched by `term` —
+/// the per-term half of `ψ`: a document matches a term when any of its
+/// cipher words does.
+fn term_match_indices(params: &SwpParams, docs: &[Doc], term: &PreparedTrapdoor) -> Vec<u32> {
+    docs.iter()
+        .enumerate()
+        .filter(|(_, (_, words))| words.iter().any(|w| term.matches(params, w)))
+        .map(|(i, _)| i as u32)
+        .collect()
+}
+
+/// Same match, restricted to `candidates` — the conjunctive
+/// short-circuit: a term later in a conjunction only ever evaluates
+/// against documents that survived the earlier terms, exactly like the
+/// seed's `matches_document` skipping terms 2..n for a doc that term 1
+/// rejected.
+fn filter_match_indices(
+    params: &SwpParams,
+    docs: &[Doc],
+    term: &PreparedTrapdoor,
+    candidates: &[u32],
+) -> Vec<u32> {
+    candidates
+        .iter()
+        .copied()
+        .filter(|&i| {
+            let (_, words) = &docs[i as usize];
+            words.iter().any(|w| term.matches(params, w))
+        })
+        .collect()
+}
+
+/// Per-batch trapdoor memo: every *distinct* trapdoor in a
+/// `QueryBatch` is prepared exactly once, and its per-shard match set
+/// is computed exactly once no matter how many of the batch's queries
+/// carry it.
+///
+/// Identity is the trapdoor's wire bytes (`target`, `check key`) —
+/// precisely what Eve can already compare for equality on the wire, so
+/// memoizing over it changes scheduling, not leakage. Match sets live
+/// in a `(term, shard)` grid of [`OnceLock`]s: the first pool task
+/// that needs a cell computes it, concurrent tasks needing the same
+/// cell block on that one computation instead of repeating it.
+///
+/// Full match sets are only materialized for terms *shared* by more
+/// than one query of the batch, where computing the set once and
+/// intersecting K times is the win. A term unique to one query is
+/// evaluated with the conjunctive short-circuit instead
+/// ([`filter_match_indices`] over the survivors of earlier terms), so
+/// a selective leading term still spares the later terms' HMAC work —
+/// the batch engine never does more evaluations than the seed scan.
+struct TrapdoorMemo {
+    /// Distinct prepared trapdoors, in first-appearance order.
+    prepared: Vec<Arc<PreparedTrapdoor>>,
+    /// Per query, indices into `prepared` (deduplicated within the
+    /// query — conjunction is idempotent).
+    query_terms: Vec<Arc<Vec<usize>>>,
+    /// Whether a term occurs in more than one query of the batch.
+    shared: Vec<bool>,
+    /// `term × shard` match-set cells, indexed `term * shards + shard`
+    /// (only populated for shared terms).
+    cells: Vec<OnceLock<Arc<Vec<u32>>>>,
+}
+
+impl TrapdoorMemo {
+    fn new<T: TrapdoorData>(queries: &[&[T]], shard_count: usize) -> Self {
+        let mut by_bytes: HashMap<(Vec<u8>, Vec<u8>), usize> = HashMap::new();
+        let mut prepared = Vec::new();
+        let mut query_terms = Vec::with_capacity(queries.len());
+        let mut uses: Vec<usize> = Vec::new();
+        for terms in queries {
+            let mut ids: Vec<usize> = Vec::with_capacity(terms.len());
+            for term in *terms {
+                let key = (term.target().to_vec(), term.check_key().to_vec());
+                let id = *by_bytes.entry(key).or_insert_with(|| {
+                    prepared.push(Arc::new(PreparedTrapdoor::new(term)));
+                    uses.push(0);
+                    prepared.len() - 1
+                });
+                if !ids.contains(&id) {
+                    ids.push(id);
+                    uses[id] += 1;
+                }
+            }
+            query_terms.push(Arc::new(ids));
+        }
+        let cells = (0..prepared.len() * shard_count)
+            .map(|_| OnceLock::new())
+            .collect();
+        TrapdoorMemo {
+            prepared,
+            query_terms,
+            shared: uses.into_iter().map(|n| n > 1).collect(),
+            cells,
+        }
+    }
+}
+
 /// An [`EncryptedTable`] partitioned into contiguous document shards.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ShardedTable {
-    params: dbph_swp::SwpParams,
+    params: SwpParams,
     /// Contiguous chunks of the original document vector; concatenated
     /// in order they reproduce it exactly.
-    shards: Vec<Vec<Doc>>,
+    shards: Vec<Shard>,
     next_doc_id: u64,
 }
 
@@ -103,7 +254,12 @@ impl ShardedTable {
     pub fn to_table(&self) -> EncryptedTable {
         EncryptedTable {
             params: self.params,
-            docs: self.shards.iter().flatten().cloned().collect(),
+            docs: self
+                .shards
+                .iter()
+                .flat_map(|shard| shard.iter())
+                .cloned()
+                .collect(),
             next_doc_id: self.next_doc_id,
         }
     }
@@ -117,13 +273,13 @@ impl ShardedTable {
     /// Documents per shard, in shard order.
     #[must_use]
     pub fn shard_sizes(&self) -> Vec<usize> {
-        self.shards.iter().map(Vec::len).collect()
+        self.shards.iter().map(|shard| shard.len()).collect()
     }
 
     /// Total number of documents.
     #[must_use]
     pub fn doc_count(&self) -> usize {
-        self.shards.iter().map(Vec::len).sum()
+        self.shards.iter().map(|shard| shard.len()).sum()
     }
 
     /// Next fresh document id.
@@ -131,6 +287,20 @@ impl ShardedTable {
     pub fn next_doc_id(&self) -> u64 {
         self.next_doc_id
     }
+
+    /// Collapses the shard list back to one flat vector and re-cuts it
+    /// into `shard_count` contiguous, near-equal chunks — the shared
+    /// tail of both rebalancing rules. Order-preserving by
+    /// construction.
+    fn repartition(&mut self) {
+        let shard_count = self.shards.len();
+        let docs = flatten(std::mem::take(&mut self.shards));
+        self.shards = partition(docs, shard_count);
+    }
+
+    /// Below this many documents in play, repartitioning cannot pay
+    /// for itself (and tiny tables would thrash).
+    const REBALANCE_MIN_DOCS: usize = 64;
 
     /// Appends one document to the last shard (preserving global
     /// document order). The caller has already validated freshness.
@@ -142,93 +312,83 @@ impl ShardedTable {
     /// at geometrically spaced appends, so the amortized cost per
     /// append stays O(shard count).
     fn push(&mut self, doc_id: u64, words: Vec<CipherWord>) {
-        self.shards
-            .last_mut()
-            .expect("≥ 1 shard by construction")
+        Arc::make_mut(self.shards.last_mut().expect("≥ 1 shard by construction"))
             .push((doc_id, words));
         self.next_doc_id = doc_id + 1;
         let shard_count = self.shards.len();
         if shard_count > 1 {
             let last = self.shards[shard_count - 1].len();
             let fair = self.doc_count() / shard_count;
-            if last >= 64 && last > 2 * fair {
-                let docs: Vec<Doc> = std::mem::take(&mut self.shards)
-                    .into_iter()
-                    .flatten()
-                    .collect();
-                self.shards = partition(docs, shard_count);
+            if last >= Self::REBALANCE_MIN_DOCS && last > 2 * fair {
+                self.repartition();
             }
         }
     }
 
     /// Removes the given ids wherever they live; returns the removed
     /// ids in document order.
+    ///
+    /// Mirror of the append-side rule: once delete churn hollows any
+    /// shard below *half* its fair share (appends rebalance at *twice*
+    /// fair share), the table is repartitioned so every shard stays
+    /// scan-worthy. Without this, deleting a contiguous id range —
+    /// retiring a cohort, dropping one tenant's rows — would empty one
+    /// shard and leave its worker idle on every subsequent scan.
     fn delete(&mut self, victims: &BTreeSet<u64>) -> Vec<u64> {
         let mut removed = Vec::new();
         for shard in &mut self.shards {
-            shard.retain(|(id, _)| {
-                if victims.contains(id) {
-                    removed.push(*id);
-                    false
-                } else {
-                    true
-                }
-            });
+            if shard.iter().any(|(id, _)| victims.contains(id)) {
+                Arc::make_mut(shard).retain(|(id, _)| {
+                    if victims.contains(id) {
+                        removed.push(*id);
+                        false
+                    } else {
+                        true
+                    }
+                });
+            }
+        }
+        let shard_count = self.shards.len();
+        let total = self.doc_count();
+        if !removed.is_empty() && shard_count > 1 && total >= Self::REBALANCE_MIN_DOCS {
+            let fair = total / shard_count;
+            let starved = self.shards.iter().any(|shard| 2 * shard.len() < fair);
+            if starved {
+                self.repartition();
+            }
         }
         removed
     }
 
-    /// Below this many documents, thread-spawn overhead outweighs the
-    /// scan itself and the engine stays sequential.
+    /// Below this many documents, pool handoff overhead outweighs the
+    /// scan itself and the engine runs the task list inline.
     const PARALLEL_THRESHOLD: usize = 512;
 
-    /// `ψ` over the sharded layout: prepares each trapdoor once, scans
-    /// all shards (in parallel when the table is large enough and more
-    /// than one core is available), and concatenates matches in shard
-    /// order — byte-identical to the seed's single loop for every
-    /// shard count and worker count.
+    /// `ψ` for one query, on the process-wide pool. Exactly
+    /// `scan_batch_on(Executor::global(), &[terms])`.
     #[must_use]
     pub fn scan<T: TrapdoorData>(&self, terms: &[T]) -> EncryptedTable {
+        self.scan_batch_on(&Executor::global(), &[terms])
+            .pop()
+            .expect("one query in, one table out")
+    }
+
+    /// The seed's reference engine: prepares each query's trapdoors,
+    /// then scans every shard in order on the calling thread, one
+    /// query after the next — PR 1's sequential-batch semantics with
+    /// no pool, no memo, no cross-query sharing. The batch engine must
+    /// be byte-identical to this (the sharding tests enforce it); the
+    /// `batch_scan` bench measures the gap.
+    #[must_use]
+    pub fn scan_sequential<T: TrapdoorData>(&self, terms: &[T]) -> EncryptedTable {
         let prepared: Vec<PreparedTrapdoor> = terms.iter().map(PreparedTrapdoor::new).collect();
-        // Spawning more threads than cores only adds overhead; so does
-        // parallelizing a tiny scan.
-        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
-        let workers = self.shards.len().min(cores);
-        let docs = if workers <= 1 || self.doc_count() < Self::PARALLEL_THRESHOLD {
-            let mut docs = Vec::new();
-            for shard in 0..self.shards.len() {
-                docs.extend(self.scan_shard(shard, &prepared));
-            }
-            docs
-        } else {
-            // Deal contiguous runs of shards to `workers` threads; the
-            // runs concatenate in order, so results stay order-exact.
-            let per_worker = self.shards.len().div_ceil(workers);
-            let mut per_run: Vec<Vec<Doc>> = Vec::with_capacity(workers);
-            std::thread::scope(|scope| {
-                let handles: Vec<_> = (0..self.shards.len())
-                    .step_by(per_worker)
-                    .map(|start| {
-                        let prepared = &prepared;
-                        let end = (start + per_worker).min(self.shards.len());
-                        scope.spawn(move || {
-                            let mut matched = Vec::new();
-                            for shard in start..end {
-                                matched.extend(self.scan_shard(shard, prepared));
-                            }
-                            matched
-                        })
-                    })
-                    .collect();
-                for h in handles {
-                    match h.join() {
-                        Ok(matched) => per_run.push(matched),
-                        Err(payload) => std::panic::resume_unwind(payload),
-                    }
-                }
-            });
-            per_run.into_iter().flatten().collect()
-        };
+        let docs = self
+            .shards
+            .iter()
+            .flat_map(|shard| shard.iter())
+            .filter(|(_, words)| matches_document(&self.params, &prepared, words))
+            .cloned()
+            .collect();
         EncryptedTable {
             params: self.params,
             docs,
@@ -236,11 +396,91 @@ impl ShardedTable {
         }
     }
 
-    fn scan_shard(&self, shard: usize, terms: &[PreparedTrapdoor]) -> Vec<Doc> {
-        self.shards[shard]
-            .iter()
-            .filter(|(_, words)| matches_document(&self.params, terms, words))
-            .cloned()
+    /// `ψ` over a whole query batch: K queries over S shards become
+    /// K×S `(query, shard)` tasks drained by `pool`'s workers, with a
+    /// per-batch [`TrapdoorMemo`] sharing trapdoor preparation *and*
+    /// per-shard match sets between queries that carry the same term.
+    ///
+    /// Results come back in **query order**, each query's documents in
+    /// document order — tasks write into `(query, shard)`-indexed
+    /// slots, so out-of-order completion cannot reorder anything. For
+    /// tables under [`Self::PARALLEL_THRESHOLD`] documents (or a
+    /// 1-worker pool) the identical task list runs inline on the
+    /// caller's thread: same slots, same bytes, no handoff cost.
+    #[must_use]
+    pub fn scan_batch_on<T: TrapdoorData>(
+        &self,
+        pool: &Executor,
+        queries: &[&[T]],
+    ) -> Vec<EncryptedTable> {
+        let shard_count = self.shards.len();
+        let memo = Arc::new(TrapdoorMemo::new(queries, shard_count));
+        let params = self.params;
+
+        // One task per (query, shard), submitted query-major so slot
+        // `q * shard_count + s` is task (q, s).
+        let mut tasks: Vec<_> = Vec::with_capacity(queries.len() * shard_count);
+        for q in 0..queries.len() {
+            for (s, shard) in self.shards.iter().enumerate() {
+                let memo = Arc::clone(&memo);
+                let shard = Arc::clone(shard);
+                let term_ids = Arc::clone(&memo.query_terms[q]);
+                tasks.push(move || -> Vec<Doc> {
+                    // Survivors of the terms processed so far; `None`
+                    // is the empty conjunction (the whole shard).
+                    let mut survivors: Option<Vec<u32>> = None;
+                    for &t in term_ids.iter() {
+                        let term = &memo.prepared[t];
+                        survivors = Some(if memo.shared[t] {
+                            // Shared term: one full match set, reused
+                            // by every query carrying it.
+                            let set = memo.cells[t * shard_count + s].get_or_init(|| {
+                                Arc::new(term_match_indices(&params, &shard, term))
+                            });
+                            match survivors {
+                                None => (**set).clone(),
+                                Some(acc) => intersect_sorted(&acc, set),
+                            }
+                        } else {
+                            // Unique term: evaluate only against the
+                            // survivors — the conjunctive
+                            // short-circuit of the seed scan.
+                            match survivors {
+                                None => term_match_indices(&params, &shard, term),
+                                Some(acc) => filter_match_indices(&params, &shard, term, &acc),
+                            }
+                        });
+                        if survivors.as_ref().is_some_and(Vec::is_empty) {
+                            break;
+                        }
+                    }
+                    match survivors {
+                        // Empty conjunction matches the whole shard.
+                        None => shard.to_vec(),
+                        Some(hits) => hits.iter().map(|&i| shard[i as usize].clone()).collect(),
+                    }
+                });
+            }
+        }
+
+        let slots: Vec<Vec<Doc>> =
+            if pool.workers() > 1 && self.doc_count() >= Self::PARALLEL_THRESHOLD {
+                pool.scatter(tasks)
+            } else {
+                tasks.into_iter().map(|task| task()).collect()
+            };
+
+        // Reassemble: per query, shards concatenate in shard order.
+        let mut slots = slots.into_iter();
+        (0..queries.len())
+            .map(|_| {
+                let docs: Vec<Doc> = slots.by_ref().take(shard_count).flatten().collect();
+                EncryptedTable {
+                    params: self.params,
+                    docs,
+                    next_doc_id: self.next_doc_id,
+                }
+            })
             .collect()
     }
 
@@ -250,32 +490,51 @@ impl ShardedTable {
     pub fn ciphertext_bytes(&self) -> usize {
         self.shards
             .iter()
-            .flatten()
+            .flat_map(|shard| shard.iter())
             .map(|(_, words)| words.iter().map(|w| w.0.len()).sum::<usize>())
             .sum()
     }
 }
 
-/// Thread-safe named-table storage with a fixed shard count per table.
+/// Thread-safe named-table storage with a fixed shard count per table
+/// and a persistent worker pool executing every scan.
 ///
 /// This is the state the server owns; every method is the storage half
 /// of one protocol operation. Methods return [`PhError::Protocol`] for
 /// conditions the server reports to the client as errors.
+///
+/// Queries run on a *snapshot*: the table's shard list is `Arc`-cloned
+/// under the read lock (O(shard count)) and the lock released before
+/// any scanning happens, so a long scan never blocks appends or
+/// deletes — copy-on-write mutation gives the scan a consistent view.
 pub struct TableStore {
     shard_count: usize,
+    pool: Arc<Executor>,
     tables: RwLock<HashMap<String, ShardedTable>>,
 }
 
 impl TableStore {
-    /// A store partitioning each table into `shard_count` shards.
+    /// A store partitioning each table into `shard_count` shards,
+    /// scanning on the process-wide pool ([`Executor::global`]).
     ///
     /// # Panics
     /// Panics if `shard_count == 0`.
     #[must_use]
     pub fn new(shard_count: usize) -> Self {
+        TableStore::with_pool(shard_count, Executor::global())
+    }
+
+    /// A store with a dedicated worker pool (tests pin pool sizes to
+    /// prove pool-size invariance).
+    ///
+    /// # Panics
+    /// Panics if `shard_count == 0`.
+    #[must_use]
+    pub fn with_pool(shard_count: usize, pool: Arc<Executor>) -> Self {
         assert!(shard_count > 0, "shard_count must be ≥ 1");
         TableStore {
             shard_count,
+            pool,
             tables: RwLock::new(HashMap::new()),
         }
     }
@@ -284,6 +543,21 @@ impl TableStore {
     #[must_use]
     pub fn shard_count(&self) -> usize {
         self.shard_count
+    }
+
+    /// The worker pool scans run on.
+    #[must_use]
+    pub fn pool(&self) -> &Arc<Executor> {
+        &self.pool
+    }
+
+    /// Cheap consistent snapshot of a table (Arc-backed shard list).
+    fn snapshot(&self, name: &str) -> Result<ShardedTable, PhError> {
+        self.tables
+            .read()
+            .get(name)
+            .cloned()
+            .ok_or_else(|| PhError::Protocol(format!("unknown table: {name}")))
     }
 
     /// Stores a freshly uploaded table under `name`.
@@ -302,7 +576,7 @@ impl TableStore {
         Ok(())
     }
 
-    /// Runs one trapdoor scan.
+    /// Runs one trapdoor scan on the pool.
     ///
     /// # Errors
     /// Fails for unknown tables.
@@ -311,11 +585,27 @@ impl TableStore {
         name: &str,
         terms: &[T],
     ) -> Result<EncryptedTable, PhError> {
-        let tables = self.tables.read();
-        let table = tables
-            .get(name)
-            .ok_or_else(|| PhError::Protocol(format!("unknown table: {name}")))?;
-        Ok(table.scan(terms))
+        let table = self.snapshot(name)?;
+        Ok(table
+            .scan_batch_on(&self.pool, &[terms])
+            .pop()
+            .expect("one query in, one table out"))
+    }
+
+    /// Runs a whole query batch through the pool in one fan-out —
+    /// K queries × S shards tasks, drained concurrently — returning
+    /// one result table per query, in query order.
+    ///
+    /// # Errors
+    /// Fails for unknown tables.
+    pub fn query_batch<T: TrapdoorData>(
+        &self,
+        name: &str,
+        queries: &[Vec<T>],
+    ) -> Result<Vec<EncryptedTable>, PhError> {
+        let table = self.snapshot(name)?;
+        let views: Vec<&[T]> = queries.iter().map(Vec::as_slice).collect();
+        Ok(table.scan_batch_on(&self.pool, &views))
     }
 
     /// Reassembles the full table ciphertext.
@@ -323,11 +613,7 @@ impl TableStore {
     /// # Errors
     /// Fails for unknown tables.
     pub fn fetch_all(&self, name: &str) -> Result<EncryptedTable, PhError> {
-        let tables = self.tables.read();
-        tables
-            .get(name)
-            .map(ShardedTable::to_table)
-            .ok_or_else(|| PhError::Protocol(format!("unknown table: {name}")))
+        Ok(self.snapshot(name)?.to_table())
     }
 
     /// Appends a batch of documents atomically: every id must be fresh
@@ -388,12 +674,18 @@ impl TableStore {
         let table = tables.get(name)?;
         Some((table.doc_count(), table.ciphertext_bytes()))
     }
+
+    /// Shard sizes of a stored table, if present (diagnostics; the
+    /// partition is Eve's own choice, so this is her data already).
+    #[must_use]
+    pub fn shard_sizes(&self, name: &str) -> Option<Vec<usize>> {
+        self.tables.read().get(name).map(ShardedTable::shard_sizes)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dbph_swp::SwpParams;
 
     fn table(n: usize) -> EncryptedTable {
         EncryptedTable {
@@ -464,6 +756,86 @@ mod tests {
     }
 
     #[test]
+    fn delete_churn_rebalances_hollowed_shards() {
+        // Delete (almost) the whole first shard of a 4×100 layout: the
+        // hollowed shard must trigger a repartition so no worker goes
+        // idle on subsequent scans.
+        let mut st = ShardedTable::from_table(table(400), 4);
+        assert_eq!(st.shard_sizes(), vec![100, 100, 100, 100]);
+        let victims: BTreeSet<u64> = (0..95u64).collect();
+        let removed = st.delete(&victims);
+        assert_eq!(removed.len(), 95);
+        let sizes = st.shard_sizes();
+        let total: usize = sizes.iter().sum();
+        assert_eq!(total, 305);
+        let fair = total / sizes.len();
+        assert!(
+            sizes.iter().all(|&s| 2 * s >= fair),
+            "delete churn left a starved shard: {sizes:?}"
+        );
+        // Order preserved verbatim.
+        assert_eq!(st.to_table().doc_ids(), (95..400).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn delete_below_rebalance_floor_leaves_partition_alone() {
+        // Tiny tables must not thrash: no repartition under the floor.
+        let mut st = ShardedTable::from_table(table(12), 3);
+        st.delete(&(0..4u64).collect());
+        assert_eq!(st.shard_sizes(), vec![0, 4, 4]);
+        assert_eq!(st.to_table().doc_ids(), (4..12).collect::<Vec<u64>>());
+    }
+
+    #[test]
+    fn interleaved_append_delete_churn_keeps_shards_scan_worthy() {
+        // Shard-count invariance under churn: a 1-shard table driven
+        // through the same interleaved append/delete history is the
+        // flat reference; the sharded layouts must agree with it and
+        // stay balanced.
+        let word = |i: u64| vec![CipherWord(vec![(i % 251) as u8; 13])];
+        let mut flat = ShardedTable::from_table(table(0), 1);
+        let mut sharded: Vec<ShardedTable> = [2, 4, 7]
+            .iter()
+            .map(|&s| ShardedTable::from_table(table(0), s))
+            .collect();
+        let mut next = 0u64;
+        for round in 0..30u64 {
+            // Append a run…
+            for _ in 0..40 {
+                flat.push(next, word(next));
+                for st in &mut sharded {
+                    st.push(next, word(next));
+                }
+                next += 1;
+            }
+            // …then carve out a contiguous cohort (delete-heavy churn).
+            let lo = round * 25;
+            let victims: BTreeSet<u64> = (lo..lo + 20).collect();
+            let removed = flat.delete(&victims);
+            for st in &mut sharded {
+                assert_eq!(st.delete(&victims), removed, "delete diverged");
+            }
+        }
+        let reference = flat.to_table();
+        for st in &sharded {
+            assert_eq!(
+                st.to_table(),
+                reference,
+                "churned table diverged at {} shards",
+                st.shard_count()
+            );
+            let sizes = st.shard_sizes();
+            let total: usize = sizes.iter().sum();
+            let fair = total / sizes.len();
+            assert!(
+                sizes.iter().all(|&s| 2 * s >= fair),
+                "{} shards starved after churn: {sizes:?}",
+                st.shard_count()
+            );
+        }
+    }
+
+    #[test]
     fn store_rejects_duplicates_stale_ids_and_unknown_names() {
         let store = TableStore::new(2);
         store.create("t", table(3)).unwrap();
@@ -498,5 +870,86 @@ mod tests {
         let flat = store.fetch_all("t").unwrap();
         assert_eq!(flat.doc_ids(), vec![0, 1, 2, 7]);
         assert_eq!(flat.next_doc_id, 8);
+    }
+
+    /// A trapdoor that matches documents whose first word starts with
+    /// the given byte — cheap deterministic fixture for engine tests.
+    #[derive(Clone)]
+    struct ByteTrapdoor(u8);
+
+    impl TrapdoorData for ByteTrapdoor {
+        fn target(&self) -> &[u8] {
+            std::slice::from_ref(&self.0)
+        }
+        fn check_key(&self) -> &[u8] {
+            &[]
+        }
+    }
+
+    #[test]
+    fn memo_dedupes_terms_across_and_within_queries() {
+        let queries: Vec<Vec<ByteTrapdoor>> = vec![
+            vec![ByteTrapdoor(1), ByteTrapdoor(2)],
+            vec![ByteTrapdoor(2), ByteTrapdoor(2)], // dup within query
+            vec![ByteTrapdoor(1)],                  // dup across queries
+            vec![],                                 // empty conjunction
+        ];
+        let views: Vec<&[ByteTrapdoor]> = queries.iter().map(Vec::as_slice).collect();
+        let memo = TrapdoorMemo::new(&views, 3);
+        assert_eq!(memo.prepared.len(), 2, "two distinct trapdoors");
+        assert_eq!(*memo.query_terms[0], vec![0, 1]);
+        assert_eq!(*memo.query_terms[1], vec![1], "within-query dup folded");
+        assert_eq!(*memo.query_terms[2], vec![0], "cross-query dup shared");
+        assert!(memo.query_terms[3].is_empty());
+        assert_eq!(memo.cells.len(), 2 * 3);
+    }
+
+    #[test]
+    fn intersect_sorted_is_exact() {
+        assert_eq!(intersect_sorted(&[1, 3, 5, 9], &[2, 3, 9]), vec![3, 9]);
+        assert_eq!(intersect_sorted(&[], &[1, 2]), Vec::<u32>::new());
+        assert_eq!(intersect_sorted(&[4], &[4]), vec![4]);
+    }
+
+    #[test]
+    fn scan_batch_matches_sequential_reference() {
+        // Real SWP trapdoors aren't needed to exercise the batch
+        // plumbing: length-mismatched trapdoors never match and the
+        // empty conjunction matches everything, which is enough to
+        // check assembly order, arity, and memo reuse.
+        let st = ShardedTable::from_table(table(100), 4);
+        let pool = Executor::new(3);
+        let queries: Vec<Vec<ByteTrapdoor>> = vec![vec![], vec![ByteTrapdoor(7)], vec![]];
+        let views: Vec<&[ByteTrapdoor]> = queries.iter().map(Vec::as_slice).collect();
+        let batched = st.scan_batch_on(&pool, &views);
+        assert_eq!(batched.len(), 3);
+        for (q, result) in views.iter().zip(&batched) {
+            assert_eq!(result, &st.scan_sequential(q), "batch diverged");
+        }
+        assert_eq!(batched[0].doc_ids(), (0..100).collect::<Vec<u64>>());
+        assert!(batched[1].docs.is_empty());
+    }
+
+    #[test]
+    fn empty_batch_yields_no_tables() {
+        let st = ShardedTable::from_table(table(10), 2);
+        let pool = Executor::new(2);
+        let out = st.scan_batch_on::<ByteTrapdoor>(&pool, &[]);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn store_query_batch_preserves_query_order() {
+        let store = TableStore::with_pool(3, Arc::new(Executor::new(4)));
+        store.create("t", table(50)).unwrap();
+        let queries: Vec<Vec<ByteTrapdoor>> =
+            vec![vec![], vec![ByteTrapdoor(1)], vec![], vec![ByteTrapdoor(2)]];
+        let results = store.query_batch("t", &queries).unwrap();
+        assert_eq!(results.len(), 4);
+        assert_eq!(results[0].doc_ids().len(), 50);
+        assert!(results[1].docs.is_empty());
+        assert_eq!(results[2].doc_ids().len(), 50);
+        assert!(results[3].docs.is_empty());
+        assert!(store.query_batch("nope", &queries).is_err());
     }
 }

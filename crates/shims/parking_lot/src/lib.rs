@@ -1,12 +1,14 @@
 //! Offline shim for `parking_lot`.
 //!
 //! Wraps `std::sync` primitives behind `parking_lot`'s non-poisoning
-//! API: `read()`/`write()`/`lock()` return guards directly. A poisoned
-//! std lock (a writer panicked) yields the inner guard anyway, which
-//! matches `parking_lot` semantics (no poisoning).
+//! API: `read()`/`write()`/`lock()` return guards directly, and
+//! [`Condvar::wait`] takes the guard by `&mut` instead of by value. A
+//! poisoned std lock (a writer panicked) yields the inner guard
+//! anyway, which matches `parking_lot` semantics (no poisoning).
 
 #![forbid(unsafe_code)]
 
+use std::ops::{Deref, DerefMut};
 use std::sync::{self, PoisonError};
 
 /// Reader–writer lock with `parking_lot`'s guard-returning API.
@@ -47,7 +49,27 @@ impl<T: ?Sized> RwLock<T> {
 pub struct Mutex<T: ?Sized>(sync::Mutex<T>);
 
 /// Exclusive mutex guard.
-pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+///
+/// Unlike the `RwLock` guards (plain std aliases), this is an owned
+/// wrapper: [`Condvar::wait`] must atomically release and reacquire
+/// the lock through a `&mut` borrow of the guard — `parking_lot`'s
+/// signature — while std's condvar consumes the guard by value. The
+/// `Option` dance inside `wait` bridges the two.
+#[derive(Debug)]
+pub struct MutexGuard<'a, T: ?Sized>(Option<sync::MutexGuard<'a, T>>);
+
+impl<T: ?Sized> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.0.as_ref().expect("guard present outside wait")
+    }
+}
+
+impl<T: ?Sized> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.0.as_mut().expect("guard present outside wait")
+    }
+}
 
 impl<T> Mutex<T> {
     /// Creates a new mutex holding `value`.
@@ -59,13 +81,45 @@ impl<T> Mutex<T> {
 impl<T: ?Sized> Mutex<T> {
     /// Acquires the mutex.
     pub fn lock(&self) -> MutexGuard<'_, T> {
-        self.0.lock().unwrap_or_else(PoisonError::into_inner)
+        MutexGuard(Some(self.0.lock().unwrap_or_else(PoisonError::into_inner)))
+    }
+}
+
+/// Condition variable with `parking_lot`'s `&mut`-guard API.
+#[derive(Debug, Default)]
+pub struct Condvar(sync::Condvar);
+
+impl Condvar {
+    /// Creates a new condition variable.
+    #[must_use]
+    pub fn new() -> Self {
+        Condvar(sync::Condvar::new())
+    }
+
+    /// Atomically releases `guard`'s lock and blocks until notified;
+    /// the lock is reacquired before returning. Spurious wakeups are
+    /// possible, exactly as with `parking_lot` — callers loop on their
+    /// predicate.
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.0.take().expect("guard present before wait");
+        guard.0 = Some(self.0.wait(inner).unwrap_or_else(PoisonError::into_inner));
+    }
+
+    /// Wakes one waiting thread.
+    pub fn notify_one(&self) {
+        self.0.notify_one();
+    }
+
+    /// Wakes all waiting threads.
+    pub fn notify_all(&self) {
+        self.0.notify_all();
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::Arc;
 
     #[test]
     fn rwlock_reads_and_writes() {
@@ -81,5 +135,46 @@ mod tests {
         let m = Mutex::new(vec![1]);
         m.lock().push(2);
         assert_eq!(*m.lock(), vec![1, 2]);
+    }
+
+    #[test]
+    fn condvar_hands_off_between_threads() {
+        let state = Arc::new((Mutex::new(0u32), Condvar::new()));
+        let consumer = {
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || {
+                let (lock, cv) = &*state;
+                let mut value = lock.lock();
+                while *value == 0 {
+                    cv.wait(&mut value);
+                }
+                *value
+            })
+        };
+        {
+            let (lock, cv) = &*state;
+            *lock.lock() = 42;
+            cv.notify_all();
+        }
+        assert_eq!(consumer.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn notify_one_wakes_a_waiter() {
+        let state = Arc::new((Mutex::new(false), Condvar::new()));
+        let waiter = {
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || {
+                let (lock, cv) = &*state;
+                let mut ready = lock.lock();
+                while !*ready {
+                    cv.wait(&mut ready);
+                }
+            })
+        };
+        let (lock, cv) = &*state;
+        *lock.lock() = true;
+        cv.notify_one();
+        waiter.join().unwrap();
     }
 }

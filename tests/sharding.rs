@@ -1,7 +1,8 @@
-//! Shard-count invariance: the sharded parallel scan engine must be
-//! observationally identical to the seed's single-threaded scan.
+//! Shard-count and pool-size invariance: the sharded, worker-pooled
+//! scan engine must be observationally identical to the seed's
+//! single-threaded scan.
 //!
-//! Three obligations, matching `dbph::core::storage`'s contract:
+//! Four obligations, matching `dbph::core::storage`'s contract:
 //!
 //! 1. **Byte-identical results.** For any workload and query, an
 //!    N-shard server's serialized query response equals the 1-shard
@@ -12,6 +13,13 @@
 //! 3. **Batching leaks per-query, not per-batch.** A `QueryBatch`
 //!    produces the same `Query` events (terms + matched ids) as the
 //!    same queries sent one at a time; only the `batch` tag differs.
+//! 4. **Pool-size invariance.** A `QueryBatch` fanned over a
+//!    multi-worker pool produces byte-identical responses and an
+//!    equal transcript to the 1-worker pool (which runs the identical
+//!    task list inline, in order — the sequential engine), for fixed
+//!    and randomized workloads, including empty batches and batches
+//!    with duplicate terms (which share one prepared trapdoor through
+//!    the per-batch memo).
 
 use dbph::core::protocol::{ClientMessage, ServerResponse, WireTrapdoor};
 use dbph::core::server::{execute_query, ServerEvent};
@@ -207,6 +215,158 @@ fn batched_queries_leak_exactly_like_single_queries() {
     );
 }
 
+// --- pool-size invariance --------------------------------------------------
+
+const POOL_SIZES: [usize; 4] = [1, 2, 4, 8];
+
+/// Sends one `QueryBatch` session (create + batches) and returns the
+/// raw responses. Batches deliberately include an empty batch, an
+/// empty conjunction, and duplicate terms across queries.
+fn drive_batch_session(server: &Server, relation: &Relation) -> Vec<Vec<u8>> {
+    let scheme = ph();
+    let table = scheme.encrypt_table(relation).unwrap();
+    let encrypt = |q: &Query| -> Vec<WireTrapdoor> {
+        let qct = scheme.encrypt_query(q).unwrap();
+        qct.terms.iter().map(WireTrapdoor::from_trapdoor).collect()
+    };
+    let mut responses = Vec::new();
+    let mut send = |msg: ClientMessage| responses.push(server.handle(&msg.to_wire()));
+    send(ClientMessage::CreateTable {
+        name: "Emp".into(),
+        table,
+    });
+    // Batch 1: duplicate terms across (and within) queries, plus an
+    // always-empty result and an empty conjunction.
+    send(ClientMessage::QueryBatch {
+        name: "Emp".into(),
+        queries: vec![
+            encrypt(&Query::select("dept", "dept-00")),
+            encrypt(&Query::select("name", "no-such-emp")),
+            encrypt(&Query::select("dept", "dept-00")), // duplicate
+            vec![],                                     // empty conjunction
+            encrypt(&Query::select("salary", 5500i64)),
+            encrypt(&Query::select("dept", "dept-00")), // duplicate again
+        ],
+    });
+    // Batch 2: empty batch.
+    send(ClientMessage::QueryBatch {
+        name: "Emp".into(),
+        queries: vec![],
+    });
+    // Batch 3: single-query batch.
+    send(ClientMessage::QueryBatch {
+        name: "Emp".into(),
+        queries: vec![encrypt(&Query::select("dept", "dept-03"))],
+    });
+    responses
+}
+
+#[test]
+fn pooled_batches_match_sequential_engine_bytes_and_transcript() {
+    // 600 rows clears the engine's inline threshold so multi-worker
+    // pools genuinely run K×S tasks concurrently.
+    let relation = EmployeeGen {
+        rows: 600,
+        ..EmployeeGen::default()
+    }
+    .generate(13);
+
+    // The 1-worker pool runs the identical task list inline, in
+    // submission order: that *is* the sequential execution path.
+    let sequential = Server::with_pool(4, 1);
+    let sequential_responses = drive_batch_session(&sequential, &relation);
+    let sequential_events = sequential.observer().events();
+
+    for workers in POOL_SIZES {
+        for shards in [1, 4, 8] {
+            let pooled = Server::with_pool(shards, workers);
+            let responses = drive_batch_session(&pooled, &relation);
+            assert_eq!(
+                responses, sequential_responses,
+                "wire responses diverged at {shards} shard(s) × {workers} worker(s)"
+            );
+            assert_eq!(
+                pooled.observer().events(),
+                sequential_events,
+                "transcript diverged at {shards} shard(s) × {workers} worker(s)"
+            );
+        }
+    }
+}
+
+#[test]
+fn batch_results_match_reference_execute_query_per_query() {
+    // Every query of a pooled batch must return exactly what the seed
+    // scan returns for that query alone — duplicates included.
+    use dbph::relation::query::ExactSelect;
+    let relation = EmployeeGen {
+        rows: 250,
+        ..EmployeeGen::default()
+    }
+    .generate(5);
+    let scheme = ph();
+    let table = scheme.encrypt_table(&relation).unwrap();
+    let queries = [
+        Query::select("dept", "dept-01"),
+        Query::select("dept", "dept-01"),
+        // Conjunction whose first term is shared with the queries
+        // above and whose second term is unique to it: exercises the
+        // memoized-set path and the short-circuit filter path inside
+        // one query.
+        Query::conjunction(vec![
+            ExactSelect::new("dept", "dept-01"),
+            ExactSelect::new("salary", 5500i64),
+        ])
+        .unwrap(),
+        // Conjunction of two unique terms: pure short-circuit path.
+        Query::conjunction(vec![
+            ExactSelect::new("dept", "dept-02"),
+            ExactSelect::new("salary", 4000i64),
+        ])
+        .unwrap(),
+        Query::select("salary", 9900i64),
+        Query::select("name", "emp-0000007"),
+    ];
+    let encrypted: Vec<Vec<WireTrapdoor>> = queries
+        .iter()
+        .map(|q| {
+            let qct = scheme.encrypt_query(q).unwrap();
+            qct.terms.iter().map(WireTrapdoor::from_trapdoor).collect()
+        })
+        .collect();
+
+    for workers in POOL_SIZES {
+        let server = Server::with_pool(4, workers);
+        let _ = server.handle(
+            &ClientMessage::CreateTable {
+                name: "Emp".into(),
+                table: table.clone(),
+            }
+            .to_wire(),
+        );
+        let resp = server.handle(
+            &ClientMessage::QueryBatch {
+                name: "Emp".into(),
+                queries: encrypted.clone(),
+            }
+            .to_wire(),
+        );
+        match ServerResponse::from_wire(&resp).unwrap() {
+            ServerResponse::Tables(results) => {
+                assert_eq!(results.len(), queries.len());
+                for (terms, result) in encrypted.iter().zip(&results) {
+                    assert_eq!(
+                        result,
+                        &execute_query(&table, terms),
+                        "pooled batch diverged from seed scan at {workers} worker(s)"
+                    );
+                }
+            }
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
+}
+
 // --- randomized invariance -------------------------------------------------
 
 fn arb_relation() -> impl Strategy<Value = Relation> {
@@ -228,6 +388,75 @@ fn arb_relation() -> impl Strategy<Value = Relation> {
         )
         .unwrap()
     })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn random_query_batches_are_pool_invariant(
+        relation in arb_relation(),
+        // Indices into a tiny probe pool: duplicates are frequent by
+        // construction, exercising the per-batch trapdoor memo.
+        picks in proptest::collection::vec(0usize..4, 0..7),
+        key in any::<[u8; 32]>(),
+    ) {
+        let scheme =
+            FinalSwpPh::new(relation.schema().clone(), &SecretKey::from_bytes(key)).unwrap();
+        let table = scheme.encrypt_table(&relation).unwrap();
+        let probes = [
+            Query::select("s", "zz"),
+            Query::select("i", 7i64),
+            Query::select("b", true),
+            Query::select("b", false),
+        ];
+        let encrypted: Vec<Vec<WireTrapdoor>> = picks
+            .iter()
+            .map(|&p| {
+                let qct = scheme.encrypt_query(&probes[p]).unwrap();
+                qct.terms.iter().map(WireTrapdoor::from_trapdoor).collect()
+            })
+            .collect();
+
+        let mut reference: Option<(Vec<Vec<u8>>, Vec<ServerEvent>)> = None;
+        for workers in [1usize, 3, 8] {
+            let server = Server::with_pool(3, workers);
+            let responses = vec![
+                server.handle(
+                    &ClientMessage::CreateTable { name: "Rnd".into(), table: table.clone() }
+                        .to_wire(),
+                ),
+                server.handle(
+                    &ClientMessage::QueryBatch { name: "Rnd".into(), queries: encrypted.clone() }
+                        .to_wire(),
+                ),
+            ];
+            // Per-query results must equal the seed scan.
+            match ServerResponse::from_wire(responses.last().unwrap()).unwrap() {
+                ServerResponse::Tables(results) => {
+                    prop_assert_eq!(results.len(), encrypted.len());
+                    for (terms, result) in encrypted.iter().zip(&results) {
+                        prop_assert_eq!(
+                            result,
+                            &execute_query(&table, terms),
+                            "pooled batch diverged from seed scan at {} worker(s)",
+                            workers
+                        );
+                    }
+                }
+                other => return Err(TestCaseError::fail(format!("unexpected {other:?}"))),
+            }
+            let events = server.observer().events();
+            match &reference {
+                None => reference = Some((responses, events)),
+                Some((ref_responses, ref_events)) => {
+                    prop_assert_eq!(&responses, ref_responses,
+                        "wire responses diverged at {} worker(s)", workers);
+                    prop_assert_eq!(&events, ref_events,
+                        "transcript diverged at {} worker(s)", workers);
+                }
+            }
+        }
+    }
 }
 
 proptest! {
