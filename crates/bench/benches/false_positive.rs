@@ -1,15 +1,22 @@
-//! F3 — client-side filtering cost vs. check width.
+//! F3 — client-side filtering cost vs. check width, and the
+//! check-width × shard-count surface of the server scan.
 //!
 //! Smaller check widths mean cheaper comparisons but more false
 //! positives for the client to decrypt and discard; this bench
 //! measures the full decrypt+filter path across check widths,
 //! substantiating the paper's "does not affect the efficiency" claim
-//! for sane widths. Regenerate with
+//! for sane widths. The second group sweeps the *sharded* server scan
+//! across `check_bits × shards`: the FP budget (check width) and the
+//! throughput knob (shard count) are independent axes, and the bench
+//! surfaces the cost of each point so the trade-off can be dialed
+//! empirically. Regenerate with
 //! `cargo bench -p dbph-bench --bench false_positive`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 
-use dbph_core::{DatabasePh, FinalSwpPh, WordCodec};
+use dbph_core::protocol::ClientMessage;
+use dbph_core::wire::WireEncode;
+use dbph_core::{DatabasePh, FinalSwpPh, Server, WordCodec};
 use dbph_crypto::SecretKey;
 use dbph_relation::Query;
 use dbph_swp::SwpParams;
@@ -46,5 +53,50 @@ fn bench_filter(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_filter);
+fn bench_sharded_scan(c: &mut Criterion) {
+    let schema = EmployeeGen::schema();
+    let relation = EmployeeGen {
+        rows: 2000,
+        ..EmployeeGen::default()
+    }
+    .generate(4);
+    let query = Query::select("dept", "dept-00");
+    let word_len = WordCodec::new(schema.clone()).word_len();
+
+    let mut group = c.benchmark_group("sharded_scan_by_check_bits");
+    for check_bits in [4u32, 16] {
+        let params = SwpParams::new(word_len, 4, check_bits).unwrap();
+        let ph =
+            FinalSwpPh::with_params(schema.clone(), &SecretKey::from_bytes([19u8; 32]), params)
+                .unwrap();
+        let ct = ph.encrypt_table(&relation).unwrap();
+        let qct = ph.encrypt_query(&query).unwrap();
+        let query_msg = ClientMessage::Query {
+            name: "Emp".into(),
+            terms: qct
+                .terms
+                .iter()
+                .map(dbph_core::protocol::WireTrapdoor::from_trapdoor)
+                .collect(),
+        }
+        .to_wire();
+
+        for shards in [1usize, 4, 8] {
+            let server = Server::with_shards(shards);
+            let create = ClientMessage::CreateTable {
+                name: "Emp".into(),
+                table: ct.clone(),
+            }
+            .to_wire();
+            let _ = server.handle(&create);
+            group.bench_function(
+                BenchmarkId::new(format!("bits={check_bits}"), format!("shards={shards}")),
+                |b| b.iter(|| server.handle(&query_msg)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_filter, bench_sharded_scan);
 criterion_main!(benches);

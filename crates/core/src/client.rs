@@ -5,10 +5,19 @@
 //! and post-processes results: decrypting candidate tuples and
 //! filtering the searchable scheme's false positives, exactly as §3
 //! prescribes.
+//!
+//! The client is generic over a [`Transport`] — the thing that
+//! answers its serialized messages. The default is the in-process
+//! [`Server`] (a function call, the configuration every unit test
+//! uses); [`crate::net::PooledClient`] plugs in a framed TCP
+//! connection pool instead, with **zero** change to the bytes sent or
+//! received — `tests/net_transport.rs` proves the two transports
+//! byte-equivalent, responses and server transcripts alike.
 
 use dbph_relation::{exec, Dnf, Projection, Query, Relation, Tuple};
 
 use crate::error::PhError;
+use crate::net::Transport;
 use crate::ph::DatabasePh;
 use crate::protocol::{ClientMessage, ServerResponse, WireTrapdoor};
 use crate::server::Server;
@@ -16,22 +25,23 @@ use crate::swp_ph::FinalSwpPh;
 use crate::wire::{WireDecode, WireEncode};
 
 /// A client session for one outsourced table.
-pub struct Client {
+pub struct Client<T: Transport = Server> {
     ph: FinalSwpPh,
-    server: Server,
+    transport: T,
     table_name: String,
     next_doc_id: u64,
 }
 
-impl Client {
-    /// Creates a client for `ph`'s schema against `server`. The table
-    /// is named after the schema.
+impl<T: Transport> Client<T> {
+    /// Creates a client for `ph`'s schema against `transport` — an
+    /// in-process [`Server`] or any networked stand-in. The table is
+    /// named after the schema.
     #[must_use]
-    pub fn new(ph: FinalSwpPh, server: Server) -> Self {
+    pub fn new(ph: FinalSwpPh, transport: T) -> Self {
         let table_name = ph.schema().name().to_string();
         Client {
             ph,
-            server,
+            transport,
             table_name,
             next_doc_id: 0,
         }
@@ -43,8 +53,14 @@ impl Client {
         &self.table_name
     }
 
+    /// The transport this client speaks through.
+    #[must_use]
+    pub fn transport(&self) -> &T {
+        &self.transport
+    }
+
     fn send(&self, msg: &ClientMessage) -> Result<ServerResponse, PhError> {
-        let bytes = self.server.handle(&msg.to_wire());
+        let bytes = self.transport.call(&msg.to_wire())?;
         ServerResponse::from_wire(&bytes)
     }
 

@@ -29,6 +29,15 @@ pub enum PhError {
     Wire(String),
     /// A protocol-level failure (unknown table, unexpected message).
     Protocol(String),
+    /// The transport failed: connect/read/write I/O errors, a peer
+    /// closing mid-frame, or a frame exceeding the defensive size cap.
+    /// Carries the rendered `std::io::Error` (which is neither `Clone`
+    /// nor `PartialEq`) so plumbing failures stay distinguishable from
+    /// protocol errors. A `Transport` error from an exchange means the
+    /// request *may or may not* have been applied server-side — the
+    /// pooled client deliberately never re-sends (at-most-once);
+    /// whether to retry is the caller's call.
+    Transport(String),
     /// This PH variant cannot perform the operation (e.g. decrypting a
     /// table encrypted under a non-decryptable SWP scheme).
     Unsupported(&'static str),
@@ -46,6 +55,7 @@ impl fmt::Display for PhError {
             PhError::CorruptCiphertext(what) => write!(f, "corrupt ciphertext: {what}"),
             PhError::Wire(what) => write!(f, "wire format error: {what}"),
             PhError::Protocol(what) => write!(f, "protocol error: {what}"),
+            PhError::Transport(what) => write!(f, "transport error: {what}"),
             PhError::Unsupported(why) => write!(f, "unsupported: {why}"),
         }
     }

@@ -50,14 +50,29 @@
 //!   ([`Client::select_many`] / [`Client::insert_many`]); the server
 //!   records the same per-query / per-document events as the
 //!   unbatched protocol, tagged with a [`server::BatchRef`].
+//! * [`codec`] / [`net`] — the socket deployment:
+//!   length-prefix-framed TCP ([`codec`]: `u32` LE length + payload,
+//!   defensive size cap, short-read/short-write loops) carrying the
+//!   protocol bytes verbatim. [`net::NetServer`] accepts N concurrent
+//!   connections, each draining frames into [`Server::handle`] (whose
+//!   scans fan out on the [`executor`] pool as in-process);
+//!   [`net::PooledClient`] multiplexes sessions over a bounded
+//!   connection pool with checkout/return, reconnect-on-EOF, and
+//!   pipelined batches. [`Client`] is generic over [`net::Transport`],
+//!   so the identical session runs in-process or across the wire — and
+//!   `tests/net_transport.rs` proves the two produce byte-identical
+//!   responses *and* observer transcripts: the socket adds timing,
+//!   never leakage.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod codec;
 pub mod encoding;
 pub mod error;
 pub mod executor;
+pub mod net;
 pub mod ph;
 pub mod protocol;
 pub mod server;
@@ -71,6 +86,7 @@ pub use client::Client;
 pub use encoding::WordCodec;
 pub use error::PhError;
 pub use executor::Executor;
+pub use net::{NetServer, PooledClient, ServerHandle, Transport};
 pub use ph::{DatabasePh, IncrementalPh};
 pub use server::{Observer, Server};
 pub use storage::{ShardedTable, TableStore};

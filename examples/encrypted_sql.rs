@@ -6,14 +6,70 @@
 //! encrypted exact selects with client-side projection — while a
 //! plaintext reference engine checks every result.
 //!
-//! Run with: `cargo run --example encrypted_sql`
+//! The session runs over any [`Transport`], so the same script drives
+//! four deployments:
+//!
+//! * `cargo run --example encrypted_sql` — in-process server (the
+//!   seed's configuration; no sockets).
+//! * `cargo run --example encrypted_sql -- --net` — self-contained
+//!   loopback demo: a framed TCP server on an ephemeral port, the
+//!   session running through a pooled connection, identical output.
+//! * `cargo run --example encrypted_sql -- --listen 127.0.0.1:4460` —
+//!   serve a fresh encrypted-table server for remote clients.
+//! * `cargo run --example encrypted_sql -- --connect 127.0.0.1:4460`
+//!   — run the session against such a server across the network.
 
-use dbph::core::{Client, FinalSwpPh, Server};
+use dbph::core::{Client, FinalSwpPh, NetServer, PooledClient, Server, Transport};
 use dbph::crypto::SecretKey;
 use dbph::relation::sql::{self, ExecOutcome, Statement};
 use dbph::relation::{Catalog, Tuple};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        None => {
+            // In-process: the transport is the server itself.
+            run_script(Server::new())
+        }
+        Some("--net") => {
+            // Loopback: same script, real frames on a real socket.
+            let server = Server::with_shards(4);
+            let handle = NetServer::spawn(server, "127.0.0.1:0")?;
+            println!("-- loopback server listening on {}", handle.addr());
+            let pool = PooledClient::connect(handle.addr(), 2)?;
+            let result = run_script(pool);
+            handle.shutdown();
+            result
+        }
+        Some("--listen") => {
+            let addr = args.get(1).map_or("127.0.0.1:4460", String::as_str);
+            let listener = std::net::TcpListener::bind(addr)?;
+            println!("-- serving encrypted tables on {}", listener.local_addr()?);
+            println!("-- connect with: cargo run --example encrypted_sql -- --connect {addr}");
+            NetServer::serve(listener, Server::with_shards(4))?;
+            Ok(())
+        }
+        Some("--connect") => {
+            let addr = args
+                .get(1)
+                .ok_or("usage: encrypted_sql --connect <addr>")?
+                .clone();
+            println!("-- connecting to {addr} (2-connection pool)");
+            run_script(PooledClient::connect(addr.as_str(), 2)?)
+        }
+        Some(other) => Err(format!(
+            "unknown mode {other:?}; use --net, --listen [addr], or --connect <addr>"
+        )
+        .into()),
+    }
+}
+
+/// Parses and executes the demo script against `transport` — an
+/// in-process [`Server`] or a [`PooledClient`] across TCP — while a
+/// local plaintext engine cross-checks every SELECT. The transport is
+/// cloned into each table's crypto client; clones of a
+/// [`PooledClient`] share one bounded connection pool.
+fn run_script<T: Transport + Clone>(transport: T) -> Result<(), Box<dyn std::error::Error>> {
     let script = [
         "CREATE TABLE Emp (name STRING(16), dept STRING(8), salary INT)",
         "INSERT INTO Emp VALUES ('Montgomery', 'HR', 7500), ('Smith', 'IT', 4900)",
@@ -23,14 +79,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "SELECT name FROM Emp WHERE dept = 'HR' OR salary = 1200",
         "DELETE FROM Emp WHERE name = 'Jones'",
         "SELECT * FROM Emp",
+        "DROP TABLE Emp",
     ];
 
     // Plaintext reference engine (runs locally) …
     let mut reference = Catalog::new();
     // … and the encrypted deployment (client + untrusted server).
-    let server = Server::new();
     let master = SecretKey::from_bytes([33u8; 32]);
-    let mut client: Option<Client> = None;
+    let mut client: Option<Client<T>> = None;
 
     for statement_text in script {
         println!("sql> {statement_text}");
@@ -39,7 +95,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         match sql::parse_statement(statement_text)? {
             Statement::CreateTable(schema) => {
                 let ph = FinalSwpPh::new(schema.clone(), &master)?;
-                let mut c = Client::new(ph, server.clone());
+                let mut c = Client::new(ph, transport.clone());
                 // Outsource the empty table so inserts have a target.
                 c.outsource(&dbph::relation::Relation::empty(schema))?;
                 client = Some(c);
@@ -84,7 +140,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 println!("  deleted {removed} row(s)");
             }
             Statement::DropTable(_) => {
-                client.take();
+                if let Some(c) = client.take() {
+                    // Leave a shared server clean so --connect runs
+                    // back-to-back against one --listen process.
+                    c.drop_table()?;
+                }
                 println!("  dropped");
             }
         }

@@ -286,6 +286,135 @@ proptest! {
     }
 }
 
+// --- frame codec -----------------------------------------------------------
+
+/// A reader that delivers at most `chunk` bytes per call — the
+/// adversarial-chunking stand-in for a TCP stack free to fragment
+/// frames however it likes.
+struct TrickleReader<R> {
+    inner: R,
+    chunk: usize,
+}
+
+impl<R: std::io::Read> std::io::Read for TrickleReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> std::io::Result<usize> {
+        let n = buf.len().min(self.chunk.max(1));
+        self.inner.read(&mut buf[..n])
+    }
+}
+
+/// A writer that accepts at most `chunk` bytes per call.
+struct TrickleWriter {
+    inner: Vec<u8>,
+    chunk: usize,
+}
+
+impl std::io::Write for TrickleWriter {
+    fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+        let n = buf.len().min(self.chunk.max(1));
+        self.inner.extend_from_slice(&buf[..n]);
+        Ok(n)
+    }
+    fn flush(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
+}
+
+proptest! {
+    #[test]
+    fn frames_roundtrip_under_adversarial_chunking(
+        payloads in proptest::collection::vec(
+            proptest::collection::vec(any::<u8>(), 0..200), 0..6),
+        write_chunk in 1usize..4,
+        read_chunk in 1usize..4,
+    ) {
+        use dbph::core::codec;
+        // Write every frame through a writer that takes 1–3 bytes at a
+        // time, read them back through a reader that gives 1–3 bytes
+        // at a time: the codec's short-transfer loops must reassemble
+        // the exact payload sequence, then report a clean EOF.
+        let mut sink = TrickleWriter { inner: Vec::new(), chunk: write_chunk };
+        for p in &payloads {
+            codec::write_frame(&mut sink, p).unwrap();
+        }
+        let mut source = TrickleReader {
+            inner: std::io::Cursor::new(sink.inner),
+            chunk: read_chunk,
+        };
+        for p in &payloads {
+            let frame = codec::read_frame(&mut source).unwrap();
+            prop_assert_eq!(frame.as_deref(), Some(p.as_slice()));
+        }
+        prop_assert!(codec::read_frame(&mut source).unwrap().is_none(), "clean EOF");
+    }
+
+    #[test]
+    fn oversized_frames_rejected_in_both_directions(
+        cap in 0usize..64,
+        excess in 1usize..16,
+    ) {
+        use dbph::core::codec;
+        use dbph::core::PhError;
+        let payload = vec![7u8; cap + excess];
+        // The writer refuses before anything hits the wire…
+        let mut sink = Vec::new();
+        prop_assert!(matches!(
+            codec::write_frame_capped(&mut sink, &payload, cap),
+            Err(PhError::Transport(_))
+        ));
+        prop_assert!(sink.is_empty());
+        // …and a reader facing the announcement a compliant writer
+        // would never make refuses before allocating the payload.
+        let mut bytes = ((cap + excess) as u32).to_le_bytes().to_vec();
+        bytes.extend_from_slice(&payload);
+        let mut r = std::io::Cursor::new(bytes);
+        prop_assert!(matches!(
+            codec::read_frame_capped(&mut r, cap),
+            Err(PhError::Transport(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_frames_error_and_never_panic(
+        payload in proptest::collection::vec(any::<u8>(), 0..80),
+    ) {
+        use dbph::core::codec;
+        use dbph::core::PhError;
+        let mut bytes = Vec::new();
+        codec::write_frame(&mut bytes, &payload).unwrap();
+        // Every proper prefix of a frame is either a clean EOF (cut at
+        // zero — the peer never started) or a transport error (cut
+        // mid-frame) — never a success, never a panic, even through a
+        // 1-byte trickle.
+        for cut in 0..bytes.len() {
+            let mut r = TrickleReader {
+                inner: std::io::Cursor::new(bytes[..cut].to_vec()),
+                chunk: 1,
+            };
+            match codec::read_frame(&mut r) {
+                Ok(None) => prop_assert_eq!(cut, 0, "mid-frame cut read as clean EOF"),
+                Ok(Some(_)) => prop_assert!(false, "truncated frame decoded at cut {}", cut),
+                Err(PhError::Transport(_)) => prop_assert!(cut > 0),
+                Err(other) => prop_assert!(false, "unexpected error {:?}", other),
+            }
+        }
+    }
+
+    #[test]
+    fn frame_reader_never_panics_on_random_bytes(
+        bytes in proptest::collection::vec(any::<u8>(), 0..64),
+    ) {
+        use dbph::core::codec;
+        // Arbitrary garbage: any outcome but a panic is acceptable,
+        // and a success must faithfully carry the announced payload.
+        let mut r = std::io::Cursor::new(bytes.clone());
+        if let Ok(Some(frame)) = codec::read_frame(&mut r) {
+            prop_assert_eq!(frame.len() + 4, bytes.len().min(frame.len() + 4));
+            prop_assert_eq!(&frame[..], &bytes[4..4 + frame.len()]);
+        }
+    }
+}
+
 // --- SQL -------------------------------------------------------------------
 
 proptest! {
