@@ -67,6 +67,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
 pub mod client;
 pub mod codec;
 pub mod encoding;
@@ -82,6 +83,7 @@ pub mod swp_ph;
 pub mod varlen;
 pub mod wire;
 
+pub use arena::WordArena;
 pub use client::Client;
 pub use encoding::WordCodec;
 pub use error::PhError;

@@ -19,6 +19,16 @@
 //! terms across the batch — hot values repeat in real workloads — are
 //! matched against the table once, not once per query.
 //!
+//! Within each `(term, shard)` task the inner loop is the PR 4
+//! allocation-free hot path: shards store their ciphertext columnarly
+//! ([`crate::arena::WordArena`] — one contiguous fixed-width slot
+//! buffer plus per-document offsets) and the 4-lane
+//! [`dbph_swp::ScanKernel`] streams those slots through an interleaved
+//! SHA-256 PRF pipeline, deciding four words per dispatch with zero
+//! per-check allocation. The kernel shares the scalar check's decision
+//! function, so candidate sets — and with them responses and
+//! transcripts — are byte-identical to the scalar scan.
+//!
 //! Three properties are load-bearing and tested:
 //!
 //! * **Shard-count invariance.** Shards are *contiguous* chunks of the
@@ -48,56 +58,47 @@ use std::sync::{Arc, OnceLock};
 
 use parking_lot::RwLock;
 
-use dbph_swp::{matches_document, CipherWord, PreparedTrapdoor, SwpParams, TrapdoorData};
+use dbph_swp::{CipherWord, PreparedTrapdoor, ScanKernel, SwpParams, TrapdoorData};
 
+use crate::arena::WordArena;
 use crate::error::PhError;
 use crate::executor::Executor;
 use crate::swp_ph::EncryptedTable;
 
-/// One document: `(document id, cipher words in attribute order)`.
+/// One document: `(document id, cipher words in attribute order)` —
+/// the wire shape. At rest, shards hold documents columnarly
+/// ([`WordArena`]) and reassemble this shape on demand.
 pub type Doc = (u64, Vec<CipherWord>);
 
-/// A shard: a contiguous chunk of the document vector. `Arc`-backed so
-/// scan tasks on the persistent pool can borrow it `'static`-ly and
-/// snapshots are O(shard count); mutation goes through
-/// [`Arc::make_mut`] (copy-on-write, so an in-flight scan keeps its
-/// consistent view).
-type Shard = Arc<Vec<Doc>>;
+/// A shard: a contiguous chunk of the document vector, stored
+/// columnarly ([`WordArena`]: one fixed-width slot buffer + per-doc
+/// offsets) so the scan kernel streams cache-line-friendly memory.
+/// `Arc`-backed so scan tasks on the persistent pool can borrow it
+/// `'static`-ly and snapshots are O(shard count); mutation goes
+/// through [`Arc::make_mut`] (copy-on-write, so an in-flight scan
+/// keeps its consistent view).
+type Shard = Arc<WordArena>;
 
 /// Splits `docs` into `shard_count` contiguous chunks of near-equal
 /// size (the first `len % shard_count` chunks hold one extra
-/// document). Concatenated in order, the chunks reproduce `docs`
+/// document), each packed into a [`WordArena`] with slot width
+/// `word_len`. Concatenated in order, the chunks reproduce `docs`
 /// exactly — the invariant every scan and reassembly relies on.
-fn partition(mut docs: Vec<Doc>, shard_count: usize) -> Vec<Shard> {
+fn partition(word_len: usize, docs: Vec<Doc>, shard_count: usize) -> Vec<Shard> {
     let total = docs.len();
     let base = total / shard_count;
     let extra = total % shard_count;
-    let mut boundaries: Vec<usize> = Vec::with_capacity(shard_count);
-    let mut start = 0usize;
-    for i in 0..shard_count {
-        boundaries.push(start);
-        start += base + usize::from(i < extra);
-    }
-    // Split back-to-front so each split_off is O(tail).
-    let mut shards: Vec<Shard> = Vec::with_capacity(shard_count);
-    for &b in boundaries.iter().rev() {
-        shards.push(Arc::new(docs.split_off(b)));
-    }
-    shards.reverse();
-    shards
-}
-
-/// Reclaims the flat document vector from a shard list, avoiding the
-/// per-document clone whenever a shard is unshared.
-fn flatten(shards: Vec<Shard>) -> Vec<Doc> {
-    let mut docs = Vec::with_capacity(shards.iter().map(|s| s.len()).sum());
-    for shard in shards {
-        match Arc::try_unwrap(shard) {
-            Ok(owned) => docs.extend(owned),
-            Err(shared) => docs.extend(shared.iter().cloned()),
-        }
-    }
-    docs
+    let mut iter = docs.into_iter();
+    (0..shard_count)
+        .map(|i| {
+            let take = base + usize::from(i < extra);
+            let mut arena = WordArena::new(word_len);
+            for (id, words) in iter.by_ref().take(take) {
+                arena.push(id, &words);
+            }
+            Arc::new(arena)
+        })
+        .collect()
 }
 
 /// Intersects two ascending index lists (two-pointer merge).
@@ -118,15 +119,74 @@ fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
     out
 }
 
-/// Indices (ascending) of the documents in `docs` matched by `term` —
+/// Whether document `i` of `arena` matches `term` — the scalar check,
+/// used when the parameters exceed the kernel's fixed buffers.
+fn doc_matches_scalar(
+    params: &SwpParams,
+    arena: &WordArena,
+    i: usize,
+    term: &PreparedTrapdoor,
+) -> bool {
+    arena
+        .word_range(i)
+        .any(|w| term.matches_bytes(params, arena.word(w)))
+}
+
+/// Feeds every regular word of the documents produced by `doc_indices`
+/// through the 4-lane [`ScanKernel`], collecting the (ascending)
+/// indices of documents with at least one matching word. Decisions are
+/// the scalar check's decisions — the kernel only reorders *when* the
+/// PRF work happens. Irregular words (wrong stored length) are skipped
+/// outright: the scalar check rejects them without a PRF evaluation.
+fn kernel_match_indices(
+    params: &SwpParams,
+    arena: &WordArena,
+    term: &PreparedTrapdoor,
+    doc_indices: impl Iterator<Item = u32>,
+) -> Vec<u32> {
+    let mut kernel = ScanKernel::new(*params, term);
+    // Documents arrive in ascending order and each word carries its
+    // document index as the lane tag, so consecutive-duplicate
+    // suppression is exact per-document dedup.
+    let mut hits: Vec<u32> = Vec::new();
+    for i in doc_indices {
+        for w in arena.word_range(i as usize) {
+            // Within-doc short-circuit, best-effort under lane lag: if
+            // an earlier word's dispatch already proved this document
+            // matches, its remaining words need no evaluation (the
+            // scalar path's `any()` does the same).
+            if hits.last() == Some(&i) {
+                break;
+            }
+            if let Some(slot) = arena.regular_slot(w) {
+                kernel.push(i, slot, &mut |tag, ok| {
+                    if ok && hits.last() != Some(&tag) {
+                        hits.push(tag);
+                    }
+                });
+            }
+        }
+    }
+    kernel.flush(&mut |tag, ok| {
+        if ok && hits.last() != Some(&tag) {
+            hits.push(tag);
+        }
+    });
+    hits
+}
+
+/// Indices (ascending) of the documents in `arena` matched by `term` —
 /// the per-term half of `ψ`: a document matches a term when any of its
 /// cipher words does.
-fn term_match_indices(params: &SwpParams, docs: &[Doc], term: &PreparedTrapdoor) -> Vec<u32> {
-    docs.iter()
-        .enumerate()
-        .filter(|(_, (_, words))| words.iter().any(|w| term.matches(params, w)))
-        .map(|(i, _)| i as u32)
-        .collect()
+fn term_match_indices(params: &SwpParams, arena: &WordArena, term: &PreparedTrapdoor) -> Vec<u32> {
+    if ScanKernel::supports(params) {
+        kernel_match_indices(params, arena, term, 0..arena.len() as u32)
+    } else {
+        (0..arena.len())
+            .filter(|&i| doc_matches_scalar(params, arena, i, term))
+            .map(|i| i as u32)
+            .collect()
+    }
 }
 
 /// Same match, restricted to `candidates` — the conjunctive
@@ -136,18 +196,19 @@ fn term_match_indices(params: &SwpParams, docs: &[Doc], term: &PreparedTrapdoor)
 /// rejected.
 fn filter_match_indices(
     params: &SwpParams,
-    docs: &[Doc],
+    arena: &WordArena,
     term: &PreparedTrapdoor,
     candidates: &[u32],
 ) -> Vec<u32> {
-    candidates
-        .iter()
-        .copied()
-        .filter(|&i| {
-            let (_, words) = &docs[i as usize];
-            words.iter().any(|w| term.matches(params, w))
-        })
-        .collect()
+    if ScanKernel::supports(params) {
+        kernel_match_indices(params, arena, term, candidates.iter().copied())
+    } else {
+        candidates
+            .iter()
+            .copied()
+            .filter(|&i| doc_matches_scalar(params, arena, i as usize, term))
+            .collect()
+    }
 }
 
 /// Per-batch trapdoor memo: every *distinct* trapdoor in a
@@ -243,13 +304,13 @@ impl ShardedTable {
         } = table;
         ShardedTable {
             params,
-            shards: partition(docs, shard_count),
+            shards: partition(params.word_len, docs, shard_count),
             next_doc_id,
         }
     }
 
     /// Reassembles the flat [`EncryptedTable`] (documents in original
-    /// order).
+    /// order, byte-identical to what was stored).
     #[must_use]
     pub fn to_table(&self) -> EncryptedTable {
         EncryptedTable {
@@ -257,8 +318,7 @@ impl ShardedTable {
             docs: self
                 .shards
                 .iter()
-                .flat_map(|shard| shard.iter())
-                .cloned()
+                .flat_map(|shard| shard.to_docs())
                 .collect(),
             next_doc_id: self.next_doc_id,
         }
@@ -288,14 +348,41 @@ impl ShardedTable {
         self.next_doc_id
     }
 
-    /// Collapses the shard list back to one flat vector and re-cuts it
-    /// into `shard_count` contiguous, near-equal chunks — the shared
-    /// tail of both rebalancing rules. Order-preserving by
-    /// construction.
+    /// Re-cuts the document sequence into `shard_count` contiguous,
+    /// near-equal chunks — the shared tail of both rebalancing rules.
+    /// Order-preserving by construction, and copied arena-to-arena
+    /// ([`WordArena::append_range`]): no boxed documents are ever
+    /// materialized on this mutation hot path.
     fn repartition(&mut self) {
         let shard_count = self.shards.len();
-        let docs = flatten(std::mem::take(&mut self.shards));
-        self.shards = partition(docs, shard_count);
+        let total = self.doc_count();
+        let base = total / shard_count;
+        let extra = total % shard_count;
+        let old = std::mem::take(&mut self.shards);
+        // Walk the old shards once, feeding each new shard its quota.
+        let mut src = old.iter();
+        let mut cur: Option<&Shard> = src.next();
+        let mut local = 0usize;
+        self.shards = (0..shard_count)
+            .map(|i| {
+                let mut want = base + usize::from(i < extra);
+                let mut arena = WordArena::new(self.params.word_len);
+                while want > 0 {
+                    let shard = cur.expect("doc quota exceeds total");
+                    let available = shard.len() - local;
+                    if available == 0 {
+                        cur = src.next();
+                        local = 0;
+                        continue;
+                    }
+                    let take = want.min(available);
+                    arena.append_range(shard, local..local + take);
+                    local += take;
+                    want -= take;
+                }
+                Arc::new(arena)
+            })
+            .collect();
     }
 
     /// Below this many documents in play, repartitioning cannot pay
@@ -313,7 +400,7 @@ impl ShardedTable {
     /// append stays O(shard count).
     fn push(&mut self, doc_id: u64, words: Vec<CipherWord>) {
         Arc::make_mut(self.shards.last_mut().expect("≥ 1 shard by construction"))
-            .push((doc_id, words));
+            .push(doc_id, &words);
         self.next_doc_id = doc_id + 1;
         let shard_count = self.shards.len();
         if shard_count > 1 {
@@ -337,10 +424,10 @@ impl ShardedTable {
     fn delete(&mut self, victims: &BTreeSet<u64>) -> Vec<u64> {
         let mut removed = Vec::new();
         for shard in &mut self.shards {
-            if shard.iter().any(|(id, _)| victims.contains(id)) {
-                Arc::make_mut(shard).retain(|(id, _)| {
-                    if victims.contains(id) {
-                        removed.push(*id);
+            if (0..shard.len()).any(|i| victims.contains(&shard.doc_id(i))) {
+                Arc::make_mut(shard).retain(|id| {
+                    if victims.contains(&id) {
+                        removed.push(id);
                         false
                     } else {
                         true
@@ -382,13 +469,17 @@ impl ShardedTable {
     #[must_use]
     pub fn scan_sequential<T: TrapdoorData>(&self, terms: &[T]) -> EncryptedTable {
         let prepared: Vec<PreparedTrapdoor> = terms.iter().map(PreparedTrapdoor::new).collect();
-        let docs = self
-            .shards
-            .iter()
-            .flat_map(|shard| shard.iter())
-            .filter(|(_, words)| matches_document(&self.params, &prepared, words))
-            .cloned()
-            .collect();
+        let mut docs = Vec::new();
+        for shard in &self.shards {
+            for i in 0..shard.len() {
+                if prepared
+                    .iter()
+                    .all(|t| doc_matches_scalar(&self.params, shard, i, t))
+                {
+                    docs.push(shard.doc(i));
+                }
+            }
+        }
         EncryptedTable {
             params: self.params,
             docs,
@@ -456,8 +547,8 @@ impl ShardedTable {
                     }
                     match survivors {
                         // Empty conjunction matches the whole shard.
-                        None => shard.to_vec(),
-                        Some(hits) => hits.iter().map(|&i| shard[i as usize].clone()).collect(),
+                        None => shard.to_docs(),
+                        Some(hits) => hits.iter().map(|&i| shard.doc(i as usize)).collect(),
                     }
                 });
             }
@@ -490,8 +581,7 @@ impl ShardedTable {
     pub fn ciphertext_bytes(&self) -> usize {
         self.shards
             .iter()
-            .flat_map(|shard| shard.iter())
-            .map(|(_, words)| words.iter().map(|w| w.0.len()).sum::<usize>())
+            .map(|shard| shard.ciphertext_bytes())
             .sum()
     }
 }

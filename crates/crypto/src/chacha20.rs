@@ -103,17 +103,26 @@ pub fn keystream_at(
     offset: u64,
     len: usize,
 ) -> Vec<u8> {
-    let mut out = Vec::with_capacity(len);
+    let mut out = vec![0u8; len];
+    keystream_into(key, nonce, offset, &mut out);
+    out
+}
+
+/// Fills `out` with keystream bytes starting at byte `offset` — the
+/// allocation-free variant of [`keystream_at`] for callers that reuse
+/// a buffer across many seeks (the encrypt hot path).
+pub fn keystream_into(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], offset: u64, out: &mut [u8]) {
     let mut block_index = (offset / BLOCK_LEN as u64) as u32;
     let mut skip = (offset % BLOCK_LEN as u64) as usize;
-    while out.len() < len {
+    let mut pos = 0usize;
+    while pos < out.len() {
         let ks = block(key, nonce, block_index);
-        let take = (len - out.len()).min(BLOCK_LEN - skip);
-        out.extend_from_slice(&ks[skip..skip + take]);
+        let take = (out.len() - pos).min(BLOCK_LEN - skip);
+        out[pos..pos + take].copy_from_slice(&ks[skip..skip + take]);
+        pos += take;
         skip = 0;
         block_index = block_index.wrapping_add(1);
     }
-    out
 }
 
 #[cfg(test)]

@@ -6,6 +6,7 @@
 //! for bucket tags, and authenticates sealed ciphertexts.
 
 use crate::sha256::{Sha256, BLOCK_LEN, DIGEST_LEN};
+use crate::sha256x4::Sha256x4;
 
 /// Output length of HMAC-SHA-256 in bytes.
 pub const MAC_LEN: usize = DIGEST_LEN;
@@ -59,6 +60,39 @@ impl HmacSha256 {
         let mut outer = self.outer;
         outer.update(&inner_digest);
         outer.finalize()
+    }
+
+    /// Completes the MAC into `out` without consuming the keyed state,
+    /// so a caller holding a prepared key schedule can finish many
+    /// messages from it. Stack-only: the internal state copies are
+    /// fixed-size arrays, never heap allocations.
+    pub fn finalize_into(&self, out: &mut [u8; MAC_LEN]) {
+        let inner_digest = self.inner.clone().finalize();
+        let mut outer = self.outer.clone();
+        outer.update(&inner_digest);
+        *out = outer.finalize();
+    }
+
+    /// Four-lane hashers seeded with this MAC's `(inner, outer)` key
+    /// schedules — the entry point for evaluating one key against four
+    /// messages in a single interleaved pipeline
+    /// ([`crate::prf::HmacPrf::eval4_into`]). Only valid on a pristine
+    /// keyed state (no message absorbed yet), which is block-aligned
+    /// after the `ipad`/`opad` blocks.
+    pub(crate) fn keyed_lanes(&self) -> (Sha256x4, Sha256x4) {
+        (
+            Sha256x4::from_sha256(&self.inner),
+            Sha256x4::from_sha256(&self.outer),
+        )
+    }
+
+    /// The bare `(inner, outer)` compression states after the
+    /// `ipad`/`opad` blocks — for the single-block 4-lane fast path,
+    /// which pads its own blocks and runs the raw interleaved
+    /// compression. Same pristine-state requirement as
+    /// [`Self::keyed_lanes`].
+    pub(crate) fn lane_states(&self) -> ([u32; 8], [u32; 8]) {
+        (self.inner.lane_seed().0, self.outer.lane_seed().0)
     }
 
     /// One-shot MAC computation.
@@ -154,6 +188,22 @@ mod tests {
         let mut key2 = key;
         key2[63] ^= 1;
         assert_ne!(t1, HmacSha256::mac(&key2, b"msg"));
+    }
+
+    #[test]
+    fn finalize_into_matches_finalize_and_preserves_state() {
+        let key = b"reusable schedule";
+        let mut h = HmacSha256::new(key);
+        h.update(b"message");
+        let mut tag = [0u8; MAC_LEN];
+        h.finalize_into(&mut tag);
+        assert_eq!(tag, HmacSha256::mac(key, b"message"));
+        // The state is untouched: absorbing more still works.
+        h.update(b" and more");
+        let mut tag2 = [0u8; MAC_LEN];
+        h.finalize_into(&mut tag2);
+        assert_eq!(tag2, HmacSha256::mac(key, b"message and more"));
+        assert_eq!(h.finalize(), tag2);
     }
 
     #[test]

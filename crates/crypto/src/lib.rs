@@ -42,6 +42,7 @@ pub mod prf;
 pub mod prg;
 pub mod rng;
 pub mod sha256;
+pub mod sha256x4;
 
 pub use cipher::{DeterministicCipher, RandomizedCipher, SealedCipher, StreamCipher};
 pub use error::CryptoError;

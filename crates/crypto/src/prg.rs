@@ -15,6 +15,14 @@ pub trait Prg: Clone + Send + Sync {
     /// Distinct `stream_id`s yield computationally independent streams;
     /// the same `(stream_id, offset, len)` is deterministic.
     fn stream_at(&self, stream_id: u64, offset: u64, len: usize) -> Vec<u8>;
+
+    /// Fills `out` with the bytes `stream_at(stream_id, offset,
+    /// out.len())` would return — the allocation-free variant for
+    /// callers reusing a buffer. Implementors should override the
+    /// defaulted copy with a direct fill.
+    fn stream_at_into(&self, stream_id: u64, offset: u64, out: &mut [u8]) {
+        out.copy_from_slice(&self.stream_at(stream_id, offset, out.len()));
+    }
 }
 
 /// ChaCha20-backed PRG. The 32-byte seed becomes the ChaCha key; the
@@ -47,6 +55,12 @@ impl Prg for ChaChaPrg {
         nonce[..8].copy_from_slice(&stream_id.to_le_bytes());
         chacha20::keystream_at(&self.key, &nonce, offset, len)
     }
+
+    fn stream_at_into(&self, stream_id: u64, offset: u64, out: &mut [u8]) {
+        let mut nonce = [0u8; chacha20::NONCE_LEN];
+        nonce[..8].copy_from_slice(&stream_id.to_le_bytes());
+        chacha20::keystream_into(&self.key, &nonce, offset, out);
+    }
 }
 
 #[cfg(test)]
@@ -74,6 +88,16 @@ mod tests {
                 let window = prg.stream_at(5, offset, len);
                 assert_eq!(window[..], whole[offset as usize..offset as usize + len]);
             }
+        }
+    }
+
+    #[test]
+    fn stream_at_into_matches_stream_at() {
+        let prg = ChaChaPrg::new([4u8; 32]);
+        for (id, offset, len) in [(0u64, 0u64, 7usize), (3, 17, 64), (9, 130, 100), (1, 5, 0)] {
+            let mut buf = vec![0u8; len];
+            prg.stream_at_into(id, offset, &mut buf);
+            assert_eq!(buf, prg.stream_at(id, offset, len));
         }
     }
 

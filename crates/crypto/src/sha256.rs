@@ -139,6 +139,18 @@ impl Sha256 {
         h.finalize()
     }
 
+    /// Snapshot of `(state, bytes absorbed)` for seeding the 4-lane
+    /// hasher ([`crate::sha256x4::Sha256x4::from_state`]). Only valid at
+    /// a block boundary — the lanes have no way to share a partial
+    /// block.
+    pub(crate) fn lane_seed(&self) -> ([u32; 8], u64) {
+        debug_assert_eq!(
+            self.buf_len, 0,
+            "lane seeding requires a block-aligned state"
+        );
+        (self.state, self.total_len)
+    }
+
     /// FIPS 180-4 §6.2.2 compression function over one 512-bit block.
     fn compress(&mut self, block: &[u8; BLOCK_LEN]) {
         let mut w = [0u32; 64];

@@ -43,27 +43,44 @@ impl Engine {
 
     /// The per-location PRG value `S_ℓ` (`stream_len` bytes).
     pub(crate) fn stream_value(&self, location: Location) -> Vec<u8> {
-        let offset = u64::from(location.word_index) * self.params.stream_len() as u64;
-        self.prg
-            .stream_at(location.doc_id, offset, self.params.stream_len())
+        let mut out = vec![0u8; self.params.stream_len()];
+        self.stream_value_into(location, &mut out);
+        out
     }
 
-    /// The check block `F_k(S)` (`check_len` bytes).
-    pub(crate) fn check_block(key: &[u8], s: &[u8], check_len: usize) -> Vec<u8> {
-        HmacPrf::new(key).eval(s, check_len)
+    /// Fills `out` (exactly `stream_len` bytes) with `S_ℓ` — the
+    /// buffer-reuse variant [`Self::encrypt`] builds on.
+    pub(crate) fn stream_value_into(&self, location: Location, out: &mut [u8]) {
+        debug_assert_eq!(out.len(), self.params.stream_len());
+        let offset = u64::from(location.word_index) * self.params.stream_len() as u64;
+        self.prg.stream_at_into(location.doc_id, offset, out);
+    }
+
+    /// Fills `out` (exactly `check_len` bytes) with the check block
+    /// `F_k(S)`.
+    pub(crate) fn check_block_into(key: &[u8], s: &[u8], out: &mut [u8]) {
+        HmacPrf::new(key).eval_into(s, out);
     }
 
     /// Encrypts pre-processed word bytes `x` at `location` under check
     /// key `check_key`.
+    ///
+    /// The only allocation is the returned ciphertext itself: `S_ℓ` and
+    /// `F_k(S_ℓ)` are generated straight into the output buffer (via
+    /// the `_into` variants) and `x` is XORed over them in place.
     pub(crate) fn encrypt(&self, location: Location, x: &[u8], check_key: &[u8]) -> CipherWord {
         debug_assert_eq!(x.len(), self.params.word_len);
         let split = self.params.stream_len();
-        let s = self.stream_value(location);
-        let f = Self::check_block(check_key, &s, self.params.check_len);
-
-        let mut out = Vec::with_capacity(self.params.word_len);
-        out.extend(x[..split].iter().zip(s.iter()).map(|(b, m)| b ^ m));
-        out.extend(x[split..].iter().zip(f.iter()).map(|(b, m)| b ^ m));
+        let mut out = vec![0u8; self.params.word_len];
+        let (left, right) = out.split_at_mut(split);
+        self.stream_value_into(location, left);
+        Self::check_block_into(check_key, left, right);
+        for (o, b) in left.iter_mut().zip(&x[..split]) {
+            *o ^= b;
+        }
+        for (o, b) in right.iter_mut().zip(&x[split..]) {
+            *o ^= b;
+        }
         CipherWord(out)
     }
 
@@ -71,12 +88,12 @@ impl Engine {
     /// step one of decryption for the schemes that support it.
     pub(crate) fn recover_left(&self, location: Location, cipher: &CipherWord) -> Vec<u8> {
         let split = self.params.stream_len();
-        let s = self.stream_value(location);
-        cipher.0[..split]
-            .iter()
-            .zip(s.iter())
-            .map(|(b, m)| b ^ m)
-            .collect()
+        let mut out = vec![0u8; split];
+        self.stream_value_into(location, &mut out);
+        for (o, c) in out.iter_mut().zip(&cipher.0[..split]) {
+            *o ^= c;
+        }
+        out
     }
 
     /// Recovers the right (check) part of `x` given the check key.
@@ -88,12 +105,12 @@ impl Engine {
     ) -> Vec<u8> {
         let split = self.params.stream_len();
         let s = self.stream_value(location);
-        let f = Self::check_block(check_key, &s, self.params.check_len);
-        cipher.0[split..]
-            .iter()
-            .zip(f.iter())
-            .map(|(b, m)| b ^ m)
-            .collect()
+        let mut out = vec![0u8; self.params.check_len];
+        Self::check_block_into(check_key, &s, &mut out);
+        for (o, c) in out.iter_mut().zip(&cipher.0[split..]) {
+            *o ^= c;
+        }
+        out
     }
 }
 

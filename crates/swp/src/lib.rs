@@ -38,6 +38,7 @@ mod engine;
 pub mod error;
 pub mod final_scheme;
 pub mod hidden;
+pub mod kernel;
 pub mod params;
 pub mod search;
 pub mod traits;
@@ -49,6 +50,7 @@ pub use controlled::ControlledScheme;
 pub use error::SwpError;
 pub use final_scheme::FinalScheme;
 pub use hidden::HiddenScheme;
+pub use kernel::ScanKernel;
 pub use params::SwpParams;
 pub use search::{matches, matches_document, PreparedTrapdoor};
 pub use traits::{CipherWord, Location, SearchableScheme, TrapdoorData};

@@ -16,28 +16,81 @@ use dbph_crypto::prf::{HmacPrf, Prf};
 use crate::params::{check_eq, SwpParams};
 use crate::traits::{CipherWord, TrapdoorData};
 
+/// Largest `word_len` the fixed stack buffers of the scalar check and
+/// the [`crate::kernel::ScanKernel`] accommodate. Words longer than
+/// this (possible only with wire-supplied pathological parameters —
+/// every codec-derived schema is far below it) take a heap-spill path
+/// with identical decisions.
+pub(crate) const MAX_INLINE_WORD: usize = 256;
+
 /// The one implementation of the SWP check: `P = C ⊕ X`, accept iff
-/// `F_k(P_left) ≡ P_right (mod 2^check_bits)`. Both entry points
-/// ([`matches`] and [`PreparedTrapdoor::matches`]) funnel here so the
-/// slow and prepared paths cannot diverge.
-fn check_match(params: &SwpParams, target: &[u8], prf: &HmacPrf, cipher: &CipherWord) -> bool {
-    if cipher.0.len() != params.word_len || target.len() != params.word_len {
+/// `F_k(P_left) ≡ P_right (mod 2^check_bits)`. Every entry point
+/// ([`matches`], [`PreparedTrapdoor::matches`], and the remainder path
+/// of [`crate::kernel::ScanKernel`]) funnels here so the paths cannot
+/// diverge; the 4-lane kernel shares the final [`check_eq`] decision
+/// and a PRF proven bit-identical to [`Prf::eval_into`].
+///
+/// Allocation-free for `word_len ≤ MAX_INLINE_WORD`: the XORed halves
+/// and the expected check block live in fixed stack buffers, tiered by
+/// word length so common schemas (words of a few dozen bytes) pay only
+/// a small buffer initialization per check.
+pub(crate) fn check_match_bytes(
+    params: &SwpParams,
+    target: &[u8],
+    prf: &HmacPrf,
+    cipher: &[u8],
+) -> bool {
+    if cipher.len() != params.word_len || target.len() != params.word_len {
         return false;
     }
+    if params.word_len <= 64 {
+        check_on_stack::<64>(params, target, prf, cipher)
+    } else if params.word_len <= MAX_INLINE_WORD {
+        check_on_stack::<MAX_INLINE_WORD>(params, target, prf, cipher)
+    } else {
+        let split = params.stream_len();
+        let check = params.check_len;
+        let mut s = vec![0u8; split];
+        let mut t = vec![0u8; check];
+        let mut expected = vec![0u8; check];
+        xor_halves(&mut s, &mut t, cipher, target, split);
+        prf.eval_into(&s, &mut expected);
+        check_eq(params, &expected, &t)
+    }
+}
+
+/// The stack-buffer body of [`check_match_bytes`], monomorphized per
+/// buffer tier. Caller guarantees `word_len ≤ N` and exact lengths.
+fn check_on_stack<const N: usize>(
+    params: &SwpParams,
+    target: &[u8],
+    prf: &HmacPrf,
+    cipher: &[u8],
+) -> bool {
     let split = params.stream_len();
-    // P = C ⊕ X.
-    let s: Vec<u8> = cipher.0[..split]
-        .iter()
-        .zip(target[..split].iter())
-        .map(|(c, x)| c ^ x)
-        .collect();
-    let t: Vec<u8> = cipher.0[split..]
-        .iter()
-        .zip(target[split..].iter())
-        .map(|(c, x)| c ^ x)
-        .collect();
-    let expected = prf.eval(&s, params.check_len);
-    check_eq(params, &expected, &t)
+    let check = params.check_len;
+    let mut s = [0u8; N];
+    let mut t = [0u8; N];
+    let mut expected = [0u8; N];
+    xor_halves(&mut s[..split], &mut t[..check], cipher, target, split);
+    prf.eval_into(&s[..split], &mut expected[..check]);
+    check_eq(params, &expected[..check], &t[..check])
+}
+
+/// `P = C ⊕ X`, split at `split` into the stream part `s` and the
+/// check part `t`.
+#[inline]
+pub(crate) fn xor_halves(s: &mut [u8], t: &mut [u8], cipher: &[u8], target: &[u8], split: usize) {
+    for ((out, c), x) in s.iter_mut().zip(&cipher[..split]).zip(&target[..split]) {
+        *out = c ^ x;
+    }
+    for ((out, c), x) in t.iter_mut().zip(&cipher[split..]).zip(&target[split..]) {
+        *out = c ^ x;
+    }
+}
+
+fn check_match(params: &SwpParams, target: &[u8], prf: &HmacPrf, cipher: &CipherWord) -> bool {
+    check_match_bytes(params, target, prf, &cipher.0)
 }
 
 /// Returns whether `cipher` matches `trapdoor`. Keyless: callable by
@@ -89,6 +142,20 @@ impl PreparedTrapdoor {
     #[must_use]
     pub fn matches(&self, params: &SwpParams, cipher: &CipherWord) -> bool {
         check_match(params, &self.target, &self.prf, cipher)
+    }
+
+    /// Byte-slice variant of [`Self::matches`] for callers that store
+    /// cipher words in a columnar arena rather than as [`CipherWord`]
+    /// values. Same decision function.
+    #[must_use]
+    pub fn matches_bytes(&self, params: &SwpParams, cipher: &[u8]) -> bool {
+        check_match_bytes(params, &self.target, &self.prf, cipher)
+    }
+
+    /// The keyed check PRF (key schedule hoisted) — shared with the
+    /// 4-lane [`crate::kernel::ScanKernel`].
+    pub(crate) fn prf(&self) -> &HmacPrf {
+        &self.prf
     }
 }
 
@@ -220,6 +287,44 @@ mod tests {
                 }
                 assert!(prepared.matches(&params, &consistent));
             }
+        }
+    }
+
+    #[test]
+    fn outsized_words_take_the_spill_path_with_same_decisions() {
+        // word_len beyond MAX_INLINE_WORD forces the heap-spill branch
+        // of the scalar check (wire-legal pathological params); the
+        // decisions must be the usual ones.
+        let word_len = MAX_INLINE_WORD + 17;
+        let params = SwpParams::new(word_len, 5, 40).unwrap();
+        let key = splatter(3, 32);
+        let x = splatter(4, word_len);
+        let s = splatter(5, params.stream_len());
+        let f = HmacPrf::new(&key).eval(&s, params.check_len);
+        let mut c = Vec::new();
+        c.extend(x[..params.stream_len()].iter().zip(&s).map(|(a, b)| a ^ b));
+        c.extend(x[params.stream_len()..].iter().zip(&f).map(|(a, b)| a ^ b));
+        let td = RawTrapdoor { target: x, key };
+        let prepared = PreparedTrapdoor::new(&td);
+        assert!(prepared.matches(&params, &CipherWord(c.clone())));
+        assert!(matches(&params, &td, &CipherWord(c)));
+        assert!(!prepared.matches_bytes(&params, &splatter(9, word_len)));
+    }
+
+    #[test]
+    fn matches_bytes_equals_matches() {
+        let params = SwpParams::new(8, 3, 24).unwrap();
+        let td = RawTrapdoor {
+            target: splatter(11, 8),
+            key: splatter(12, 32),
+        };
+        let prepared = PreparedTrapdoor::new(&td);
+        for seed in 0..20u64 {
+            let w = splatter(seed, 8);
+            assert_eq!(
+                prepared.matches_bytes(&params, &w),
+                matches(&params, &td, &CipherWord(w.clone()))
+            );
         }
     }
 
