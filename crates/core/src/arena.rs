@@ -161,11 +161,15 @@ impl WordArena {
     /// where the regular/irregular classification happens (shared by
     /// [`Self::push`], [`Self::retain`], and [`Self::append_range`]).
     ///
+    /// `pub(crate)` for the durable log's recovery decoder, which
+    /// streams word slices straight out of a record buffer and must
+    /// pair every run of `push_word` calls with one [`Self::seal_doc`].
+    ///
     /// # Panics
     /// Panics if the shard reaches 2³¹ regular or irregular words —
     /// the `u32` reference encoding's ceiling. At ≥ 2 bytes per word
     /// that is a ≥ 4 GiB shard; split the table first.
-    fn push_word(&mut self, bytes: &[u8]) {
+    pub(crate) fn push_word(&mut self, bytes: &[u8]) {
         let rank = if bytes.len() == self.word_len {
             let rank = self.slots.len() / self.word_len.max(1);
             assert!(rank < IRREGULAR_BIT as usize, "shard exceeds 2^31 words");
@@ -181,7 +185,7 @@ impl WordArena {
     }
 
     /// Seals the currently buffered words as document `doc_id`.
-    fn seal_doc(&mut self, doc_id: u64) {
+    pub(crate) fn seal_doc(&mut self, doc_id: u64) {
         self.doc_ids.push(doc_id);
         self.offsets.push(self.refs.len() as u32);
     }
@@ -190,6 +194,18 @@ impl WordArena {
     pub fn push(&mut self, doc_id: u64, words: &[CipherWord]) {
         for word in words {
             self.push_word(&word.0);
+        }
+        self.seal_doc(doc_id);
+    }
+
+    /// Appends one document from raw word byte slices — the
+    /// wire-decode and log-recovery path: callers hand over borrowed
+    /// slices straight out of a received buffer, so a table streams
+    /// into columnar storage without ever materializing a boxed
+    /// [`CipherWord`] per word.
+    pub fn push_raw<'a>(&mut self, doc_id: u64, words: impl IntoIterator<Item = &'a [u8]>) {
+        for word in words {
+            self.push_word(word);
         }
         self.seal_doc(doc_id);
     }
@@ -310,6 +326,20 @@ mod tests {
             ],
         );
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn push_raw_equals_boxed_push() {
+        // The zero-boxing ingest path must build the identical
+        // canonical arena, irregular lengths included.
+        let docs = vec![doc(0, &[4, 4]), doc(1, &[4, 2, 6]), doc(2, &[])];
+        let boxed = WordArena::from_docs(4, docs.clone());
+        let mut raw = WordArena::new(4);
+        for (id, words) in &docs {
+            raw.push_raw(*id, words.iter().map(|w| w.0.as_slice()));
+        }
+        assert_eq!(raw, boxed);
+        assert_eq!(raw.to_docs(), docs);
     }
 
     #[test]

@@ -19,7 +19,7 @@ use dbph_relation::{exec, Dnf, Projection, Query, Relation, Tuple};
 use crate::error::PhError;
 use crate::net::Transport;
 use crate::ph::DatabasePh;
-use crate::protocol::{ClientMessage, ServerResponse, WireTrapdoor};
+use crate::protocol::{ClientMessage, ServerResponse, WireTrapdoor, DEFAULT_CHUNK_BYTES};
 use crate::server::Server;
 use crate::swp_ph::FinalSwpPh;
 use crate::wire::{WireDecode, WireEncode};
@@ -68,9 +68,7 @@ impl<T: Transport> Client<T> {
         match self.send(msg)? {
             ServerResponse::Ok => Ok(()),
             ServerResponse::Error(e) => Err(PhError::Protocol(e)),
-            ServerResponse::Table(_) | ServerResponse::Tables(_) => {
-                Err(PhError::Protocol("unexpected table response".into()))
-            }
+            _ => Err(PhError::Protocol("unexpected table response".into())),
         }
     }
 
@@ -78,9 +76,18 @@ impl<T: Transport> Client<T> {
         match self.send(msg)? {
             ServerResponse::Table(t) => Ok(t),
             ServerResponse::Error(e) => Err(PhError::Protocol(e)),
-            ServerResponse::Ok | ServerResponse::Tables(_) => {
-                Err(PhError::Protocol("expected table response".into()))
-            }
+            _ => Err(PhError::Protocol("expected table response".into())),
+        }
+    }
+
+    fn expect_chunk(
+        &self,
+        msg: &ClientMessage,
+    ) -> Result<(crate::swp_ph::EncryptedTable, Option<u64>), PhError> {
+        match self.send(msg)? {
+            ServerResponse::TableChunk { table, next } => Ok((table, next)),
+            ServerResponse::Error(e) => Err(PhError::Protocol(e)),
+            _ => Err(PhError::Protocol("expected table chunk response".into())),
         }
     }
 
@@ -96,9 +103,7 @@ impl<T: Transport> Client<T> {
                 ts.len()
             ))),
             ServerResponse::Error(e) => Err(PhError::Protocol(e)),
-            ServerResponse::Ok | ServerResponse::Table(_) => {
-                Err(PhError::Protocol("expected batch table response".into()))
-            }
+            _ => Err(PhError::Protocol("expected batch table response".into())),
         }
     }
 
@@ -318,15 +323,23 @@ impl<T: Transport> Client<T> {
         Ok(removed)
     }
 
-    /// Rotates the master key: downloads and decrypts the table,
-    /// re-encrypts everything under `new_ph`, and replaces the server
-    /// copy atomically from the client's perspective (drop + create).
+    /// Tuples per `AppendBatch` on the rekey re-upload path: large
+    /// enough to amortize round-trips, small enough that no single
+    /// upload frame grows with the table.
+    const REKEY_BATCH_ROWS: usize = 512;
+
+    /// Rotates the master key. Both directions of the transfer are
+    /// chunked so no frame ever scales with the table: the old
+    /// ciphertext streams down as [`ClientMessage::FetchChunk`] pages,
+    /// and the re-encrypted table streams back up as an empty
+    /// `CreateTable` followed by bounded `AppendBatch` messages. The
+    /// server copy is replaced from the client's perspective
+    /// (drop + create + appends).
     ///
     /// # Errors
     /// Fails on protocol or decryption errors; on failure the old
-    /// table may already be dropped — the caller still holds the
-    /// decrypted relation is *not* guaranteed, so callers wanting
-    /// stronger atomicity should snapshot first (see
+    /// table may already be dropped — callers wanting stronger
+    /// atomicity should snapshot first ([`Self::export_snapshot`] /
     /// `dbph_core::snapshot`).
     pub fn rekey(&mut self, new_ph: FinalSwpPh) -> Result<(), PhError> {
         if new_ph.schema() != self.ph.schema() {
@@ -335,10 +348,86 @@ impl<T: Transport> Client<T> {
                 actual: new_ph.schema().to_string(),
             });
         }
-        let plaintext = self.fetch_all()?;
+        let table = self.fetch_table_chunked(DEFAULT_CHUNK_BYTES)?;
+        let plaintext = self.ph.decrypt_table(&table)?;
         self.drop_table()?;
         self.ph = new_ph;
-        self.outsource(&plaintext)
+        self.outsource(&Relation::empty(plaintext.schema().clone()))?;
+        for rows in plaintext.tuples().chunks(Self::REKEY_BATCH_ROWS) {
+            self.insert_many(rows)?;
+        }
+        Ok(())
+    }
+
+    /// Downloads the whole table ciphertext as a bounded-chunk stream
+    /// ([`ClientMessage::FetchChunk`] with a positional continuation
+    /// token) and reassembles it — byte-identical to what a monolithic
+    /// [`ClientMessage::FetchAll`] would return, but no single frame
+    /// exceeds `chunk_bytes` plus one document, so tables beyond the
+    /// transport's frame cap stream through where `FetchAll` could not
+    /// even be framed.
+    ///
+    /// # Errors
+    /// Fails on protocol errors, or if the server's continuation
+    /// tokens ever stall or regress (a violation of the chunk
+    /// contract).
+    pub fn fetch_table_chunked(
+        &self,
+        chunk_bytes: u64,
+    ) -> Result<crate::swp_ph::EncryptedTable, PhError> {
+        let mut token = 0u64;
+        let mut assembled: Option<crate::swp_ph::EncryptedTable> = None;
+        loop {
+            let (chunk, next) = self.expect_chunk(&ClientMessage::FetchChunk {
+                name: self.table_name.clone(),
+                token,
+                max_bytes: chunk_bytes,
+            })?;
+            assembled = Some(match assembled {
+                None => chunk,
+                Some(mut table) => {
+                    if table.params != chunk.params {
+                        return Err(PhError::Protocol(
+                            "table parameters changed mid-stream".into(),
+                        ));
+                    }
+                    table.docs.extend(chunk.docs);
+                    table.next_doc_id = chunk.next_doc_id;
+                    table
+                }
+            });
+            match next {
+                Some(n) if n > token => token = n,
+                Some(n) => {
+                    return Err(PhError::Protocol(format!(
+                        "chunk stream stalled: token {n} after {token}"
+                    )))
+                }
+                None => return Ok(assembled.expect("at least one chunk")),
+            }
+        }
+    }
+
+    /// Downloads the table as a chunked stream and decrypts it — the
+    /// bounded-frame sibling of [`Self::fetch_all`].
+    ///
+    /// # Errors
+    /// As [`Self::fetch_table_chunked`], plus decryption errors.
+    pub fn fetch_all_chunked(&self, chunk_bytes: u64) -> Result<Relation, PhError> {
+        let table = self.fetch_table_chunked(chunk_bytes)?;
+        self.ph.decrypt_table(&table)
+    }
+
+    /// Streams the table ciphertext down in bounded chunks and packs
+    /// it into a `dbph_core::snapshot` export blob — the offline
+    /// backup Alex takes before risky operations, now without ever
+    /// buffering the table in one transport frame.
+    ///
+    /// # Errors
+    /// As [`Self::fetch_table_chunked`].
+    pub fn export_snapshot(&self, chunk_bytes: u64) -> Result<Vec<u8>, PhError> {
+        let table = self.fetch_table_chunked(chunk_bytes)?;
+        Ok(crate::snapshot::export(&self.table_name, &table))
     }
 
     /// Downloads and decrypts the whole table.
@@ -611,6 +700,46 @@ mod tests {
         let removed = client.delete(&Query::select("dept", "HR")).unwrap();
         assert_eq!(removed, 1);
         assert_eq!(client.fetch_all().unwrap().len(), 200);
+    }
+
+    #[test]
+    fn chunked_fetch_equals_monolithic_fetch() {
+        let server = Server::with_shards(3);
+        let ph = FinalSwpPh::new(emp_schema(), &SecretKey::from_bytes([11u8; 32])).unwrap();
+        let mut client = Client::new(ph, server);
+        client.outsource(&emp()).unwrap();
+        // The monolithic path and the chunked path (tiny budget: one
+        // doc per chunk) must reassemble the identical ciphertext.
+        let whole = client
+            .expect_table(&ClientMessage::FetchAll {
+                name: client.table_name().to_string(),
+            })
+            .unwrap();
+        for chunk_bytes in [1u64, 200, 1 << 20] {
+            let streamed = client.fetch_table_chunked(chunk_bytes).unwrap();
+            assert_eq!(streamed, whole, "chunked fetch diverged at {chunk_bytes} B");
+        }
+        assert!(client.fetch_all_chunked(64).unwrap().same_multiset(&emp()));
+    }
+
+    #[test]
+    fn export_snapshot_streams_and_imports_back() {
+        let (mut client, _server) = setup();
+        client.outsource(&emp()).unwrap();
+        let blob = client.export_snapshot(128).unwrap();
+        let (name, table) = crate::snapshot::import(&blob).unwrap();
+        assert_eq!(name, client.table_name());
+        // The snapshot holds the exact ciphertext a FetchAll returns.
+        let whole = client
+            .expect_table(&ClientMessage::FetchAll { name })
+            .unwrap();
+        assert_eq!(table, whole);
+    }
+
+    #[test]
+    fn chunked_fetch_unknown_table_errors() {
+        let (client, _server) = setup();
+        assert!(client.fetch_table_chunked(1024).is_err());
     }
 
     #[test]

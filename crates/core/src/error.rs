@@ -38,6 +38,14 @@ pub enum PhError {
     /// pooled client deliberately never re-sends (at-most-once);
     /// whether to retry is the caller's call.
     Transport(String),
+    /// The durable segment log failed: the data directory could not be
+    /// opened, a sealed segment is corrupt beyond the tolerated torn
+    /// tail, or a record write/fsync failed. After a *write*-side
+    /// durability error the server fails closed for further mutations
+    /// (already-acknowledged state stays served) — acknowledging a
+    /// mutation the log cannot persist would silently break the
+    /// recovery guarantee.
+    Durability(String),
     /// This PH variant cannot perform the operation (e.g. decrypting a
     /// table encrypted under a non-decryptable SWP scheme).
     Unsupported(&'static str),
@@ -56,6 +64,7 @@ impl fmt::Display for PhError {
             PhError::Wire(what) => write!(f, "wire format error: {what}"),
             PhError::Protocol(what) => write!(f, "protocol error: {what}"),
             PhError::Transport(what) => write!(f, "transport error: {what}"),
+            PhError::Durability(what) => write!(f, "durability error: {what}"),
             PhError::Unsupported(why) => write!(f, "unsupported: {why}"),
         }
     }

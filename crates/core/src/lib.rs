@@ -63,6 +63,25 @@
 //!   `tests/net_transport.rs` proves the two produce byte-identical
 //!   responses *and* observer transcripts: the socket adds timing,
 //!   never leakage.
+//! * [`durable`] — segment-log persistence under a data directory:
+//!   every applied mutation is one checksummed, fsync'd record (the
+//!   raw client message, verbatim), a manifest tracks segment order,
+//!   compaction rewrites the live store arena-to-arena into a sealed
+//!   snapshot segment, and recovery replays the log — truncating a
+//!   torn tail record, never panicking — back into columnar shards.
+//!   A [`Server`] opened with [`Server::open_durable`] survives
+//!   `kill -9`; the disk image is made of exactly the bytes Eve (who
+//!   *is* the server) already observes, so durability changes nothing
+//!   in the transcript model (`tests/durability.rs` pins responses and
+//!   transcripts byte-identical with durability on vs. off).
+//! * Chunked table streaming —
+//!   [`protocol::ClientMessage::FetchChunk`] /
+//!   [`protocol::ServerResponse::TableChunk`] page a table transfer
+//!   with a positional continuation token, so snapshot export and
+//!   rekey ([`Client::fetch_table_chunked`], [`Client::rekey`]) move
+//!   tables frame-by-frame with bounded peak memory instead of one
+//!   monolithic `FetchAll` that a large table could not even frame
+//!   under the transport's 64 MiB cap.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -70,6 +89,7 @@
 pub mod arena;
 pub mod client;
 pub mod codec;
+pub mod durable;
 pub mod encoding;
 pub mod error;
 pub mod executor;
@@ -85,6 +105,7 @@ pub mod wire;
 
 pub use arena::WordArena;
 pub use client::Client;
+pub use durable::{DurableLog, DurableOptions, TempDir};
 pub use encoding::WordCodec;
 pub use error::PhError;
 pub use executor::Executor;

@@ -62,8 +62,10 @@ impl WireDecode for WireTrapdoor {
     }
 }
 
-/// Message tags (first byte of every client message).
-mod tag {
+/// Message tags (first byte of every client message). `pub(crate)` so
+/// the durable log's replay can classify raw mutation records without
+/// materializing boxed documents through the full decode.
+pub(crate) mod tag {
     pub const CREATE: u8 = 1;
     pub const QUERY: u8 = 2;
     pub const FETCH_ALL: u8 = 3;
@@ -72,7 +74,20 @@ mod tag {
     pub const DELETE: u8 = 6;
     pub const QUERY_BATCH: u8 = 7;
     pub const APPEND_BATCH: u8 = 8;
+    pub const FETCH_CHUNK: u8 = 9;
 }
+
+/// Default chunk budget for streamed table transfers (4 MiB): far
+/// below the transport's frame cap, so a [`ClientMessage::FetchChunk`]
+/// stream keeps peak frame memory bounded no matter how large the
+/// table has grown — the whole point of chunking over
+/// [`ClientMessage::FetchAll`].
+pub const DEFAULT_CHUNK_BYTES: u64 = 4 << 20;
+
+/// Server-side ceiling on a requested chunk budget (48 MiB): a chunk
+/// response must stay inside the codec's 64 MiB frame cap with
+/// headroom for the envelope, whatever the client asks for.
+pub const MAX_CHUNK_BYTES: u64 = 48 << 20;
 
 /// A message from Alex to Eve.
 #[derive(Debug, Clone, PartialEq)]
@@ -140,6 +155,28 @@ pub enum ClientMessage {
         /// The new documents: `(id, cipher words)` in append order.
         docs: Vec<(u64, Vec<CipherWord>)>,
     },
+    /// Download one bounded chunk of a table. The server answers with
+    /// [`ServerResponse::TableChunk`]: documents from position `token`
+    /// onward until the encoded chunk would exceed `max_bytes` (always
+    /// at least one), plus the continuation token for the next
+    /// request. Streaming a table as chunks bounds peak frame size on
+    /// both ends — a [`Self::FetchAll`] of a table beyond the codec's
+    /// frame cap cannot even be framed, while its chunk stream can.
+    ///
+    /// Leakage: Eve answers each chunk from the ciphertext she already
+    /// holds; the request reveals only `(name, token, max_bytes)` —
+    /// client-chosen pagination of a download whose full content she
+    /// serves either way.
+    FetchChunk {
+        /// Target table.
+        name: String,
+        /// Global document position to resume from (0 starts the
+        /// stream; echo the previous response's `next` to continue).
+        token: u64,
+        /// Budget for the chunk's encoded documents, in bytes (the
+        /// server clamps to [`MAX_CHUNK_BYTES`]).
+        max_bytes: u64,
+    },
 }
 
 impl WireEncode for ClientMessage {
@@ -188,6 +225,16 @@ impl WireEncode for ClientMessage {
                 name.encode(buf);
                 docs.encode(buf);
             }
+            ClientMessage::FetchChunk {
+                name,
+                token,
+                max_bytes,
+            } => {
+                buf.push(tag::FETCH_CHUNK);
+                name.encode(buf);
+                token.encode(buf);
+                max_bytes.encode(buf);
+            }
         }
     }
 }
@@ -226,6 +273,11 @@ impl WireDecode for ClientMessage {
                 name: String::decode(r)?,
                 docs: Vec::decode(r)?,
             }),
+            tag::FETCH_CHUNK => Ok(ClientMessage::FetchChunk {
+                name: String::decode(r)?,
+                token: u64::decode(r)?,
+                max_bytes: u64::decode(r)?,
+            }),
             t => Err(PhError::Wire(format!("unknown client message tag {t}"))),
         }
     }
@@ -243,6 +295,18 @@ pub enum ServerResponse {
     /// One table ciphertext per query of a
     /// [`ClientMessage::QueryBatch`], in query order.
     Tables(Vec<EncryptedTable>),
+    /// One bounded chunk of a [`ClientMessage::FetchChunk`] stream:
+    /// the documents of this chunk (carried as a flat table whose
+    /// `params`/`next_doc_id` are the real table's, so concatenating
+    /// all chunks' documents reproduces the [`Self::Table`] a
+    /// `FetchAll` would return, byte for byte) and the continuation
+    /// token — `None` once the table is exhausted.
+    TableChunk {
+        /// This chunk's documents (plus the table's public metadata).
+        table: EncryptedTable,
+        /// Token for the next [`ClientMessage::FetchChunk`], if any.
+        next: Option<u64>,
+    },
 }
 
 impl WireEncode for ServerResponse {
@@ -261,6 +325,11 @@ impl WireEncode for ServerResponse {
                 buf.push(3);
                 ts.encode(buf);
             }
+            ServerResponse::TableChunk { table, next } => {
+                buf.push(4);
+                table.encode(buf);
+                next.encode(buf);
+            }
         }
     }
 }
@@ -272,6 +341,10 @@ impl WireDecode for ServerResponse {
             1 => Ok(ServerResponse::Table(EncryptedTable::decode(r)?)),
             2 => Ok(ServerResponse::Error(String::decode(r)?)),
             3 => Ok(ServerResponse::Tables(Vec::decode(r)?)),
+            4 => Ok(ServerResponse::TableChunk {
+                table: EncryptedTable::decode(r)?,
+                next: Option::decode(r)?,
+            }),
             t => Err(PhError::Wire(format!("unknown response tag {t}"))),
         }
     }
@@ -342,6 +415,11 @@ mod tests {
                     (8, vec![CipherWord(vec![4; 13]), CipherWord(vec![5; 13])]),
                 ],
             },
+            ClientMessage::FetchChunk {
+                name: "Emp".into(),
+                token: 4096,
+                max_bytes: DEFAULT_CHUNK_BYTES,
+            },
         ];
         for m in msgs {
             let bytes = m.to_wire();
@@ -357,6 +435,14 @@ mod tests {
             ServerResponse::Error("nope".into()),
             ServerResponse::Tables(vec![]),
             ServerResponse::Tables(vec![sample_table(), sample_table()]),
+            ServerResponse::TableChunk {
+                table: sample_table(),
+                next: Some(17),
+            },
+            ServerResponse::TableChunk {
+                table: sample_table(),
+                next: None,
+            },
         ] {
             let bytes = r.to_wire();
             assert_eq!(ServerResponse::from_wire(&bytes).unwrap(), r);

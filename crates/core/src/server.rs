@@ -18,6 +18,7 @@
 //! equivalent would, tagged with a [`BatchRef`] so transcript analyses
 //! can still see message boundaries.
 
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -25,9 +26,11 @@ use parking_lot::RwLock;
 
 use dbph_swp::matches;
 
+use crate::durable::{DurableLog, DurableOptions};
+use crate::error::PhError;
 use crate::executor::Executor;
-use crate::protocol::{ClientMessage, ServerResponse, WireTrapdoor};
-use crate::storage::TableStore;
+use crate::protocol::{ClientMessage, ServerResponse, WireTrapdoor, MAX_CHUNK_BYTES};
+use crate::storage::{ShardedTable, TableStore};
 use crate::swp_ph::EncryptedTable;
 use crate::wire::{WireDecode, WireEncode};
 
@@ -77,6 +80,23 @@ pub enum ServerEvent {
     FetchAll {
         /// Table name.
         name: String,
+    },
+    /// One bounded chunk of the table was downloaded
+    /// ([`ClientMessage::FetchChunk`]). The pagination is entirely
+    /// client-chosen; the union of a stream's chunks is exactly the
+    /// `FetchAll` content, so chunking re-frames the download Eve
+    /// serves either way without changing what crosses her hands.
+    FetchChunk {
+        /// Table name.
+        name: String,
+        /// Continuation token as received (global document position).
+        token: u64,
+        /// Requested chunk budget as received, in bytes.
+        max_bytes: u64,
+        /// Documents returned in this chunk.
+        returned: usize,
+        /// Token handed back for the next chunk (`None` = exhausted).
+        next: Option<u64>,
     },
     /// The table was dropped.
     Drop {
@@ -152,6 +172,12 @@ pub struct Server {
     /// Next batch id (shared across clones — clones are the same
     /// logical server).
     next_batch: Arc<AtomicU64>,
+    /// Optional durability backend. `None` (every pre-existing
+    /// constructor) is the in-memory server the repro always had;
+    /// `Some` appends every applied mutation to the segment log before
+    /// acknowledging it. Shared across clones: clones are the same
+    /// logical server and must share one log.
+    durable: Option<Arc<DurableLog>>,
 }
 
 impl Default for Server {
@@ -207,6 +233,7 @@ impl Server {
             store: Arc::new(TableStore::new(shards)),
             observer: Observer::new(),
             next_batch: Arc::new(AtomicU64::new(0)),
+            durable: None,
         }
     }
 
@@ -228,6 +255,88 @@ impl Server {
             )),
             observer: Observer::new(),
             next_batch: Arc::new(AtomicU64::new(0)),
+            durable: None,
+        }
+    }
+
+    /// Opens a **durable** server on `dir` with default
+    /// [`DurableOptions`]: recovers whatever a previous process
+    /// persisted there (tolerating an unclean kill — a torn tail
+    /// record is truncated, never a panic), then appends every further
+    /// applied mutation to the segment log, fsync'd per message,
+    /// before acknowledging it. An empty or absent directory starts an
+    /// empty durable store.
+    ///
+    /// Responses and [`Observer`] transcripts are byte-identical to an
+    /// in-memory server driven by the same session — durability is
+    /// server-internal bookkeeping (`tests/durability.rs` pins this
+    /// across shard counts, pool sizes, and transports).
+    ///
+    /// # Errors
+    /// [`PhError::Durability`] when the directory cannot be opened or
+    /// its contents are corrupt beyond the torn-tail contract.
+    pub fn open_durable(dir: impl AsRef<Path>, shards: usize) -> Result<Self, PhError> {
+        Self::open_durable_with(dir, shards, None, DurableOptions::default())
+    }
+
+    /// [`Server::open_durable`] with an explicit worker pool size
+    /// (`None` = the process-wide pool, as [`Server::with_shards`])
+    /// and explicit log options — the form the invariance tests sweep.
+    ///
+    /// # Errors
+    /// As [`Server::open_durable`].
+    ///
+    /// # Panics
+    /// Panics if `shards == 0`.
+    pub fn open_durable_with(
+        dir: impl AsRef<Path>,
+        shards: usize,
+        workers: Option<usize>,
+        options: DurableOptions,
+    ) -> Result<Self, PhError> {
+        let (log, recovered) = DurableLog::open(dir, options)?;
+        let store = match workers {
+            None => TableStore::new(shards),
+            Some(w) => TableStore::with_pool(shards, Arc::new(Executor::new(w))),
+        };
+        for table in recovered {
+            let sharded =
+                ShardedTable::from_arena(table.params, &table.arena, table.next_doc_id, shards);
+            store.install(table.name, sharded);
+        }
+        Ok(Server {
+            store: Arc::new(store),
+            observer: Observer::new(),
+            next_batch: Arc::new(AtomicU64::new(0)),
+            durable: Some(Arc::new(log)),
+        })
+    }
+
+    /// Names of the stored tables, sorted — public metadata (the
+    /// protocol addresses tables by name); the durable example prints
+    /// it after recovery.
+    #[must_use]
+    pub fn table_names(&self) -> Vec<String> {
+        self.store.table_names()
+    }
+
+    /// The durability backend, when this server has one (tests watch
+    /// segment files through it).
+    #[must_use]
+    pub fn durable_log(&self) -> Option<&Arc<DurableLog>> {
+        self.durable.as_ref()
+    }
+
+    /// Compacts the segment log now (a no-op for in-memory servers):
+    /// rewrites the live store into a sealed snapshot segment and
+    /// starts a fresh active segment.
+    ///
+    /// # Errors
+    /// [`PhError::Durability`] when the compaction write fails.
+    pub fn compact(&self) -> Result<(), PhError> {
+        match &self.durable {
+            Some(log) => log.compact_now(&self.store),
+            None => Ok(()),
         }
     }
 
@@ -249,12 +358,42 @@ impl Server {
         &self.observer
     }
 
+    /// Whether a message mutates the store — the class whose applied
+    /// instances the durable log must record.
+    fn is_mutation(msg: &ClientMessage) -> bool {
+        matches!(
+            msg,
+            ClientMessage::CreateTable { .. }
+                | ClientMessage::Append { .. }
+                | ClientMessage::AppendBatch { .. }
+                | ClientMessage::DeleteDocs { .. }
+                | ClientMessage::DropTable { .. }
+        )
+    }
+
     /// Handles one serialized client message, returning the serialized
     /// response. This is the server's entire interface.
+    ///
+    /// On a durable server, a mutation is applied and logged under the
+    /// log's writer lock (so the record order on disk is exactly the
+    /// apply order) and fsync'd before the response is produced; reads
+    /// and queries never touch the log. A durability write failure
+    /// surfaces as an error response and fails the log closed — an
+    /// acknowledgement must imply persistence.
     #[must_use]
     pub fn handle(&self, message_bytes: &[u8]) -> Vec<u8> {
         let response = match ClientMessage::from_wire(message_bytes) {
-            Ok(msg) => self.dispatch(msg),
+            Ok(msg) => match &self.durable {
+                Some(log) if Self::is_mutation(&msg) => {
+                    let logged = log.log_mutation(message_bytes, &self.store, || {
+                        let response = self.dispatch(msg);
+                        let applied = !matches!(response, ServerResponse::Error(_));
+                        (response, applied)
+                    });
+                    logged.unwrap_or_else(|e| ServerResponse::Error(e.to_string()))
+                }
+                _ => self.dispatch(msg),
+            },
             Err(e) => ServerResponse::Error(format!("malformed message: {e}")),
         };
         response.to_wire()
@@ -332,6 +471,30 @@ impl Server {
                 }
                 Err(e) => ServerResponse::Error(e.to_string()),
             },
+            ClientMessage::FetchChunk {
+                name,
+                token,
+                max_bytes,
+            } => {
+                // Clamp the budget defensively (a chunk response must
+                // stay frameable) but record the request verbatim —
+                // the clamp is Eve's own policy, not part of what Alex
+                // sent.
+                let budget = max_bytes.clamp(1, MAX_CHUNK_BYTES);
+                match self.store.fetch_chunk(&name, token, budget) {
+                    Ok((table, next)) => {
+                        self.observer.record(ServerEvent::FetchChunk {
+                            name,
+                            token,
+                            max_bytes,
+                            returned: table.len(),
+                            next,
+                        });
+                        ServerResponse::TableChunk { table, next }
+                    }
+                    Err(e) => ServerResponse::Error(e.to_string()),
+                }
+            }
             ClientMessage::Append {
                 name,
                 doc_id,
@@ -692,6 +855,100 @@ mod tests {
             s.observer().events().last(),
             Some(ServerEvent::DeleteDocs { doc_ids, removed, .. })
                 if *doc_ids == vec![2, 2, 0, 99] && *removed == vec![0, 2]
+        ));
+    }
+
+    #[test]
+    fn fetch_chunk_pages_the_table_and_records_events() {
+        let s = Server::with_shards(3);
+        send(
+            &s,
+            ClientMessage::CreateTable {
+                name: "t".into(),
+                table: table(10),
+            },
+        );
+        // Page with a budget that forces several chunks; the union
+        // must equal the monolithic fetch, and each page must record
+        // one FetchChunk event carrying the request verbatim.
+        let whole = match send(&s, ClientMessage::FetchAll { name: "t".into() }) {
+            ServerResponse::Table(t) => t,
+            other => panic!("unexpected {other:?}"),
+        };
+        let mut docs = Vec::new();
+        let mut token = 0u64;
+        let mut pages = 0usize;
+        loop {
+            match send(
+                &s,
+                ClientMessage::FetchChunk {
+                    name: "t".into(),
+                    token,
+                    max_bytes: 64,
+                },
+            ) {
+                ServerResponse::TableChunk { table, next } => {
+                    assert_eq!(table.params, whole.params);
+                    assert_eq!(table.next_doc_id, whole.next_doc_id);
+                    docs.extend(table.docs);
+                    pages += 1;
+                    match next {
+                        Some(n) => token = n,
+                        None => break,
+                    }
+                }
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(pages > 1, "budget must force multiple chunks");
+        assert_eq!(docs, whole.docs);
+        let chunk_events: Vec<(u64, usize, Option<u64>)> = s
+            .observer()
+            .events()
+            .iter()
+            .filter_map(|e| match e {
+                ServerEvent::FetchChunk {
+                    name,
+                    token,
+                    max_bytes,
+                    returned,
+                    next,
+                } => {
+                    assert_eq!(name, "t");
+                    assert_eq!(*max_bytes, 64);
+                    Some((*token, *returned, *next))
+                }
+                _ => None,
+            })
+            .collect();
+        assert_eq!(chunk_events.len(), pages);
+        assert_eq!(chunk_events.last().unwrap().2, None);
+        // A zero budget is clamped, not an infinite loop: every chunk
+        // still carries at least one document.
+        match send(
+            &s,
+            ClientMessage::FetchChunk {
+                name: "t".into(),
+                token: 0,
+                max_bytes: 0,
+            },
+        ) {
+            ServerResponse::TableChunk { table, next } => {
+                assert_eq!(table.len(), 1);
+                assert_eq!(next, Some(1));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(matches!(
+            send(
+                &s,
+                ClientMessage::FetchChunk {
+                    name: "nope".into(),
+                    token: 0,
+                    max_bytes: 64
+                }
+            ),
+            ServerResponse::Error(_)
         ));
     }
 

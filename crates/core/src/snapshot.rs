@@ -8,6 +8,12 @@
 //! checksum so silent corruption is detected at import.
 //!
 //! Layout: `magic ‖ version ‖ table-name ‖ EncryptedTable ‖ sha256`.
+//!
+//! Fetching the table to snapshot no longer requires one monolithic
+//! `FetchAll` frame: [`crate::client::Client::export_snapshot`]
+//! streams the ciphertext down as bounded `FetchChunk` pages and packs
+//! the reassembled table through [`export`], so the snapshot path
+//! works for tables beyond the transport's frame cap.
 
 use dbph_crypto::sha256::Sha256;
 

@@ -309,6 +309,58 @@ impl ShardedTable {
         }
     }
 
+    /// Partitions an already-columnar document sequence into
+    /// `shard_count` contiguous near-equal shards, copying
+    /// arena-to-arena ([`WordArena::append_range`]) — the log-recovery
+    /// path: a store rebuilt from disk loads straight into columnar
+    /// shards without ever materializing boxed documents.
+    ///
+    /// # Panics
+    /// Panics if `shard_count == 0` or the arena's slot width differs
+    /// from `params.word_len`.
+    #[must_use]
+    pub fn from_arena(
+        params: SwpParams,
+        arena: &WordArena,
+        next_doc_id: u64,
+        shard_count: usize,
+    ) -> Self {
+        assert!(shard_count > 0, "shard_count must be ≥ 1");
+        assert_eq!(arena.word_len(), params.word_len, "mixed slot widths");
+        let total = arena.len();
+        let base = total / shard_count;
+        let extra = total % shard_count;
+        let mut start = 0usize;
+        let shards = (0..shard_count)
+            .map(|i| {
+                let take = base + usize::from(i < extra);
+                let mut shard = WordArena::new(params.word_len);
+                shard.append_range(arena, start..start + take);
+                start += take;
+                Arc::new(shard)
+            })
+            .collect();
+        ShardedTable {
+            params,
+            shards,
+            next_doc_id,
+        }
+    }
+
+    /// The shard arenas, in document order — read access for the
+    /// durable log's compaction writer, which serializes live
+    /// ciphertext straight from the columnar slots.
+    #[must_use]
+    pub(crate) fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// The table's SWP parameters.
+    #[must_use]
+    pub fn params(&self) -> &SwpParams {
+        &self.params
+    }
+
     /// Reassembles the flat [`EncryptedTable`] (documents in original
     /// order, byte-identical to what was stored).
     #[must_use]
@@ -575,6 +627,66 @@ impl ShardedTable {
             .collect()
     }
 
+    /// One bounded chunk of the table, starting at global document
+    /// position `token` (0 = first document): documents are taken in
+    /// order until the *encoded* chunk would exceed `max_bytes` — but
+    /// always at least one, so a single oversized document cannot
+    /// stall the stream. Returns the chunk as a flat table (carrying
+    /// the real `params` and `next_doc_id`, so concatenating every
+    /// chunk's documents reproduces [`Self::to_table`] exactly) plus
+    /// the continuation token, `None` once the table is exhausted.
+    ///
+    /// The token is *positional*, which is what makes it pure protocol
+    /// state: the server keeps no cursor, and Eve sees nothing beyond
+    /// the requests themselves. A mutation interleaved between chunks
+    /// shifts positions like any paginated API; the streaming callers
+    /// (snapshot, rekey) own the table and do not mutate mid-stream.
+    #[must_use]
+    pub fn fetch_chunk(&self, token: u64, max_bytes: u64) -> (EncryptedTable, Option<u64>) {
+        // Wire cost of doc `i` of `shard`: id (8) + word count (8) +
+        // per word a length prefix (8) + the bytes.
+        let encoded_bytes = |shard: &WordArena, i: usize| -> u64 {
+            let words: u64 = shard
+                .word_range(i)
+                .map(|w| 8 + shard.word(w).len() as u64)
+                .sum();
+            16 + words
+        };
+        let total = self.doc_count() as u64;
+        let start = token.min(total);
+        let mut docs = Vec::new();
+        let mut bytes = 0u64;
+        let mut pos = 0u64; // global position of the current shard's first doc
+        'shards: for shard in &self.shards {
+            let len = shard.len() as u64;
+            // Whole shards before the token skip in O(1) — a stream of
+            // C chunks over T documents walks O(T + C·S), not O(T·C).
+            if pos + len <= start {
+                pos += len;
+                continue;
+            }
+            for i in (start.max(pos) - pos) as usize..shard.len() {
+                let cost = encoded_bytes(shard, i);
+                if !docs.is_empty() && bytes + cost > max_bytes {
+                    break 'shards;
+                }
+                docs.push(shard.doc(i));
+                bytes += cost;
+            }
+            pos += len;
+        }
+        let sent = start + docs.len() as u64;
+        let next = (sent < total).then_some(sent);
+        (
+            EncryptedTable {
+                params: self.params,
+                docs,
+                next_doc_id: self.next_doc_id,
+            },
+            next,
+        )
+    }
+
     /// Total ciphertext bytes across all shards (words only, like
     /// [`EncryptedTable::ciphertext_bytes`]).
     #[must_use]
@@ -706,6 +818,42 @@ impl TableStore {
         Ok(self.snapshot(name)?.to_table())
     }
 
+    /// One bounded chunk of a table (see [`ShardedTable::fetch_chunk`])
+    /// — runs on an `Arc`-snapshot like queries, so streaming a large
+    /// table never holds the store lock.
+    ///
+    /// # Errors
+    /// Fails for unknown tables.
+    pub fn fetch_chunk(
+        &self,
+        name: &str,
+        token: u64,
+        max_bytes: u64,
+    ) -> Result<(EncryptedTable, Option<u64>), PhError> {
+        Ok(self.snapshot(name)?.fetch_chunk(token, max_bytes))
+    }
+
+    /// Consistent snapshot of every table, sorted by name — the
+    /// durable log's compaction input (sorting makes the snapshot
+    /// segment a deterministic function of the store contents).
+    #[must_use]
+    pub(crate) fn snapshot_all(&self) -> Vec<(String, ShardedTable)> {
+        let tables = self.tables.read();
+        let mut all: Vec<(String, ShardedTable)> = tables
+            .iter()
+            .map(|(name, table)| (name.clone(), table.clone()))
+            .collect();
+        all.sort_by(|a, b| a.0.cmp(&b.0));
+        all
+    }
+
+    /// Installs a recovered table under `name`, replacing any previous
+    /// entry — the log-replay path, which has already validated every
+    /// mutation when it was first applied.
+    pub(crate) fn install(&self, name: String, table: ShardedTable) {
+        self.tables.write().insert(name, table);
+    }
+
     /// Appends a batch of documents atomically: every id must be fresh
     /// (≥ the table's next id) and strictly increasing within the
     /// batch, or nothing is stored.
@@ -756,6 +904,15 @@ impl TableStore {
         Ok(())
     }
 
+    /// Names of the stored tables, sorted (public metadata — the
+    /// protocol addresses tables by name, so Eve has the list).
+    #[must_use]
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.tables.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
     /// Tuple count and ciphertext size of a stored table, if present
     /// (used by tests and diagnostics; Eve knows both anyway).
     #[must_use]
@@ -799,6 +956,82 @@ mod tests {
         let st = ShardedTable::from_table(table(0), 3);
         assert_eq!(st.doc_count(), 0);
         assert_eq!(st.to_table(), table(0));
+    }
+
+    #[test]
+    fn from_arena_partitions_like_from_table() {
+        // The recovery path (columnar in, columnar out) must produce
+        // exactly the partition the boxed constructor produces.
+        for n in [0usize, 1, 2, 10, 100] {
+            let flat = table(n);
+            let arena = WordArena::from_docs(flat.params.word_len, flat.docs.clone());
+            for shards in [1usize, 3, 7] {
+                let via_arena =
+                    ShardedTable::from_arena(flat.params, &arena, flat.next_doc_id, shards);
+                let via_docs = ShardedTable::from_table(flat.clone(), shards);
+                assert_eq!(via_arena, via_docs, "{n} docs × {shards} shards");
+            }
+        }
+    }
+
+    #[test]
+    fn fetch_chunk_streams_the_exact_table() {
+        let st = ShardedTable::from_table(table(25), 4);
+        let whole = st.to_table();
+        for max_bytes in [1u64, 64, 200, 1 << 20] {
+            let mut docs = Vec::new();
+            let mut token = 0u64;
+            let mut chunks = 0usize;
+            loop {
+                let (chunk, next) = st.fetch_chunk(token, max_bytes);
+                assert_eq!(chunk.params, whole.params);
+                assert_eq!(chunk.next_doc_id, whole.next_doc_id);
+                assert!(
+                    !chunk.docs.is_empty() || next.is_none(),
+                    "an unfinished stream must always make progress"
+                );
+                docs.extend(chunk.docs);
+                chunks += 1;
+                match next {
+                    Some(n) => {
+                        assert_eq!(n, docs.len() as u64, "token must be positional");
+                        token = n;
+                    }
+                    None => break,
+                }
+            }
+            assert_eq!(docs, whole.docs, "chunked stream diverged at {max_bytes} B");
+            if max_bytes == 1 {
+                // Tiny budget: one doc per chunk, still completes.
+                assert_eq!(chunks, 25);
+            }
+        }
+        // Past-the-end and empty-table tokens terminate cleanly.
+        let (tail, next) = st.fetch_chunk(9999, 1024);
+        assert!(tail.docs.is_empty() && next.is_none());
+        let empty = ShardedTable::from_table(table(0), 2);
+        let (chunk, next) = empty.fetch_chunk(0, 1024);
+        assert!(chunk.docs.is_empty() && next.is_none());
+        assert_eq!(chunk.next_doc_id, 0);
+    }
+
+    #[test]
+    fn store_fetch_chunk_matches_fetch_all() {
+        let store = TableStore::new(3);
+        store.create("t", table(40)).unwrap();
+        let whole = store.fetch_all("t").unwrap();
+        let mut docs = Vec::new();
+        let mut token = 0u64;
+        loop {
+            let (chunk, next) = store.fetch_chunk("t", token, 128).unwrap();
+            docs.extend(chunk.docs);
+            match next {
+                Some(n) => token = n,
+                None => break,
+            }
+        }
+        assert_eq!(docs, whole.docs);
+        assert!(store.fetch_chunk("nope", 0, 128).is_err());
     }
 
     #[test]

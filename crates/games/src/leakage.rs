@@ -109,6 +109,7 @@ pub fn profile(events: &[ServerEvent]) -> LeakageProfile {
             }
             ServerEvent::Append { .. }
             | ServerEvent::FetchAll { .. }
+            | ServerEvent::FetchChunk { .. }
             | ServerEvent::Drop { .. } => {}
         }
     }

@@ -1,0 +1,544 @@
+//! Durability must be observationally invisible — and crash-proof.
+//!
+//! The paper's provider durably holds Alex's data; this suite holds the
+//! segment-log backend to the two obligations that makes testable:
+//!
+//! 1. **Byte-identical behavior.** A durable server driven by any
+//!    session produces the same response bytes *and* the same
+//!    [`Observer`] transcript as an in-memory server driven by the
+//!    same session — across shard counts, pool sizes, and both
+//!    transports. The disk image is made of exactly the mutation
+//!    messages and ciphertext Eve already observes, so persistence
+//!    must change nothing she can record.
+//! 2. **Exact crash recovery.** After an unclean kill — including a
+//!    kill that tears the last record mid-write, modeled by truncating
+//!    the active segment at an *arbitrary byte offset* — reopening the
+//!    data directory recovers precisely the fully-fsync'd prefix of
+//!    the session: `FetchAll`/query responses are byte-identical to a
+//!    reference store that replayed only that prefix. Torn tails are
+//!    truncated; never a panic, never a partial apply.
+
+use dbph::core::protocol::{ClientMessage, ServerResponse, WireTrapdoor};
+use dbph::core::wire::{WireDecode as _, WireEncode as _};
+use dbph::core::{DurableOptions, NetServer, PooledClient, Server, TempDir, Transport};
+use dbph::swp::{CipherWord, SwpParams};
+
+use proptest::prelude::*;
+
+fn params() -> SwpParams {
+    SwpParams::new(13, 4, 32).unwrap()
+}
+
+fn word(seed: u64) -> CipherWord {
+    CipherWord(vec![(seed % 251) as u8; 13])
+}
+
+/// A document with one regular word, plus an irregular-length word for
+/// every third id — recovery must round-trip wire-legal deviants too.
+fn doc(id: u64) -> (u64, Vec<CipherWord>) {
+    let mut words = vec![word(id)];
+    if id.is_multiple_of(3) {
+        words.push(CipherWord(vec![(id % 251) as u8; 5]));
+    }
+    (id, words)
+}
+
+fn table(n: usize) -> dbph::core::EncryptedTable {
+    dbph::core::EncryptedTable {
+        params: params(),
+        docs: (0..n as u64).map(doc).collect(),
+        next_doc_id: n as u64,
+    }
+}
+
+fn dead_trapdoor() -> WireTrapdoor {
+    WireTrapdoor {
+        target: vec![7; 13],
+        check_key: vec![0; 32],
+    }
+}
+
+/// A session exercising every message class the server knows —
+/// mutations, queries, batches, chunked fetches (including the clamp
+/// path), error paths — so the equality assertions cover the full
+/// protocol surface, `FetchChunk` events included.
+fn session_messages() -> Vec<Vec<u8>> {
+    vec![
+        ClientMessage::CreateTable {
+            name: "t1".into(),
+            table: table(8),
+        }
+        .to_wire(),
+        ClientMessage::CreateTable {
+            name: "t2".into(),
+            table: table(0),
+        }
+        .to_wire(),
+        ClientMessage::Append {
+            name: "t1".into(),
+            doc_id: 8,
+            words: vec![word(8)],
+        }
+        .to_wire(),
+        ClientMessage::AppendBatch {
+            name: "t1".into(),
+            docs: vec![doc(9), doc(10), doc(11)],
+        }
+        .to_wire(),
+        ClientMessage::Query {
+            name: "t1".into(),
+            terms: vec![dead_trapdoor()],
+        }
+        .to_wire(),
+        ClientMessage::QueryBatch {
+            name: "t1".into(),
+            queries: vec![vec![], vec![dead_trapdoor()]],
+        }
+        .to_wire(),
+        ClientMessage::FetchChunk {
+            name: "t1".into(),
+            token: 0,
+            max_bytes: 64,
+        }
+        .to_wire(),
+        ClientMessage::FetchChunk {
+            name: "t1".into(),
+            token: 3,
+            max_bytes: 1,
+        }
+        .to_wire(),
+        ClientMessage::FetchChunk {
+            name: "t1".into(),
+            token: 0,
+            max_bytes: u64::MAX,
+        }
+        .to_wire(),
+        ClientMessage::DeleteDocs {
+            name: "t1".into(),
+            doc_ids: vec![2, 2, 5, 999],
+        }
+        .to_wire(),
+        ClientMessage::FetchAll { name: "t1".into() }.to_wire(),
+        ClientMessage::DropTable { name: "t2".into() }.to_wire(),
+        // Error paths: malformed bytes, unknown tables.
+        vec![0xFF, 0x00],
+        ClientMessage::Query {
+            name: "nope".into(),
+            terms: vec![],
+        }
+        .to_wire(),
+        ClientMessage::FetchChunk {
+            name: "nope".into(),
+            token: 0,
+            max_bytes: 64,
+        }
+        .to_wire(),
+    ]
+}
+
+/// Read-only probes replayed against a recovered server and its
+/// uninterrupted reference — every byte must agree.
+fn probe_messages() -> Vec<Vec<u8>> {
+    vec![
+        ClientMessage::FetchAll { name: "t1".into() }.to_wire(),
+        ClientMessage::FetchAll { name: "t2".into() }.to_wire(),
+        ClientMessage::Query {
+            name: "t1".into(),
+            terms: vec![dead_trapdoor()],
+        }
+        .to_wire(),
+        ClientMessage::Query {
+            name: "t1".into(),
+            terms: vec![],
+        }
+        .to_wire(),
+        ClientMessage::FetchChunk {
+            name: "t1".into(),
+            token: 0,
+            max_bytes: 48,
+        }
+        .to_wire(),
+    ]
+}
+
+fn replay<T: Transport>(transport: &T, messages: &[Vec<u8>]) -> Vec<Vec<u8>> {
+    messages
+        .iter()
+        .map(|m| transport.call(m).expect("transport call"))
+        .collect()
+}
+
+#[test]
+fn durable_equals_in_memory_across_shards_and_workers() {
+    let messages = session_messages();
+    let probes = probe_messages();
+    for shards in [1usize, 2, 5] {
+        for workers in [1usize, 4] {
+            let mem = Server::with_pool(shards, workers);
+            let mem_responses = replay(&mem, &messages);
+
+            let tmp = TempDir::new("equiv").unwrap();
+            let durable = Server::open_durable_with(
+                tmp.path(),
+                shards,
+                Some(workers),
+                DurableOptions::default(),
+            )
+            .unwrap();
+            let durable_responses = replay(&durable, &messages);
+
+            assert_eq!(
+                durable_responses, mem_responses,
+                "durable responses diverged at {shards} shard(s) × {workers} worker(s)"
+            );
+            assert_eq!(
+                durable.observer().events(),
+                mem.observer().events(),
+                "durable transcript diverged at {shards} shard(s) × {workers} worker(s)"
+            );
+
+            // Unclean kill: every record was fsync'd per message, so
+            // dropping the server with no goodbye loses nothing.
+            drop(durable);
+            let recovered = Server::open_durable_with(
+                tmp.path(),
+                shards,
+                Some(workers),
+                DurableOptions::default(),
+            )
+            .unwrap();
+            let mem_events_before = mem.observer().events().len();
+            assert_eq!(
+                replay(&recovered, &probes),
+                replay(&mem, &probes),
+                "post-restart probes diverged at {shards} shard(s) × {workers} worker(s)"
+            );
+            // The recovered server's (fresh) transcript must equal the
+            // probe segment of the uninterrupted server's transcript.
+            assert_eq!(
+                recovered.observer().events(),
+                mem.observer().events()[mem_events_before..],
+                "post-restart transcript diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn durable_equals_in_memory_over_tcp_and_survives_restart() {
+    let messages = session_messages();
+    let probes = probe_messages();
+
+    // Reference: the uninterrupted in-memory server, in-process.
+    let mem = Server::with_shards(3);
+    let mem_responses = replay(&mem, &messages);
+
+    // A durable server behind a real socket.
+    let tmp = TempDir::new("tcp-equiv").unwrap();
+    let durable = Server::open_durable(tmp.path(), 3).unwrap();
+    let handle = NetServer::spawn(durable.clone(), "127.0.0.1:0").unwrap();
+    let pool = PooledClient::connect(handle.addr(), 2).unwrap();
+    let tcp_responses = replay(&pool, &messages);
+    assert_eq!(tcp_responses, mem_responses, "TCP × durable diverged");
+    assert_eq!(durable.observer().events(), mem.observer().events());
+
+    // Kill the whole deployment — front-end and store — and restart
+    // both from the data directory.
+    handle.shutdown();
+    drop(durable);
+    let recovered = Server::open_durable(tmp.path(), 3).unwrap();
+    let handle = NetServer::spawn(recovered.clone(), "127.0.0.1:0").unwrap();
+    let pool = PooledClient::connect(handle.addr(), 2).unwrap();
+    let mem_events_before = mem.observer().events().len();
+    assert_eq!(
+        replay(&pool, &probes),
+        replay(&mem, &probes),
+        "post-restart TCP probes diverged"
+    );
+    assert_eq!(
+        recovered.observer().events(),
+        mem.observer().events()[mem_events_before..]
+    );
+    handle.shutdown();
+}
+
+#[test]
+fn crypto_client_session_survives_restart() {
+    use dbph::core::{Client, FinalSwpPh};
+    use dbph::crypto::SecretKey;
+    use dbph::relation::schema::emp_schema;
+    use dbph::relation::{tuple, Query, Relation};
+
+    let scheme = || FinalSwpPh::new(emp_schema(), &SecretKey::from_bytes([11u8; 32])).unwrap();
+    let emp = Relation::from_tuples(
+        emp_schema(),
+        vec![
+            tuple!["Montgomery", "HR", 7500i64],
+            tuple!["Smith", "IT", 4900i64],
+            tuple!["Jones", "IT", 1200i64],
+        ],
+    )
+    .unwrap();
+
+    let tmp = TempDir::new("crypto").unwrap();
+    {
+        let server = Server::open_durable(tmp.path(), 2).unwrap();
+        let mut client = Client::new(scheme(), server);
+        client.outsource(&emp).unwrap();
+        client.insert(&tuple!["Kim", "HR", 9000i64]).unwrap();
+        // kill -9: just drop everything.
+    }
+    let server = Server::open_durable(tmp.path(), 2).unwrap();
+    let client = Client::new(scheme(), server);
+    let all = client.fetch_all().unwrap();
+    assert_eq!(all.len(), 4, "the insert must have survived the kill");
+    let it = client.select(&Query::select("dept", "IT")).unwrap();
+    assert_eq!(it.len(), 2);
+    // And the chunked path reads the same recovered ciphertext.
+    assert!(client.fetch_all_chunked(64).unwrap().same_multiset(&all));
+}
+
+// --- randomized crash recovery ---------------------------------------------
+
+/// An abstract mutation; lowering produces only *valid* mutations (the
+/// server applies every one), so log records correspond 1:1 to
+/// messages and the fsync'd prefix is exactly a message prefix.
+#[derive(Clone, Debug)]
+enum MutOp {
+    Create(u8),
+    Append(u8),
+    AppendBatch(u8, u8),
+    Delete(u8, Vec<u8>),
+    Drop(u8),
+}
+
+fn arb_mut_op() -> impl Strategy<Value = MutOp> {
+    prop_oneof![
+        (0u8..6).prop_map(MutOp::Create),
+        (0u8..2).prop_map(MutOp::Append),
+        ((0u8..2), (1u8..5)).prop_map(|(t, n)| MutOp::AppendBatch(t, n)),
+        ((0u8..2), proptest::collection::vec(0u8..20, 0..4))
+            .prop_map(|(t, ids)| MutOp::Delete(t, ids)),
+        (0u8..2).prop_map(MutOp::Drop),
+    ]
+}
+
+/// Lowers abstract ops to concrete wire messages over two table names,
+/// skipping ops that would be rejected (create-on-existing, mutate-on-
+/// missing) so every emitted message writes exactly one log record.
+fn lower_mutations(ops: &[MutOp]) -> Vec<Vec<u8>> {
+    let names = ["a", "b"];
+    // Per table: Some(next_doc_id) when it exists.
+    let mut state: [Option<u64>; 2] = [None, None];
+    let mut msgs = Vec::new();
+    for op in ops {
+        match op {
+            MutOp::Create(x) => {
+                let t = (*x % 2) as usize;
+                if state[t].is_none() {
+                    let n = (*x % 5) as usize;
+                    state[t] = Some(n as u64);
+                    msgs.push(
+                        ClientMessage::CreateTable {
+                            name: names[t].into(),
+                            table: table(n),
+                        }
+                        .to_wire(),
+                    );
+                }
+            }
+            MutOp::Append(t) => {
+                let t = (*t % 2) as usize;
+                if let Some(next) = state[t].as_mut() {
+                    let (doc_id, words) = doc(*next);
+                    *next += 1;
+                    msgs.push(
+                        ClientMessage::Append {
+                            name: names[t].into(),
+                            doc_id,
+                            words,
+                        }
+                        .to_wire(),
+                    );
+                }
+            }
+            MutOp::AppendBatch(t, n) => {
+                let t = (*t % 2) as usize;
+                if let Some(next) = state[t].as_mut() {
+                    let docs: Vec<_> = (0..*n as u64).map(|k| doc(*next + k)).collect();
+                    *next += u64::from(*n);
+                    msgs.push(
+                        ClientMessage::AppendBatch {
+                            name: names[t].into(),
+                            docs,
+                        }
+                        .to_wire(),
+                    );
+                }
+            }
+            MutOp::Delete(t, ids) => {
+                let t = (*t % 2) as usize;
+                if state[t].is_some() {
+                    msgs.push(
+                        ClientMessage::DeleteDocs {
+                            name: names[t].into(),
+                            doc_ids: ids.iter().map(|&i| u64::from(i)).collect(),
+                        }
+                        .to_wire(),
+                    );
+                }
+            }
+            MutOp::Drop(t) => {
+                let t = (*t % 2) as usize;
+                if state[t].take().is_some() {
+                    msgs.push(
+                        ClientMessage::DropTable {
+                            name: names[t].into(),
+                        }
+                        .to_wire(),
+                    );
+                }
+            }
+        }
+    }
+    msgs
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+    #[test]
+    fn crash_at_any_byte_offset_recovers_the_fsyncd_prefix(
+        ops in proptest::collection::vec(arb_mut_op(), 1..25),
+        cut_frac in 0u64..=1000,
+    ) {
+        let messages = lower_mutations(&ops);
+        prop_assume!(!messages.is_empty());
+
+        // Drive a durable session, recording the active segment's
+        // length after each (fsync'd) message — the record boundaries.
+        let tmp = TempDir::new("crash").unwrap();
+        let server = Server::open_durable(tmp.path(), 3).unwrap();
+        let mut boundaries = Vec::with_capacity(messages.len());
+        let active = {
+            for m in &messages {
+                let resp = server.handle(m);
+                prop_assert!(
+                    !matches!(ServerResponse::from_wire(&resp).unwrap(), ServerResponse::Error(_)),
+                    "lowering produced an invalid mutation"
+                );
+                boundaries.push(
+                    std::fs::metadata(server.durable_log().unwrap().active_segment_path())
+                        .unwrap()
+                        .len(),
+                );
+            }
+            server.durable_log().unwrap().active_segment_path()
+        };
+        drop(server);
+
+        // The kill: truncate the log at an arbitrary byte offset —
+        // record boundaries, headers, payloads, checksums alike.
+        let total = *boundaries.last().unwrap();
+        let cut = total * cut_frac / 1000;
+        let file = std::fs::File::options().write(true).open(&active).unwrap();
+        file.set_len(cut).unwrap();
+        drop(file);
+
+        // Reference: replay only the fully-persisted message prefix.
+        let survivors = boundaries.iter().filter(|&&b| b <= cut).count();
+        let reference = Server::with_shards(3);
+        for m in &messages[..survivors] {
+            let _ = reference.handle(m);
+        }
+
+        // Recovery must neither panic nor partially apply the torn
+        // record: every probe answers byte-identically.
+        let recovered = Server::open_durable(tmp.path(), 3).unwrap();
+        for probe in probe_messages_for(&["a", "b"]) {
+            prop_assert_eq!(
+                recovered.handle(&probe),
+                reference.handle(&probe),
+                "diverged after cut {} of {} ({} of {} records survive), ops {:?}",
+                cut, total, survivors, messages.len(), &ops
+            );
+        }
+    }
+}
+
+/// FetchAll + empty-conjunction query + a chunk page, per table name.
+fn probe_messages_for(names: &[&str]) -> Vec<Vec<u8>> {
+    let mut probes = Vec::new();
+    for name in names {
+        probes.push(
+            ClientMessage::FetchAll {
+                name: (*name).into(),
+            }
+            .to_wire(),
+        );
+        probes.push(
+            ClientMessage::Query {
+                name: (*name).into(),
+                terms: vec![],
+            }
+            .to_wire(),
+        );
+        probes.push(
+            ClientMessage::FetchChunk {
+                name: (*name).into(),
+                token: 0,
+                max_bytes: 128,
+            }
+            .to_wire(),
+        );
+    }
+    probes
+}
+
+#[test]
+fn compacted_store_survives_restart_identically() {
+    // Mutate, compact (snapshot segment), mutate more (tail log),
+    // kill, recover: snapshot + tail must reproduce the exact store.
+    let tmp = TempDir::new("compact-restart").unwrap();
+    let reference = Server::with_shards(2);
+    let durable = Server::open_durable(tmp.path(), 2).unwrap();
+
+    let phase1 = [
+        ClientMessage::CreateTable {
+            name: "t1".into(),
+            table: table(20),
+        }
+        .to_wire(),
+        ClientMessage::DeleteDocs {
+            name: "t1".into(),
+            doc_ids: (0..7).collect(),
+        }
+        .to_wire(),
+    ];
+    for m in &phase1 {
+        let _ = reference.handle(m);
+        let _ = durable.handle(m);
+    }
+    durable.compact().unwrap();
+    let phase2 = [
+        ClientMessage::AppendBatch {
+            name: "t1".into(),
+            docs: vec![doc(20), doc(21)],
+        }
+        .to_wire(),
+        ClientMessage::CreateTable {
+            name: "t2".into(),
+            table: table(3),
+        }
+        .to_wire(),
+    ];
+    for m in &phase2 {
+        let _ = reference.handle(m);
+        let _ = durable.handle(m);
+    }
+    drop(durable);
+
+    let recovered = Server::open_durable(tmp.path(), 2).unwrap();
+    for probe in probe_messages_for(&["t1", "t2"]) {
+        assert_eq!(recovered.handle(&probe), reference.handle(&probe));
+    }
+}

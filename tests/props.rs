@@ -415,6 +415,68 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    #[test]
+    fn chunk_streams_frame_under_caps_the_monolithic_fetch_exceeds(
+        max_bytes in 256u64..4096,
+    ) {
+        // Why chunking is load-bearing, not cosmetic: a table whose
+        // FetchAll response outgrows a frame cap cannot cross the
+        // capped codec *at all* — while the same table's FetchChunk
+        // stream frames every response under that cap, for any chunk
+        // budget, and carries the identical documents.
+        use dbph::core::codec;
+        use dbph::core::protocol::{ClientMessage, ServerResponse};
+        use dbph::core::Server;
+
+        const CAP: usize = 16 << 10;
+        let table = dbph::core::EncryptedTable {
+            params: dbph::swp::SwpParams::new(1500, 4, 32).unwrap(),
+            docs: (0..40u64)
+                .map(|i| (i, vec![dbph::swp::CipherWord(vec![i as u8; 1500])]))
+                .collect(),
+            next_doc_id: 40,
+        };
+        let server = Server::new();
+        let _ = server.handle(
+            &ClientMessage::CreateTable { name: "t".into(), table: table.clone() }.to_wire(),
+        );
+
+        // Monolithic: refused by the capped frame writer outright.
+        let monolithic =
+            server.handle(&ClientMessage::FetchAll { name: "t".into() }.to_wire());
+        let mut sink = Vec::new();
+        prop_assert!(codec::write_frame_capped(&mut sink, &monolithic, CAP).is_err());
+
+        // Chunked: every page frames under the cap, stream reassembles
+        // the exact documents.
+        let mut token = 0u64;
+        let mut docs = Vec::new();
+        loop {
+            let bytes = server.handle(
+                &ClientMessage::FetchChunk { name: "t".into(), token, max_bytes }.to_wire(),
+            );
+            let mut sink = Vec::new();
+            prop_assert!(
+                codec::write_frame_capped(&mut sink, &bytes, CAP).is_ok(),
+                "chunk at token {} burst the cap under budget {}", token, max_bytes
+            );
+            match ServerResponse::from_wire(&bytes).unwrap() {
+                ServerResponse::TableChunk { table, next } => {
+                    docs.extend(table.docs);
+                    match next {
+                        Some(n) => { prop_assert!(n > token); token = n; }
+                        None => break,
+                    }
+                }
+                other => { prop_assert!(false, "unexpected {:?}", other); }
+            }
+        }
+        prop_assert_eq!(docs, table.docs);
+    }
+}
+
 // --- SQL -------------------------------------------------------------------
 
 proptest! {
