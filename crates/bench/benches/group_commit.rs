@@ -1,0 +1,132 @@
+//! Group-commit durability: what sharing the fsync barrier buys.
+//!
+//! PR 5's log made every mutation durable with its own `fdatasync` —
+//! correct, but under concurrent writers the barrier serializes: 8
+//! sessions appending in parallel still pay 8 sequential syncs per
+//! round. The group committer lets every mutation that lands while a
+//! barrier is pending ride the *same* sync: one `fdatasync` per flush
+//! window, acked only after the shared barrier completes.
+//!
+//! Each bench iteration opens a fresh data directory, pre-creates one
+//! table per writer, then runs 8 writer threads appending concurrently
+//! (each thread owns its table, so the workload is pure contention on
+//! the commit barrier, not on table state):
+//!
+//! * `fsync_per_mutation` — PR 5 discipline: the barrier runs inside
+//!   the writer lock, one sync per record.
+//! * `group_commit` — the committer with a zero flush window: the
+//!   leader syncs immediately, and every append that arrived while the
+//!   sync was in flight is covered by the next leader's barrier.
+//! * `group_commit/window_2ms` — a small positive window: the leader
+//!   sleeps before reading the high-water mark, trading ack latency
+//!   for bigger batches.
+//!
+//! Recovery equivalence and never-ack-unpersisted are pinned by
+//! `tests/group_commit.rs` and `tests/durability.rs`; this file only
+//! measures the throughput gap.
+//!
+//! Regenerate the checked-in artifact with:
+//! `CRITERION_JSON=BENCH_group_commit.json cargo bench -p dbph-bench --bench group_commit`
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use dbph_core::protocol::{ClientMessage, ServerResponse};
+use dbph_core::wire::{WireDecode as _, WireEncode as _};
+use dbph_core::{DurableOptions, Server, TempDir};
+use dbph_swp::{CipherWord, SwpParams};
+
+const WRITERS: usize = 8;
+const APPENDS_PER_WRITER: u64 = 64;
+
+fn create_msg(name: &str) -> Vec<u8> {
+    ClientMessage::CreateTable {
+        name: name.into(),
+        table: dbph_core::EncryptedTable {
+            params: SwpParams::new(13, 4, 32).unwrap(),
+            docs: vec![],
+            next_doc_id: 0,
+        },
+    }
+    .to_wire()
+}
+
+fn append_msg(name: &str, id: u64) -> Vec<u8> {
+    ClientMessage::Append {
+        name: name.into(),
+        doc_id: id,
+        words: vec![CipherWord(vec![(id % 251) as u8; 13])],
+    }
+    .to_wire()
+}
+
+fn ok(resp: &[u8]) {
+    assert!(
+        !matches!(
+            ServerResponse::from_wire(resp).unwrap(),
+            ServerResponse::Error(_)
+        ),
+        "bench mutation rejected"
+    );
+}
+
+/// One full concurrent-ingest round: fresh dir, fresh durable server,
+/// 8 writers × 64 appends, each writer into its own pre-created table
+/// (appends mint per-table-fresh doc ids, so threads must not share
+/// one), every append acked durable before return. Setup (dir, open,
+/// creates) is timed under `iter`, identically for both variants; the
+/// append phase dominates.
+fn ingest_round(options: &DurableOptions) {
+    let tmp = TempDir::new("bench-group").unwrap();
+    let server = Server::open_durable_with(tmp.path(), 2, Some(2), options.clone()).unwrap();
+    for w in 0..WRITERS {
+        ok(&server.handle(&create_msg(&format!("w{w}"))));
+    }
+    let threads: Vec<_> = (0..WRITERS)
+        .map(|w| {
+            let server = server.clone();
+            std::thread::spawn(move || {
+                let name = format!("w{w}");
+                for id in 0..APPENDS_PER_WRITER {
+                    ok(&server.handle(&append_msg(&name, id)));
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+}
+
+fn bench_group_commit(c: &mut Criterion) {
+    let mutations = WRITERS as u64 * APPENDS_PER_WRITER;
+    let mut group = c.benchmark_group("group_commit");
+    group.throughput(Throughput::Elements(mutations));
+
+    group.bench_function("fsync_per_mutation", |b| {
+        let options = DurableOptions {
+            group_commit: false,
+            ..DurableOptions::default()
+        };
+        b.iter(|| ingest_round(&options));
+    });
+
+    group.bench_function("group_commit", |b| {
+        let options = DurableOptions::default(); // group commit, zero window
+        b.iter(|| ingest_round(&options));
+    });
+
+    group.bench_function("group_commit/window_2ms", |b| {
+        let options = DurableOptions {
+            flush_window: Duration::from_millis(2),
+            ..DurableOptions::default()
+        };
+        b.iter(|| ingest_round(&options));
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_group_commit);
+criterion_main!(benches);

@@ -55,8 +55,9 @@ use std::fs::{self, File};
 use std::io::{Cursor, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
 
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 
 use dbph_crypto::sha256::Sha256;
 use dbph_swp::SwpParams;
@@ -103,6 +104,21 @@ pub struct DurableOptions {
     /// than this are written as multiple chunked records so no single
     /// record approaches the framing cap.
     pub snapshot_chunk_bytes: u64,
+    /// Group commit: mutations still append their records strictly in
+    /// apply order under the writer lock, but the `fdatasync` barrier
+    /// is shared — one committer syncs on behalf of every record
+    /// appended so far and acks all of their waiters at once, so N
+    /// concurrent writers pay ~1 fsync per flush window instead of N.
+    /// A lone serial writer leads every window itself and behaves
+    /// exactly like fsync-per-mutation. `false` restores the PR 5
+    /// one-fsync-per-mutation path (the equality suites and the bench
+    /// baseline run both).
+    pub group_commit: bool,
+    /// How long a group-commit leader waits before issuing the shared
+    /// fsync, letting more concurrent writers join the window. Zero
+    /// (the default) syncs immediately — natural batching still
+    /// coalesces whoever queued behind the previous sync.
+    pub flush_window: std::time::Duration,
 }
 
 impl Default for DurableOptions {
@@ -110,6 +126,8 @@ impl Default for DurableOptions {
         DurableOptions {
             compact_threshold: 64 << 20,
             snapshot_chunk_bytes: 8 << 20,
+            group_commit: true,
+            flush_window: std::time::Duration::ZERO,
         }
     }
 }
@@ -129,11 +147,36 @@ pub struct RecoveredTable {
 
 /// Mutable write-side state, guarded by [`DurableLog::writer`].
 struct Writer {
-    active: File,
+    /// The active segment, shared with the commit barrier so a
+    /// group-commit leader can fsync it without holding the writer
+    /// lock (appends through `&File` and `sync_data` are independent
+    /// syscalls on one fd).
+    active: Arc<File>,
     active_id: u64,
     active_bytes: u64,
     /// Sealed segment ids, in replay order (before the active one).
     sealed: Vec<u64>,
+}
+
+/// The group-commit barrier, guarded by [`DurableLog::commit`].
+///
+/// Records are numbered in append order (`appended`); `synced` is the
+/// high-water mark of records made durable — by a shared `fdatasync`
+/// or by a compaction's snapshot (whose manifest swap durably covers
+/// everything applied so far). A waiter is acked exactly when
+/// `synced >= its sequence`, so disk-order == apply-order == ack-order
+/// and no mutation is ever acknowledged before the barrier that
+/// persisted it.
+struct CommitState {
+    /// Records appended to the log so far (monotone).
+    appended: u64,
+    /// Records known durable (monotone, `<= appended`).
+    synced: u64,
+    /// Whether some thread is currently the sync leader.
+    syncing: bool,
+    /// The file the next shared fsync must hit — tracks the active
+    /// segment across compaction swaps.
+    file: Arc<File>,
 }
 
 /// The append-only segment log behind a durable
@@ -143,10 +186,22 @@ pub struct DurableLog {
     dir: PathBuf,
     options: DurableOptions,
     writer: Mutex<Writer>,
+    /// Group-commit barrier state; lock order is `writer` → `commit`
+    /// when both are held (appends), `commit` alone otherwise
+    /// (waiting / leading a sync).
+    commit: Mutex<CommitState>,
+    /// Wakes waiters when `synced` advances or the log poisons.
+    commit_cv: Condvar,
     /// Set on the first write-side failure: a log that may have lost a
     /// record must stop acknowledging mutations (fail closed) rather
     /// than silently breaking the recovery guarantee.
     poisoned: AtomicBool,
+    /// Total `fdatasync` calls issued (the group-commit tests and the
+    /// bench read this to prove windows actually coalesce).
+    syncs: AtomicU64,
+    /// Fault injection: the next N syncs fail without reaching the
+    /// disk (tests manufacture failing-fdatasync windows with it).
+    sync_faults: AtomicU64,
     /// Held (OS advisory lock on the `LOCK` file) for the log's whole
     /// lifetime: two processes appending to one active segment would
     /// interleave frame bytes and destroy the log, so a second open of
@@ -526,16 +581,26 @@ impl DurableLog {
             }
         }
 
+        let active = Arc::new(active);
         let log = DurableLog {
             dir,
             options,
             writer: Mutex::new(Writer {
-                active,
+                active: Arc::clone(&active),
                 active_id,
                 active_bytes,
                 sealed: sealed_ids.to_vec(),
             }),
+            commit: Mutex::new(CommitState {
+                appended: 0,
+                synced: 0,
+                syncing: false,
+                file: active,
+            }),
+            commit_cv: Condvar::new(),
             poisoned: AtomicBool::new(false),
+            syncs: AtomicU64::new(0),
+            sync_faults: AtomicU64::new(0),
             _dir_lock: dir_lock,
         };
         Ok((log, tables.into_values().collect()))
@@ -577,20 +642,148 @@ impl DurableLog {
         self.poisoned.load(Ordering::SeqCst)
     }
 
+    /// Total `fdatasync` calls this log has issued. With group commit
+    /// and N concurrent writers this grows ~1 per flush window, not
+    /// per mutation — the coalescing the tests and bench assert.
+    #[must_use]
+    pub fn sync_count(&self) -> u64 {
+        self.syncs.load(Ordering::SeqCst)
+    }
+
+    /// Fault injection for the crash/poison tests: the next `n` fsyncs
+    /// report failure without touching the disk, so a failing
+    /// `fdatasync` window can be manufactured deterministically. The
+    /// failure poisons the log exactly like a real one.
+    pub fn inject_sync_failures(&self, n: u64) {
+        self.sync_faults.store(n, Ordering::SeqCst);
+    }
+
+    /// Poisons the log and wakes every group-commit waiter so they
+    /// observe the failure instead of parking forever.
+    fn poison_and_wake(&self) {
+        self.poisoned.store(true, Ordering::SeqCst);
+        let _guard = self.commit.lock();
+        self.commit_cv.notify_all();
+    }
+
+    /// One `fdatasync`, honoring injected faults.
+    fn do_sync(&self, file: &File) -> Result<(), PhError> {
+        let mut faults = self.sync_faults.load(Ordering::SeqCst);
+        while faults > 0 {
+            match self.sync_faults.compare_exchange(
+                faults,
+                faults - 1,
+                Ordering::SeqCst,
+                Ordering::SeqCst,
+            ) {
+                Ok(_) => {
+                    return Err(PhError::Durability(
+                        "fsync failed (injected fault): record not durable".into(),
+                    ))
+                }
+                Err(now) => faults = now,
+            }
+        }
+        self.syncs.fetch_add(1, Ordering::SeqCst);
+        file.sync_data().map_err(|e| io_err("fsync record", &e))
+    }
+
+    /// Blocks until record `seq` is durable (acked) or the log poisons
+    /// (failed closed). Implements the shared barrier: the first
+    /// waiter to find no sync in flight becomes the *leader*, waits
+    /// out the flush window (letting more writers append and queue),
+    /// fsyncs once on behalf of every record appended by then, and
+    /// wakes all of them; later waiters either find their record
+    /// already covered or lead the next window.
+    fn wait_durable(&self, seq: u64) -> Result<(), PhError> {
+        let mut c = self.commit.lock();
+        loop {
+            if c.synced >= seq {
+                return Ok(());
+            }
+            if self.is_poisoned() {
+                return Err(PhError::Durability(
+                    "group-commit window failed; mutation not durable".into(),
+                ));
+            }
+            if c.syncing {
+                self.commit_cv.wait(&mut c);
+                continue;
+            }
+            // Become the leader for this window.
+            c.syncing = true;
+            drop(c);
+            if !self.options.flush_window.is_zero() {
+                std::thread::sleep(self.options.flush_window);
+            } else {
+                // Even with no window, give concurrently-appending
+                // threads a scheduling chance to land their records
+                // before the barrier target is read: the first waiter
+                // into a quiet log would otherwise lead a window of
+                // one and leave everyone who appended during its
+                // fsync to pay a second barrier. Yield until the
+                // high-water mark stops moving (bounded — each writer
+                // has at most one outstanding append, so growth stops
+                // once the runnable ones have landed). Timing-only —
+                // a lone serial writer burns exactly one no-op yield.
+                let mut mark = self.commit.lock().appended;
+                for _ in 0..16 {
+                    std::thread::yield_now();
+                    let now = self.commit.lock().appended;
+                    if now == mark {
+                        break;
+                    }
+                    mark = now;
+                }
+            }
+            // Read the barrier target *after* the window: everything
+            // appended while we waited shares this one fsync.
+            let (target, file) = {
+                let c = self.commit.lock();
+                (c.appended, Arc::clone(&c.file))
+            };
+            let outcome = self.do_sync(&file);
+            c = self.commit.lock();
+            c.syncing = false;
+            match outcome {
+                Ok(()) => {
+                    // `synced` may already exceed `target` if a
+                    // compaction (whose manifest swap durably covers
+                    // all applied records) slid in — keep the max.
+                    c.synced = c.synced.max(target);
+                    self.commit_cv.notify_all();
+                }
+                Err(e) => {
+                    // The window failed: every waiter in it (and any
+                    // record appended since) must fail closed, not be
+                    // acked by some later successful sync.
+                    self.poisoned.store(true, Ordering::SeqCst);
+                    self.commit_cv.notify_all();
+                    return Err(e);
+                }
+            }
+        }
+    }
+
     /// Runs `apply` (the store mutation) under the log's writer lock
     /// and, when it reports the store changed, appends `message_bytes`
-    /// as one fsync'd record — compacting first if the active segment
-    /// has outgrown its threshold. Holding the lock across apply *and*
-    /// append is what keeps the log's record order identical to the
-    /// store's apply order under concurrent sessions; without it two
-    /// racing appends could persist in the opposite order they
-    /// validated in, and replay would diverge.
+    /// as one record — compacting first if the active segment has
+    /// outgrown its threshold — then makes the record durable before
+    /// returning: under group commit by waiting on the shared
+    /// `fdatasync` barrier ([`Self::wait_durable`], outside the writer
+    /// lock so other sessions keep appending into the same window),
+    /// otherwise with an immediate per-mutation fsync. Holding the
+    /// lock across apply *and* append is what keeps the log's record
+    /// order identical to the store's apply order under concurrent
+    /// sessions; without it two racing appends could persist in the
+    /// opposite order they validated in, and replay would diverge.
     ///
     /// # Errors
     /// [`PhError::Durability`] when the log is poisoned or the record
-    /// write/fsync fails (which poisons it). On error the in-memory
-    /// apply may already have happened — the server reports the error
-    /// to the client and refuses further mutations, so an
+    /// write/fsync fails (which poisons it — for a shared barrier
+    /// failure, for *every* waiter in the window). On error the
+    /// in-memory apply may already have happened — the server reports
+    /// the error to the client and refuses further mutations, so an
     /// un-persisted change is never silently acknowledged.
     pub(crate) fn log_mutation<R>(
         &self,
@@ -598,32 +791,56 @@ impl DurableLog {
         store: &TableStore,
         apply: impl FnOnce() -> (R, bool),
     ) -> Result<R, PhError> {
-        let mut w = self.writer.lock();
-        // Check the poison flag *under* the lock: a mutation that was
-        // blocked on the lock while another thread's append failed
-        // must observe the failure, not apply-and-append after the
-        // torn bytes (recovery would truncate its acknowledged record
-        // away with the tail).
-        if self.is_poisoned() {
-            return Err(PhError::Durability(
-                "log poisoned by an earlier write failure; mutations disabled".into(),
-            ));
-        }
-        let (result, mutated) = apply();
-        if mutated {
-            let outcome = self
-                .append_record(&mut w, TAG_MUTATION, message_bytes)
-                .and_then(|()| {
-                    if w.active_bytes >= self.options.compact_threshold {
-                        self.compact_locked(&mut w, store)
-                    } else {
-                        Ok(())
-                    }
-                });
-            if let Err(e) = outcome {
-                self.poisoned.store(true, Ordering::SeqCst);
+        let my_seq;
+        let result;
+        {
+            let mut w = self.writer.lock();
+            // Check the poison flag *under* the lock: a mutation that
+            // was blocked on the lock while another thread's append
+            // failed must observe the failure, not apply-and-append
+            // after the torn bytes (recovery would truncate its
+            // acknowledged record away with the tail).
+            if self.is_poisoned() {
+                return Err(PhError::Durability(
+                    "log poisoned by an earlier write failure; mutations disabled".into(),
+                ));
+            }
+            let (r, mutated) = apply();
+            result = r;
+            if !mutated {
+                return Ok(result);
+            }
+            if let Err(e) = self.append_record(&mut w, TAG_MUTATION, message_bytes) {
+                self.poison_and_wake();
                 return Err(e);
             }
+            if self.options.group_commit {
+                // Claim this record's barrier sequence number; the
+                // fsync itself happens outside the writer lock.
+                let mut c = self.commit.lock();
+                c.appended += 1;
+                my_seq = Some(c.appended);
+            } else {
+                my_seq = None;
+                if let Err(e) = self.do_sync(&w.active) {
+                    self.poison_and_wake();
+                    return Err(e);
+                }
+                // Keep the barrier bookkeeping coherent even though
+                // nobody waits on it in this mode.
+                let mut c = self.commit.lock();
+                c.appended += 1;
+                c.synced = c.appended;
+            }
+            if w.active_bytes >= self.options.compact_threshold {
+                if let Err(e) = self.compact_locked(&mut w, store) {
+                    self.poison_and_wake();
+                    return Err(e);
+                }
+            }
+        }
+        if let Some(seq) = my_seq {
+            self.wait_durable(seq)?;
         }
         Ok(result)
     }
@@ -647,18 +864,17 @@ impl DurableLog {
     }
 
     /// Appends one checksummed record (`tag` + `body`) to the active
-    /// segment and fsyncs it.
+    /// segment. The bytes hit the file (in apply order, under the
+    /// writer lock) but are *not* yet durable — the caller makes them
+    /// so, per mutation or through the shared commit barrier.
     fn append_record(&self, w: &mut Writer, record_tag: u8, body: &[u8]) -> Result<(), PhError> {
         let mut payload = Vec::with_capacity(1 + body.len() + CHECKSUM_LEN);
         payload.push(record_tag);
         payload.extend_from_slice(body);
         let sum = checksum(&payload);
         payload.extend_from_slice(&sum);
-        codec::write_frame_capped(&mut w.active, &payload, MAX_RECORD)
+        codec::write_frame_capped(&mut w.active.as_ref(), &payload, MAX_RECORD)
             .map_err(|e| PhError::Durability(format!("append record: {e}")))?;
-        w.active
-            .sync_data()
-            .map_err(|e| io_err("fsync record", &e))?;
         w.active_bytes += (4 + payload.len()) as u64;
         Ok(())
     }
@@ -700,10 +916,22 @@ impl DurableLog {
             let _ = fs::remove_file(segment_path(&self.dir, old));
         }
 
-        w.active = new_active;
+        w.active = Arc::new(new_active);
         w.active_id = new_active_id;
         w.active_bytes = 0;
         w.sealed = vec![snapshot_id];
+
+        // The snapshot captured the live store — which includes every
+        // record appended so far, synced or not — and the manifest
+        // swap above made it durable. Advance the commit barrier to
+        // cover them all and retarget it at the fresh active segment;
+        // waiters parked on the old file are already satisfied.
+        {
+            let mut c = self.commit.lock();
+            c.synced = c.appended;
+            c.file = Arc::clone(&w.active);
+            self.commit_cv.notify_all();
+        }
         Ok(())
     }
 
@@ -1034,6 +1262,7 @@ mod tests {
         let options = DurableOptions {
             compact_threshold: 512,
             snapshot_chunk_bytes: 256,
+            ..DurableOptions::default()
         };
         let server = Server::open_durable_with(tmp.path(), 2, Some(1), options.clone()).unwrap();
         let _ = server.handle(&create_msg("t", 4));

@@ -62,7 +62,15 @@
 //!   so the identical session runs in-process or across the wire — and
 //!   `tests/net_transport.rs` proves the two produce byte-identical
 //!   responses *and* observer transcripts: the socket adds timing,
-//!   never leakage.
+//!   never leakage. Two front-ends serve the same listener
+//!   ([`net::FrontEnd`]): the original thread-per-connection loop, and
+//!   a poll-based readiness event loop (raw `poll(2)`/`fcntl(2)` via
+//!   [`sys`], incremental frame reassembly via
+//!   [`codec::FrameAssembler`], write-buffer draining with
+//!   backpressure) that multiplexes a thousand-plus concurrent
+//!   sessions on one thread — `tests/session_scale.rs` pins responses
+//!   and transcripts byte-identical across both, at 1100 concurrent
+//!   pipelined sessions.
 //! * [`durable`] — segment-log persistence under a data directory:
 //!   every applied mutation is one checksummed, fsync'd record (the
 //!   raw client message, verbatim), a manifest tracks segment order,
@@ -74,16 +82,31 @@
 //!   *is* the server) already observes, so durability changes nothing
 //!   in the transcript model (`tests/durability.rs` pins responses and
 //!   transcripts byte-identical with durability on vs. off).
+//!   Commit is grouped ([`DurableOptions::group_commit`], on by
+//!   default): records append in apply order under the writer lock,
+//!   then concurrent mutations share one `fdatasync` barrier per
+//!   flush window ([`DurableOptions::flush_window`]) — each ack still
+//!   waits for a barrier covering its record (never-ack-unpersisted
+//!   is unchanged), a failed barrier fails every waiter in the window
+//!   and poisons the log, and a serial session produces a
+//!   byte-identical segment file either way
+//!   (`tests/group_commit.rs`).
 //! * Chunked table streaming —
 //!   [`protocol::ClientMessage::FetchChunk`] /
 //!   [`protocol::ServerResponse::TableChunk`] page a table transfer
-//!   with a positional continuation token, so snapshot export and
-//!   rekey ([`Client::fetch_table_chunked`], [`Client::rekey`]) move
-//!   tables frame-by-frame with bounded peak memory instead of one
+//!   with a doc-id-anchored continuation token (the id lower bound of
+//!   the next page, so pagination stays cut-consistent — no repeats,
+//!   no skips of surviving documents — even as deletes land between
+//!   pages), so snapshot export and rekey
+//!   ([`Client::fetch_table_chunked`], [`Client::rekey`]) move tables
+//!   frame-by-frame with bounded peak memory instead of one
 //!   monolithic `FetchAll` that a large table could not even frame
 //!   under the transport's 64 MiB cap.
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the [`sys`] module (raw `poll`/`fcntl`
+// declarations for the readiness front-end) carries the crate's only
+// scoped `allow(unsafe_code)`; everything else stays unsafe-free.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod arena;
@@ -100,6 +123,7 @@ pub mod server;
 pub mod snapshot;
 pub mod storage;
 pub mod swp_ph;
+pub mod sys;
 pub mod varlen;
 pub mod wire;
 
@@ -109,7 +133,7 @@ pub use durable::{DurableLog, DurableOptions, TempDir};
 pub use encoding::WordCodec;
 pub use error::PhError;
 pub use executor::Executor;
-pub use net::{NetServer, PooledClient, ServerHandle, Transport};
+pub use net::{FrontEnd, NetServer, PooledClient, ServerHandle, Transport};
 pub use ph::{DatabasePh, IncrementalPh};
 pub use server::{Observer, Server};
 pub use storage::{ShardedTable, TableStore};

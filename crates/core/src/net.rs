@@ -42,7 +42,9 @@
 //! responses *and* transcripts over loopback TCP must be byte-identical
 //! to the in-process path for the whole workload matrix.
 
+use std::io::{Read as _, Write as _};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::os::unix::io::AsRawFd as _;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -52,6 +54,7 @@ use parking_lot::{Condvar, Mutex};
 use crate::codec;
 use crate::error::PhError;
 use crate::server::Server;
+use crate::sys;
 
 /// Anything that can answer one serialized protocol message with one
 /// serialized response — the client's entire requirement of the
@@ -123,20 +126,43 @@ impl NetState {
     }
 }
 
+/// Which accept/serve machinery a [`NetServer`] runs.
+///
+/// Both front-ends speak the identical framed protocol and route every
+/// request through [`Server::handle`] in per-connection arrival order,
+/// so responses and Observer transcripts are byte-identical between
+/// them — the equality suites diff the two directly. They differ only
+/// in how Eve spends her own resources: one OS thread per session
+/// versus one readiness loop multiplexing thousands of sessions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FrontEnd {
+    /// One OS thread per connection, blocking reads/writes (the PR 3
+    /// deployment). Simple and fine up to hundreds of sessions; each
+    /// parked session costs a thread and its stack.
+    #[default]
+    ThreadPerConnection,
+    /// A single poll-based event loop over nonblocking sockets: one
+    /// thread owns every connection's frame reassembly
+    /// ([`codec::FrameAssembler`]) and write-buffer draining, and
+    /// sessions cost a buffer, not a thread. Scans inside
+    /// [`Server::handle`] still fan out on the executor pool.
+    EventLoop,
+}
+
 /// The framed TCP front-end for a [`Server`].
 ///
 /// `NetServer` owns no state of its own — it is a namespace for the
-/// two entry points: [`NetServer::serve`] (run an accept loop on the
-/// caller's thread, forever — the `--listen` deployment) and
-/// [`NetServer::spawn`] (background accept loop with a handle for
-/// clean shutdown — what the tests and the loopback demo use).
+/// entry points: [`NetServer::serve`] (run a front-end on the caller's
+/// thread, forever — the `--listen` deployment) and
+/// [`NetServer::spawn`] (background front-end with a handle for clean
+/// shutdown — what the tests and the loopback demo use), each with a
+/// `_with` variant selecting the [`FrontEnd`].
 pub struct NetServer;
 
 impl NetServer {
     /// Serves `server` on an already-bound listener, on the calling
-    /// thread, until the listener fails persistently. Every accepted
-    /// connection gets its own thread draining request frames into
-    /// [`Server::handle`].
+    /// thread, until the listener fails persistently — with the
+    /// default thread-per-connection front-end.
     ///
     /// # Errors
     /// [`PhError::Transport`] when accepting fails persistently (the
@@ -144,33 +170,67 @@ impl NetServer {
     /// after many consecutive failures — e.g. fd exhaustion that never
     /// clears).
     pub fn serve(listener: TcpListener, server: Server) -> Result<(), PhError> {
-        accept_loop(&listener, &server, &NetState::new());
+        Self::serve_with(listener, server, FrontEnd::ThreadPerConnection)
+    }
+
+    /// [`NetServer::serve`] with an explicit [`FrontEnd`].
+    ///
+    /// # Errors
+    /// As [`NetServer::serve`]; the event loop additionally gives up
+    /// if `poll` itself fails persistently.
+    pub fn serve_with(
+        listener: TcpListener,
+        server: Server,
+        front_end: FrontEnd,
+    ) -> Result<(), PhError> {
+        deepen_backlog(&listener);
+        let state = NetState::new();
+        match front_end {
+            FrontEnd::ThreadPerConnection => accept_loop(&listener, &server, &state),
+            FrontEnd::EventLoop => event_loop(&listener, &server, &state),
+        }
         Err(PhError::Transport(
-            "listener failed persistently; accept loop gave up".into(),
+            "listener failed persistently; front-end gave up".into(),
         ))
     }
 
     /// Binds `addr` (use port 0 for an ephemeral port) and serves
-    /// `server` on a background accept loop. The returned handle
-    /// reports the bound address and shuts the whole front-end down —
-    /// accept loop, live connections, connection threads — when
-    /// dropped or explicitly [`ServerHandle::shutdown`].
+    /// `server` on a background thread-per-connection front-end. The
+    /// returned handle reports the bound address and shuts the whole
+    /// front-end down — accept machinery, live connections, threads —
+    /// when dropped or explicitly [`ServerHandle::shutdown`].
     ///
     /// # Errors
     /// [`PhError::Transport`] when binding fails.
     pub fn spawn(server: Server, addr: impl ToSocketAddrs) -> Result<ServerHandle, PhError> {
+        Self::spawn_with(server, addr, FrontEnd::ThreadPerConnection)
+    }
+
+    /// [`NetServer::spawn`] with an explicit [`FrontEnd`].
+    ///
+    /// # Errors
+    /// [`PhError::Transport`] when binding fails.
+    pub fn spawn_with(
+        server: Server,
+        addr: impl ToSocketAddrs,
+        front_end: FrontEnd,
+    ) -> Result<ServerHandle, PhError> {
         let listener =
             TcpListener::bind(addr).map_err(|e| PhError::Transport(format!("bind failed: {e}")))?;
         let local = listener
             .local_addr()
             .map_err(|e| PhError::Transport(format!("local_addr failed: {e}")))?;
+        deepen_backlog(&listener);
         let state = NetState::new();
         let accept = {
             let state = Arc::clone(&state);
             std::thread::Builder::new()
                 .name("dbph-accept".into())
-                .spawn(move || accept_loop(&listener, &server, &state))
-                .map_err(|e| PhError::Transport(format!("spawning accept loop: {e}")))?
+                .spawn(move || match front_end {
+                    FrontEnd::ThreadPerConnection => accept_loop(&listener, &server, &state),
+                    FrontEnd::EventLoop => event_loop(&listener, &server, &state),
+                })
+                .map_err(|e| PhError::Transport(format!("spawning front-end: {e}")))?
         };
         Ok(ServerHandle {
             addr: local,
@@ -257,6 +317,21 @@ impl Drop for ServerHandle {
 /// sessions to free descriptors before the server gives up, and a
 /// genuinely dead listener fd exits instead of busy-spinning a core.
 const MAX_CONSECUTIVE_ACCEPT_FAILURES: usize = 500;
+
+/// Accept-backlog depth requested for every front-end (the kernel
+/// clamps to `net.core.somaxconn`). `TcpListener::bind` hardcodes a
+/// backlog of 128, which a thousand-session connect storm overflows —
+/// and with syncookies an overflowed handshake surfaces as a
+/// connection *reset* on a client that already pipelined requests,
+/// not as polite queueing. Re-listening deepens the queue in place.
+const ACCEPT_BACKLOG: i32 = 4096;
+
+/// Best-effort backlog deepening: a failure (exotic platform, kernel
+/// refusing re-listen) leaves the default depth — correct, just less
+/// storm-tolerant — so it is not worth refusing to serve over.
+fn deepen_backlog(listener: &TcpListener) {
+    let _ = sys::deepen_backlog(listener.as_raw_fd(), ACCEPT_BACKLOG);
+}
 
 /// Accepts connections until shutdown (or a persistently failing
 /// listener), then joins every connection thread it spawned.
@@ -389,6 +464,297 @@ fn connection_loop(stream: TcpStream, server: &Server, finished: &AtomicBool) {
             break;
         }
     }
+}
+
+// --- readiness front-end ----------------------------------------------------
+
+/// Bytes read per `read(2)` call in the event loop.
+const READ_BUF: usize = 64 << 10;
+/// Per-connection read budget per poll wake-up: one readable session
+/// with a deep pipeline must not starve the others, so after this many
+/// bytes the loop moves on and level-triggered `poll` re-reports the
+/// remainder on the next iteration.
+const READ_BUDGET: usize = 1 << 20;
+/// Read-side backpressure: while a connection's unsent responses
+/// exceed this, the loop stops *reading* it (its kernel receive buffer
+/// fills, TCP pushes back on the peer) instead of buffering responses
+/// without bound for a peer that never drains them.
+const WRITE_BACKPRESSURE: usize = 1 << 20;
+
+/// One session owned by the event loop: the nonblocking socket, its
+/// frame-reassembly state, and its pending response bytes.
+struct EventConn {
+    stream: TcpStream,
+    assembler: codec::FrameAssembler,
+    /// Framed responses not yet accepted by the kernel; `out_pos`
+    /// marks how far the socket has taken them.
+    out: Vec<u8>,
+    out_pos: usize,
+    /// The read side is over (clean peer EOF, framing violation, or an
+    /// unframeable response): drain `out`, then close. Mirrors the
+    /// blocking path, which always finishes writing the responses it
+    /// owes before the session ends.
+    closing: bool,
+    /// The connection is unusable now (I/O error, truncation): close
+    /// without draining.
+    dead: bool,
+    finished: Arc<AtomicBool>,
+}
+
+impl EventConn {
+    /// Unsent response bytes.
+    fn pending_out(&self) -> usize {
+        self.out.len() - self.out_pos
+    }
+
+    /// The poll interest this connection currently has. Never empty
+    /// while the connection is alive: a closing or backpressured
+    /// session has bytes to write (else it would already be closed),
+    /// and any other session is reading.
+    fn interest(&self) -> i16 {
+        let mut events = 0i16;
+        if !self.closing && self.pending_out() <= WRITE_BACKPRESSURE {
+            events |= sys::POLLIN;
+        }
+        if self.pending_out() > 0 {
+            events |= sys::POLLOUT;
+        }
+        events
+    }
+
+    /// Pushes pending response bytes into the socket until it would
+    /// block (or they run out).
+    fn flush_out(&mut self) {
+        while self.pending_out() > 0 {
+            match self.stream.write(&self.out[self.out_pos..]) {
+                Ok(0) => {
+                    self.dead = true;
+                    return;
+                }
+                Ok(n) => self.out_pos += n,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.dead = true;
+                    return;
+                }
+            }
+        }
+        self.out.clear();
+        self.out_pos = 0;
+    }
+
+    /// Reads whatever the socket has ready (bounded by [`READ_BUDGET`]
+    /// and backpressure), handles every completed request frame in
+    /// arrival order, and stages the framed responses for writing.
+    fn service_readable(&mut self, server: &Server) {
+        let mut buf = [0u8; READ_BUF];
+        let mut budget = READ_BUDGET;
+        while budget > 0 && !self.dead && !self.closing {
+            if self.pending_out() > WRITE_BACKPRESSURE {
+                break;
+            }
+            match self.stream.read(&mut buf) {
+                Ok(0) => {
+                    // EOF: a frame boundary is a polite hang-up (drain
+                    // and close); mid-frame is truncation (close now) —
+                    // the same distinction `codec::read_frame` draws.
+                    if self.assembler.is_mid_frame() {
+                        self.dead = true;
+                    } else {
+                        self.closing = true;
+                    }
+                    break;
+                }
+                Ok(n) => {
+                    budget = budget.saturating_sub(n);
+                    self.assembler.extend(&buf[..n]);
+                    loop {
+                        match self.assembler.next_frame() {
+                            Ok(Some(request)) => {
+                                let response = server.handle(&request);
+                                // Into a Vec this only fails on the
+                                // frame cap — an unframeable response
+                                // ends the session exactly as it does
+                                // on the blocking path.
+                                if codec::write_frame(&mut self.out, &response).is_err() {
+                                    self.closing = true;
+                                    break;
+                                }
+                            }
+                            Ok(None) => break,
+                            // Framing violation: no response channel
+                            // for a peer that cannot frame, but finish
+                            // writing the responses already owed.
+                            Err(_) => {
+                                self.closing = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+                Err(_) => {
+                    self.dead = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    /// Whether the session is over and the socket should be closed.
+    fn should_close(&self) -> bool {
+        self.dead || (self.closing && self.pending_out() == 0)
+    }
+}
+
+impl Drop for EventConn {
+    fn drop(&mut self) {
+        // Same contract as `SessionGuard`: the registry holds a
+        // `try_clone`, so only the shutdown *syscall* makes the peer
+        // see EOF before the registry prunes the clone.
+        let _ = self.stream.shutdown(Shutdown::Both);
+        self.finished.store(true, Ordering::SeqCst);
+    }
+}
+
+/// The poll-based readiness front-end: one thread multiplexing every
+/// connection over nonblocking sockets ([`sys::poll_fds`]), so ten
+/// thousand parked sessions cost buffers, not threads.
+///
+/// Per-connection request ordering is identical to the blocking
+/// front-end's: frames complete in arrival order, each is handled to
+/// completion (scans fanning onto the executor pool inside
+/// [`Server::handle`]) before the next, and responses are staged in
+/// that same order on the connection's write buffer. Shutdown reuses
+/// the [`ServerHandle`] protocol unchanged — the flag plus a wake-up
+/// dial unblocks `poll` exactly as it unblocks `accept`.
+fn event_loop(listener: &TcpListener, server: &Server, state: &Arc<NetState>) {
+    if sys::set_nonblocking(listener.as_raw_fd(), true).is_err() {
+        return;
+    }
+    let mut conns: Vec<EventConn> = Vec::new();
+    let mut pollfds: Vec<sys::PollFd> = Vec::new();
+    let mut consecutive_failures = 0usize;
+    'outer: loop {
+        if state.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        // pollfds[0] is the listener; pollfds[1 + i] is conns[i].
+        pollfds.clear();
+        pollfds.push(sys::PollFd::new(listener.as_raw_fd(), sys::POLLIN));
+        for conn in &conns {
+            pollfds.push(sys::PollFd::new(conn.stream.as_raw_fd(), conn.interest()));
+        }
+        match sys::poll_fds(&mut pollfds, -1) {
+            Ok(_) => {}
+            Err(_) => {
+                consecutive_failures += 1;
+                if consecutive_failures >= MAX_CONSECUTIVE_ACCEPT_FAILURES {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(10));
+                continue;
+            }
+        }
+        if state.shutdown.load(Ordering::SeqCst) {
+            break; // the shutdown wake-up dial
+        }
+
+        // Service existing connections first (their pollfd indices are
+        // fixed this iteration; accepting appends new ones after).
+        for (conn, fd) in conns.iter_mut().zip(pollfds[1..].iter()) {
+            if fd.has(sys::POLLNVAL) {
+                conn.dead = true;
+                continue;
+            }
+            // Write first: draining frees backpressure so the read
+            // phase below can make progress in the same wake-up.
+            if fd.has(sys::POLLOUT | sys::POLLERR) && conn.pending_out() > 0 {
+                conn.flush_out();
+            }
+            // POLLHUP/POLLERR still deliver any bytes the peer sent
+            // before dying, so they route through the read path and
+            // let `read` report the truth.
+            if fd.has(sys::POLLIN | sys::POLLHUP | sys::POLLERR) && !conn.dead && !conn.closing {
+                conn.service_readable(server);
+                conn.flush_out();
+            }
+        }
+        conns.retain(|conn| !conn.should_close());
+
+        // Accept phase: drain the backlog until it would block.
+        if pollfds[0].has(sys::POLLIN | sys::POLLERR | sys::POLLHUP) {
+            loop {
+                let stream = match listener.accept() {
+                    Ok((stream, _peer)) => {
+                        consecutive_failures = 0;
+                        stream
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+                    Err(e)
+                        if matches!(
+                            e.kind(),
+                            std::io::ErrorKind::ConnectionAborted
+                                | std::io::ErrorKind::ConnectionReset
+                                | std::io::ErrorKind::Interrupted
+                        ) =>
+                    {
+                        continue;
+                    }
+                    Err(_) => {
+                        consecutive_failures += 1;
+                        if consecutive_failures >= MAX_CONSECUTIVE_ACCEPT_FAILURES {
+                            break 'outer;
+                        }
+                        std::thread::sleep(std::time::Duration::from_millis(10));
+                        break;
+                    }
+                };
+                if state.shutdown.load(Ordering::SeqCst) {
+                    break 'outer;
+                }
+                if sys::set_nonblocking(stream.as_raw_fd(), true).is_err() {
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                // Registry discipline identical to the accept loop's:
+                // prune finished sessions, and register under the lock
+                // with a shutdown re-check so every running session is
+                // severable.
+                state
+                    .conns
+                    .lock()
+                    .retain(|(_, done)| !done.load(Ordering::SeqCst));
+                let finished = Arc::new(AtomicBool::new(false));
+                let Ok(clone) = stream.try_clone() else {
+                    continue;
+                };
+                {
+                    let mut registry = state.conns.lock();
+                    if state.shutdown.load(Ordering::SeqCst) {
+                        break 'outer;
+                    }
+                    registry.push((clone, Arc::clone(&finished)));
+                }
+                state.accepted.fetch_add(1, Ordering::SeqCst);
+                conns.push(EventConn {
+                    stream,
+                    assembler: codec::FrameAssembler::new(),
+                    out: Vec::new(),
+                    out_pos: 0,
+                    closing: false,
+                    dead: false,
+                    finished,
+                });
+            }
+        }
+    }
+    // Dropping each `EventConn` shuts its socket and marks its
+    // registry entry reclaimable — the event-loop analogue of joining
+    // every connection thread.
+    drop(conns);
 }
 
 // --- client side -----------------------------------------------------------
@@ -928,6 +1294,196 @@ mod tests {
         // Shutdown joins the accept loop and both connection threads;
         // a leak would hang the test (CI runs this under a timeout).
         handle.shutdown();
+    }
+
+    fn spawn_event_loop_server() -> (Server, ServerHandle) {
+        let server = Server::with_shards(2);
+        let handle =
+            NetServer::spawn_with(server.clone(), "127.0.0.1:0", FrontEnd::EventLoop).unwrap();
+        (server, handle)
+    }
+
+    #[test]
+    fn event_loop_roundtrip_matches_thread_per_connection() {
+        let (_tpc_server, tpc) = spawn_server();
+        let (_evl_server, evl) = spawn_event_loop_server();
+        let tpc_client = PooledClient::connect(tpc.addr(), 1).unwrap();
+        let evl_client = PooledClient::connect(evl.addr(), 1).unwrap();
+        let requests = vec![
+            ClientMessage::CreateTable {
+                name: "t".into(),
+                table: table(5),
+            }
+            .to_wire(),
+            ClientMessage::FetchAll { name: "t".into() }.to_wire(),
+            ClientMessage::Append {
+                name: "t".into(),
+                doc_id: 5,
+                words: vec![CipherWord(vec![9; 13])],
+            }
+            .to_wire(),
+            ClientMessage::FetchAll { name: "t".into() }.to_wire(),
+        ];
+        for request in &requests {
+            assert_eq!(
+                evl_client.call(request).unwrap(),
+                tpc_client.call(request).unwrap(),
+                "front-ends must answer byte-identically"
+            );
+        }
+        evl.shutdown();
+        tpc.shutdown();
+    }
+
+    #[test]
+    fn event_loop_pipelines_in_order() {
+        let (_server, handle) = spawn_event_loop_server();
+        let client = PooledClient::connect(handle.addr(), 1).unwrap();
+        let mut requests = vec![ClientMessage::CreateTable {
+            name: "t".into(),
+            table: table(5),
+        }
+        .to_wire()];
+        requests.push(ClientMessage::FetchAll { name: "t".into() }.to_wire());
+        requests.push(
+            ClientMessage::Append {
+                name: "t".into(),
+                doc_id: 5,
+                words: vec![CipherWord(vec![9; 13])],
+            }
+            .to_wire(),
+        );
+        requests.push(ClientMessage::FetchAll { name: "t".into() }.to_wire());
+        let responses = client.call_many(&requests).unwrap();
+        assert_eq!(responses.len(), 4);
+        match ServerResponse::from_wire(&responses[1]).unwrap() {
+            ServerResponse::Table(t) => assert_eq!(t.len(), 5),
+            other => panic!("unexpected {other:?}"),
+        }
+        match ServerResponse::from_wire(&responses[3]).unwrap() {
+            ServerResponse::Table(t) => assert_eq!(t.len(), 6),
+            other => panic!("unexpected {other:?}"),
+        }
+        handle.shutdown();
+    }
+
+    #[test]
+    fn event_loop_pipelined_large_frames_do_not_deadlock() {
+        // Same adversarial shape as the thread-per-connection test:
+        // multi-megabyte frames in both directions at once. The event
+        // loop must keep draining its write buffer under backpressure
+        // while the client is still sending.
+        let (_server, handle) = spawn_event_loop_server();
+        let client = PooledClient::connect(handle.addr(), 1).unwrap();
+        let big = EncryptedTable {
+            params: SwpParams::new(13, 4, 32).unwrap(),
+            docs: (0..2048u64)
+                .map(|i| (i, vec![CipherWord(vec![i as u8; 4096])]))
+                .collect(),
+            next_doc_id: 2048,
+        };
+        let create_t1 = ClientMessage::CreateTable {
+            name: "t1".into(),
+            table: big.clone(),
+        }
+        .to_wire();
+        assert_eq!(
+            ServerResponse::from_wire(&client.call(&create_t1).unwrap()).unwrap(),
+            ServerResponse::Ok
+        );
+        let fetch_t1 = ClientMessage::FetchAll { name: "t1".into() }.to_wire();
+        let create_t2 = ClientMessage::CreateTable {
+            name: "t2".into(),
+            table: big,
+        }
+        .to_wire();
+        let responses = client
+            .call_many(&[fetch_t1.clone(), create_t2, fetch_t1])
+            .unwrap();
+        assert_eq!(responses.len(), 3);
+        for slot in [0usize, 2] {
+            match ServerResponse::from_wire(&responses[slot]).unwrap() {
+                ServerResponse::Table(t) => assert_eq!(t.len(), 2048),
+                other => panic!("slot {slot}: unexpected {other:?}"),
+            }
+        }
+        handle.shutdown();
+    }
+
+    #[test]
+    fn event_loop_shutdown_is_clean_and_counts_connections() {
+        let (_server, handle) = spawn_event_loop_server();
+        {
+            let c1 = PooledClient::connect(handle.addr(), 1).unwrap();
+            let c2 = PooledClient::connect(handle.addr(), 1).unwrap();
+            let fetch = ClientMessage::FetchAll {
+                name: "none".into(),
+            }
+            .to_wire();
+            let _ = c1.call(&fetch).unwrap();
+            let _ = c2.call(&fetch).unwrap();
+        }
+        assert_eq!(handle.connections_accepted(), 2);
+        handle.shutdown();
+    }
+
+    #[test]
+    fn event_loop_pool_reconnects_after_sever() {
+        let (_server, handle) = spawn_event_loop_server();
+        let client = PooledClient::connect(handle.addr(), 1).unwrap();
+        let fetch = ClientMessage::FetchAll {
+            name: "none".into(),
+        }
+        .to_wire();
+        let first = client.call(&fetch).unwrap();
+        handle.sever_connections();
+        let second = client.call(&fetch).unwrap();
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn event_loop_framing_violation_closes_the_connection() {
+        use std::io::{ErrorKind, Read as _, Write as _};
+        let (_server, handle) = spawn_event_loop_server();
+        let mut raw = TcpStream::connect(handle.addr()).unwrap();
+        raw.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        raw.write_all(&[0u8; 8]).unwrap();
+        let mut buf = [0u8; 1];
+        raw.set_read_timeout(Some(std::time::Duration::from_secs(10)))
+            .unwrap();
+        match raw.read(&mut buf) {
+            Ok(0) => {}
+            Err(e) if matches!(e.kind(), ErrorKind::TimedOut | ErrorKind::WouldBlock) => {
+                panic!("event loop stalled on a garbage frame instead of closing")
+            }
+            Err(_) => {}
+            Ok(_) => panic!("event loop answered a garbage frame"),
+        }
+    }
+
+    #[test]
+    fn event_loop_answers_owed_responses_before_closing_on_violation() {
+        use std::io::Write as _;
+        // A valid request then garbage in the same burst: the owed
+        // response must still arrive (the blocking path would have
+        // written it before reading the garbage).
+        let (_server, handle) = spawn_event_loop_server();
+        let mut raw = TcpStream::connect(handle.addr()).unwrap();
+        let fetch = ClientMessage::FetchAll {
+            name: "none".into(),
+        }
+        .to_wire();
+        let mut burst = Vec::new();
+        codec::write_frame(&mut burst, &fetch).unwrap();
+        burst.extend_from_slice(&u32::MAX.to_le_bytes());
+        raw.write_all(&burst).unwrap();
+        raw.set_read_timeout(Some(std::time::Duration::from_secs(10)))
+            .unwrap();
+        let response = codec::read_frame(&mut raw).unwrap().expect("owed response");
+        let reference = Server::with_shards(2);
+        assert_eq!(response, reference.handle(&fetch));
+        // …and then the connection closes.
+        assert!(matches!(codec::read_frame(&mut raw), Ok(None) | Err(_)));
     }
 
     #[test]

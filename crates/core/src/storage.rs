@@ -627,20 +627,29 @@ impl ShardedTable {
             .collect()
     }
 
-    /// One bounded chunk of the table, starting at global document
-    /// position `token` (0 = first document): documents are taken in
-    /// order until the *encoded* chunk would exceed `max_bytes` — but
-    /// always at least one, so a single oversized document cannot
-    /// stall the stream. Returns the chunk as a flat table (carrying
-    /// the real `params` and `next_doc_id`, so concatenating every
-    /// chunk's documents reproduces [`Self::to_table`] exactly) plus
-    /// the continuation token, `None` once the table is exhausted.
+    /// One bounded chunk of the table, starting at the first document
+    /// whose id is `>= token` (0 = first document): documents are
+    /// taken in order until the *encoded* chunk would exceed
+    /// `max_bytes` — but always at least one, so a single oversized
+    /// document cannot stall the stream. Returns the chunk as a flat
+    /// table (carrying the real `params` and `next_doc_id`, so
+    /// concatenating every chunk's documents reproduces
+    /// [`Self::to_table`] exactly) plus the continuation token — the
+    /// id of the first undelivered document — or `None` once the
+    /// table is exhausted.
     ///
-    /// The token is *positional*, which is what makes it pure protocol
-    /// state: the server keeps no cursor, and Eve sees nothing beyond
-    /// the requests themselves. A mutation interleaved between chunks
-    /// shifts positions like any paginated API; the streaming callers
-    /// (snapshot, rekey) own the table and do not mutate mid-stream.
+    /// The token is a *document-id lower bound*, which is what makes
+    /// it both pure protocol state (the server keeps no cursor; Eve
+    /// sees nothing beyond the requests themselves) and cut-consistent
+    /// under churn: documents hold strictly increasing ids in table
+    /// order (appends always mint fresh ids past `next_doc_id`), so a
+    /// delete or append interleaved between chunks never shifts the
+    /// anchor the way a positional token would — already-delivered
+    /// documents are never re-sent and surviving ones are never
+    /// skipped. Tokens still strictly advance, and for the dense-id
+    /// tables the streaming callers (snapshot, rekey) fetch, the
+    /// values coincide with the old positional tokens — the wire
+    /// format is unchanged.
     #[must_use]
     pub fn fetch_chunk(&self, token: u64, max_bytes: u64) -> (EncryptedTable, Option<u64>) {
         // Wire cost of doc `i` of `shard`: id (8) + word count (8) +
@@ -652,31 +661,34 @@ impl ShardedTable {
                 .sum();
             16 + words
         };
-        let total = self.doc_count() as u64;
-        let start = token.min(total);
         let mut docs = Vec::new();
         let mut bytes = 0u64;
-        let mut pos = 0u64; // global position of the current shard's first doc
+        let mut next = None;
+        let mut anchored = false;
         'shards: for shard in &self.shards {
-            let len = shard.len() as u64;
-            // Whole shards before the token skip in O(1) — a stream of
-            // C chunks over T documents walks O(T + C·S), not O(T·C).
-            if pos + len <= start {
-                pos += len;
+            let len = shard.len();
+            // Ids ascend in table order, so whole shards strictly
+            // before the anchor skip in O(1) — a stream of C chunks
+            // over T documents walks O(T + C·S), not O(T·C).
+            if !anchored && (len == 0 || shard.doc_id(len - 1) < token) {
                 continue;
             }
-            for i in (start.max(pos) - pos) as usize..shard.len() {
+            for i in 0..len {
+                if !anchored {
+                    if shard.doc_id(i) < token {
+                        continue;
+                    }
+                    anchored = true;
+                }
                 let cost = encoded_bytes(shard, i);
                 if !docs.is_empty() && bytes + cost > max_bytes {
+                    next = Some(shard.doc_id(i));
                     break 'shards;
                 }
                 docs.push(shard.doc(i));
                 bytes += cost;
             }
-            pos += len;
         }
-        let sent = start + docs.len() as u64;
-        let next = (sent < total).then_some(sent);
         (
             EncryptedTable {
                 params: self.params,
@@ -994,7 +1006,11 @@ mod tests {
                 chunks += 1;
                 match next {
                     Some(n) => {
-                        assert_eq!(n, docs.len() as u64, "token must be positional");
+                        // Dense ids 0..25: the id-anchored token
+                        // coincides with the old positional value, so
+                        // the wire stream is unchanged for the tables
+                        // snapshot/rekey fetch.
+                        assert_eq!(n, docs.len() as u64, "dense ids: token == next id");
                         token = n;
                     }
                     None => break,
@@ -1013,6 +1029,38 @@ mod tests {
         let (chunk, next) = empty.fetch_chunk(0, 1024);
         assert!(chunk.docs.is_empty() && next.is_none());
         assert_eq!(chunk.next_doc_id, 0);
+    }
+
+    #[test]
+    fn chunk_token_anchors_to_doc_ids_not_positions() {
+        // Sparse ids (gaps from deletes): the token is a doc-id lower
+        // bound, so chunks resume at the right document even though
+        // positions and ids no longer coincide.
+        let mut st = ShardedTable::from_table(table(10), 3);
+        st.delete(&BTreeSet::from([0, 1, 2, 5])); // survivors: 3, 4, 6, 7, 8, 9
+        let (chunk, next) = st.fetch_chunk(0, 1); // one doc per chunk
+        assert_eq!(chunk.docs[0].0, 3);
+        assert_eq!(next, Some(4), "token must be the next undelivered id");
+        let (chunk, next) = st.fetch_chunk(5, 1);
+        assert_eq!(chunk.docs[0].0, 6, "anchor is a lower bound over ids");
+        assert_eq!(next, Some(7));
+        // Deleting already-delivered docs between chunks shifts
+        // positions but not the anchor: nothing re-sent, none skipped.
+        let mut delivered: Vec<u64> = chunk.docs.iter().map(|d| d.0).collect();
+        let mut token = next.unwrap();
+        st.delete(&BTreeSet::from([3, 4, 6]));
+        loop {
+            let (chunk, next) = st.fetch_chunk(token, 1);
+            delivered.extend(chunk.docs.iter().map(|d| d.0));
+            match next {
+                Some(n) => {
+                    assert!(n > token, "token must strictly advance");
+                    token = n;
+                }
+                None => break,
+            }
+        }
+        assert_eq!(delivered, vec![6, 7, 8, 9]);
     }
 
     #[test]

@@ -48,26 +48,68 @@
 //! `Observer` event — byte-identically to a server that never died:
 //! durability is Eve persisting bytes she already holds, invisible in
 //! the transcript model (`tests/durability.rs` pins this).
+//!
+//! # Quickstart: many clients against one process
+//!
+//! Two more server-side flags tune the deployment for session count
+//! and write concurrency — neither changes a single response byte:
+//!
+//! * `--event-loop` — serve all connections from one poll-based
+//!   readiness loop instead of one OS thread per connection, so a
+//!   thousand-plus idle-ish sessions cost file descriptors, not
+//!   stacks (`tests/session_scale.rs` drives 1100 at once).
+//! * `--flush-window <ms>` — with `--data-dir`, group-commit
+//!   durability: concurrent mutations that land within the window
+//!   share one fsync barrier and are only acked after it completes.
+//!   `0` (the default) still group-commits — writers that collide
+//!   mid-fsync ride the next barrier together — a positive window
+//!   trades ack latency for bigger batches.
+//!
+//! ```text
+//! # terminal 1 — one process, ready for thousands of sessions
+//! $ cargo run --release --example encrypted_sql -- \
+//!       --listen 127.0.0.1:4460 --event-loop \
+//!       --data-dir /tmp/dbph-data --flush-window 2
+//! -- durable store at /tmp/dbph-data (0 table(s) recovered)
+//! -- group-commit flush window: 2 ms
+//! -- serving encrypted tables on 127.0.0.1:4460 (event-loop front-end)
+//!
+//! # terminals 2..N — as many concurrent sessions as you like
+//! $ cargo run --release --example encrypted_sql -- --connect 127.0.0.1:4460
+//! ```
 
-use dbph::core::{Client, FinalSwpPh, NetServer, PooledClient, Server, Transport};
+use std::time::Duration;
+
+use dbph::core::{
+    Client, DurableOptions, FinalSwpPh, FrontEnd, NetServer, PooledClient, Server, Transport,
+};
 use dbph::crypto::SecretKey;
 use dbph::relation::sql::{self, ExecOutcome, Statement};
 use dbph::relation::{Catalog, Tuple};
 
 /// Builds the server for a server-side mode: durable when the user
-/// passed `--data-dir`, in-memory otherwise.
+/// passed `--data-dir` (group-committing with the given flush window),
+/// in-memory otherwise.
 fn make_server(
     shards: usize,
     data_dir: Option<&str>,
+    flush_window: Option<Duration>,
 ) -> Result<Server, Box<dyn std::error::Error>> {
     match data_dir {
         None => Ok(Server::with_shards(shards)),
         Some(dir) => {
-            let server = Server::open_durable(dir, shards)?;
+            let options = DurableOptions {
+                flush_window: flush_window.unwrap_or(Duration::ZERO),
+                ..DurableOptions::default()
+            };
+            let server = Server::open_durable_with(dir, shards, None, options)?;
             println!(
                 "-- durable store at {dir} ({} table(s) recovered)",
                 server.table_names().len()
             );
+            if let Some(w) = flush_window {
+                println!("-- group-commit flush window: {} ms", w.as_millis());
+            }
             Ok(server)
         }
     }
@@ -90,16 +132,55 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .transpose()?;
     let data_dir = data_dir.as_deref();
 
+    // `--event-loop` picks the readiness front-end for socket modes.
+    let front_end = args
+        .iter()
+        .position(|a| a == "--event-loop")
+        .map(|i| {
+            args.remove(i);
+            FrontEnd::EventLoop
+        })
+        .unwrap_or_default();
+
+    // `--flush-window <ms>` sets the group-commit window (needs
+    // `--data-dir`: without a log there is nothing to flush).
+    let flush_window = args
+        .iter()
+        .position(|a| a == "--flush-window")
+        .map(|i| {
+            args.remove(i); // the flag
+            if i < args.len() {
+                args.remove(i) // its value
+                    .parse::<u64>()
+                    .map(Duration::from_millis)
+                    .map_err(|_| "usage: --flush-window <milliseconds>")
+            } else {
+                Err("usage: --flush-window <milliseconds>")
+            }
+        })
+        .transpose()?;
+    if flush_window.is_some() && data_dir.is_none() {
+        return Err("--flush-window tunes the durable log; pair it with --data-dir".into());
+    }
+
     match args.first().map(String::as_str) {
         None => {
+            if front_end == FrontEnd::EventLoop {
+                return Err(
+                    "--event-loop is a socket-mode flag; use it with --listen/--net".into(),
+                );
+            }
             // In-process: the transport is the server itself.
-            run_script(make_server(1, data_dir)?)
+            run_script(make_server(1, data_dir, flush_window)?)
         }
         Some("--net") => {
             // Loopback: same script, real frames on a real socket.
-            let server = make_server(4, data_dir)?;
-            let handle = NetServer::spawn(server, "127.0.0.1:0")?;
-            println!("-- loopback server listening on {}", handle.addr());
+            let server = make_server(4, data_dir, flush_window)?;
+            let handle = NetServer::spawn_with(server, "127.0.0.1:0", front_end)?;
+            println!(
+                "-- loopback server listening on {} ({front_end:?} front-end)",
+                handle.addr()
+            );
             let pool = PooledClient::connect(handle.addr(), 2)?;
             let result = run_script(pool);
             handle.shutdown();
@@ -108,14 +189,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         Some("--listen") => {
             let addr = args.get(1).map_or("127.0.0.1:4460", String::as_str);
             let listener = std::net::TcpListener::bind(addr)?;
-            println!("-- serving encrypted tables on {}", listener.local_addr()?);
+            let label = match front_end {
+                FrontEnd::EventLoop => " (event-loop front-end)",
+                FrontEnd::ThreadPerConnection => "",
+            };
+            println!(
+                "-- serving encrypted tables on {}{label}",
+                listener.local_addr()?
+            );
             println!("-- connect with: cargo run --example encrypted_sql -- --connect {addr}");
-            NetServer::serve(listener, make_server(4, data_dir)?)?;
+            NetServer::serve_with(listener, make_server(4, data_dir, flush_window)?, front_end)?;
             Ok(())
         }
         Some("--connect") => {
             if data_dir.is_some() {
                 return Err("--data-dir is a server-side flag; use it with --listen/--net".into());
+            }
+            if front_end == FrontEnd::EventLoop {
+                return Err(
+                    "--event-loop is a server-side flag; use it with --listen/--net".into(),
+                );
             }
             let addr = args
                 .get(1)
@@ -126,7 +219,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         Some(other) => Err(format!(
             "unknown mode {other:?}; use --net, --listen [addr], or --connect <addr> \
-             (add --data-dir <path> on the server side for persistence)"
+             (server-side extras: --data-dir <path> for persistence, --event-loop for \
+             the readiness front-end, --flush-window <ms> for group commit)"
         )
         .into()),
     }

@@ -152,6 +152,78 @@ fn chunk_stream_is_transport_invariant() {
     handle.shutdown();
 }
 
+#[test]
+fn doc_id_tokens_are_cut_consistent_under_churn() {
+    // The continuation token anchors to document ids, not positions:
+    // deletes interleaved between chunks shift every later document's
+    // position, but the stream still delivers each surviving document
+    // exactly once — no duplicates (a positional token would re-send
+    // shifted docs), no skips.
+    let server = Server::with_shards(3);
+    let create = ClientMessage::CreateTable {
+        name: "churn".into(),
+        table: big_table(),
+    }
+    .to_wire();
+    assert_eq!(
+        ServerResponse::from_wire(&server.handle(&create)).unwrap(),
+        ServerResponse::Ok
+    );
+
+    let mut delivered: Vec<u64> = Vec::new();
+    let mut token = 0u64;
+    let mut page = 0u64;
+    loop {
+        let bytes = server
+            .handle(&fetch_chunk_msg("churn", token, 4 << 10))
+            .clone();
+        let (chunk, next) = match ServerResponse::from_wire(&bytes).unwrap() {
+            ServerResponse::TableChunk { table, next } => (table, next),
+            other => panic!("unexpected {other:?}"),
+        };
+        delivered.extend(chunk.docs.iter().map(|(id, _)| *id));
+        // Churn between pages: delete one already-delivered document
+        // (shifts all later positions left) and one far-future one.
+        let victims = vec![page, 40 + page];
+        let del = ClientMessage::DeleteDocs {
+            name: "churn".into(),
+            doc_ids: victims,
+        }
+        .to_wire();
+        assert_eq!(
+            ServerResponse::from_wire(&server.handle(&del)).unwrap(),
+            ServerResponse::Ok
+        );
+        page += 1;
+        match next {
+            Some(n) => {
+                assert!(n > token, "token must strictly advance");
+                token = n;
+            }
+            None => break,
+        }
+    }
+    // Exactly-once delivery: every id at most once…
+    let mut dedup = delivered.clone();
+    dedup.dedup();
+    assert_eq!(delivered, dedup, "churn must never re-send a document");
+    assert!(delivered.windows(2).all(|w| w[0] < w[1]));
+    // …and the only ids missing are ones deleted before their page
+    // could deliver them (they live in 40..50, past the early pages).
+    for id in 0..50u64 {
+        if !delivered.contains(&id) {
+            assert!(
+                (40..50).contains(&id),
+                "doc {id} skipped though it was never deleted pre-delivery"
+            );
+        }
+    }
+    assert!(
+        delivered.len() < 50 && delivered.len() >= 40,
+        "some far-future victims must actually have been cut"
+    );
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
     #[test]

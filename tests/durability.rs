@@ -410,14 +410,24 @@ proptest! {
     fn crash_at_any_byte_offset_recovers_the_fsyncd_prefix(
         ops in proptest::collection::vec(arb_mut_op(), 1..25),
         cut_frac in 0u64..=1000,
+        group_commit in any::<bool>(),
     ) {
         let messages = lower_mutations(&ops);
         prop_assume!(!messages.is_empty());
+        // Group commit must uphold the identical recovery contract: a
+        // serial caller leads every flush window itself, so each
+        // handled message is fully appended *and* synced by return and
+        // the per-message boundaries below stay exact in both modes.
+        let options = DurableOptions {
+            group_commit,
+            ..DurableOptions::default()
+        };
 
         // Drive a durable session, recording the active segment's
         // length after each (fsync'd) message — the record boundaries.
         let tmp = TempDir::new("crash").unwrap();
-        let server = Server::open_durable(tmp.path(), 3).unwrap();
+        let server =
+            Server::open_durable_with(tmp.path(), 3, None, options.clone()).unwrap();
         let mut boundaries = Vec::with_capacity(messages.len());
         let active = {
             for m in &messages {
@@ -453,7 +463,7 @@ proptest! {
 
         // Recovery must neither panic nor partially apply the torn
         // record: every probe answers byte-identically.
-        let recovered = Server::open_durable(tmp.path(), 3).unwrap();
+        let recovered = Server::open_durable_with(tmp.path(), 3, None, options).unwrap();
         for probe in probe_messages_for(&["a", "b"]) {
             prop_assert_eq!(
                 recovered.handle(&probe),
