@@ -93,6 +93,13 @@ const MAX_RECORD: usize = 256 << 20;
 const TAG_MUTATION: u8 = 0;
 /// Record tag: the body is one compaction snapshot chunk.
 const TAG_SNAPSHOT: u8 = 1;
+/// Record tag: the body is the dedup-window image at a compaction
+/// cut — per client `(id, watermark, applied seqs)`. Without it,
+/// compaction (which discards the raw mutation records the window is
+/// otherwise rebuilt from) would forget which request ids were
+/// already applied, and a retry after compact + restart could
+/// double-apply.
+const TAG_DEDUP: u8 = 2;
 
 /// Tuning knobs for a [`DurableLog`].
 #[derive(Debug, Clone)]
@@ -143,6 +150,31 @@ pub struct RecoveredTable {
     pub(crate) arena: WordArena,
     /// Next fresh document id.
     pub(crate) next_doc_id: u64,
+}
+
+/// Dedup-window state rebuilt by recovery, in log order. The server
+/// feeds the events into [`crate::storage::DedupWindow`] after
+/// installing the tables: snapshot events restore a compaction-time
+/// window image, applied events re-insert each logged tagged mutation
+/// exactly as live traffic did (same insertions, evictions, and
+/// watermarks — so exactly-once survives restarts).
+#[derive(Debug, Default)]
+pub struct RecoveredDedup {
+    pub(crate) events: Vec<DedupEvent>,
+}
+
+/// One dedup-relevant observation during log replay.
+#[derive(Debug)]
+pub(crate) enum DedupEvent {
+    /// A [`TAG_DEDUP`] record: one client's persisted window image.
+    Snapshot {
+        client_id: u64,
+        watermark: u64,
+        seqs: Vec<u64>,
+    },
+    /// A [`TAG_MUTATION`] record carrying the idempotent envelope:
+    /// this `(client_id, seq)` was applied and acked.
+    Applied { client_id: u64, seq: u64 },
 }
 
 /// Mutable write-side state, guarded by [`DurableLog::writer`].
@@ -331,9 +363,25 @@ fn decode_docs_into(r: &mut Reader<'_>, arena: &mut WordArena) -> Result<Option<
 fn replay_mutation(
     body: &[u8],
     tables: &mut BTreeMap<String, RecoveredTable>,
+    dedup: &mut RecoveredDedup,
 ) -> Result<(), PhError> {
     let mut r = Reader::new(body);
     let message_tag = u8::decode(&mut r)?;
+    if message_tag == tag::TAGGED {
+        // An idempotent envelope: note the request id, then replay the
+        // inner message. Only applied mutations were logged, so every
+        // id seen here acked a success — the rebuilt window caches the
+        // same `Ok` the live server returned.
+        let client_id = u64::decode(&mut r)?;
+        let seq = u64::decode(&mut r)?;
+        let inner = r.take(r.remaining())?;
+        if inner.first() == Some(&tag::TAGGED) {
+            return Err(PhError::Durability("nested envelope in log".into()));
+        }
+        replay_mutation(inner, tables, dedup)?;
+        dedup.events.push(DedupEvent::Applied { client_id, seq });
+        return Ok(());
+    }
     let name = String::decode(&mut r)?;
     fn known<'t>(
         tables: &'t mut BTreeMap<String, RecoveredTable>,
@@ -424,6 +472,22 @@ fn replay_snapshot(
     Ok(())
 }
 
+/// Replays one dedup-record body: the window image a compaction cut
+/// persisted, `Vec<(client_id, (watermark, applied seqs))>`.
+fn replay_dedup(body: &[u8], dedup: &mut RecoveredDedup) -> Result<(), PhError> {
+    let mut r = Reader::new(body);
+    let image = Vec::<(u64, (u64, Vec<u64>))>::decode(&mut r)?;
+    r.expect_end()?;
+    for (client_id, (watermark, seqs)) in image {
+        dedup.events.push(DedupEvent::Snapshot {
+            client_id,
+            watermark,
+            seqs,
+        });
+    }
+    Ok(())
+}
+
 /// How a segment replay ended.
 enum SegmentEnd {
     /// Every byte consumed as complete, checksum-valid records.
@@ -441,6 +505,7 @@ enum SegmentEnd {
 fn replay_segment(
     bytes: &[u8],
     tables: &mut BTreeMap<String, RecoveredTable>,
+    dedup: &mut RecoveredDedup,
 ) -> Result<SegmentEnd, PhError> {
     let mut cursor = Cursor::new(bytes);
     let mut good: u64 = 0;
@@ -461,8 +526,9 @@ fn replay_segment(
         }
         let (record_tag, record) = (body[0], &body[1..]);
         match record_tag {
-            TAG_MUTATION => replay_mutation(record, tables)?,
+            TAG_MUTATION => replay_mutation(record, tables, dedup)?,
             TAG_SNAPSHOT => replay_snapshot(record, tables)?,
+            TAG_DEDUP => replay_dedup(record, dedup)?,
             t => return Err(PhError::Durability(format!("unknown record tag {t}"))),
         }
         good = cursor.position();
@@ -484,7 +550,7 @@ impl DurableLog {
     pub fn open(
         dir: impl AsRef<Path>,
         options: DurableOptions,
-    ) -> Result<(Self, Vec<RecoveredTable>), PhError> {
+    ) -> Result<(Self, Vec<RecoveredTable>, RecoveredDedup), PhError> {
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir).map_err(|e| io_err("create data dir", &e))?;
 
@@ -523,13 +589,14 @@ impl DurableLog {
         };
 
         let mut tables = BTreeMap::new();
+        let mut dedup = RecoveredDedup::default();
         let (&active_id, sealed_ids) = segments
             .split_last()
             .ok_or_else(|| PhError::Durability("empty manifest".into()))?;
         for &id in sealed_ids {
             let path = segment_path(&dir, id);
             let bytes = fs::read(&path).map_err(|e| io_err("read sealed segment", &e))?;
-            match replay_segment(&bytes, &mut tables)? {
+            match replay_segment(&bytes, &mut tables, &mut dedup)? {
                 SegmentEnd::Clean => {}
                 SegmentEnd::Torn { good_bytes } => {
                     return Err(PhError::Durability(format!(
@@ -540,7 +607,7 @@ impl DurableLog {
         }
         let active_path = segment_path(&dir, active_id);
         let bytes = fs::read(&active_path).map_err(|e| io_err("read active segment", &e))?;
-        let active_bytes = match replay_segment(&bytes, &mut tables)? {
+        let active_bytes = match replay_segment(&bytes, &mut tables, &mut dedup)? {
             SegmentEnd::Clean => bytes.len() as u64,
             SegmentEnd::Torn { good_bytes } => {
                 // The crash contract: drop the torn tail, keep every
@@ -603,7 +670,7 @@ impl DurableLog {
             sync_faults: AtomicU64::new(0),
             _dir_lock: dir_lock,
         };
-        Ok((log, tables.into_values().collect()))
+        Ok((log, tables.into_values().collect(), dedup))
     }
 
     /// The data directory this log persists into.
@@ -898,6 +965,25 @@ impl DurableLog {
             File::create(&snapshot_path).map_err(|e| io_err("create snapshot segment", &e))?;
         for (name, table) in store.snapshot_all() {
             self.write_table_snapshot(&mut snapshot_file, &name, &table)?;
+        }
+        // The dedup window rides along: compaction is about to delete
+        // the raw mutation records it would otherwise be rebuilt from.
+        // Skipped when empty (untagged workloads), so segment bytes
+        // for envelope-free sessions are unchanged from PR 6.
+        let dedup_image: Vec<(u64, (u64, Vec<u64>))> = store
+            .dedup()
+            .snapshot()
+            .into_iter()
+            .map(|(client_id, watermark, seqs)| (client_id, (watermark, seqs)))
+            .collect();
+        if !dedup_image.is_empty() {
+            let mut payload = Vec::new();
+            payload.push(TAG_DEDUP);
+            dedup_image.encode(&mut payload);
+            let sum = checksum(&payload);
+            payload.extend_from_slice(&sum);
+            codec::write_frame_capped(&mut snapshot_file, &payload, MAX_RECORD)
+                .map_err(|e| PhError::Durability(format!("write dedup record: {e}")))?;
         }
         snapshot_file
             .sync_all()

@@ -34,9 +34,12 @@ pub enum PhError {
     /// Carries the rendered `std::io::Error` (which is neither `Clone`
     /// nor `PartialEq`) so plumbing failures stay distinguishable from
     /// protocol errors. A `Transport` error from an exchange means the
-    /// request *may or may not* have been applied server-side — the
-    /// pooled client deliberately never re-sends (at-most-once);
-    /// whether to retry is the caller's call.
+    /// request *may or may not* have been applied server-side. This is
+    /// exactly the class the pooled client's opt-in retry policy
+    /// re-sends — safely, because retried mutations carry an
+    /// idempotent request envelope the server deduplicates
+    /// (exactly-once); with retries off (the default) the contract
+    /// stays at-most-once and whether to retry is the caller's call.
     Transport(String),
     /// The durable segment log failed: the data directory could not be
     /// opened, a sealed segment is corrupt beyond the tolerated torn

@@ -91,6 +91,27 @@
 //!   and poisons the log, and a serial session produces a
 //!   byte-identical segment file either way
 //!   (`tests/group_commit.rs`).
+//! * Exactly-once mutations — [`protocol::ClientMessage::Tagged`]
+//!   wraps a mutation in a `(client_id, seq)` request envelope; the
+//!   server keeps a bounded per-client dedup window
+//!   ([`storage::DedupWindow`]) that *replays the original encoded
+//!   response* for a re-sent id instead of re-applying, and because
+//!   the durable log already records raw client messages verbatim,
+//!   recovery rebuilds the window for free — a retry that straddles a
+//!   server crash still applies once. The client side opts in through
+//!   [`net::PoolOptions`]: a [`net::RetryPolicy`] (attempt budget,
+//!   exponential backoff with deterministic jitter, per-call
+//!   deadline), socket read/write timeouts, and a bounded-wait pool
+//!   checkout. [`fault`] supplies the proof harness — a seeded
+//!   in-process [`fault::FaultTransport`] and a frame-aware TCP
+//!   [`fault::ChaosProxy`] injecting resets, torn frames, swallowed
+//!   acks, and delays — and `tests/chaos.rs` drives randomized fault
+//!   schedules (including kill-and-restart) asserting every
+//!   acknowledged mutation applied exactly once and that a fault-free
+//!   tagged run stays byte-identical to the untagged protocol. The
+//!   envelope adds no leakage Eve did not have: she already links a
+//!   session's requests by connection, and `(client_id, seq)` names
+//!   the sender and an ordinal, never key material or plaintext.
 //! * Chunked table streaming —
 //!   [`protocol::ClientMessage::FetchChunk`] /
 //!   [`protocol::ServerResponse::TableChunk`] page a table transfer
@@ -116,6 +137,7 @@ pub mod durable;
 pub mod encoding;
 pub mod error;
 pub mod executor;
+pub mod fault;
 pub mod net;
 pub mod ph;
 pub mod protocol;
@@ -133,7 +155,11 @@ pub use durable::{DurableLog, DurableOptions, TempDir};
 pub use encoding::WordCodec;
 pub use error::PhError;
 pub use executor::Executor;
-pub use net::{FrontEnd, NetServer, PooledClient, ServerHandle, Transport};
+pub use fault::{ChaosPlan, ChaosProxy, FaultPlan, FaultRng, FaultTransport};
+pub use net::{
+    FrontEnd, NetOptions, NetServer, PoolOptions, PooledClient, RetryPolicy, ServerHandle,
+    Transport,
+};
 pub use ph::{DatabasePh, IncrementalPh};
 pub use server::{Observer, Server};
 pub use storage::{ShardedTable, TableStore};

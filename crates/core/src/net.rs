@@ -45,16 +45,19 @@
 use std::io::{Read as _, Write as _};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::os::unix::io::AsRawFd as _;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
 use crate::codec;
 use crate::error::PhError;
+use crate::protocol::tag;
 use crate::server::Server;
 use crate::sys;
+use crate::wire::WireEncode as _;
 
 /// Anything that can answer one serialized protocol message with one
 /// serialized response — the client's entire requirement of the
@@ -114,6 +117,10 @@ struct NetState {
     /// accept — a long-running server must not hoard one fd per
     /// connection it ever served.
     conns: Mutex<Vec<(TcpStream, Arc<AtomicBool>)>>,
+    /// Sessions closed by the idle timeout (dead peers holding an fd,
+    /// reaped) — exposed through [`ServerHandle::idle_reaped`] so tests
+    /// can pin the reaper actually fires.
+    idle_reaped: AtomicUsize,
 }
 
 impl NetState {
@@ -122,8 +129,23 @@ impl NetState {
             shutdown: AtomicBool::new(false),
             accepted: AtomicUsize::new(0),
             conns: Mutex::new(Vec::new()),
+            idle_reaped: AtomicUsize::new(0),
         })
     }
+}
+
+/// Front-end configuration beyond the [`FrontEnd`] choice itself.
+#[derive(Debug, Clone, Default)]
+pub struct NetOptions {
+    /// Which accept/serve machinery to run.
+    pub front_end: FrontEnd,
+    /// Close a connection after this long with no traffic in either
+    /// direction. A peer that died without a FIN (yanked cable,
+    /// frozen VM) otherwise holds its fd — and on the
+    /// thread-per-connection front-end a whole parked thread —
+    /// forever. `None` (the default) keeps the previous wait-forever
+    /// behavior.
+    pub idle_timeout: Option<Duration>,
 }
 
 /// Which accept/serve machinery a [`NetServer`] runs.
@@ -183,11 +205,33 @@ impl NetServer {
         server: Server,
         front_end: FrontEnd,
     ) -> Result<(), PhError> {
+        Self::serve_opts(
+            listener,
+            server,
+            NetOptions {
+                front_end,
+                ..NetOptions::default()
+            },
+        )
+    }
+
+    /// [`NetServer::serve`] with full [`NetOptions`] (front-end choice
+    /// plus idle-session timeout).
+    ///
+    /// # Errors
+    /// As [`NetServer::serve_with`].
+    pub fn serve_opts(
+        listener: TcpListener,
+        server: Server,
+        options: NetOptions,
+    ) -> Result<(), PhError> {
         deepen_backlog(&listener);
         let state = NetState::new();
-        match front_end {
-            FrontEnd::ThreadPerConnection => accept_loop(&listener, &server, &state),
-            FrontEnd::EventLoop => event_loop(&listener, &server, &state),
+        match options.front_end {
+            FrontEnd::ThreadPerConnection => {
+                accept_loop(&listener, &server, &state, options.idle_timeout);
+            }
+            FrontEnd::EventLoop => event_loop(&listener, &server, &state, options.idle_timeout),
         }
         Err(PhError::Transport(
             "listener failed persistently; front-end gave up".into(),
@@ -215,6 +259,26 @@ impl NetServer {
         addr: impl ToSocketAddrs,
         front_end: FrontEnd,
     ) -> Result<ServerHandle, PhError> {
+        Self::spawn_opts(
+            server,
+            addr,
+            NetOptions {
+                front_end,
+                ..NetOptions::default()
+            },
+        )
+    }
+
+    /// [`NetServer::spawn`] with full [`NetOptions`] (front-end choice
+    /// plus idle-session timeout).
+    ///
+    /// # Errors
+    /// [`PhError::Transport`] when binding fails.
+    pub fn spawn_opts(
+        server: Server,
+        addr: impl ToSocketAddrs,
+        options: NetOptions,
+    ) -> Result<ServerHandle, PhError> {
         let listener =
             TcpListener::bind(addr).map_err(|e| PhError::Transport(format!("bind failed: {e}")))?;
         let local = listener
@@ -226,9 +290,13 @@ impl NetServer {
             let state = Arc::clone(&state);
             std::thread::Builder::new()
                 .name("dbph-accept".into())
-                .spawn(move || match front_end {
-                    FrontEnd::ThreadPerConnection => accept_loop(&listener, &server, &state),
-                    FrontEnd::EventLoop => event_loop(&listener, &server, &state),
+                .spawn(move || match options.front_end {
+                    FrontEnd::ThreadPerConnection => {
+                        accept_loop(&listener, &server, &state, options.idle_timeout);
+                    }
+                    FrontEnd::EventLoop => {
+                        event_loop(&listener, &server, &state, options.idle_timeout);
+                    }
                 })
                 .map_err(|e| PhError::Transport(format!("spawning front-end: {e}")))?
         };
@@ -261,6 +329,13 @@ impl ServerHandle {
     #[must_use]
     pub fn connections_accepted(&self) -> usize {
         self.state.accepted.load(Ordering::SeqCst)
+    }
+
+    /// Sessions closed by the idle-session timeout so far (always 0
+    /// when [`NetOptions::idle_timeout`] is unset).
+    #[must_use]
+    pub fn idle_reaped(&self) -> usize {
+        self.state.idle_reaped.load(Ordering::SeqCst)
     }
 
     /// Severs every live connection (the server keeps accepting new
@@ -335,7 +410,12 @@ fn deepen_backlog(listener: &TcpListener) {
 
 /// Accepts connections until shutdown (or a persistently failing
 /// listener), then joins every connection thread it spawned.
-fn accept_loop(listener: &TcpListener, server: &Server, state: &Arc<NetState>) {
+fn accept_loop(
+    listener: &TcpListener,
+    server: &Server,
+    state: &Arc<NetState>,
+    idle_timeout: Option<Duration>,
+) {
     let mut sessions: Vec<JoinHandle<()>> = Vec::new();
     let mut consecutive_failures = 0usize;
     loop {
@@ -414,10 +494,12 @@ fn accept_loop(listener: &TcpListener, server: &Server, state: &Arc<NetState>) {
         state.accepted.fetch_add(1, Ordering::SeqCst);
         let server = server.clone();
         let session_flag = Arc::clone(&finished);
+        let session_state = Arc::clone(state);
         match std::thread::Builder::new()
             .name("dbph-conn".into())
-            .spawn(move || connection_loop(stream, &server, &session_flag))
-        {
+            .spawn(move || {
+                connection_loop(stream, &server, &session_flag, idle_timeout, &session_state);
+            }) {
             Ok(session) => sessions.push(session),
             // Spawn failure drops the stream (closing it); mark the
             // registry entry reclaimable so it doesn't linger.
@@ -456,12 +538,45 @@ impl Drop for SessionGuard<'_> {
 /// responses are written in that same order, which is the transport's
 /// half of the per-session ordering guarantee; concurrency comes from
 /// many connections, not from reordering within one.
-fn connection_loop(stream: TcpStream, server: &Server, finished: &AtomicBool) {
+fn connection_loop(
+    stream: TcpStream,
+    server: &Server,
+    finished: &AtomicBool,
+    idle_timeout: Option<Duration>,
+    state: &NetState,
+) {
+    // The idle timeout rides the socket's read timeout: a session
+    // parked waiting for its next request for longer than the budget
+    // gets an error out of `read_frame` and the session ends — the
+    // thread-per-connection analogue of the event loop's reaper.
+    if idle_timeout.is_some() && stream.set_read_timeout(idle_timeout).is_err() {
+        return;
+    }
     let mut session = SessionGuard { stream, finished };
-    while let Ok(Some(request)) = codec::read_frame(&mut session.stream) {
-        let response = server.handle(&request);
-        if codec::write_frame(&mut session.stream, &response).is_err() {
-            break;
+    loop {
+        let parked_since = Instant::now();
+        match codec::read_frame(&mut session.stream) {
+            Ok(Some(request)) => {
+                let response = server.handle(&request);
+                if codec::write_frame(&mut session.stream, &response).is_err() {
+                    break;
+                }
+            }
+            Ok(None) => break,
+            Err(_) => {
+                // `read_frame` folds the io error kind into a string,
+                // so classify the reap by elapsed time: an error after
+                // (most of) a full idle budget parked on a frame
+                // boundary is the timeout firing — genuine I/O errors
+                // surface near-instantly. The 3/4 margin absorbs clock
+                // and SO_RCVTIMEO rounding.
+                if let Some(limit) = idle_timeout {
+                    if parked_since.elapsed() >= limit * 3 / 4 {
+                        state.idle_reaped.fetch_add(1, Ordering::SeqCst);
+                    }
+                }
+                break;
+            }
         }
     }
 }
@@ -498,6 +613,9 @@ struct EventConn {
     /// The connection is unusable now (I/O error, truncation): close
     /// without draining.
     dead: bool,
+    /// Last time the socket showed any readiness; the idle reaper
+    /// closes sessions whose silence outlives the configured budget.
+    last_activity: Instant,
     finished: Arc<AtomicBool>,
 }
 
@@ -630,10 +748,22 @@ impl Drop for EventConn {
 /// that same order on the connection's write buffer. Shutdown reuses
 /// the [`ServerHandle`] protocol unchanged — the flag plus a wake-up
 /// dial unblocks `poll` exactly as it unblocks `accept`.
-fn event_loop(listener: &TcpListener, server: &Server, state: &Arc<NetState>) {
+fn event_loop(
+    listener: &TcpListener,
+    server: &Server,
+    state: &Arc<NetState>,
+    idle_timeout: Option<Duration>,
+) {
     if sys::set_nonblocking(listener.as_raw_fd(), true).is_err() {
         return;
     }
+    // With an idle budget the loop must wake on its own to reap parked
+    // sessions; poll at a fraction of the budget so a reap is late by
+    // at most ~25%, clamped clear of busy-spinning and of sluggishness.
+    let poll_ms: i32 = match idle_timeout {
+        Some(t) => (t.as_millis() / 4).clamp(10, 1000) as i32,
+        None => -1,
+    };
     let mut conns: Vec<EventConn> = Vec::new();
     let mut pollfds: Vec<sys::PollFd> = Vec::new();
     let mut consecutive_failures = 0usize;
@@ -647,7 +777,7 @@ fn event_loop(listener: &TcpListener, server: &Server, state: &Arc<NetState>) {
         for conn in &conns {
             pollfds.push(sys::PollFd::new(conn.stream.as_raw_fd(), conn.interest()));
         }
-        match sys::poll_fds(&mut pollfds, -1) {
+        match sys::poll_fds(&mut pollfds, poll_ms) {
             Ok(_) => {}
             Err(_) => {
                 consecutive_failures += 1;
@@ -669,6 +799,9 @@ fn event_loop(listener: &TcpListener, server: &Server, state: &Arc<NetState>) {
                 conn.dead = true;
                 continue;
             }
+            if fd.revents() != 0 {
+                conn.last_activity = Instant::now();
+            }
             // Write first: draining frees backpressure so the read
             // phase below can make progress in the same wake-up.
             if fd.has(sys::POLLOUT | sys::POLLERR) && conn.pending_out() > 0 {
@@ -680,6 +813,18 @@ fn event_loop(listener: &TcpListener, server: &Server, state: &Arc<NetState>) {
             if fd.has(sys::POLLIN | sys::POLLHUP | sys::POLLERR) && !conn.dead && !conn.closing {
                 conn.service_readable(server);
                 conn.flush_out();
+            }
+        }
+        // Idle reap: a session silent past its budget is closed
+        // outright rather than drained — a parked peer by definition
+        // has nothing outstanding, and a backpressured one shows
+        // POLLOUT readiness which counts as activity above.
+        if let Some(limit) = idle_timeout {
+            for conn in &mut conns {
+                if !conn.dead && conn.last_activity.elapsed() >= limit {
+                    conn.dead = true;
+                    state.idle_reaped.fetch_add(1, Ordering::SeqCst);
+                }
             }
         }
         conns.retain(|conn| !conn.should_close());
@@ -746,6 +891,7 @@ fn event_loop(listener: &TcpListener, server: &Server, state: &Arc<NetState>) {
                     out_pos: 0,
                     closing: false,
                     dead: false,
+                    last_activity: Instant::now(),
                     finished,
                 });
             }
@@ -775,6 +921,134 @@ struct PoolInner {
     state: Mutex<PoolState>,
     /// Signaled when a connection is returned or an `open` slot frees.
     returned: Condvar,
+    retry: RetryPolicy,
+    io_timeout: Option<Duration>,
+    checkout_timeout: Option<Duration>,
+    /// This pool's identity in request envelopes; paired with `seq` it
+    /// forms the request id the server deduplicates on.
+    client_id: u64,
+    /// Next envelope sequence number. Claimed once per mutation *call*,
+    /// not per attempt — every retry resends the identical request id.
+    seq: AtomicU64,
+}
+
+/// Source of default [`PoolOptions::client_id`]s: unique per pool
+/// within a process. Pools in *different* processes (or restarted ones)
+/// must be given explicit distinct ids to share one server's dedup
+/// window safely.
+static NEXT_CLIENT_ID: AtomicU64 = AtomicU64::new(1);
+
+/// When and how a [`PooledClient`] retries a failed exchange.
+///
+/// The default policy (`max_attempts == 1`) never retries and never
+/// tags: requests go out byte-identical to a pre-envelope client, so
+/// plain `connect` keeps its historical wire behaviour. Any policy
+/// with `max_attempts > 1` makes the client wrap each *mutation* in a
+/// [`ClientMessage::Tagged`](crate::protocol::ClientMessage) envelope
+/// so the server can deduplicate re-sends; queries are idempotent and
+/// retried untagged.
+///
+/// Only [`PhError::Transport`] failures are retried — a response that
+/// arrived (even an error response) means the exchange worked.
+#[derive(Debug, Clone)]
+pub struct RetryPolicy {
+    /// Total attempts per call, including the first. `1` disables
+    /// retries (and request tagging).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles each further retry.
+    pub base_backoff: Duration,
+    /// Ceiling on a single backoff sleep.
+    pub max_backoff: Duration,
+    /// Budget for the whole call across attempts and sleeps. `None`
+    /// bounds the call only by `max_attempts`.
+    pub deadline: Option<Duration>,
+    /// Seed for deterministic backoff jitter, so tests (and replayed
+    /// fault schedules) see identical sleep sequences.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 1,
+            base_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(1),
+            deadline: None,
+            jitter_seed: 0,
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// A policy that retries transport failures up to `max_attempts`
+    /// total attempts with the default backoff curve.
+    #[must_use]
+    pub fn with_attempts(max_attempts: u32) -> Self {
+        RetryPolicy {
+            max_attempts: max_attempts.max(1),
+            ..RetryPolicy::default()
+        }
+    }
+
+    /// The sleep before retry number `attempt` (1-based): exponential
+    /// in `base_backoff` capped at `max_backoff`, with the top half
+    /// replaced by deterministic jitter from `jitter_seed` so
+    /// simultaneous retriers decorrelate without a shared RNG.
+    #[must_use]
+    pub fn backoff(&self, attempt: u32) -> Duration {
+        let exp = attempt.saturating_sub(1).min(20);
+        let full = self
+            .base_backoff
+            .saturating_mul(1u32 << exp)
+            .min(self.max_backoff);
+        let half = full / 2;
+        let jitter_range = full.saturating_sub(half).as_nanos() as u64;
+        if jitter_range == 0 {
+            return full;
+        }
+        // splitmix64 finalizer over (seed, attempt): cheap, stateless,
+        // and fully determined by the policy.
+        let mut mix = self.jitter_seed ^ u64::from(attempt).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        mix = (mix ^ (mix >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        mix = (mix ^ (mix >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        mix ^= mix >> 31;
+        half + Duration::from_nanos(mix % jitter_range)
+    }
+}
+
+/// Everything configurable about a [`PooledClient`], for
+/// [`PooledClient::connect_with`]. [`PooledClient::connect`] is the
+/// all-defaults shorthand (no retries, no timeouts, auto client id).
+#[derive(Debug, Clone)]
+pub struct PoolOptions {
+    /// Maximum simultaneous connections (clamped to at least 1).
+    pub capacity: usize,
+    /// Retry behaviour for failed exchanges.
+    pub retry: RetryPolicy,
+    /// Socket read/write timeout applied to every pooled connection,
+    /// so a hung server surfaces as a [`PhError::Transport`] instead
+    /// of blocking a caller forever.
+    pub io_timeout: Option<Duration>,
+    /// Upper bound on waiting for a pooled connection when all
+    /// `capacity` are checked out; expiry is a [`PhError::Transport`].
+    pub checkout_timeout: Option<Duration>,
+    /// Identity used in request envelopes. `None` draws a fresh
+    /// process-unique id; set it explicitly when clients in different
+    /// processes (or across restarts) must not collide in the server's
+    /// per-client dedup window.
+    pub client_id: Option<u64>,
+}
+
+impl Default for PoolOptions {
+    fn default() -> Self {
+        PoolOptions {
+            capacity: 2,
+            retry: RetryPolicy::default(),
+            io_timeout: None,
+            checkout_timeout: None,
+            client_id: None,
+        }
+    }
 }
 
 /// A bounded pool of framed TCP connections to one [`NetServer`].
@@ -792,10 +1066,17 @@ struct PoolInner {
 ///   connection in its capacity slot, so staleness heals without
 ///   resending anything. A failure *during* an exchange, by contrast,
 ///   surfaces as an error and the connection is dropped: at that point
-///   the transport cannot know whether the server applied the request,
-///   and silently re-sending a possibly-applied mutation would
-///   duplicate server-side events (and corrupt append-id bookkeeping).
-///   At-most-once is the contract; retrying is the caller's decision.
+///   the transport cannot know whether the server applied the request.
+/// * **Exactly-once retries.** With the default [`RetryPolicy`]
+///   (`max_attempts == 1`) the contract stays at-most-once and every
+///   request is byte-identical to a pre-envelope client. Opting into
+///   retries via [`PooledClient::connect_with`] upgrades mutations to
+///   exactly-once: each mutation is wrapped once in a
+///   [`ClientMessage::Tagged`](crate::protocol::ClientMessage)
+///   envelope carrying `(client_id, seq)`, and every retry resends
+///   those identical bytes, so the server's dedup window replays the
+///   original response instead of re-applying. Queries are idempotent
+///   and retried untagged.
 /// * **Pipelining.** [`Transport::call_many`] streams every request
 ///   frame back-to-back while a concurrent reader drains the in-order
 ///   responses from the same connection — see
@@ -817,20 +1098,43 @@ impl PooledClient {
     /// # Errors
     /// [`PhError::Transport`] when resolution or the probe dial fails.
     pub fn connect(addr: impl ToSocketAddrs, capacity: usize) -> Result<Self, PhError> {
+        Self::connect_with(
+            addr,
+            PoolOptions {
+                capacity,
+                ..PoolOptions::default()
+            },
+        )
+    }
+
+    /// [`connect`](Self::connect) with the full dial: retry policy,
+    /// socket and checkout timeouts, and an explicit envelope identity.
+    ///
+    /// # Errors
+    /// [`PhError::Transport`] when resolution or the probe dial fails.
+    pub fn connect_with(addr: impl ToSocketAddrs, options: PoolOptions) -> Result<Self, PhError> {
         let addr = addr
             .to_socket_addrs()
             .map_err(|e| PhError::Transport(format!("resolve failed: {e}")))?
             .next()
             .ok_or_else(|| PhError::Transport("address resolved to nothing".into()))?;
+        let client_id = options
+            .client_id
+            .unwrap_or_else(|| NEXT_CLIENT_ID.fetch_add(1, Ordering::SeqCst));
         let client = PooledClient {
             inner: Arc::new(PoolInner {
                 addr,
-                capacity: capacity.max(1),
+                capacity: options.capacity.max(1),
                 state: Mutex::new(PoolState {
                     idle: Vec::new(),
                     open: 0,
                 }),
                 returned: Condvar::new(),
+                retry: options.retry,
+                io_timeout: options.io_timeout,
+                checkout_timeout: options.checkout_timeout,
+                client_id,
+                seq: AtomicU64::new(1),
             }),
         };
         let probe = client.dial()?;
@@ -840,6 +1144,12 @@ impl PooledClient {
             state.idle.push(probe);
         }
         Ok(client)
+    }
+
+    /// The identity this pool stamps into request envelopes.
+    #[must_use]
+    pub fn client_id(&self) -> u64 {
+        self.inner.client_id
     }
 
     /// The server address this pool dials.
@@ -864,6 +1174,12 @@ impl PooledClient {
         let stream = TcpStream::connect(self.inner.addr)
             .map_err(|e| PhError::Transport(format!("connect {} failed: {e}", self.inner.addr)))?;
         let _ = stream.set_nodelay(true);
+        if let Some(io_timeout) = self.inner.io_timeout {
+            stream
+                .set_read_timeout(Some(io_timeout))
+                .and_then(|()| stream.set_write_timeout(Some(io_timeout)))
+                .map_err(|e| PhError::Transport(format!("set socket timeout failed: {e}")))?;
+        }
         Ok(stream)
     }
 
@@ -891,6 +1207,7 @@ impl PooledClient {
     /// idle connections that died while pooled — dialing a fresh one
     /// when under capacity and blocking when the pool is exhausted.
     fn checkout(&self) -> Result<TcpStream, PhError> {
+        let wait_deadline = self.inner.checkout_timeout.map(|t| Instant::now() + t);
         let mut state = self.inner.state.lock();
         loop {
             while let Some(conn) = state.idle.pop() {
@@ -918,7 +1235,25 @@ impl PooledClient {
                     }
                 };
             }
-            self.inner.returned.wait(&mut state);
+            match wait_deadline {
+                None => self.inner.returned.wait(&mut state),
+                Some(deadline) => {
+                    let Some(remaining) = deadline
+                        .checked_duration_since(Instant::now())
+                        .filter(|d| !d.is_zero())
+                    else {
+                        return Err(PhError::Transport(format!(
+                            "connection pool exhausted: no connection returned within {:?}",
+                            self.inner.checkout_timeout.unwrap_or_default()
+                        )));
+                    };
+                    // Timing out here is not yet a failure: a waiter
+                    // can be raced out of a wake-up, so loop back to
+                    // re-probe the pool and let the deadline check
+                    // above decide.
+                    let _ = self.inner.returned.wait_for(&mut state, remaining);
+                }
+            }
         }
     }
 
@@ -1043,18 +1378,75 @@ impl PooledClient {
             }
         }
     }
+
+    /// Wraps `request` in a [`tag::TAGGED`] envelope with a freshly
+    /// claimed sequence number when it is a mutation; queries pass
+    /// through unchanged. Only called on the retrying path — the
+    /// envelope bytes are built once per call and resent verbatim on
+    /// every attempt, which is what makes server-side dedup sound.
+    fn prepare(&self, request: &[u8]) -> Vec<u8> {
+        match request.first() {
+            Some(&t) if tag::is_mutation_tag(t) => {
+                let seq = self.inner.seq.fetch_add(1, Ordering::SeqCst);
+                let mut tagged = Vec::with_capacity(request.len() + 17);
+                tagged.push(tag::TAGGED);
+                self.inner.client_id.encode(&mut tagged);
+                seq.encode(&mut tagged);
+                tagged.extend_from_slice(request);
+                tagged
+            }
+            _ => request.to_vec(),
+        }
+    }
+
+    /// [`exchange`](Self::exchange) under the pool's [`RetryPolicy`]:
+    /// transport failures are retried with backoff against the same
+    /// prepared (envelope-tagged) bytes until the attempt or deadline
+    /// budget runs out. A single-attempt policy forwards straight to
+    /// `exchange` with the caller's original bytes.
+    fn exchange_with_retry<B: AsRef<[u8]> + Sync>(
+        &self,
+        requests: &[B],
+    ) -> Result<Vec<Vec<u8>>, PhError> {
+        let policy = &self.inner.retry;
+        if policy.max_attempts <= 1 {
+            return self.exchange(requests);
+        }
+        let prepared: Vec<Vec<u8>> = requests.iter().map(|r| self.prepare(r.as_ref())).collect();
+        let started = Instant::now();
+        let mut attempt = 1u32;
+        loop {
+            match self.exchange(&prepared) {
+                Ok(responses) => return Ok(responses),
+                Err(e @ PhError::Transport(_)) => {
+                    if attempt >= policy.max_attempts {
+                        return Err(e);
+                    }
+                    let sleep = policy.backoff(attempt);
+                    if let Some(deadline) = policy.deadline {
+                        if started.elapsed() + sleep >= deadline {
+                            return Err(e);
+                        }
+                    }
+                    std::thread::sleep(sleep);
+                    attempt += 1;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+    }
 }
 
 impl Transport for PooledClient {
     fn call(&self, request: &[u8]) -> Result<Vec<u8>, PhError> {
-        let mut responses = self.exchange(std::slice::from_ref(&request))?;
+        let mut responses = self.exchange_with_retry(std::slice::from_ref(&request))?;
         responses
             .pop()
             .ok_or_else(|| PhError::Transport("exchange returned no response".into()))
     }
 
     fn call_many(&self, requests: &[Vec<u8>]) -> Result<Vec<Vec<u8>>, PhError> {
-        self.exchange(requests)
+        self.exchange_with_retry(requests)
     }
 }
 

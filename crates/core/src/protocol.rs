@@ -75,6 +75,13 @@ pub(crate) mod tag {
     pub const QUERY_BATCH: u8 = 7;
     pub const APPEND_BATCH: u8 = 8;
     pub const FETCH_CHUNK: u8 = 9;
+    pub const TAGGED: u8 = 10;
+
+    /// Whether `t` is the first byte of a mutation message — the set
+    /// the durable log records and the idempotent envelope protects.
+    pub fn is_mutation_tag(t: u8) -> bool {
+        matches!(t, CREATE | APPEND | DROP | DELETE | APPEND_BATCH)
+    }
 }
 
 /// Default chunk budget for streamed table transfers (4 MiB): far
@@ -177,6 +184,30 @@ pub enum ClientMessage {
         /// server clamps to [`MAX_CHUNK_BYTES`]).
         max_bytes: u64,
     },
+    /// An idempotent request envelope: the inner message, stamped with
+    /// a client-chosen request id `(client_id, seq)`. The server keeps
+    /// a per-client dedup window and, for a repeated id, replays the
+    /// original encoded response instead of re-applying — so a tagged
+    /// mutation can be retried across timeouts, connection resets, and
+    /// even server restarts without ever double-applying. Queries gain
+    /// nothing from the envelope (they are read-only); clients tag
+    /// only mutations and the server dispatches a tagged non-mutation
+    /// statelessly. Envelopes do not nest.
+    ///
+    /// Leakage: the id is client-chosen metadata with no key material.
+    /// Eve sees it exactly on the retries she herself induced (she
+    /// already correlates them trivially by content — retried bytes are
+    /// identical); the [`crate::server::Observer`] transcript records
+    /// the inner message once per *apply*, unchanged.
+    Tagged {
+        /// Stable identity of the issuing client (scopes `seq`).
+        client_id: u64,
+        /// Per-client sequence number, starting at 1; each new request
+        /// claims a fresh value and every retry of it reuses the same.
+        seq: u64,
+        /// The wrapped message (never itself `Tagged`).
+        inner: Box<ClientMessage>,
+    },
 }
 
 impl WireEncode for ClientMessage {
@@ -235,6 +266,16 @@ impl WireEncode for ClientMessage {
                 token.encode(buf);
                 max_bytes.encode(buf);
             }
+            ClientMessage::Tagged {
+                client_id,
+                seq,
+                inner,
+            } => {
+                buf.push(tag::TAGGED);
+                client_id.encode(buf);
+                seq.encode(buf);
+                inner.encode(buf);
+            }
         }
     }
 }
@@ -242,6 +283,35 @@ impl WireEncode for ClientMessage {
 impl WireDecode for ClientMessage {
     fn decode(r: &mut Reader<'_>) -> Result<Self, PhError> {
         match u8::decode(r)? {
+            tag::TAGGED => {
+                let client_id = u64::decode(r)?;
+                let seq = u64::decode(r)?;
+                // The inner tag is decoded here, not recursively, so a
+                // nested-envelope byte bomb cannot recurse the stack:
+                // one level is the wire format, anything deeper is
+                // rejected before descending.
+                let inner = match u8::decode(r)? {
+                    tag::TAGGED => {
+                        return Err(PhError::Wire("nested request envelope".into()));
+                    }
+                    t => Self::decode_untagged(t, r)?,
+                };
+                Ok(ClientMessage::Tagged {
+                    client_id,
+                    seq,
+                    inner: Box::new(inner),
+                })
+            }
+            t => Self::decode_untagged(t, r),
+        }
+    }
+}
+
+impl ClientMessage {
+    /// Decodes the message body for an already-consumed non-envelope
+    /// tag byte `t`.
+    fn decode_untagged(t: u8, r: &mut Reader<'_>) -> Result<Self, PhError> {
+        match t {
             tag::CREATE => Ok(ClientMessage::CreateTable {
                 name: String::decode(r)?,
                 table: EncryptedTable::decode(r)?,
@@ -279,6 +349,16 @@ impl WireDecode for ClientMessage {
                 max_bytes: u64::decode(r)?,
             }),
             t => Err(PhError::Wire(format!("unknown client message tag {t}"))),
+        }
+    }
+
+    /// Wraps `self` in the idempotent request envelope.
+    #[must_use]
+    pub fn tagged(self, client_id: u64, seq: u64) -> ClientMessage {
+        ClientMessage::Tagged {
+            client_id,
+            seq,
+            inner: Box::new(self),
         }
     }
 }
@@ -453,6 +533,77 @@ mod tests {
     fn unknown_tags_rejected() {
         assert!(ClientMessage::from_wire(&[99]).is_err());
         assert!(ServerResponse::from_wire(&[9]).is_err());
+    }
+
+    #[test]
+    fn tagged_envelope_roundtrips() {
+        let inner = ClientMessage::Append {
+            name: "Emp".into(),
+            doc_id: 7,
+            words: vec![CipherWord(vec![3; 13])],
+        };
+        let tagged = inner.clone().tagged(0xA11CE, 42);
+        let bytes = tagged.to_wire();
+        assert_eq!(bytes[0], 10, "envelope tag byte");
+        let back = ClientMessage::from_wire(&bytes).unwrap();
+        assert_eq!(back, tagged);
+        match back {
+            ClientMessage::Tagged {
+                client_id,
+                seq,
+                inner: boxed,
+            } => {
+                assert_eq!((client_id, seq), (0xA11CE, 42));
+                assert_eq!(*boxed, inner);
+            }
+            other => panic!("expected envelope, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn nested_envelope_rejected_without_recursing() {
+        let once = ClientMessage::DropTable { name: "T".into() }.tagged(1, 1);
+        // Hand-build a doubly-tagged frame: tag, id, seq, then the
+        // already-tagged bytes as the "inner" message.
+        let mut bytes = vec![10u8];
+        7u64.encode(&mut bytes);
+        9u64.encode(&mut bytes);
+        bytes.extend_from_slice(&once.to_wire());
+        let err = ClientMessage::from_wire(&bytes).unwrap_err();
+        assert!(err.to_string().contains("nested request envelope"), "{err}");
+    }
+
+    #[test]
+    fn tagged_envelope_with_bad_inner_tag_rejected() {
+        let mut bytes = vec![10u8];
+        1u64.encode(&mut bytes);
+        1u64.encode(&mut bytes);
+        bytes.push(99);
+        assert!(ClientMessage::from_wire(&bytes).is_err());
+    }
+
+    #[test]
+    fn mutation_tag_set_matches_server_classification() {
+        let mutations = [
+            tag::CREATE,
+            tag::APPEND,
+            tag::DROP,
+            tag::DELETE,
+            tag::APPEND_BATCH,
+        ];
+        let reads = [
+            tag::QUERY,
+            tag::FETCH_ALL,
+            tag::QUERY_BATCH,
+            tag::FETCH_CHUNK,
+            tag::TAGGED,
+        ];
+        for t in mutations {
+            assert!(tag::is_mutation_tag(t), "{t}");
+        }
+        for t in reads {
+            assert!(!tag::is_mutation_tag(t), "{t}");
+        }
     }
 
     #[test]

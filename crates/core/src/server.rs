@@ -30,7 +30,7 @@ use crate::durable::{DurableLog, DurableOptions};
 use crate::error::PhError;
 use crate::executor::Executor;
 use crate::protocol::{ClientMessage, ServerResponse, WireTrapdoor, MAX_CHUNK_BYTES};
-use crate::storage::{ShardedTable, TableStore};
+use crate::storage::{DedupDecision, ShardedTable, TableStore};
 use crate::swp_ph::EncryptedTable;
 use crate::wire::{WireDecode, WireEncode};
 
@@ -294,7 +294,7 @@ impl Server {
         workers: Option<usize>,
         options: DurableOptions,
     ) -> Result<Self, PhError> {
-        let (log, recovered) = DurableLog::open(dir, options)?;
+        let (log, recovered, dedup) = DurableLog::open(dir, options)?;
         let store = match workers {
             None => TableStore::new(shards),
             Some(w) => TableStore::with_pool(shards, Arc::new(Executor::new(w))),
@@ -303,6 +303,25 @@ impl Server {
             let sharded =
                 ShardedTable::from_arena(table.params, &table.arena, table.next_doc_id, shards);
             store.install(table.name, sharded);
+        }
+        // Rebuild the exactly-once window in log order. Only applied
+        // mutations are ever logged, and an applied mutation always
+        // acked `Ok` — so every rebuilt entry caches the same bytes
+        // the live server returned before the restart.
+        let ok = ServerResponse::Ok.to_wire();
+        for event in dedup.events {
+            match event {
+                crate::durable::DedupEvent::Snapshot {
+                    client_id,
+                    watermark,
+                    seqs,
+                } => store
+                    .dedup()
+                    .install_snapshot(client_id, watermark, &seqs, &ok),
+                crate::durable::DedupEvent::Applied { client_id, seq } => {
+                    store.dedup().install_replayed(client_id, seq, ok.clone());
+                }
+            }
         }
         Ok(Server {
             store: Arc::new(store),
@@ -359,7 +378,8 @@ impl Server {
     }
 
     /// Whether a message mutates the store — the class whose applied
-    /// instances the durable log must record.
+    /// instances the durable log must record. Sees through the
+    /// idempotent envelope: a tagged mutation is still a mutation.
     fn is_mutation(msg: &ClientMessage) -> bool {
         matches!(
             msg,
@@ -368,7 +388,7 @@ impl Server {
                 | ClientMessage::AppendBatch { .. }
                 | ClientMessage::DeleteDocs { .. }
                 | ClientMessage::DropTable { .. }
-        )
+        ) || matches!(msg, ClientMessage::Tagged { inner, .. } if Self::is_mutation(inner))
     }
 
     /// Handles one serialized client message, returning the serialized
@@ -380,23 +400,69 @@ impl Server {
     /// and queries never touch the log. A durability write failure
     /// surfaces as an error response and fails the log closed — an
     /// acknowledgement must imply persistence.
+    ///
+    /// A [`ClientMessage::Tagged`] mutation additionally passes through
+    /// the store's [`crate::storage::DedupWindow`]: a repeated request
+    /// id replays the original encoded response without re-applying
+    /// (exactly-once under client retries), and the log records the
+    /// envelope bytes verbatim so recovery rebuilds the window along
+    /// with the tables.
     #[must_use]
     pub fn handle(&self, message_bytes: &[u8]) -> Vec<u8> {
-        let response = match ClientMessage::from_wire(message_bytes) {
-            Ok(msg) => match &self.durable {
-                Some(log) if Self::is_mutation(&msg) => {
-                    let logged = log.log_mutation(message_bytes, &self.store, || {
-                        let response = self.dispatch(msg);
-                        let applied = !matches!(response, ServerResponse::Error(_));
-                        (response, applied)
-                    });
-                    logged.unwrap_or_else(|e| ServerResponse::Error(e.to_string()))
-                }
-                _ => self.dispatch(msg),
-            },
-            Err(e) => ServerResponse::Error(format!("malformed message: {e}")),
-        };
-        response.to_wire()
+        match ClientMessage::from_wire(message_bytes) {
+            Ok(ClientMessage::Tagged {
+                client_id,
+                seq,
+                inner,
+            }) => self.handle_tagged(message_bytes, client_id, seq, *inner),
+            Ok(msg) => self.apply(message_bytes, msg).to_wire(),
+            Err(e) => ServerResponse::Error(format!("malformed message: {e}")).to_wire(),
+        }
+    }
+
+    /// Dispatches `msg`, routing mutations through the durable log when
+    /// one is attached. `raw` is the frame exactly as received — the
+    /// bytes the log records; for a tagged mutation they include the
+    /// envelope, which is how recovery rebuilds the dedup window.
+    fn apply(&self, raw: &[u8], msg: ClientMessage) -> ServerResponse {
+        match &self.durable {
+            Some(log) if Self::is_mutation(&msg) => {
+                let logged = log.log_mutation(raw, &self.store, || {
+                    let response = self.dispatch(msg);
+                    let applied = !matches!(response, ServerResponse::Error(_));
+                    (response, applied)
+                });
+                logged.unwrap_or_else(|e| ServerResponse::Error(e.to_string()))
+            }
+            _ => self.dispatch(msg),
+        }
+    }
+
+    /// The exactly-once path for an enveloped message. Non-mutations
+    /// dispatch statelessly (read replay is harmless, so they carry no
+    /// dedup entry); mutations consult the window first and only a
+    /// fresh id reaches [`Server::apply`].
+    fn handle_tagged(&self, raw: &[u8], client_id: u64, seq: u64, inner: ClientMessage) -> Vec<u8> {
+        if !Self::is_mutation(&inner) {
+            return self.apply(raw, inner).to_wire();
+        }
+        match self.store.dedup().begin(client_id, seq) {
+            DedupDecision::Replay(response) => response,
+            DedupDecision::Stale => ServerResponse::Error(format!(
+                "stale duplicate: request ({client_id}, {seq}) is below the dedup \
+                 watermark and its cached response was evicted"
+            ))
+            .to_wire(),
+            DedupDecision::Fresh => {
+                let response = self.apply(raw, inner);
+                let applied = !matches!(response, ServerResponse::Error(_));
+                let encoded = response.to_wire();
+                self.store
+                    .dedup()
+                    .complete(client_id, seq, encoded.clone(), applied);
+                encoded
+            }
+        }
     }
 
     fn run_query(
@@ -549,6 +615,11 @@ impl Server {
                     Err(e) => ServerResponse::Error(e.to_string()),
                 }
             }
+            // `handle` unwraps the envelope before dispatch; reaching
+            // here means a direct caller passed one through. The
+            // envelope is transport metadata — dispatch the inner
+            // message (one level only: decode rejects nesting).
+            ClientMessage::Tagged { inner, .. } => self.dispatch(*inner),
         }
     }
 }

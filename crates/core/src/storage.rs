@@ -53,10 +53,11 @@
 //!   [`crate::server::Observer`] transcript for any operation is
 //!   identical for every shard and pool count.
 
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::{Arc, OnceLock};
+use std::time::Duration;
 
-use parking_lot::RwLock;
+use parking_lot::{Condvar, Mutex, RwLock};
 
 use dbph_swp::{CipherWord, PreparedTrapdoor, ScanKernel, SwpParams, TrapdoorData};
 
@@ -710,6 +711,224 @@ impl ShardedTable {
     }
 }
 
+/// Cap on cached responses retained per client in the dedup window.
+/// Beyond it the lowest-seq completed entry is evicted and the
+/// client's watermark rises over it, so dedup state is bounded by
+/// `O(clients × DEDUP_WINDOW)` no matter how long a session runs.
+pub const DEDUP_WINDOW: usize = 128;
+
+/// How one [`DedupWindow::begin`] call resolved.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DedupDecision {
+    /// First sighting of this id: the caller must apply the inner
+    /// message and then [`DedupWindow::complete`] the entry.
+    Fresh,
+    /// A completed duplicate: the original encoded response, to be
+    /// returned verbatim without re-applying.
+    Replay(Vec<u8>),
+    /// A duplicate older than the client's watermark whose cached
+    /// response was evicted. Never re-applied — the caller reports a
+    /// distinct error instead (the mutation may already have been
+    /// applied once).
+    Stale,
+}
+
+/// One client's slice of the dedup window.
+#[derive(Debug, Default)]
+struct ClientWindow {
+    /// Highest evicted seq: any seq at or below it with no surviving
+    /// entry is [`DedupDecision::Stale`]. Client seqs start at 1, so 0
+    /// means nothing has been evicted yet.
+    watermark: u64,
+    entries: BTreeMap<u64, DedupEntry>,
+}
+
+#[derive(Debug)]
+enum DedupEntry {
+    /// A thread is applying this id right now; concurrent duplicates
+    /// wait for its outcome instead of double-applying.
+    InFlight,
+    /// The apply finished; `response` is the original encoded
+    /// [`crate::protocol::ServerResponse`], `applied` whether it was a
+    /// success (only applied entries are persisted across compaction —
+    /// an error entry replays within the process lifetime but a
+    /// post-restart retry simply re-dispatches and fails again).
+    Done { response: Vec<u8>, applied: bool },
+}
+
+impl ClientWindow {
+    /// Evicts lowest-seq completed entries until the window fits
+    /// [`DEDUP_WINDOW`], raising the watermark over each victim.
+    /// In-flight entries are never evicted — their applier completes
+    /// them.
+    fn evict_to_cap(&mut self) {
+        while self.entries.len() > DEDUP_WINDOW {
+            let victim = self
+                .entries
+                .iter()
+                .find(|(_, e)| matches!(e, DedupEntry::Done { .. }))
+                .map(|(seq, _)| *seq);
+            match victim {
+                Some(seq) => {
+                    self.entries.remove(&seq);
+                    self.watermark = self.watermark.max(seq);
+                }
+                None => break,
+            }
+        }
+    }
+}
+
+/// The server's exactly-once bookkeeping for
+/// [`crate::protocol::ClientMessage::Tagged`] mutations: per client, a
+/// bounded LRU of `seq → original encoded response` plus a high-water
+/// mark covering everything evicted. A repeated id replays the cached
+/// response (or, past the watermark, fails with a distinct stale
+/// error); it never re-applies.
+///
+/// Concurrency: the window is keyed *before* the apply (an in-flight
+/// marker) and completed after, so two racing retries of the same id
+/// serialize — the loser waits on a condvar and replays the winner's
+/// response.
+#[derive(Debug, Default)]
+pub struct DedupWindow {
+    clients: Mutex<HashMap<u64, ClientWindow>>,
+    completed: Condvar,
+}
+
+impl DedupWindow {
+    /// An empty window.
+    #[must_use]
+    pub fn new() -> Self {
+        DedupWindow::default()
+    }
+
+    /// Resolves a request id before dispatch. On [`DedupDecision::Fresh`]
+    /// the id is marked in-flight and the caller *must* eventually call
+    /// [`DedupWindow::complete`] for it.
+    pub fn begin(&self, client_id: u64, seq: u64) -> DedupDecision {
+        let mut clients = self.clients.lock();
+        loop {
+            let win = clients.entry(client_id).or_default();
+            match win.entries.get(&seq) {
+                Some(DedupEntry::Done { response, .. }) => {
+                    return DedupDecision::Replay(response.clone());
+                }
+                Some(DedupEntry::InFlight) => {
+                    // Re-check on notify or every 50 ms (spurious
+                    // wakeups are fine — the predicate is re-derived).
+                    self.completed
+                        .wait_for(&mut clients, Duration::from_millis(50));
+                }
+                None if seq <= win.watermark => return DedupDecision::Stale,
+                None => {
+                    win.entries.insert(seq, DedupEntry::InFlight);
+                    return DedupDecision::Fresh;
+                }
+            }
+        }
+    }
+
+    /// Records the outcome of a [`DedupDecision::Fresh`] apply: caches
+    /// the encoded response for future duplicates, evicts past the
+    /// window cap, and wakes any duplicate waiting in
+    /// [`DedupWindow::begin`].
+    pub fn complete(&self, client_id: u64, seq: u64, response: Vec<u8>, applied: bool) {
+        {
+            let mut clients = self.clients.lock();
+            let win = clients.entry(client_id).or_default();
+            win.entries
+                .insert(seq, DedupEntry::Done { response, applied });
+            win.evict_to_cap();
+        }
+        self.completed.notify_all();
+    }
+
+    /// Re-inserts an applied mutation observed during log replay, in
+    /// log order — rebuilding the window exactly as live traffic built
+    /// it (same insertions, same evictions, same watermark).
+    pub(crate) fn install_replayed(&self, client_id: u64, seq: u64, response: Vec<u8>) {
+        let mut clients = self.clients.lock();
+        let win = clients.entry(client_id).or_default();
+        win.entries.insert(
+            seq,
+            DedupEntry::Done {
+                response,
+                applied: true,
+            },
+        );
+        win.evict_to_cap();
+    }
+
+    /// Installs one client's persisted window image (a compaction
+    /// record): the watermark and the applied seqs that were cached
+    /// when the snapshot was cut, each mapped to `response` (applied
+    /// mutations all acked the same success payload).
+    pub(crate) fn install_snapshot(
+        &self,
+        client_id: u64,
+        watermark: u64,
+        seqs: &[u64],
+        response: &[u8],
+    ) {
+        let mut clients = self.clients.lock();
+        let win = clients.entry(client_id).or_default();
+        win.watermark = win.watermark.max(watermark);
+        for &seq in seqs {
+            win.entries.insert(
+                seq,
+                DedupEntry::Done {
+                    response: response.to_vec(),
+                    applied: true,
+                },
+            );
+        }
+        win.evict_to_cap();
+    }
+
+    /// The persistence image: per client (sorted for determinism),
+    /// `(client_id, watermark, applied seqs ascending)`. Error-response
+    /// entries are deliberately dropped — nothing was applied for
+    /// them, so a post-restart retry may safely re-dispatch.
+    pub(crate) fn snapshot(&self) -> Vec<(u64, u64, Vec<u64>)> {
+        let clients = self.clients.lock();
+        let mut all: Vec<(u64, u64, Vec<u64>)> = clients
+            .iter()
+            .map(|(&client_id, win)| {
+                let seqs: Vec<u64> = win
+                    .entries
+                    .iter()
+                    .filter_map(|(&seq, e)| match e {
+                        DedupEntry::Done { applied: true, .. } => Some(seq),
+                        _ => None,
+                    })
+                    .collect();
+                (client_id, win.watermark, seqs)
+            })
+            .collect();
+        all.sort_by_key(|(client_id, _, _)| *client_id);
+        all
+    }
+
+    /// Number of cached entries for `client_id` (tests).
+    #[must_use]
+    pub fn cached(&self, client_id: u64) -> usize {
+        self.clients
+            .lock()
+            .get(&client_id)
+            .map_or(0, |w| w.entries.len())
+    }
+
+    /// Current watermark for `client_id` (tests).
+    #[must_use]
+    pub fn watermark(&self, client_id: u64) -> u64 {
+        self.clients
+            .lock()
+            .get(&client_id)
+            .map_or(0, |w| w.watermark)
+    }
+}
+
 /// Thread-safe named-table storage with a fixed shard count per table
 /// and a persistent worker pool executing every scan.
 ///
@@ -725,6 +944,7 @@ pub struct TableStore {
     shard_count: usize,
     pool: Arc<Executor>,
     tables: RwLock<HashMap<String, ShardedTable>>,
+    dedup: DedupWindow,
 }
 
 impl TableStore {
@@ -750,7 +970,17 @@ impl TableStore {
             shard_count,
             pool,
             tables: RwLock::new(HashMap::new()),
+            dedup: DedupWindow::new(),
         }
+    }
+
+    /// The store's idempotent-request dedup window. It lives on the
+    /// store (not the server front half) so the durable log — which
+    /// only sees `&TableStore` during compaction — can persist and
+    /// restore it alongside the table snapshot it belongs with.
+    #[must_use]
+    pub fn dedup(&self) -> &DedupWindow {
+        &self.dedup
     }
 
     /// The configured shard count.

@@ -105,6 +105,25 @@ impl Condvar {
         guard.0 = Some(self.0.wait(inner).unwrap_or_else(PoisonError::into_inner));
     }
 
+    /// Like [`Condvar::wait`], but gives up after `timeout`. Returns a
+    /// [`WaitTimeoutResult`] whose `timed_out()` reports whether the
+    /// wait ended by timeout rather than notification. As with `wait`,
+    /// spurious wakeups are possible — callers loop on their predicate
+    /// and re-derive the remaining budget.
+    pub fn wait_for<T>(
+        &self,
+        guard: &mut MutexGuard<'_, T>,
+        timeout: std::time::Duration,
+    ) -> WaitTimeoutResult {
+        let inner = guard.0.take().expect("guard present before wait");
+        let (inner, result) = self
+            .0
+            .wait_timeout(inner, timeout)
+            .unwrap_or_else(PoisonError::into_inner);
+        guard.0 = Some(inner);
+        WaitTimeoutResult(result.timed_out())
+    }
+
     /// Wakes one waiting thread.
     pub fn notify_one(&self) {
         self.0.notify_one();
@@ -113,6 +132,19 @@ impl Condvar {
     /// Wakes all waiting threads.
     pub fn notify_all(&self) {
         self.0.notify_all();
+    }
+}
+
+/// Outcome of [`Condvar::wait_for`]: whether the timeout elapsed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WaitTimeoutResult(bool);
+
+impl WaitTimeoutResult {
+    /// `true` if the wait ended because the timeout elapsed (the
+    /// predicate may still have become true concurrently — re-check).
+    #[must_use]
+    pub fn timed_out(&self) -> bool {
+        self.0
     }
 }
 
@@ -157,6 +189,41 @@ mod tests {
             cv.notify_all();
         }
         assert_eq!(consumer.join().unwrap(), 42);
+    }
+
+    #[test]
+    fn wait_for_times_out_and_reports_it() {
+        let state = (Mutex::new(false), Condvar::new());
+        let mut ready = state.0.lock();
+        let result = state
+            .1
+            .wait_for(&mut ready, std::time::Duration::from_millis(10));
+        assert!(result.timed_out());
+        assert!(!*ready); // guard reacquired and usable after timeout
+    }
+
+    #[test]
+    fn wait_for_wakes_on_notify_without_timing_out() {
+        let state = Arc::new((Mutex::new(false), Condvar::new()));
+        let waiter = {
+            let state = Arc::clone(&state);
+            std::thread::spawn(move || {
+                let (lock, cv) = &*state;
+                let mut ready = lock.lock();
+                while !*ready {
+                    let r = cv.wait_for(&mut ready, std::time::Duration::from_secs(5));
+                    if r.timed_out() {
+                        return false;
+                    }
+                }
+                true
+            })
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        let (lock, cv) = &*state;
+        *lock.lock() = true;
+        cv.notify_all();
+        assert!(waiter.join().unwrap());
     }
 
     #[test]

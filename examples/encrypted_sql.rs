@@ -77,11 +77,40 @@
 //! # terminals 2..N — as many concurrent sessions as you like
 //! $ cargo run --release --example encrypted_sql -- --connect 127.0.0.1:4460
 //! ```
+//!
+//! # Quickstart: kill the server mid-batch, lose nothing, apply once
+//!
+//! Two client-side flags exercise the exactly-once machinery:
+//!
+//! * `--retry <n>` — retry failed exchanges up to `n` attempts with
+//!   exponential backoff. Retried mutations carry an idempotent
+//!   request envelope, so a re-send the server already applied is
+//!   *replayed* from its dedup window, never applied twice.
+//! * `--chaos-seed <s>` — interpose a seeded fault-injecting proxy
+//!   (connection resets, torn frames, swallowed acks, delays) between
+//!   this client and the server. The same seed reproduces the same
+//!   weather; pair it with `--retry` or the session will simply fail.
+//!
+//! ```text
+//! # terminal 1 — durable server
+//! $ cargo run --example encrypted_sql -- --listen 127.0.0.1:4460 --data-dir /tmp/dbph-data
+//!
+//! # terminal 2 — client that shrugs off faults
+//! $ cargo run --example encrypted_sql -- --connect 127.0.0.1:4460 --retry 8 --chaos-seed 42
+//!
+//! # while terminal 2 runs: kill -9 terminal 1's process mid-batch,
+//! # then restart it on the same --data-dir. The client's in-flight
+//! # mutation retries against the recovered server, whose dedup
+//! # window (rebuilt from the log) replays any already-applied
+//! # envelope — the session completes, every row exactly once, and
+//! # the final SELECTs still match the plaintext reference.
+//! ```
 
 use std::time::Duration;
 
 use dbph::core::{
-    Client, DurableOptions, FinalSwpPh, FrontEnd, NetServer, PooledClient, Server, Transport,
+    ChaosPlan, ChaosProxy, Client, DurableOptions, FinalSwpPh, FrontEnd, NetServer, PoolOptions,
+    PooledClient, RetryPolicy, Server, Transport,
 };
 use dbph::crypto::SecretKey;
 use dbph::relation::sql::{self, ExecOutcome, Statement};
@@ -111,6 +140,49 @@ fn make_server(
                 println!("-- group-commit flush window: {} ms", w.as_millis());
             }
             Ok(server)
+        }
+    }
+}
+
+/// Dials the session's pooled client: straight to `addr` by default;
+/// with `--retry`, under a retry policy (and socket/checkout timeouts
+/// so a dead server surfaces instead of hanging); with `--chaos-seed`,
+/// through a seeded fault-injecting proxy. Returns the proxy guard so
+/// it outlives the session.
+fn make_client(
+    addr: &str,
+    retry: Option<u32>,
+    chaos_seed: Option<u64>,
+) -> Result<(PooledClient, Option<ChaosProxy>), Box<dyn std::error::Error>> {
+    let options = PoolOptions {
+        capacity: 2,
+        retry: match retry {
+            Some(attempts) => RetryPolicy {
+                max_attempts: attempts.max(1),
+                deadline: Some(Duration::from_secs(60)),
+                ..RetryPolicy::default()
+            },
+            None => RetryPolicy::default(),
+        },
+        io_timeout: retry.map(|_| Duration::from_secs(10)),
+        checkout_timeout: retry.map(|_| Duration::from_secs(30)),
+        client_id: None,
+    };
+    match chaos_seed {
+        None => Ok((PooledClient::connect_with(addr, options)?, None)),
+        Some(seed) => {
+            use std::net::ToSocketAddrs as _;
+            let upstream = addr
+                .to_socket_addrs()?
+                .next()
+                .ok_or("address resolved to nothing")?;
+            let proxy = ChaosProxy::spawn(upstream, seed, ChaosPlan::default())?;
+            println!(
+                "-- chaos proxy on {} (seed {seed}): resets, torn frames, dropped acks",
+                proxy.addr()
+            );
+            let client = PooledClient::connect_with(proxy.addr().to_string().as_str(), options)?;
+            Ok((client, Some(proxy)))
         }
     }
 }
@@ -163,11 +235,59 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         return Err("--flush-window tunes the durable log; pair it with --data-dir".into());
     }
 
+    // `--retry <n>` turns on client-side retries (mutations ride the
+    // idempotent envelope; the server applies each exactly once).
+    let retry = args
+        .iter()
+        .position(|a| a == "--retry")
+        .map(|i| {
+            args.remove(i); // the flag
+            if i < args.len() {
+                args.remove(i) // its value
+                    .parse::<u32>()
+                    .map_err(|_| "usage: --retry <attempts>")
+            } else {
+                Err("usage: --retry <attempts>")
+            }
+        })
+        .transpose()?;
+
+    // `--chaos-seed <s>` injects seeded faults between client and
+    // server, so the retry machinery has weather to prove itself in.
+    let chaos_seed = args
+        .iter()
+        .position(|a| a == "--chaos-seed")
+        .map(|i| {
+            args.remove(i); // the flag
+            if i < args.len() {
+                args.remove(i) // its value
+                    .parse::<u64>()
+                    .map_err(|_| "usage: --chaos-seed <seed>")
+            } else {
+                Err("usage: --chaos-seed <seed>")
+            }
+        })
+        .transpose()?;
+    if chaos_seed.is_some() && retry.is_none() {
+        return Err(
+            "--chaos-seed injects faults; pair it with --retry <n> or the session \
+                    will simply fail"
+                .into(),
+        );
+    }
+
     match args.first().map(String::as_str) {
         None => {
             if front_end == FrontEnd::EventLoop {
                 return Err(
                     "--event-loop is a socket-mode flag; use it with --listen/--net".into(),
+                );
+            }
+            if retry.is_some() || chaos_seed.is_some() {
+                return Err(
+                    "--retry/--chaos-seed exercise the socket path; use them with \
+                            --net or --connect"
+                        .into(),
                 );
             }
             // In-process: the transport is the server itself.
@@ -181,12 +301,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 "-- loopback server listening on {} ({front_end:?} front-end)",
                 handle.addr()
             );
-            let pool = PooledClient::connect(handle.addr(), 2)?;
+            let (pool, _chaos) = make_client(&handle.addr().to_string(), retry, chaos_seed)?;
             let result = run_script(pool);
             handle.shutdown();
             result
         }
         Some("--listen") => {
+            if retry.is_some() || chaos_seed.is_some() {
+                return Err(
+                    "--retry/--chaos-seed are client-side flags; use them with --connect".into(),
+                );
+            }
             let addr = args.get(1).map_or("127.0.0.1:4460", String::as_str);
             let listener = std::net::TcpListener::bind(addr)?;
             let label = match front_end {
@@ -214,13 +339,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 .get(1)
                 .ok_or("usage: encrypted_sql --connect <addr>")?
                 .clone();
-            println!("-- connecting to {addr} (2-connection pool)");
-            run_script(PooledClient::connect(addr.as_str(), 2)?)
+            match retry {
+                Some(n) => println!("-- connecting to {addr} (2-connection pool, {n} attempts)"),
+                None => println!("-- connecting to {addr} (2-connection pool)"),
+            }
+            let (pool, _chaos) = make_client(addr.as_str(), retry, chaos_seed)?;
+            run_script(pool)
         }
         Some(other) => Err(format!(
             "unknown mode {other:?}; use --net, --listen [addr], or --connect <addr> \
              (server-side extras: --data-dir <path> for persistence, --event-loop for \
-             the readiness front-end, --flush-window <ms> for group commit)"
+             the readiness front-end, --flush-window <ms> for group commit; client-side: \
+             --retry <n> for exactly-once retries, --chaos-seed <s> for fault injection)"
         )
         .into()),
     }

@@ -1,0 +1,337 @@
+//! Robustness at the socket seam: timeouts, bounded waits, and
+//! fail-closed degradation over the network.
+//!
+//! 1. **Idle-session reaping.** Both front-ends evict sessions that go
+//!    silent past [`NetOptions::idle_timeout`], count them in
+//!    [`ServerHandle::idle_reaped`], and keep serving fresh
+//!    connections afterwards. An *active* session is never reaped.
+//! 2. **Bounded checkout.** With every pooled connection checked out
+//!    and [`PoolOptions::checkout_timeout`] set, a second caller gets
+//!    a distinct pool-exhausted [`PhError::Transport`] instead of
+//!    waiting forever.
+//! 3. **Socket timeouts.** A hung server (accepts, never replies)
+//!    turns into a timely transport error when
+//!    [`PoolOptions::io_timeout`] is set — the client's thread comes
+//!    back, the caller decides what next.
+//! 4. **Poisoned-log degradation over TCP.** After an injected
+//!    `fdatasync` failure, mutations arriving over the network fail
+//!    closed with the distinct durability error while queries and
+//!    chunked fetches keep answering — on both front-ends.
+
+use std::net::TcpListener;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use dbph::core::protocol::{ClientMessage, ServerResponse};
+use dbph::core::wire::{WireDecode as _, WireEncode as _};
+use dbph::core::{
+    DurableOptions, FrontEnd, NetOptions, NetServer, PoolOptions, PooledClient, RetryPolicy,
+    Server, TempDir, Transport,
+};
+use dbph::swp::{CipherWord, SwpParams};
+
+fn empty_table() -> dbph::core::EncryptedTable {
+    dbph::core::EncryptedTable {
+        params: SwpParams::new(13, 4, 32).unwrap(),
+        docs: vec![],
+        next_doc_id: 0,
+    }
+}
+
+fn create_msg(name: &str) -> Vec<u8> {
+    ClientMessage::CreateTable {
+        name: name.into(),
+        table: empty_table(),
+    }
+    .to_wire()
+}
+
+fn append_msg(name: &str, id: u64) -> Vec<u8> {
+    ClientMessage::Append {
+        name: name.into(),
+        doc_id: id,
+        words: vec![CipherWord(vec![(id % 251) as u8; 13])],
+    }
+    .to_wire()
+}
+
+fn fetch_msg(name: &str) -> Vec<u8> {
+    ClientMessage::FetchAll { name: name.into() }.to_wire()
+}
+
+fn chunk_msg(name: &str) -> Vec<u8> {
+    ClientMessage::FetchChunk {
+        name: name.into(),
+        token: 0,
+        max_bytes: 1 << 16,
+    }
+    .to_wire()
+}
+
+fn decode(resp: &[u8]) -> ServerResponse {
+    ServerResponse::from_wire(resp).expect("well-formed response")
+}
+
+fn is_ok(resp: &[u8]) -> bool {
+    !matches!(decode(resp), ServerResponse::Error(_))
+}
+
+/// Polls `probe` until it returns true or ~5s pass.
+fn eventually(mut probe: impl FnMut() -> bool) -> bool {
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while Instant::now() < deadline {
+        if probe() {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    false
+}
+
+// --- 1. idle-session reaping ----------------------------------------------
+
+#[test]
+fn idle_sessions_are_reaped_on_both_front_ends() {
+    for front_end in [FrontEnd::ThreadPerConnection, FrontEnd::EventLoop] {
+        let server = Server::with_shards(2);
+        let handle = NetServer::spawn_opts(
+            server,
+            "127.0.0.1:0",
+            NetOptions {
+                front_end,
+                idle_timeout: Some(Duration::from_millis(120)),
+            },
+        )
+        .unwrap();
+
+        // A session that speaks once and then goes silent.
+        let idler = PooledClient::connect(handle.addr(), 1).unwrap();
+        assert!(is_ok(&idler.call(&create_msg("idle")).unwrap()));
+
+        assert!(
+            eventually(|| handle.idle_reaped() >= 1),
+            "{front_end:?}: silent session was never reaped"
+        );
+
+        // The listener is still healthy: a fresh connection works.
+        let fresh = PooledClient::connect(handle.addr(), 1).unwrap();
+        assert!(is_ok(&fresh.call(&fetch_msg("idle")).unwrap()));
+        handle.shutdown();
+    }
+}
+
+#[test]
+fn active_sessions_survive_the_idle_reaper() {
+    for front_end in [FrontEnd::ThreadPerConnection, FrontEnd::EventLoop] {
+        let server = Server::with_shards(2);
+        let handle = NetServer::spawn_opts(
+            server,
+            "127.0.0.1:0",
+            NetOptions {
+                front_end,
+                idle_timeout: Some(Duration::from_millis(150)),
+            },
+        )
+        .unwrap();
+        let client = PooledClient::connect(handle.addr(), 1).unwrap();
+        assert!(is_ok(&client.call(&create_msg("busy")).unwrap()));
+
+        // Keep the session warm across several idle budgets.
+        let until = Instant::now() + Duration::from_millis(600);
+        while Instant::now() < until {
+            assert!(
+                is_ok(&client.call(&fetch_msg("busy")).unwrap()),
+                "{front_end:?}: active session was cut mid-conversation"
+            );
+            std::thread::sleep(Duration::from_millis(40));
+        }
+        assert_eq!(
+            handle.idle_reaped(),
+            0,
+            "{front_end:?}: reaper counted an active session"
+        );
+        handle.shutdown();
+    }
+}
+
+// --- 2 & 3. bounded checkout and socket timeouts ---------------------------
+
+/// A server that accepts connections and never responds — the hang
+/// case timeouts exist for. Keeps the accepted sockets alive so the
+/// peer blocks on read instead of seeing EOF.
+fn hung_listener() -> (std::net::SocketAddr, Arc<std::sync::atomic::AtomicBool>) {
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let stop = Arc::new(std::sync::atomic::AtomicBool::new(false));
+    let stop_flag = Arc::clone(&stop);
+    std::thread::spawn(move || {
+        listener.set_nonblocking(true).unwrap();
+        let mut held = Vec::new();
+        while !stop_flag.load(std::sync::atomic::Ordering::SeqCst) {
+            match listener.accept() {
+                Ok((conn, _)) => held.push(conn),
+                Err(_) => std::thread::sleep(Duration::from_millis(5)),
+            }
+        }
+    });
+    (addr, stop)
+}
+
+#[test]
+fn io_timeout_turns_a_hung_server_into_a_timely_error() {
+    let (addr, stop) = hung_listener();
+    let client = PooledClient::connect_with(
+        addr,
+        PoolOptions {
+            capacity: 1,
+            io_timeout: Some(Duration::from_millis(200)),
+            ..PoolOptions::default()
+        },
+    )
+    .unwrap();
+
+    let started = Instant::now();
+    let err = client.call(&fetch_msg("T")).unwrap_err();
+    let waited = started.elapsed();
+    assert!(
+        matches!(err, dbph::core::PhError::Transport(_)),
+        "hung server must surface as a transport error, got {err:?}"
+    );
+    assert!(
+        waited < Duration::from_secs(3),
+        "io_timeout did not bound the hang: waited {waited:?}"
+    );
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+}
+
+#[test]
+fn exhausted_pool_fails_checkout_after_the_bounded_wait() {
+    let (addr, stop) = hung_listener();
+    let client = PooledClient::connect_with(
+        addr,
+        PoolOptions {
+            capacity: 1,
+            // The holder thread's call parks on the hung server for
+            // well past the waiter's checkout budget.
+            io_timeout: Some(Duration::from_secs(2)),
+            checkout_timeout: Some(Duration::from_millis(150)),
+            ..PoolOptions::default()
+        },
+    )
+    .unwrap();
+
+    let holder = {
+        let client = client.clone();
+        std::thread::spawn(move || client.call(&fetch_msg("T")))
+    };
+    // Let the holder win the only connection.
+    std::thread::sleep(Duration::from_millis(100));
+
+    let started = Instant::now();
+    let err = client.call(&fetch_msg("T")).unwrap_err();
+    assert!(
+        matches!(&err, dbph::core::PhError::Transport(m) if m.contains("pool exhausted")),
+        "expected the pool-exhausted error, got {err:?}"
+    );
+    assert!(
+        started.elapsed() < Duration::from_secs(1),
+        "checkout wait was not bounded"
+    );
+
+    assert!(
+        holder.join().unwrap().is_err(),
+        "the hung call cannot succeed"
+    );
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
+}
+
+#[test]
+fn retry_policy_gives_up_after_its_attempt_budget() {
+    // No server at all: every attempt fails fast with connection
+    // refused; the call must come back after exactly the budget.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let client = PooledClient::connect_with(
+        addr,
+        PoolOptions {
+            capacity: 1,
+            retry: RetryPolicy {
+                max_attempts: 3,
+                base_backoff: Duration::from_millis(5),
+                max_backoff: Duration::from_millis(10),
+                deadline: None,
+                jitter_seed: 7,
+            },
+            ..PoolOptions::default()
+        },
+    )
+    .unwrap();
+    drop(listener); // now every dial is refused
+
+    let err = client.call(&append_msg("T", 0)).unwrap_err();
+    assert!(matches!(err, dbph::core::PhError::Transport(_)));
+}
+
+// --- 4. poisoned-log degradation over TCP ----------------------------------
+
+#[test]
+fn poisoned_log_fails_mutations_closed_over_tcp_but_keeps_answering_queries() {
+    for front_end in [FrontEnd::ThreadPerConnection, FrontEnd::EventLoop] {
+        let tmp = TempDir::new("net-poison").unwrap();
+        let server =
+            Server::open_durable_with(tmp.path(), 2, Some(1), DurableOptions::default()).unwrap();
+        let handle = NetServer::spawn_opts(
+            server.clone(),
+            "127.0.0.1:0",
+            NetOptions {
+                front_end,
+                idle_timeout: None,
+            },
+        )
+        .unwrap();
+        let client = PooledClient::connect(handle.addr(), 2).unwrap();
+
+        assert!(is_ok(&client.call(&create_msg("T")).unwrap()));
+        assert!(is_ok(&client.call(&append_msg("T", 0)).unwrap()));
+
+        // Break the next barrier; the mutation that trips it poisons
+        // the log.
+        let log = Arc::clone(server.durable_log().unwrap());
+        log.inject_sync_failures(1);
+        match decode(&client.call(&append_msg("T", 1)).unwrap()) {
+            ServerResponse::Error(m) => assert!(
+                m.contains("durability error"),
+                "{front_end:?}: wrong error class for the tripping mutation: {m}"
+            ),
+            other => panic!("{front_end:?}: mutation acked against a failed sync: {other:?}"),
+        }
+        assert!(log.is_poisoned());
+
+        // Fail closed from here on: every mutation refused, with the
+        // distinct durability error...
+        match decode(&client.call(&append_msg("T", 2)).unwrap()) {
+            ServerResponse::Error(m) => assert!(
+                m.contains("durability error"),
+                "{front_end:?}: wrong error class after poisoning: {m}"
+            ),
+            other => panic!("{front_end:?}: mutation accepted on a poisoned log: {other:?}"),
+        }
+        // ...while reads — plain and chunked — still answer over the
+        // same connections. The tripping append was applied in memory
+        // before its barrier failed (it was refused, never acked — the
+        // ack is what durability gates), so the live store holds two
+        // docs; the post-poison append was refused before apply.
+        match decode(&client.call(&fetch_msg("T")).unwrap()) {
+            ServerResponse::Table(t) => assert_eq!(t.len(), 2),
+            other => panic!("{front_end:?}: fetch failed on a poisoned log: {other:?}"),
+        }
+        assert!(
+            matches!(
+                decode(&client.call(&chunk_msg("T")).unwrap()),
+                ServerResponse::TableChunk { .. }
+            ),
+            "{front_end:?}: chunked fetch failed on a poisoned log"
+        );
+        handle.shutdown();
+    }
+}
