@@ -65,6 +65,7 @@ use dbph_swp::SwpParams;
 use crate::arena::WordArena;
 use crate::codec;
 use crate::error::PhError;
+use crate::index::Posting;
 use crate::protocol::tag;
 use crate::storage::{ShardedTable, TableStore};
 use crate::wire::{Reader, WireDecode, WireEncode};
@@ -100,6 +101,13 @@ const TAG_SNAPSHOT: u8 = 1;
 /// already applied, and a retry after compact + restart could
 /// double-apply.
 const TAG_DEDUP: u8 = 2;
+/// Record tag: the body is the encrypted-index image at a compaction
+/// cut — per table, `(label, (bound, posting ids))` entries
+/// ([`crate::index`]). Written only when the index is enabled *and*
+/// has postings, so a scan-only server's segments (and an indexed
+/// server's before its first probe) stay byte-identical to the
+/// pre-index format.
+const TAG_INDEX: u8 = 3;
 
 /// Tuning knobs for a [`DurableLog`].
 #[derive(Debug, Clone)]
@@ -163,6 +171,19 @@ pub struct RecoveredDedup {
     pub(crate) events: Vec<DedupEvent>,
 }
 
+/// Encrypted-index state rebuilt by recovery: the multimap image the
+/// last compaction persisted, if any. Non-empty only when the index
+/// was enabled — installing it re-enables the index on the recovered
+/// server.
+#[derive(Debug, Default)]
+pub struct RecoveredIndex {
+    pub(crate) image: Vec<(String, Vec<(dbph_swp::IndexLabel, Posting)>)>,
+}
+
+/// Wire shape of a persisted index image: per table, each posting as
+/// `(label bytes, (bound, doc ids))`.
+type IndexImageWire = Vec<(String, Vec<(Vec<u8>, (u64, Vec<u64>))>)>;
+
 /// One dedup-relevant observation during log replay.
 #[derive(Debug)]
 pub(crate) enum DedupEvent {
@@ -206,6 +227,12 @@ struct CommitState {
     synced: u64,
     /// Whether some thread is currently the sync leader.
     syncing: bool,
+    /// Threads currently inside [`DurableLog::wait_durable`]. A leader
+    /// electing itself with `waiters == 1` and its own record at the
+    /// append high-water mark is *serial*: nobody can join its window,
+    /// so it skips the flush-window sleep instead of paying pure added
+    /// latency for zero batching.
+    waiters: u64,
     /// The file the next shared fsync must hit — tracks the active
     /// segment across compaction swaps.
     file: Arc<File>,
@@ -488,6 +515,25 @@ fn replay_dedup(body: &[u8], dedup: &mut RecoveredDedup) -> Result<(), PhError> 
     Ok(())
 }
 
+/// Replays one index-record body: the multimap image a compaction cut
+/// persisted, `Vec<(table, Vec<(label, (bound, posting ids))>)>`.
+fn replay_index(body: &[u8], index: &mut RecoveredIndex) -> Result<(), PhError> {
+    let mut r = Reader::new(body);
+    let image = IndexImageWire::decode(&mut r)?;
+    r.expect_end()?;
+    for (name, postings) in image {
+        let mut entries = Vec::with_capacity(postings.len());
+        for (label, (bound, doc_ids)) in postings {
+            let label: dbph_swp::IndexLabel = label
+                .try_into()
+                .map_err(|_| PhError::Durability("index record label is not 32 bytes".into()))?;
+            entries.push((label, Posting { doc_ids, bound }));
+        }
+        index.image.push((name, entries));
+    }
+    Ok(())
+}
+
 /// How a segment replay ended.
 enum SegmentEnd {
     /// Every byte consumed as complete, checksum-valid records.
@@ -506,6 +552,7 @@ fn replay_segment(
     bytes: &[u8],
     tables: &mut BTreeMap<String, RecoveredTable>,
     dedup: &mut RecoveredDedup,
+    index: &mut RecoveredIndex,
 ) -> Result<SegmentEnd, PhError> {
     let mut cursor = Cursor::new(bytes);
     let mut good: u64 = 0;
@@ -529,6 +576,7 @@ fn replay_segment(
             TAG_MUTATION => replay_mutation(record, tables, dedup)?,
             TAG_SNAPSHOT => replay_snapshot(record, tables)?,
             TAG_DEDUP => replay_dedup(record, dedup)?,
+            TAG_INDEX => replay_index(record, index)?,
             t => return Err(PhError::Durability(format!("unknown record tag {t}"))),
         }
         good = cursor.position();
@@ -550,7 +598,7 @@ impl DurableLog {
     pub fn open(
         dir: impl AsRef<Path>,
         options: DurableOptions,
-    ) -> Result<(Self, Vec<RecoveredTable>, RecoveredDedup), PhError> {
+    ) -> Result<(Self, Vec<RecoveredTable>, RecoveredDedup, RecoveredIndex), PhError> {
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir).map_err(|e| io_err("create data dir", &e))?;
 
@@ -590,13 +638,14 @@ impl DurableLog {
 
         let mut tables = BTreeMap::new();
         let mut dedup = RecoveredDedup::default();
+        let mut index = RecoveredIndex::default();
         let (&active_id, sealed_ids) = segments
             .split_last()
             .ok_or_else(|| PhError::Durability("empty manifest".into()))?;
         for &id in sealed_ids {
             let path = segment_path(&dir, id);
             let bytes = fs::read(&path).map_err(|e| io_err("read sealed segment", &e))?;
-            match replay_segment(&bytes, &mut tables, &mut dedup)? {
+            match replay_segment(&bytes, &mut tables, &mut dedup, &mut index)? {
                 SegmentEnd::Clean => {}
                 SegmentEnd::Torn { good_bytes } => {
                     return Err(PhError::Durability(format!(
@@ -607,7 +656,7 @@ impl DurableLog {
         }
         let active_path = segment_path(&dir, active_id);
         let bytes = fs::read(&active_path).map_err(|e| io_err("read active segment", &e))?;
-        let active_bytes = match replay_segment(&bytes, &mut tables, &mut dedup)? {
+        let active_bytes = match replay_segment(&bytes, &mut tables, &mut dedup, &mut index)? {
             SegmentEnd::Clean => bytes.len() as u64,
             SegmentEnd::Torn { good_bytes } => {
                 // The crash contract: drop the torn tail, keep every
@@ -662,6 +711,7 @@ impl DurableLog {
                 appended: 0,
                 synced: 0,
                 syncing: false,
+                waiters: 0,
                 file: active,
             }),
             commit_cv: Condvar::new(),
@@ -670,7 +720,7 @@ impl DurableLog {
             sync_faults: AtomicU64::new(0),
             _dir_lock: dir_lock,
         };
-        Ok((log, tables.into_values().collect(), dedup))
+        Ok((log, tables.into_values().collect(), dedup, index))
     }
 
     /// The data directory this log persists into.
@@ -764,11 +814,14 @@ impl DurableLog {
     /// already covered or lead the next window.
     fn wait_durable(&self, seq: u64) -> Result<(), PhError> {
         let mut c = self.commit.lock();
+        c.waiters += 1;
         loop {
             if c.synced >= seq {
+                c.waiters -= 1;
                 return Ok(());
             }
             if self.is_poisoned() {
+                c.waiters -= 1;
                 return Err(PhError::Durability(
                     "group-commit window failed; mutation not durable".into(),
                 ));
@@ -777,11 +830,22 @@ impl DurableLog {
                 self.commit_cv.wait(&mut c);
                 continue;
             }
-            // Become the leader for this window.
+            // Become the leader for this window. A *serial* leader —
+            // sole waiter, own record at the append high-water mark —
+            // has nobody to coalesce with: waiting out a positive
+            // flush window would add its full duration to every
+            // mutation's latency for zero batching benefit, so it
+            // syncs immediately. (Records land in the file before
+            // their barrier seq is claimed, so the post-window target
+            // read below still covers any writer that slips in
+            // between — a race costs batching, never durability.)
             c.syncing = true;
+            let serial = c.waiters == 1 && c.appended == seq;
             drop(c);
             if !self.options.flush_window.is_zero() {
-                std::thread::sleep(self.options.flush_window);
+                if !serial {
+                    std::thread::sleep(self.options.flush_window);
+                }
             } else {
                 // Even with no window, give concurrently-appending
                 // threads a scheduling chance to land their records
@@ -824,6 +888,7 @@ impl DurableLog {
                     // The window failed: every waiter in it (and any
                     // record appended since) must fail closed, not be
                     // acked by some later successful sync.
+                    c.waiters -= 1;
                     self.poisoned.store(true, Ordering::SeqCst);
                     self.commit_cv.notify_all();
                     return Err(e);
@@ -984,6 +1049,33 @@ impl DurableLog {
             payload.extend_from_slice(&sum);
             codec::write_frame_capped(&mut snapshot_file, &payload, MAX_RECORD)
                 .map_err(|e| PhError::Durability(format!("write dedup record: {e}")))?;
+        }
+        // The encrypted-multimap image rides along for the same
+        // reason. Skipped when the index is off (or has no postings),
+        // so scan-only segment bytes are unchanged from the pre-index
+        // format.
+        if store.index().is_enabled() {
+            let index_image: IndexImageWire = store
+                .index()
+                .snapshot()
+                .into_iter()
+                .map(|(name, postings)| {
+                    let postings = postings
+                        .into_iter()
+                        .map(|(label, posting)| (label.to_vec(), (posting.bound, posting.doc_ids)))
+                        .collect();
+                    (name, postings)
+                })
+                .collect();
+            if !index_image.is_empty() {
+                let mut payload = Vec::new();
+                payload.push(TAG_INDEX);
+                index_image.encode(&mut payload);
+                let sum = checksum(&payload);
+                payload.extend_from_slice(&sum);
+                codec::write_frame_capped(&mut snapshot_file, &payload, MAX_RECORD)
+                    .map_err(|e| PhError::Durability(format!("write index record: {e}")))?;
+            }
         }
         snapshot_file
             .sync_all()

@@ -73,6 +73,22 @@ impl fmt::Display for PhError {
     }
 }
 
+impl PhError {
+    /// Whether this is the server's *stale duplicate* rejection of a
+    /// tagged mutation (see
+    /// [`crate::protocol::STALE_DUPLICATE_PREFIX`]). Non-retriable by
+    /// construction: the request id aged out of the dedup window, so a
+    /// re-send gets the same answer forever — callers should surface
+    /// it instead of retrying. The client maps the server's error
+    /// response to [`PhError::Protocol`], which is where the prefix
+    /// lands.
+    #[must_use]
+    pub fn is_stale_duplicate(&self) -> bool {
+        matches!(self, PhError::Protocol(msg)
+            if msg.starts_with(crate::protocol::STALE_DUPLICATE_PREFIX))
+    }
+}
+
 impl std::error::Error for PhError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {

@@ -1,0 +1,379 @@
+//! Server-side encrypted inverted index — a memoizing encrypted
+//! multimap (EMM) beside the scan engine.
+//!
+//! The paper's `ψ` is a linear trapdoor scan: every query pays
+//! O(total words) of PRF work. That is the construction's security
+//! *choice*, not an accident — but it cannot serve millions of users.
+//! This module adds the classic sublinear answer, an encrypted
+//! multimap from trapdoor-derived labels to posting lists, as an
+//! **opt-in** alternative plan with the scan kept as the reference
+//! oracle:
+//!
+//! * **Label.** [`dbph_swp::index_label`] hashes the trapdoor's own
+//!   bytes (`target`, `check_key`) — material the server already
+//!   holds — into a fixed 32-byte multimap key. Equal terms map to
+//!   equal labels, which is exactly the query-equality leakage the
+//!   wire already exhibits.
+//! * **Posting.** [`Posting`] stores the ascending matched document
+//!   ids plus a `bound`: the table's `next_doc_id` when the posting
+//!   was last refreshed. Because document ids are strictly increasing
+//!   in table order (the append path rejects stale ids), every
+//!   document appended after the refresh has `id >= bound` and forms a
+//!   contiguous *suffix* of the table — so a probe serves the cached
+//!   ids and delta-scans only that suffix. Appends therefore need no
+//!   index maintenance at all; the index is a memo, lazily caught up
+//!   at the next probe of each term.
+//! * **Deletes: eager purge, no tombstones.** [`TableIndex::purge`]
+//!   removes deleted ids from every posting of the table immediately.
+//!   The documented leakage consequence: Eve (who *is* the server)
+//!   can diff the at-rest multimap across a delete and learn which
+//!   previously-queried labels matched the deleted documents — a
+//!   deletion pattern the tombstone alternative would briefly hide at
+//!   the cost of serving ghosts. Since Eve already observes every
+//!   `DeleteDocs` id *and* every query's matched-id access pattern,
+//!   the purge reveals a join of two patterns she has, not a new one.
+//! * **Rebalance is free.** Postings are keyed by document *id*, not
+//!   position, and shard repartitioning never renames ids — so shard
+//!   churn requires no index work (the rebuild-on-rebalance question
+//!   dissolves).
+//!
+//! Correctness (pinned by `tests/index_equivalence.rs`): the SWP match
+//! decision is **deterministic** per (trapdoor bytes, stored word
+//! bytes) — false positives included — so a cached posting equals the
+//! scan's match set over the prefix it covers, the delta scan equals
+//! it over the suffix, and their concatenation (still ascending)
+//! intersected across terms reproduces the scan's candidate set
+//! exactly. Responses are assembled from the live table in id order,
+//! so they are byte-identical to the scan plan's.
+//!
+//! What the at-rest index reveals beyond the scan engine's state: the
+//! multimap `label → posting` itself, i.e. for every *queried* term
+//! the number (and identity) of matching documents, persisted across
+//! requests. `crates/games`' posting-length frequency attack measures
+//! the recovery rate this enables; the scan-only server exhibits no
+//! such at-rest structure.
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use dbph_swp::IndexLabel;
+
+/// One posting list: the matched document ids (ascending) for a label,
+/// valid for every document with id below `bound`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Posting {
+    /// Matched document ids, strictly ascending.
+    pub doc_ids: Vec<u64>,
+    /// Exclusive id horizon: the table's `next_doc_id` at the last
+    /// refresh. Documents with `id >= bound` are not covered and must
+    /// be delta-scanned.
+    pub bound: u64,
+}
+
+/// The per-table encrypted multimap: label → posting list.
+#[derive(Debug, Default)]
+pub struct TableIndex {
+    postings: HashMap<IndexLabel, Posting>,
+}
+
+impl TableIndex {
+    /// Looks up the cached posting for `label`, if any.
+    #[must_use]
+    pub fn lookup(&self, label: &IndexLabel) -> Option<Posting> {
+        self.postings.get(label).cloned()
+    }
+
+    /// Installs (or replaces) the posting for `label`.
+    pub fn install(&mut self, label: IndexLabel, posting: Posting) {
+        self.postings.insert(label, posting);
+    }
+
+    /// Eagerly removes `deleted` ids from every posting — the
+    /// no-tombstone delete rule (see the module docs for the leakage
+    /// consequence).
+    pub fn purge(&mut self, deleted: &[u64]) {
+        if deleted.is_empty() {
+            return;
+        }
+        for posting in self.postings.values_mut() {
+            posting.doc_ids.retain(|id| !deleted.contains(id));
+        }
+    }
+
+    /// Number of cached labels.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.postings.len()
+    }
+
+    /// Whether no postings are cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.postings.is_empty()
+    }
+
+    /// The at-rest image, sorted by label for determinism: what Eve
+    /// reads out of her own memory, and what compaction persists.
+    #[must_use]
+    pub fn at_rest(&self) -> Vec<(IndexLabel, Posting)> {
+        let mut all: Vec<(IndexLabel, Posting)> = self
+            .postings
+            .iter()
+            .map(|(label, posting)| (*label, posting.clone()))
+            .collect();
+        all.sort_by_key(|entry| entry.0);
+        all
+    }
+}
+
+/// The store-wide index state: per-table multimaps behind one lock,
+/// plus the opt-in switch. Default **off** — with the index disabled
+/// every code path, response byte, observer transcript, and durable
+/// segment is identical to the scan-only server.
+#[derive(Debug, Default)]
+pub struct IndexState {
+    enabled: std::sync::atomic::AtomicBool,
+    tables: Mutex<HashMap<String, TableIndex>>,
+}
+
+impl IndexState {
+    /// A disabled, empty index.
+    #[must_use]
+    pub fn new() -> Self {
+        IndexState::default()
+    }
+
+    /// Turns the index on (idempotent). There is deliberately no `off`
+    /// switch: disabling mid-flight would have to answer what happens
+    /// to persisted postings, and no caller needs it.
+    pub fn enable(&self) {
+        self.enabled
+            .store(true, std::sync::atomic::Ordering::SeqCst);
+    }
+
+    /// Whether the index is on.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(std::sync::atomic::Ordering::SeqCst)
+    }
+
+    /// Runs `f` over the (possibly absent) multimap for `name`.
+    pub(crate) fn with_table<R>(&self, name: &str, f: impl FnOnce(&mut TableIndex) -> R) -> R {
+        let mut tables = self.tables.lock();
+        f(tables.entry(name.to_string()).or_default())
+    }
+
+    /// Drops all postings for `name` — table drop / re-create / replay
+    /// install all invalidate the memo wholesale.
+    pub(crate) fn clear_table(&self, name: &str) {
+        self.tables.lock().remove(name);
+    }
+
+    /// Eagerly purges `deleted` ids from `name`'s postings.
+    pub(crate) fn purge(&self, name: &str, deleted: &[u64]) {
+        if deleted.is_empty() {
+            return;
+        }
+        let mut tables = self.tables.lock();
+        if let Some(index) = tables.get_mut(name) {
+            index.purge(deleted);
+        }
+    }
+
+    /// The whole at-rest image, sorted by table name then label — the
+    /// compaction snapshot input and the adversary's view.
+    #[must_use]
+    pub fn snapshot(&self) -> Vec<(String, Vec<(IndexLabel, Posting)>)> {
+        let tables = self.tables.lock();
+        let mut all: Vec<(String, Vec<(IndexLabel, Posting)>)> = tables
+            .iter()
+            .filter(|(_, index)| !index.is_empty())
+            .map(|(name, index)| (name.clone(), index.at_rest()))
+            .collect();
+        all.sort_by(|a, b| a.0.cmp(&b.0));
+        all
+    }
+
+    /// Installs a persisted image (recovery path) and enables the
+    /// index — a `TAG_INDEX` record only ever exists because the index
+    /// was on when the snapshot was cut.
+    pub(crate) fn install_snapshot(&self, image: Vec<(String, Vec<(IndexLabel, Posting)>)>) {
+        let mut tables = self.tables.lock();
+        for (name, postings) in image {
+            let index = tables.entry(name).or_default();
+            for (label, posting) in postings {
+                index.install(label, posting);
+            }
+        }
+        drop(tables);
+        self.enable();
+    }
+}
+
+/// How one query term is executed — the planner's unit of choice.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TermPlan {
+    /// Full trapdoor scan over every document (the reference oracle).
+    Scan,
+    /// Encrypted-multimap probe: cached posting + delta scan over the
+    /// suffix appended since the posting's `bound`.
+    IndexProbe,
+}
+
+/// The per-query execution plan: one [`TermPlan`] per conjunctive
+/// term, chosen in `Server::handle` before dispatch. This seam is the
+/// entry point for a future join planner — a join is a plan over
+/// several tables' term plans, and it slots in here without touching
+/// the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct QueryPlan {
+    /// Plan per term, in term order.
+    pub terms: Vec<TermPlan>,
+}
+
+impl QueryPlan {
+    /// The legacy plan: every term scans. With this plan the server
+    /// takes the historical code path verbatim.
+    #[must_use]
+    pub fn all_scan(term_count: usize) -> Self {
+        QueryPlan {
+            terms: vec![TermPlan::Scan; term_count],
+        }
+    }
+
+    /// The indexed plan: every term probes the multimap.
+    #[must_use]
+    pub fn all_index(term_count: usize) -> Self {
+        QueryPlan {
+            terms: vec![TermPlan::IndexProbe; term_count],
+        }
+    }
+
+    /// Whether any term consults the index (if not, execution is the
+    /// byte-for-byte legacy scan path).
+    #[must_use]
+    pub fn uses_index(&self) -> bool {
+        self.terms.contains(&TermPlan::IndexProbe)
+    }
+}
+
+/// What one multimap probe did — surfaced to the observer so the
+/// transcript states exactly what the index revealed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProbeStats {
+    /// The multimap label (trapdoor-derived; Eve can compute it from
+    /// the wire trapdoor herself).
+    pub label: IndexLabel,
+    /// Cached posting length served, if the label was present.
+    pub cached: Option<usize>,
+    /// First document id covered by the fresh delta scan (the old
+    /// `bound`, or 0 on a cold miss).
+    pub delta_from: u64,
+    /// Posting length after the refresh — the length the at-rest
+    /// multimap now reveals for this label.
+    pub posting: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn label(b: u8) -> IndexLabel {
+        [b; 32]
+    }
+
+    #[test]
+    fn install_lookup_purge() {
+        let mut index = TableIndex::default();
+        assert!(index.lookup(&label(1)).is_none());
+        index.install(
+            label(1),
+            Posting {
+                doc_ids: vec![1, 5, 9],
+                bound: 10,
+            },
+        );
+        index.install(
+            label(2),
+            Posting {
+                doc_ids: vec![5],
+                bound: 10,
+            },
+        );
+        assert_eq!(index.lookup(&label(1)).unwrap().doc_ids, vec![1, 5, 9]);
+        index.purge(&[5, 9]);
+        assert_eq!(index.lookup(&label(1)).unwrap().doc_ids, vec![1]);
+        assert!(index.lookup(&label(2)).unwrap().doc_ids.is_empty());
+        // Bounds survive a purge: coverage is unchanged, membership is.
+        assert_eq!(index.lookup(&label(2)).unwrap().bound, 10);
+    }
+
+    #[test]
+    fn state_snapshot_is_sorted_and_skips_empty_tables() {
+        let state = IndexState::new();
+        assert!(!state.is_enabled());
+        state.enable();
+        assert!(state.is_enabled());
+        state.with_table("zeta", |index| {
+            index.install(
+                label(3),
+                Posting {
+                    doc_ids: vec![2],
+                    bound: 3,
+                },
+            );
+            index.install(
+                label(1),
+                Posting {
+                    doc_ids: vec![],
+                    bound: 3,
+                },
+            );
+        });
+        state.with_table("alpha", |index| {
+            index.install(
+                label(9),
+                Posting {
+                    doc_ids: vec![0, 1],
+                    bound: 2,
+                },
+            );
+        });
+        state.with_table("empty", |_| ());
+        let snap = state.snapshot();
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].0, "alpha");
+        assert_eq!(snap[1].0, "zeta");
+        assert_eq!(snap[1].1[0].0, label(1), "labels sorted within a table");
+        state.clear_table("zeta");
+        assert_eq!(state.snapshot().len(), 1);
+    }
+
+    #[test]
+    fn snapshot_roundtrips_through_install() {
+        let state = IndexState::new();
+        state.enable();
+        state.with_table("t", |index| {
+            index.install(
+                label(7),
+                Posting {
+                    doc_ids: vec![4, 8],
+                    bound: 9,
+                },
+            );
+        });
+        let image = state.snapshot();
+        let restored = IndexState::new();
+        restored.install_snapshot(image.clone());
+        assert!(restored.is_enabled(), "a persisted image implies enabled");
+        assert_eq!(restored.snapshot(), image);
+    }
+
+    #[test]
+    fn plans() {
+        assert!(!QueryPlan::all_scan(3).uses_index());
+        assert!(QueryPlan::all_index(3).uses_index());
+        assert!(!QueryPlan::all_index(0).uses_index());
+    }
+}

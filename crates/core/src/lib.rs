@@ -112,6 +112,21 @@
 //!   envelope adds no leakage Eve did not have: she already links a
 //!   session's requests by connection, and `(client_id, seq)` names
 //!   the sender and an ordinal, never key material or plaintext.
+//! * [`index`] — the opt-in sublinear plan: an encrypted inverted
+//!   index (a memoizing encrypted multimap from trapdoor-derived
+//!   labels, [`dbph_swp::index_label`], to posting lists of matched
+//!   document ids) maintained beside the scan engine. A
+//!   [`index::QueryPlan`] chosen in the server's query path decides
+//!   per term between the reference scan and a multimap probe
+//!   (cached posting + delta scan over documents appended since the
+//!   posting's bound); deletes purge postings eagerly, and the match
+//!   decision's determinism makes every plan's response byte-identical
+//!   to the scan's. Off by default — disabled, the server is
+//!   bit-for-bit the scan-only deployment (responses, transcripts,
+//!   and durable segments); enabled, compaction persists the multimap
+//!   as its own record kind and `crates/games`' posting-length attack
+//!   measures exactly what the at-rest image reveals. The plan seam
+//!   is the entry point for the ROADMAP's join-planner direction.
 //! * Chunked table streaming —
 //!   [`protocol::ClientMessage::FetchChunk`] /
 //!   [`protocol::ServerResponse::TableChunk`] page a table transfer
@@ -138,6 +153,7 @@ pub mod encoding;
 pub mod error;
 pub mod executor;
 pub mod fault;
+pub mod index;
 pub mod net;
 pub mod ph;
 pub mod protocol;
@@ -156,6 +172,7 @@ pub use encoding::WordCodec;
 pub use error::PhError;
 pub use executor::Executor;
 pub use fault::{ChaosPlan, ChaosProxy, FaultPlan, FaultRng, FaultTransport};
+pub use index::{IndexState, Posting, ProbeStats, QueryPlan, TableIndex, TermPlan};
 pub use net::{
     FrontEnd, NetOptions, NetServer, PoolOptions, PooledClient, RetryPolicy, ServerHandle,
     Transport,

@@ -96,6 +96,17 @@ pub const DEFAULT_CHUNK_BYTES: u64 = 4 << 20;
 /// headroom for the envelope, whatever the client asks for.
 pub const MAX_CHUNK_BYTES: u64 = 48 << 20;
 
+/// Machine-readable prefix of the server's *stale duplicate* error: a
+/// [`ClientMessage::Tagged`] mutation whose `(client_id, seq)` aged
+/// past the dedup window, so its cached response is gone and the
+/// server will neither replay nor re-apply it (the mutation may
+/// already have been applied once). The condition is **non-retriable
+/// by construction** — re-sending the same envelope can only get the
+/// same answer — so clients must surface it immediately instead of
+/// burning retry budget; [`crate::error::PhError::is_stale_duplicate`]
+/// recognizes it after the client maps the error response.
+pub const STALE_DUPLICATE_PREFIX: &str = "stale duplicate (non-retriable)";
+
 /// A message from Alex to Eve.
 #[derive(Debug, Clone, PartialEq)]
 pub enum ClientMessage {

@@ -115,6 +115,31 @@ pub enum ServerEvent {
         /// exactly once — the access pattern the delete realized.
         removed: Vec<u64>,
     },
+    /// One encrypted-multimap probe by the indexed query plan
+    /// ([`crate::index`]) — recorded only when the index is enabled
+    /// (disabled, transcripts are byte-identical to the scan-only
+    /// server). This event states exactly what the index adds to Eve's
+    /// view beyond the scan: a *persistent* per-term label with its
+    /// posting length, where the scan leaked the same access pattern
+    /// only transiently per query.
+    IndexProbe {
+        /// Table name.
+        name: String,
+        /// The multimap label — derived from the trapdoor bytes alone
+        /// ([`dbph_swp::index_label`]), so equal terms collide here
+        /// exactly as they already do on the wire.
+        label: Vec<u8>,
+        /// Cached posting length served (`None` on a cold miss).
+        cached: Option<usize>,
+        /// First document id the fresh delta scan covered (the cached
+        /// posting's bound; 0 on a cold miss).
+        delta_from: u64,
+        /// Posting length after the refresh — the per-label result
+        /// size the at-rest multimap now reveals.
+        posting: usize,
+        /// `Some` when the probing query arrived inside a batch.
+        batch: Option<BatchRef>,
+    },
 }
 
 /// Records the server's complete view. Clone-cheap (shared interior).
@@ -294,7 +319,7 @@ impl Server {
         workers: Option<usize>,
         options: DurableOptions,
     ) -> Result<Self, PhError> {
-        let (log, recovered, dedup) = DurableLog::open(dir, options)?;
+        let (log, recovered, dedup, index) = DurableLog::open(dir, options)?;
         let store = match workers {
             None => TableStore::new(shards),
             Some(w) => TableStore::with_pool(shards, Arc::new(Executor::new(w))),
@@ -322,6 +347,12 @@ impl Server {
                     store.dedup().install_replayed(client_id, seq, ok.clone());
                 }
             }
+        }
+        // A persisted index image implies the index was enabled when
+        // the snapshot was cut; installing it re-enables the plan so a
+        // recovered server probes the same multimap it persisted.
+        if !index.image.is_empty() {
+            store.index().install_snapshot(index.image);
         }
         Ok(Server {
             store: Arc::new(store),
@@ -375,6 +406,32 @@ impl Server {
     #[must_use]
     pub fn observer(&self) -> &Observer {
         &self.observer
+    }
+
+    /// Opts this server into the encrypted inverted index
+    /// ([`crate::index`]): subsequent queries plan multimap probes
+    /// instead of full scans. Off by default — without this call the
+    /// server's responses, transcripts, and durable segments are
+    /// byte-identical to the scan-only deployment. On a durable
+    /// server, re-enable after each `open_durable*` unless recovery
+    /// already restored a persisted index image (which implies the
+    /// index was on and re-enables it).
+    pub fn enable_index(&self) {
+        self.store.enable_index();
+    }
+
+    /// Whether the encrypted index is enabled.
+    #[must_use]
+    pub fn index_enabled(&self) -> bool {
+        self.store.index().is_enabled()
+    }
+
+    /// The at-rest encrypted-multimap image for `name` — Eve reading
+    /// her own memory (see [`crate::storage::TableStore::index_at_rest`]);
+    /// the games crate measures its leakage.
+    #[must_use]
+    pub fn index_at_rest(&self, name: &str) -> Vec<(dbph_swp::IndexLabel, Vec<u64>)> {
+        self.store.index_at_rest(name)
     }
 
     /// Whether a message mutates the store — the class whose applied
@@ -449,8 +506,9 @@ impl Server {
         match self.store.dedup().begin(client_id, seq) {
             DedupDecision::Replay(response) => response,
             DedupDecision::Stale => ServerResponse::Error(format!(
-                "stale duplicate: request ({client_id}, {seq}) is below the dedup \
-                 watermark and its cached response was evicted"
+                "{}: request ({client_id}, {seq}) is below the dedup \
+                 watermark and its cached response was evicted",
+                crate::protocol::STALE_DUPLICATE_PREFIX
             ))
             .to_wire(),
             DedupDecision::Fresh => {
@@ -465,13 +523,46 @@ impl Server {
         }
     }
 
+    /// Chooses how each term of a query executes — the `QueryPlan`
+    /// seam. Today's planner is binary: with the index enabled every
+    /// term probes the multimap, otherwise every term scans (the
+    /// byte-for-byte legacy path). A future join planner slots in
+    /// here: a join is a plan over several tables' term plans, chosen
+    /// from the same inputs (store state + received trapdoors).
+    fn plan_query(&self, terms: &[WireTrapdoor]) -> crate::index::QueryPlan {
+        if self.store.index().is_enabled() {
+            crate::index::QueryPlan::all_index(terms.len())
+        } else {
+            crate::index::QueryPlan::all_scan(terms.len())
+        }
+    }
+
     fn run_query(
         &self,
         name: &str,
         terms: Vec<WireTrapdoor>,
         batch: Option<BatchRef>,
     ) -> Result<EncryptedTable, String> {
-        let result = self.store.query(name, &terms).map_err(|e| e.to_string())?;
+        let plan = self.plan_query(&terms);
+        let result = if plan.uses_index() {
+            let (result, probes) = self
+                .store
+                .query_planned(name, &terms, &plan)
+                .map_err(|e| e.to_string())?;
+            for probe in probes {
+                self.observer.record(ServerEvent::IndexProbe {
+                    name: name.to_string(),
+                    label: probe.label.to_vec(),
+                    cached: probe.cached,
+                    delta_from: probe.delta_from,
+                    posting: probe.posting,
+                    batch,
+                });
+            }
+            result
+        } else {
+            self.store.query(name, &terms).map_err(|e| e.to_string())?
+        };
         self.observer.record(ServerEvent::Query {
             name: name.to_string(),
             terms,
@@ -503,6 +594,30 @@ impl Server {
             },
             ClientMessage::QueryBatch { name, queries } => {
                 let batch_id = self.next_batch.fetch_add(1, Ordering::Relaxed);
+                if self.store.index().is_enabled() {
+                    // Indexed plan: queries execute in batch order, each
+                    // through the planned path — term sharing comes from
+                    // the multimap itself (the first query installs a
+                    // posting, repeats probe it), so the batch memo is
+                    // not needed to avoid rescanning duplicates.
+                    // Responses stay byte-identical to the scan batch.
+                    //
+                    // Parity with the batch engine's whole-batch error:
+                    // an unknown table fails even an *empty* batch,
+                    // with the identical error string.
+                    if self.store.stats(&name).is_none() {
+                        let e = PhError::Protocol(format!("unknown table: {name}"));
+                        return ServerResponse::Error(format!("query batch: {e}"));
+                    }
+                    let mut results = Vec::with_capacity(queries.len());
+                    for (index, terms) in queries.into_iter().enumerate() {
+                        match self.run_query(&name, terms, Some((batch_id, index))) {
+                            Ok(result) => results.push(result),
+                            Err(e) => return ServerResponse::Error(format!("query batch: {e}")),
+                        }
+                    }
+                    return ServerResponse::Tables(results);
+                }
                 // The whole batch fans into the worker pool at once
                 // (K queries × S shards tasks, duplicate terms shared
                 // through the per-batch trapdoor memo). Events are

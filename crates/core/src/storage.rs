@@ -64,6 +64,7 @@ use dbph_swp::{CipherWord, PreparedTrapdoor, ScanKernel, SwpParams, TrapdoorData
 use crate::arena::WordArena;
 use crate::error::PhError;
 use crate::executor::Executor;
+use crate::index::{IndexState, Posting, ProbeStats, QueryPlan, TermPlan};
 use crate::swp_ph::EncryptedTable;
 
 /// One document: `(document id, cipher words in attribute order)` —
@@ -102,8 +103,8 @@ fn partition(word_len: usize, docs: Vec<Doc>, shard_count: usize) -> Vec<Shard> 
         .collect()
 }
 
-/// Intersects two ascending index lists (two-pointer merge).
-fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+/// Intersects two ascending lists (two-pointer merge).
+fn intersect_sorted<T: Ord + Copy>(a: &[T], b: &[T]) -> Vec<T> {
     let mut out = Vec::with_capacity(a.len().min(b.len()));
     let (mut i, mut j) = (0usize, 0usize);
     while i < a.len() && j < b.len() {
@@ -653,14 +654,11 @@ impl ShardedTable {
     /// format is unchanged.
     #[must_use]
     pub fn fetch_chunk(&self, token: u64, max_bytes: u64) -> (EncryptedTable, Option<u64>) {
-        // Wire cost of doc `i` of `shard`: id (8) + word count (8) +
-        // per word a length prefix (8) + the bytes.
+        // Wire cost of doc `i` of `shard` — the codec's own cost
+        // model ([`crate::wire::encoded_doc_len`]), so chunk budgets
+        // cannot drift from what the serializer actually emits.
         let encoded_bytes = |shard: &WordArena, i: usize| -> u64 {
-            let words: u64 = shard
-                .word_range(i)
-                .map(|w| 8 + shard.word(w).len() as u64)
-                .sum();
-            16 + words
+            crate::wire::encoded_doc_len(shard.word_range(i).map(|w| shard.word(w).len()))
         };
         let mut docs = Vec::new();
         let mut bytes = 0u64;
@@ -708,6 +706,85 @@ impl ShardedTable {
             .iter()
             .map(|shard| shard.ciphertext_bytes())
             .sum()
+    }
+
+    /// Document ids (ascending) matched by `term` among documents with
+    /// `id >= from` — the index's delta scan. Ids are strictly
+    /// increasing in table order, so those documents form a contiguous
+    /// suffix: whole shards entirely below `from` skip in O(1), the
+    /// anchor shard binary-searches its start, and the match itself is
+    /// the same kernel/scalar decision the full scan makes — identical
+    /// decisions, identical false positives.
+    #[must_use]
+    pub(crate) fn match_doc_ids_from<T: TrapdoorData>(&self, term: &T, from: u64) -> Vec<u64> {
+        let prepared = PreparedTrapdoor::new(term);
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let len = shard.len();
+            if len == 0 || shard.doc_id(len - 1) < from {
+                continue;
+            }
+            // First index with `doc_id >= from` (ids ascend in-shard).
+            let start = {
+                let (mut lo, mut hi) = (0usize, len);
+                while lo < hi {
+                    let mid = (lo + hi) / 2;
+                    if shard.doc_id(mid) < from {
+                        lo = mid + 1;
+                    } else {
+                        hi = mid;
+                    }
+                }
+                lo
+            };
+            let hits = if ScanKernel::supports(&self.params) {
+                kernel_match_indices(&self.params, shard, &prepared, start as u32..len as u32)
+            } else {
+                (start..len)
+                    .filter(|&i| doc_matches_scalar(&self.params, shard, i, &prepared))
+                    .map(|i| i as u32)
+                    .collect()
+            };
+            out.extend(hits.into_iter().map(|i| shard.doc_id(i as usize)));
+        }
+        out
+    }
+
+    /// Reassembles the documents with the given ids (ascending), in
+    /// table order, silently skipping ids no longer present — the
+    /// index plan's response assembly. Crypto-free: a merge walk over
+    /// the shards with an in-shard binary search per id, O(k log n)
+    /// for k requested ids, which is what makes the indexed plan
+    /// sublinear end-to-end.
+    #[must_use]
+    pub(crate) fn docs_by_ids(&self, ids: &[u64]) -> Vec<Doc> {
+        let mut docs = Vec::with_capacity(ids.len());
+        let mut shard_iter = self.shards.iter();
+        let mut shard = shard_iter.next();
+        for &id in ids {
+            // Ids ascend across shards too, so the walk never backs up.
+            while let Some(s) = shard {
+                let len = s.len();
+                if len > 0 && s.doc_id(len - 1) >= id {
+                    break;
+                }
+                shard = shard_iter.next();
+            }
+            let Some(s) = shard else { break };
+            let (mut lo, mut hi) = (0usize, s.len());
+            while lo < hi {
+                let mid = (lo + hi) / 2;
+                if s.doc_id(mid) < id {
+                    lo = mid + 1;
+                } else {
+                    hi = mid;
+                }
+            }
+            if lo < s.len() && s.doc_id(lo) == id {
+                docs.push(s.doc(lo));
+            }
+        }
+        docs
     }
 }
 
@@ -945,6 +1022,10 @@ pub struct TableStore {
     pool: Arc<Executor>,
     tables: RwLock<HashMap<String, ShardedTable>>,
     dedup: DedupWindow,
+    /// The opt-in encrypted inverted index ([`crate::index`]). Off by
+    /// default; while off, no code path touches it and the server is
+    /// bit-for-bit the scan-only server.
+    index: IndexState,
 }
 
 impl TableStore {
@@ -971,7 +1052,21 @@ impl TableStore {
             pool,
             tables: RwLock::new(HashMap::new()),
             dedup: DedupWindow::new(),
+            index: IndexState::new(),
         }
+    }
+
+    /// The store's encrypted-index state. Like the dedup window it
+    /// lives on the store so the durable log — which only sees
+    /// `&TableStore` during compaction — can persist and restore it.
+    #[must_use]
+    pub fn index(&self) -> &IndexState {
+        &self.index
+    }
+
+    /// Opts this store into the encrypted inverted index (idempotent).
+    pub fn enable_index(&self) {
+        self.index.enable();
     }
 
     /// The store's idempotent-request dedup window. It lives on the
@@ -1017,6 +1112,9 @@ impl TableStore {
             name.to_string(),
             ShardedTable::from_table(table, self.shard_count),
         );
+        // A name can be reused after a drop; any memoized postings for
+        // the old incarnation are invalid for the new one.
+        self.index.clear_table(name);
         Ok(())
     }
 
@@ -1050,6 +1148,106 @@ impl TableStore {
         let table = self.snapshot(name)?;
         let views: Vec<&[T]> = queries.iter().map(Vec::as_slice).collect();
         Ok(table.scan_batch_on(&self.pool, &views))
+    }
+
+    /// Executes one query under an explicit [`QueryPlan`]: per term,
+    /// either a full trapdoor scan or an encrypted-multimap probe
+    /// (cached posting + delta scan over the documents appended since
+    /// the posting's bound), then an ascending-id intersection and a
+    /// crypto-free reassembly from the same table snapshot.
+    ///
+    /// Because the SWP match decision is deterministic per (trapdoor,
+    /// word bytes) — false positives included — every plan returns the
+    /// byte-identical response the legacy scan returns; only the work
+    /// done to produce it differs. Returns per-probe [`ProbeStats`]
+    /// for the observer (empty when no term probed the index).
+    ///
+    /// # Errors
+    /// Fails for unknown tables.
+    ///
+    /// # Panics
+    /// Panics if `plan` does not carry exactly one entry per term.
+    pub fn query_planned<T: TrapdoorData>(
+        &self,
+        name: &str,
+        terms: &[T],
+        plan: &QueryPlan,
+    ) -> Result<(EncryptedTable, Vec<ProbeStats>), PhError> {
+        assert_eq!(plan.terms.len(), terms.len(), "one plan entry per term");
+        let table = self.snapshot(name)?;
+        if terms.is_empty() {
+            // Empty conjunction matches the whole table (scan parity).
+            return Ok((table.to_table(), Vec::new()));
+        }
+        let mut stats = Vec::new();
+        let mut survivors: Option<Vec<u64>> = None;
+        for (term, term_plan) in terms.iter().zip(&plan.terms) {
+            let ids = match term_plan {
+                TermPlan::Scan => table.match_doc_ids_from(term, 0),
+                TermPlan::IndexProbe => {
+                    let label = dbph_swp::index_label(term);
+                    let cached = self.index.with_table(name, |index| index.lookup(&label));
+                    let (mut ids, delta_from, cached_len) = match cached {
+                        Some(posting) => {
+                            let len = posting.doc_ids.len();
+                            (posting.doc_ids, posting.bound, Some(len))
+                        }
+                        None => (Vec::new(), 0, None),
+                    };
+                    // Cached ids all precede `delta_from`; the delta
+                    // ids all follow it — concatenation stays
+                    // ascending. A cached id deleted by a racing purge
+                    // after this snapshot was cut is dropped at
+                    // reassembly (`docs_by_ids` skips absent ids), so
+                    // ghosts can linger in the memo but never in a
+                    // response.
+                    ids.extend(table.match_doc_ids_from(term, delta_from));
+                    let refreshed = Posting {
+                        doc_ids: ids.clone(),
+                        bound: table.next_doc_id(),
+                    };
+                    stats.push(ProbeStats {
+                        label,
+                        cached: cached_len,
+                        delta_from,
+                        posting: refreshed.doc_ids.len(),
+                    });
+                    self.index
+                        .with_table(name, |index| index.install(label, refreshed));
+                    ids
+                }
+            };
+            survivors = Some(match survivors {
+                None => ids,
+                Some(acc) => intersect_sorted(&acc, &ids),
+            });
+            if survivors.as_ref().is_some_and(Vec::is_empty) {
+                break;
+            }
+        }
+        let ids = survivors.unwrap_or_default();
+        let docs = table.docs_by_ids(&ids);
+        Ok((
+            EncryptedTable {
+                params: *table.params(),
+                docs,
+                next_doc_id: table.next_doc_id(),
+            },
+            stats,
+        ))
+    }
+
+    /// The at-rest encrypted-multimap image for one table, sorted by
+    /// label: `(label, posting ids)` pairs. This is the adversary's
+    /// view of her own memory — the games crate reads it to measure
+    /// what the index leaks (a scan-only store returns an empty image).
+    #[must_use]
+    pub fn index_at_rest(&self, name: &str) -> Vec<(dbph_swp::IndexLabel, Vec<u64>)> {
+        self.index
+            .with_table(name, |index| index.at_rest())
+            .into_iter()
+            .map(|(label, posting)| (label, posting.doc_ids))
+            .collect()
     }
 
     /// Reassembles the full table ciphertext.
@@ -1093,6 +1291,10 @@ impl TableStore {
     /// entry — the log-replay path, which has already validated every
     /// mutation when it was first applied.
     pub(crate) fn install(&self, name: String, table: ShardedTable) {
+        // Replay installs the table wholesale; stale memoized postings
+        // (if any) are invalid for it. A persisted index image, when
+        // present, is installed *after* the tables it describes.
+        self.index.clear_table(&name);
         self.tables.write().insert(name, table);
     }
 
@@ -1132,7 +1334,11 @@ impl TableStore {
             .get_mut(name)
             .ok_or_else(|| PhError::Protocol(format!("unknown table: {name}")))?;
         let victims: BTreeSet<u64> = doc_ids.iter().copied().collect();
-        Ok(table.delete(&victims))
+        let removed = table.delete(&victims);
+        // Eager purge (no tombstones): deleted ids leave every posting
+        // immediately. See [`crate::index`] for the leakage argument.
+        self.index.purge(name, &removed);
+        Ok(removed)
     }
 
     /// Drops the table.
@@ -1143,6 +1349,7 @@ impl TableStore {
         if self.tables.write().remove(name).is_none() {
             return Err(PhError::Protocol(format!("unknown table: {name}")));
         }
+        self.index.clear_table(name);
         Ok(())
     }
 

@@ -242,6 +242,23 @@ impl<A: WireDecode, B: WireDecode> WireDecode for (A, B) {
     }
 }
 
+/// Exact encoded size of one document `(id, words)` as an element of
+/// an [`crate::swp_ph::EncryptedTable`]'s `docs` vector, given the
+/// stored byte length of each word.
+///
+/// This is *the* cost model for chunk sizing
+/// ([`crate::storage::ShardedTable::fetch_chunk`] budgets against the
+/// transport's frame cap with it), so it lives here next to the codec
+/// it mirrors: a document encodes as a fixed-width `u64` id (8), a
+/// `u64` word count (8), and per word a `u64` length prefix (8) plus
+/// the bytes — fixed-width throughout, no varints, so the size depends
+/// only on the word lengths. `wire::tests::doc_cost_matches_encoder`
+/// pins it to the real encoder, irregular-length words included.
+#[must_use]
+pub fn encoded_doc_len(word_lens: impl Iterator<Item = usize>) -> u64 {
+    16 + word_lens.map(|len| 8 + len as u64).sum::<u64>()
+}
+
 // --- domain impls ----------------------------------------------------------
 
 impl WireEncode for dbph_swp::SwpParams {
@@ -394,6 +411,38 @@ mod tests {
             next_doc_id: 2,
         };
         roundtrip(table);
+    }
+
+    #[test]
+    fn doc_cost_matches_encoder() {
+        // The chunk-sizing cost model must equal the real encoder's
+        // per-document size delta — including empty documents and
+        // irregular-length words (side lists longer or shorter than
+        // the slot width).
+        let docs: Vec<(u64, Vec<dbph_swp::CipherWord>)> = vec![
+            (0, vec![]),
+            (1, vec![dbph_swp::CipherWord(vec![1; 13])]),
+            (
+                7,
+                vec![
+                    dbph_swp::CipherWord(vec![2; 13]),
+                    dbph_swp::CipherWord(vec![3; 5]), // irregular: short
+                    dbph_swp::CipherWord(vec![4; 250]), // irregular: long
+                    dbph_swp::CipherWord(vec![]),     // irregular: empty
+                ],
+            ),
+        ];
+        let mut prev = Vec::<(u64, Vec<dbph_swp::CipherWord>)>::new()
+            .to_wire()
+            .len();
+        let mut acc = Vec::new();
+        for doc in docs {
+            let predicted = encoded_doc_len(doc.1.iter().map(|w| w.0.len()));
+            acc.push(doc);
+            let now = acc.to_wire().len();
+            assert_eq!(predicted, (now - prev) as u64);
+            prev = now;
+        }
     }
 
     #[test]

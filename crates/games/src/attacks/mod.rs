@@ -7,6 +7,7 @@
 //! | [`active`] | §2 "John" oracle attack + Theorem 2.1, generic over any PH | E3 |
 //! | [`passive`] | Theorem 2.1's passive clause (result sizes alone) | E3 |
 //! | [`frequency`] | §1 "which tuples have similar values" remark | A1 |
+//! | [`posting`] | at-rest posting-length analysis of the opt-in index | A2 |
 //! | [`guessing`] | harness calibration (blind adversary) | all |
 
 pub mod active;
@@ -14,4 +15,5 @@ pub mod frequency;
 pub mod guessing;
 pub mod hospital;
 pub mod passive;
+pub mod posting;
 pub mod salary;

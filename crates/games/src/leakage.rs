@@ -32,6 +32,12 @@ pub struct LeakageProfile {
     /// Document ids the client asked to delete (confirmed deletes leak
     /// exactly which stored tuples matched a plaintext predicate).
     pub deleted_docs: Vec<u64>,
+    /// Posting-list length per encrypted-index probe, in order. Only
+    /// non-empty when the server runs with the inverted index enabled:
+    /// each probe names a label and how many documents its posting
+    /// holds — the index's own access-pattern leakage, over and above
+    /// the scan's.
+    pub index_posting_sizes: Vec<usize>,
 }
 
 impl LeakageProfile {
@@ -76,6 +82,7 @@ pub fn profile(events: &[ServerEvent]) -> LeakageProfile {
     let mut doc_access_counts: BTreeMap<u64, usize> = BTreeMap::new();
     let mut cooccurring: BTreeSet<(u64, u64)> = BTreeSet::new();
     let mut deleted_docs = Vec::new();
+    let mut index_posting_sizes = Vec::new();
 
     for event in events {
         match event {
@@ -107,6 +114,9 @@ pub fn profile(events: &[ServerEvent]) -> LeakageProfile {
             ServerEvent::DeleteDocs { doc_ids, .. } => {
                 deleted_docs.extend_from_slice(doc_ids);
             }
+            ServerEvent::IndexProbe { posting, .. } => {
+                index_posting_sizes.push(*posting);
+            }
             ServerEvent::Append { .. }
             | ServerEvent::FetchAll { .. }
             | ServerEvent::FetchChunk { .. }
@@ -121,6 +131,7 @@ pub fn profile(events: &[ServerEvent]) -> LeakageProfile {
         doc_access_counts,
         cooccurring_pairs: cooccurring.len(),
         deleted_docs,
+        index_posting_sizes,
     }
 }
 

@@ -1,0 +1,103 @@
+//! Index-label derivation for the encrypted inverted index.
+//!
+//! The server-side encrypted multimap (`dbph_core::index`) needs a
+//! fixed-length key per *search term* to file posting lists under. The
+//! only term-identifying material the server ever holds is the
+//! trapdoor itself — `(target, check_key)` — and by [`TrapdoorData`]'s
+//! contract everything in it is already revealed to the server. The
+//! label is therefore a plain hash of the trapdoor bytes:
+//!
+//! ```text
+//! label = SHA-256("dbph-index-label-v1" ‖ len(target) ‖ target
+//!                                       ‖ len(check_key) ‖ check_key)
+//! ```
+//!
+//! Properties the index relies on:
+//!
+//! * **Deterministic per term.** The final scheme derives the trapdoor
+//!   deterministically from `(key, word)`, so equal plaintext terms map
+//!   to equal labels. That is exactly the *query-equality* leakage the
+//!   wire already exhibits (identical trapdoor bytes repeat on the
+//!   wire); the label adds no new linkage.
+//! * **Injective framing.** The two fields are length-prefixed before
+//!   concatenation, so distinct `(target, check_key)` pairs cannot
+//!   collide by sliding bytes across the field boundary.
+//! * **Keyless.** Derivation uses no key material beyond the trapdoor —
+//!   the server computes labels for itself, preserving the crate-wide
+//!   invariant that server-side operations are keyless.
+
+use dbph_crypto::sha256::Sha256;
+
+use crate::traits::TrapdoorData;
+
+/// Byte length of an index label.
+pub const INDEX_LABEL_LEN: usize = 32;
+
+/// An index label: the fixed-length multimap key derived from a
+/// trapdoor. `pub` newtype so core can file postings under it without
+/// re-deriving the hash layout.
+pub type IndexLabel = [u8; INDEX_LABEL_LEN];
+
+/// Domain-separation prefix, versioned so a future label scheme can
+/// coexist with persisted indexes built under this one.
+const DOMAIN: &[u8] = b"dbph-index-label-v1";
+
+/// Derives the multimap label for a trapdoor.
+#[must_use]
+pub fn index_label<T: TrapdoorData>(trapdoor: &T) -> IndexLabel {
+    let mut h = Sha256::new();
+    h.update(DOMAIN);
+    h.update(&(trapdoor.target().len() as u64).to_le_bytes());
+    h.update(trapdoor.target());
+    h.update(&(trapdoor.check_key().len() as u64).to_le_bytes());
+    h.update(trapdoor.check_key());
+    h.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Clone)]
+    struct Raw {
+        target: Vec<u8>,
+        check_key: Vec<u8>,
+    }
+
+    impl TrapdoorData for Raw {
+        fn target(&self) -> &[u8] {
+            &self.target
+        }
+        fn check_key(&self) -> &[u8] {
+            &self.check_key
+        }
+    }
+
+    #[test]
+    fn deterministic_and_distinct() {
+        let a = Raw {
+            target: vec![1, 2, 3],
+            check_key: vec![9; 16],
+        };
+        let b = Raw {
+            target: vec![1, 2, 4],
+            check_key: vec![9; 16],
+        };
+        assert_eq!(index_label(&a), index_label(&a.clone()));
+        assert_ne!(index_label(&a), index_label(&b));
+    }
+
+    #[test]
+    fn field_boundary_is_injective() {
+        // Same concatenated bytes, different split — must not collide.
+        let a = Raw {
+            target: vec![1, 2],
+            check_key: vec![3],
+        };
+        let b = Raw {
+            target: vec![1],
+            check_key: vec![2, 3],
+        };
+        assert_ne!(index_label(&a), index_label(&b));
+    }
+}

@@ -39,6 +39,7 @@ pub mod error;
 pub mod final_scheme;
 pub mod hidden;
 pub mod kernel;
+pub mod label;
 pub mod params;
 pub mod search;
 pub mod traits;
@@ -51,6 +52,7 @@ pub use error::SwpError;
 pub use final_scheme::FinalScheme;
 pub use hidden::HiddenScheme;
 pub use kernel::ScanKernel;
+pub use label::{index_label, IndexLabel, INDEX_LABEL_LEN};
 pub use params::SwpParams;
 pub use search::{matches, matches_document, PreparedTrapdoor};
 pub use traits::{CipherWord, Location, SearchableScheme, TrapdoorData};

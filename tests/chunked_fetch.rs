@@ -266,3 +266,88 @@ proptest! {
         prop_assert!(frames.len() as u64 <= n.max(1));
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+    #[test]
+    fn chunk_cost_model_matches_the_encoder_exactly(
+        // Word lengths per document — deliberately irregular: empty
+        // words, short words, and words far off the params width.
+        word_lens in proptest::collection::vec(
+            proptest::collection::vec(0usize..600, 0..5),
+            1..20
+        ),
+        max_bytes in 1u64..3000,
+    ) {
+        let params = SwpParams::new(13, 4, 32).unwrap();
+        let docs: Vec<(u64, Vec<CipherWord>)> = word_lens
+            .iter()
+            .enumerate()
+            .map(|(i, lens)| {
+                (
+                    i as u64,
+                    lens.iter().map(|&l| CipherWord(vec![i as u8; l])).collect(),
+                )
+            })
+            .collect();
+        let n = docs.len() as u64;
+
+        // The budgeting cost model must equal the real encoder's
+        // per-document footprint for every word shape: predicted cost
+        // == (single-doc table encoding) − (empty table encoding).
+        let empty_len = EncryptedTable {
+            params,
+            docs: vec![],
+            next_doc_id: n,
+        }
+        .to_wire()
+        .len() as u64;
+        for (id, words) in &docs {
+            let predicted =
+                dbph::core::wire::encoded_doc_len(words.iter().map(|w| w.0.len()));
+            let actual = EncryptedTable {
+                params,
+                docs: vec![(*id, words.clone())],
+                next_doc_id: n,
+            }
+            .to_wire()
+            .len() as u64
+                - empty_len;
+            prop_assert_eq!(predicted, actual, "cost model diverged for doc {}", id);
+        }
+
+        // And the server's chunking must honor that model: each chunk
+        // stays within the budget unless a single oversized document
+        // forces progress.
+        let table = EncryptedTable { params, docs, next_doc_id: n };
+        let server = Server::with_shards(2);
+        let create =
+            ClientMessage::CreateTable { name: "c".into(), table: table.clone() }.to_wire();
+        prop_assert_eq!(
+            ServerResponse::from_wire(&server.handle(&create)).unwrap(),
+            ServerResponse::Ok
+        );
+        let (frames, assembled) = stream_chunks(&server, "c", max_bytes);
+        prop_assert_eq!(&assembled, &table);
+        for frame in &frames {
+            let chunk = match ServerResponse::from_wire(frame).unwrap() {
+                ServerResponse::TableChunk { table, .. } => table,
+                other => return Err(TestCaseError::fail(format!("unexpected {other:?}"))),
+            };
+            let cost: u64 = chunk
+                .docs
+                .iter()
+                .map(|(_, words)| {
+                    dbph::core::wire::encoded_doc_len(words.iter().map(|w| w.0.len()))
+                })
+                .sum();
+            prop_assert!(
+                cost <= max_bytes || chunk.docs.len() == 1,
+                "chunk broke its byte budget: {} > {} over {} docs",
+                cost,
+                max_bytes,
+                chunk.docs.len()
+            );
+        }
+    }
+}

@@ -192,6 +192,50 @@ fn serial_group_commit_log_is_byte_identical_to_fsync_per_mutation() {
 }
 
 #[test]
+fn serial_leader_skips_the_flush_window_sleep() {
+    // A lone writer leads every window itself; with nobody else to
+    // wait for, holding the window open buys no batching and only adds
+    // the window's sleep to every ack. The leader must detect the
+    // solo case and sync immediately — same bytes, same sync cadence,
+    // none of the latency.
+    let session = |server: &Server| {
+        assert!(is_ok(&server.handle(&create_msg("t"))));
+        for id in 0..12 {
+            assert!(is_ok(&server.handle(&append_msg("t", id))));
+        }
+    };
+
+    let run = |flush_window: Duration| {
+        let tmp = TempDir::new("group-serial").unwrap();
+        let options = DurableOptions {
+            flush_window,
+            ..DurableOptions::default()
+        };
+        let server = Server::open_durable_with(tmp.path(), 2, Some(1), options).unwrap();
+        let started = std::time::Instant::now();
+        session(&server);
+        let elapsed = started.elapsed();
+        let log = Arc::clone(server.durable_log().unwrap());
+        let bytes = std::fs::read(log.active_segment_path()).unwrap();
+        (elapsed, bytes, log.sync_count())
+    };
+
+    // 200 ms × 13 serial mutations would be 2.6 s of pure sleeping if
+    // the leader waited out each window; the skip makes the window
+    // setting irrelevant to a serial session.
+    let (wide_elapsed, wide_bytes, wide_syncs) = run(Duration::from_millis(200));
+    let (zero_elapsed, zero_bytes, zero_syncs) = run(Duration::ZERO);
+
+    assert_eq!(wide_bytes, zero_bytes, "window width changed record bytes");
+    assert_eq!(wide_syncs, zero_syncs, "window width changed sync cadence");
+    assert!(
+        wide_elapsed < Duration::from_millis(1300),
+        "serial leader slept through flush windows: {wide_elapsed:?} \
+         (zero-window reference: {zero_elapsed:?})"
+    );
+}
+
+#[test]
 fn failing_fdatasync_fails_every_waiter_in_the_window_closed() {
     const WAITERS: usize = 4;
 

@@ -1,0 +1,483 @@
+//! Index ≡ scan equivalence: the opt-in encrypted inverted index must
+//! be invisible in every response, and — switched off — invisible
+//! everywhere.
+//!
+//! Four obligations, matching `dbph::core::index`'s contract:
+//!
+//! 1. **Byte-identical responses.** For any session (uploads, queries,
+//!    append/delete churn through shard rebalances, query batches,
+//!    fetches), an index-enabled server's raw wire responses equal the
+//!    scan-only server's, across shard counts × pool sizes. The SWP
+//!    match decision is deterministic per (trapdoor, word) — false
+//!    positives included — so this is exact equality, not set
+//!    equality.
+//! 2. **Off means off.** With the index disabled (the default) the
+//!    whole observable surface — responses *and* observer transcript —
+//!    is byte-identical to the scan-only baseline, and no `IndexProbe`
+//!    event ever appears. Enabled, the transcript gains exactly the
+//!    probe events; the `Query` events (terms + matched ids) stay
+//!    identical.
+//! 3. **Durable skip-when-off.** Compaction writes the multimap
+//!    snapshot record only when the index is enabled *and* non-empty:
+//!    a scan-only data directory and an enabled-but-never-probed one
+//!    are file-for-file byte-identical; a warmed index adds its record
+//!    and survives kill + recovery with the same at-rest image.
+//! 4. **Randomized equivalence.** Proptest drives random relations and
+//!    churn schedules through both plans and requires byte-equal
+//!    responses throughout.
+
+use dbph::core::protocol::{ClientMessage, WireTrapdoor};
+use dbph::core::server::ServerEvent;
+use dbph::core::wire::WireEncode;
+use dbph::core::{DatabasePh, DurableOptions, FinalSwpPh, Server, TempDir};
+use dbph::crypto::SecretKey;
+use dbph::relation::{Query, Relation, Tuple, Value};
+use dbph::workload::EmployeeGen;
+
+use proptest::prelude::*;
+
+const SHARD_COUNTS: [usize; 4] = [1, 2, 4, 8];
+const POOL_SIZES: [usize; 2] = [1, 4];
+
+fn master() -> SecretKey {
+    SecretKey::from_bytes([77u8; 32])
+}
+
+fn ph() -> FinalSwpPh {
+    FinalSwpPh::new(EmployeeGen::schema(), &master()).unwrap()
+}
+
+fn sample_queries() -> Vec<Query> {
+    vec![
+        Query::select("dept", "dept-00"),
+        Query::select("dept", "dept-03"),
+        Query::select("salary", 5500i64),
+        Query::select("name", "emp-0000042"),
+        Query::select("name", "no-such-emp"),
+    ]
+}
+
+fn encrypt(scheme: &FinalSwpPh, q: &Query) -> Vec<WireTrapdoor> {
+    let qct = scheme.encrypt_query(q).unwrap();
+    qct.terms.iter().map(WireTrapdoor::from_trapdoor).collect()
+}
+
+/// A churn-heavy session: warm queries, a large append batch (enough
+/// to trip the append-side shard rebalance), re-queries (delta
+/// catch-up), a wide delete (posting purge + hollowed-shard
+/// rebalance), re-queries, duplicate-heavy query batches, and a final
+/// fetch. Returns every raw response.
+fn drive_churn_session(server: &Server, relation: &Relation, queries: &[Query]) -> Vec<Vec<u8>> {
+    let scheme = ph();
+    let table = scheme.encrypt_table(relation).unwrap();
+    let base = relation.len() as u64;
+    let mut responses = Vec::new();
+    let mut send = |msg: ClientMessage| responses.push(server.handle(&msg.to_wire()));
+
+    send(ClientMessage::CreateTable {
+        name: "Emp".into(),
+        table,
+    });
+    // Round 1: warms one posting per distinct term when the index is on.
+    for query in queries {
+        send(ClientMessage::Query {
+            name: "Emp".into(),
+            terms: encrypt(&scheme, query),
+        });
+    }
+    // Append churn past the rebalance threshold; the new docs reuse the
+    // generator's value domains so warmed postings must catch up.
+    let extra = scheme
+        .encrypt_table(
+            &EmployeeGen {
+                rows: 180,
+                ..EmployeeGen::default()
+            }
+            .generate(21),
+        )
+        .unwrap();
+    send(ClientMessage::AppendBatch {
+        name: "Emp".into(),
+        docs: extra
+            .docs
+            .iter()
+            .enumerate()
+            .map(|(i, (_, words))| (base + i as u64, words.clone()))
+            .collect(),
+    });
+    // Round 2: every warmed posting is stale (bound < next id) — the
+    // delta scan must make indexed answers equal fresh scans.
+    for query in queries {
+        send(ClientMessage::Query {
+            name: "Emp".into(),
+            terms: encrypt(&scheme, query),
+        });
+    }
+    // Delete a third of the original docs (plus repeats and a miss):
+    // purges postings and hollows early shards into a rebalance.
+    let mut victims: Vec<u64> = (0..base).step_by(3).collect();
+    victims.push(0);
+    victims.push(999_999);
+    send(ClientMessage::DeleteDocs {
+        name: "Emp".into(),
+        doc_ids: victims,
+    });
+    // Round 3: postings must have forgotten the purged docs.
+    for query in queries {
+        send(ClientMessage::Query {
+            name: "Emp".into(),
+            terms: encrypt(&scheme, query),
+        });
+    }
+    // Batches: duplicates share the multimap entry; the empty
+    // conjunction and the empty batch exercise the degenerate plans.
+    send(ClientMessage::QueryBatch {
+        name: "Emp".into(),
+        queries: vec![
+            encrypt(&scheme, &Query::select("dept", "dept-00")),
+            encrypt(&scheme, &Query::select("dept", "dept-00")),
+            vec![],
+            encrypt(&scheme, &Query::select("salary", 5500i64)),
+        ],
+    });
+    send(ClientMessage::QueryBatch {
+        name: "Emp".into(),
+        queries: vec![],
+    });
+    send(ClientMessage::FetchAll { name: "Emp".into() });
+    responses
+}
+
+/// The transcript with `IndexProbe` events removed — everything the
+/// scan-only server would have recorded.
+fn without_probes(events: Vec<ServerEvent>) -> Vec<ServerEvent> {
+    events
+        .into_iter()
+        .filter(|e| !matches!(e, ServerEvent::IndexProbe { .. }))
+        .collect()
+}
+
+fn probe_count(events: &[ServerEvent]) -> usize {
+    events
+        .iter()
+        .filter(|e| matches!(e, ServerEvent::IndexProbe { .. }))
+        .count()
+}
+
+#[test]
+fn indexed_responses_byte_identical_to_scan_across_shards_and_pools() {
+    let relation = EmployeeGen {
+        rows: 260,
+        ..EmployeeGen::default()
+    }
+    .generate(9);
+    let queries = sample_queries();
+
+    let baseline = Server::with_pool(1, 1);
+    let baseline_responses = drive_churn_session(&baseline, &relation, &queries);
+    let baseline_events = baseline.observer().events();
+    assert_eq!(
+        probe_count(&baseline_events),
+        0,
+        "the default server must never probe"
+    );
+
+    for shards in SHARD_COUNTS {
+        for workers in POOL_SIZES {
+            // Off: the whole observable surface matches the baseline.
+            let off = Server::with_pool(shards, workers);
+            let off_responses = drive_churn_session(&off, &relation, &queries);
+            assert_eq!(
+                off_responses, baseline_responses,
+                "index-off responses diverged at {shards} shard(s) × {workers} worker(s)"
+            );
+            assert_eq!(
+                off.observer().events(),
+                baseline_events,
+                "index-off transcript diverged at {shards} shard(s) × {workers} worker(s)"
+            );
+
+            // On: responses still byte-identical; the transcript gains
+            // probe events and nothing else.
+            let on = Server::with_pool(shards, workers);
+            on.enable_index();
+            assert!(on.index_enabled());
+            let on_responses = drive_churn_session(&on, &relation, &queries);
+            assert_eq!(
+                on_responses, baseline_responses,
+                "indexed responses diverged at {shards} shard(s) × {workers} worker(s)"
+            );
+            let on_events = on.observer().events();
+            assert!(
+                probe_count(&on_events) > 0,
+                "enabled index must record probes"
+            );
+            assert_eq!(
+                without_probes(on_events),
+                baseline_events,
+                "indexed transcript (probes aside) diverged at {shards}×{workers}"
+            );
+        }
+    }
+}
+
+#[test]
+fn error_paths_match_with_index_on() {
+    // The planner must not change failure shapes: unknown tables (and
+    // even the empty batch against one) render the same error bytes
+    // whichever plan would have run.
+    let scheme = ph();
+    let q = encrypt(&scheme, &Query::select("dept", "dept-00"));
+    let msgs = [
+        ClientMessage::Query {
+            name: "nope".into(),
+            terms: q.clone(),
+        }
+        .to_wire(),
+        ClientMessage::QueryBatch {
+            name: "nope".into(),
+            queries: vec![],
+        }
+        .to_wire(),
+        ClientMessage::QueryBatch {
+            name: "nope".into(),
+            queries: vec![q],
+        }
+        .to_wire(),
+    ];
+    let off = Server::new();
+    let on = Server::new();
+    on.enable_index();
+    for m in &msgs {
+        assert_eq!(on.handle(m), off.handle(m), "error bytes diverged");
+    }
+}
+
+#[test]
+fn index_snapshot_record_is_skipped_when_off_and_survives_restart_when_on() {
+    let relation = EmployeeGen {
+        rows: 120,
+        ..EmployeeGen::default()
+    }
+    .generate(9);
+    let queries = sample_queries();
+
+    // Every named file under a data directory, name → bytes.
+    let dir_image = |dir: &std::path::Path| -> Vec<(String, Vec<u8>)> {
+        let mut files: Vec<(String, Vec<u8>)> = std::fs::read_dir(dir)
+            .unwrap()
+            .map(|e| {
+                let e = e.unwrap();
+                (
+                    e.file_name().to_string_lossy().into_owned(),
+                    std::fs::read(e.path()).unwrap(),
+                )
+            })
+            .collect();
+        files.sort();
+        files
+    };
+
+    let run = |enable: bool, probe: bool| {
+        let tmp = TempDir::new("index-skip").unwrap();
+        let server =
+            Server::open_durable_with(tmp.path(), 2, Some(1), DurableOptions::default()).unwrap();
+        if enable {
+            server.enable_index();
+        }
+        let scheme = ph();
+        let table = scheme.encrypt_table(&relation).unwrap();
+        let _ = server.handle(
+            &ClientMessage::CreateTable {
+                name: "Emp".into(),
+                table,
+            }
+            .to_wire(),
+        );
+        if probe {
+            for query in &queries {
+                let _ = server.handle(
+                    &ClientMessage::Query {
+                        name: "Emp".into(),
+                        terms: encrypt(&scheme, query),
+                    }
+                    .to_wire(),
+                );
+            }
+        }
+        server.compact().unwrap();
+        let at_rest = server.index_at_rest("Emp");
+        drop(server);
+        (tmp, at_rest)
+    };
+
+    // Off, and on-but-never-probed (empty multimap), must write the
+    // exact same files: the record kind only exists once it has
+    // content to persist.
+    let (off_dir, off_at_rest) = run(false, true);
+    let (unprobed_dir, _) = run(true, false);
+    assert!(
+        off_at_rest.is_empty(),
+        "scan-only server must hold no postings"
+    );
+    assert_eq!(
+        dir_image(off_dir.path()),
+        dir_image(unprobed_dir.path()),
+        "an empty multimap must not change the disk image"
+    );
+
+    // Warmed: the snapshot gains the index record...
+    let (on_dir, on_at_rest) = run(true, true);
+    assert!(!on_at_rest.is_empty(), "probed index must hold postings");
+    assert_ne!(
+        dir_image(off_dir.path()),
+        dir_image(on_dir.path()),
+        "a warmed multimap must be persisted by compaction"
+    );
+
+    // ...and recovery restores both the enablement and the image, so
+    // post-restart answers still match a scan server fed the same
+    // session.
+    let recovered =
+        Server::open_durable_with(on_dir.path(), 2, Some(1), DurableOptions::default()).unwrap();
+    assert!(
+        recovered.index_enabled(),
+        "a persisted index implies the plan was on"
+    );
+    assert_eq!(
+        recovered.index_at_rest("Emp"),
+        on_at_rest,
+        "recovered at-rest image diverged"
+    );
+    let reference = Server::with_shards(2);
+    let scheme = ph();
+    let table = scheme.encrypt_table(&relation).unwrap();
+    let _ = reference.handle(
+        &ClientMessage::CreateTable {
+            name: "Emp".into(),
+            table,
+        }
+        .to_wire(),
+    );
+    for query in &queries {
+        let msg = ClientMessage::Query {
+            name: "Emp".into(),
+            terms: encrypt(&scheme, query),
+        }
+        .to_wire();
+        assert_eq!(
+            recovered.handle(&msg),
+            reference.handle(&msg),
+            "post-restart indexed answer diverged from the scan for {query}"
+        );
+    }
+}
+
+// --- randomized equivalence ------------------------------------------------
+
+fn arb_relation() -> impl Strategy<Value = Relation> {
+    proptest::collection::vec(("[a-z]{0,12}", 0i64..50, any::<bool>()), 0..40).prop_map(|rows| {
+        let schema = dbph::relation::Schema::new(
+            "Rnd",
+            vec![
+                dbph::relation::Attribute::new("s", dbph::relation::AttrType::Str { max_len: 12 }),
+                dbph::relation::Attribute::new("i", dbph::relation::AttrType::Int),
+                dbph::relation::Attribute::new("b", dbph::relation::AttrType::Bool),
+            ],
+        )
+        .unwrap();
+        Relation::from_tuples(
+            schema,
+            rows.into_iter()
+                .map(|(s, i, b)| Tuple::new(vec![Value::Str(s), Value::Int(i), Value::Bool(b)]))
+                .collect(),
+        )
+        .unwrap()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+    #[test]
+    fn random_churn_is_plan_invariant(
+        relation in arb_relation(),
+        extra in arb_relation(),
+        // Query picks interleaved through the churn; duplicates are
+        // frequent by construction so postings get reused and re-warmed.
+        picks in proptest::collection::vec(0usize..4, 1..8),
+        delete_stride in 1usize..5,
+        key in any::<[u8; 32]>(),
+    ) {
+        let scheme =
+            FinalSwpPh::new(relation.schema().clone(), &SecretKey::from_bytes(key)).unwrap();
+        let table = scheme.encrypt_table(&relation).unwrap();
+        let extra_ct = scheme.encrypt_table(&extra).unwrap();
+        let probes = [
+            Query::select("s", "zz"),
+            Query::select("i", 7i64),
+            Query::select("b", true),
+            Query::select("b", false),
+        ];
+        let base = relation.len() as u64;
+
+        let drive = |server: &Server| -> Vec<Vec<u8>> {
+            let mut responses = Vec::new();
+            let mut send =
+                |msg: ClientMessage| responses.push(server.handle(&msg.to_wire()));
+            send(ClientMessage::CreateTable { name: "Rnd".into(), table: table.clone() });
+            for &p in &picks {
+                send(ClientMessage::Query {
+                    name: "Rnd".into(),
+                    terms: encrypt(&scheme, &probes[p]),
+                });
+            }
+            send(ClientMessage::AppendBatch {
+                name: "Rnd".into(),
+                docs: extra_ct
+                    .docs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, (_, words))| (base + i as u64, words.clone()))
+                    .collect(),
+            });
+            for &p in &picks {
+                send(ClientMessage::Query {
+                    name: "Rnd".into(),
+                    terms: encrypt(&scheme, &probes[p]),
+                });
+            }
+            send(ClientMessage::DeleteDocs {
+                name: "Rnd".into(),
+                doc_ids: (0..base + extra.len() as u64)
+                    .step_by(delete_stride)
+                    .collect(),
+            });
+            for &p in &picks {
+                send(ClientMessage::Query {
+                    name: "Rnd".into(),
+                    terms: encrypt(&scheme, &probes[p]),
+                });
+            }
+            send(ClientMessage::QueryBatch {
+                name: "Rnd".into(),
+                queries: picks.iter().map(|&p| encrypt(&scheme, &probes[p])).collect(),
+            });
+            send(ClientMessage::FetchAll { name: "Rnd".into() });
+            responses
+        };
+
+        let scan = Server::with_pool(3, 2);
+        let scan_responses = drive(&scan);
+
+        let indexed = Server::with_pool(3, 2);
+        indexed.enable_index();
+        let indexed_responses = drive(&indexed);
+
+        prop_assert_eq!(indexed_responses, scan_responses,
+            "indexed plan diverged from the scan under random churn");
+        prop_assert_eq!(
+            without_probes(indexed.observer().events()),
+            scan.observer().events(),
+            "indexed transcript (probes aside) diverged under random churn");
+    }
+}

@@ -17,6 +17,11 @@
 //!    `fdatasync` failure, mutations arriving over the network fail
 //!    closed with the distinct durability error while queries and
 //!    chunked fetches keep answering — on both front-ends.
+//! 5. **Stale duplicates are non-retriable.** A tagged request whose
+//!    id aged below the dedup watermark is rejected with the distinct
+//!    [`dbph::core::protocol::STALE_DUPLICATE_PREFIX`] error, which a
+//!    retry-enabled [`PooledClient`] surfaces immediately — re-sending
+//!    can only get the same answer, so no backoff is ever spent on it.
 
 use std::net::TcpListener;
 use std::sync::Arc;
@@ -334,4 +339,102 @@ fn poisoned_log_fails_mutations_closed_over_tcp_but_keeps_answering_queries() {
         );
         handle.shutdown();
     }
+}
+
+// --- 5. stale duplicates are non-retriable ---------------------------------
+
+#[test]
+fn stale_duplicate_surfaces_immediately_through_the_retry_policy() {
+    use dbph::core::protocol::STALE_DUPLICATE_PREFIX;
+    use dbph::core::PhError;
+
+    let server = Server::new();
+    let handle = NetServer::spawn(server, "127.0.0.1:0").unwrap();
+    // A retry policy with a backoff so wide that any accidental retry
+    // of the stale rejection would blow the timing assertion below.
+    let client = PooledClient::connect_with(
+        handle.addr(),
+        PoolOptions {
+            capacity: 2,
+            retry: RetryPolicy {
+                max_attempts: 4,
+                base_backoff: Duration::from_secs(2),
+                max_backoff: Duration::from_secs(2),
+                deadline: None,
+                jitter_seed: 3,
+            },
+            ..PoolOptions::default()
+        },
+    )
+    .unwrap();
+
+    let tagged = |seq: u64, msg: ClientMessage| {
+        ClientMessage::Tagged {
+            client_id: 9,
+            seq,
+            inner: Box::new(msg),
+        }
+        .to_wire()
+    };
+
+    assert!(is_ok(&client.call(&create_msg("T")).unwrap()));
+    // Age seq 1 out of the bounded window: 150 tagged appends push the
+    // per-client watermark past it and evict its cached response.
+    for seq in 1..=150u64 {
+        assert!(is_ok(
+            &client
+                .call(&tagged(
+                    seq,
+                    ClientMessage::Append {
+                        name: "T".into(),
+                        doc_id: seq - 1,
+                        words: vec![CipherWord(vec![(seq % 251) as u8; 13])],
+                    },
+                ))
+                .unwrap()
+        ));
+    }
+
+    // A retry of seq 1 now lands below the watermark. The server must
+    // answer with the *distinct* stale error — not re-apply, not the
+    // generic duplicate replay — and the pooled client must hand it
+    // straight back instead of burning its 2 s backoffs on a rejection
+    // that can never change.
+    let started = Instant::now();
+    let resp = client
+        .call(&tagged(
+            1,
+            ClientMessage::Append {
+                name: "T".into(),
+                doc_id: 0,
+                words: vec![CipherWord(vec![1u8; 13])],
+            },
+        ))
+        .unwrap();
+    let elapsed = started.elapsed();
+    match decode(&resp) {
+        ServerResponse::Error(m) => {
+            assert!(
+                m.starts_with(STALE_DUPLICATE_PREFIX),
+                "stale rejection must carry the distinct prefix: {m}"
+            );
+            assert!(
+                PhError::Protocol(m).is_stale_duplicate(),
+                "the typed error must classify as a stale duplicate"
+            );
+        }
+        other => panic!("stale retry must be rejected, got {other:?}"),
+    }
+    assert!(
+        elapsed < Duration::from_secs(1),
+        "stale rejection must surface without retries, took {elapsed:?}"
+    );
+
+    // The rejection changed nothing server-side: exactly the 150
+    // applied docs are stored.
+    match decode(&client.call(&fetch_msg("T")).unwrap()) {
+        ServerResponse::Table(t) => assert_eq!(t.len(), 150),
+        other => panic!("fetch failed: {other:?}"),
+    }
+    handle.shutdown();
 }
