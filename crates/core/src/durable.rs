@@ -56,6 +56,7 @@ use std::io::{Cursor, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
+use std::time::Duration;
 
 use parking_lot::{Condvar, Mutex};
 
@@ -83,15 +84,28 @@ const MANIFEST_MAGIC: &[u8; 8] = b"dbphman1";
 const MANIFEST_VERSION: u16 = 1;
 
 /// Bytes of the truncated-SHA-256 record trailer.
-const CHECKSUM_LEN: usize = 8;
+pub(crate) const CHECKSUM_LEN: usize = 8;
 /// Defensive cap on one record's framed payload. Mutation records are
 /// single protocol messages (transport-capped far below this) and
 /// snapshot records are chunked by construction; a length prefix
 /// beyond the cap is corruption, treated like any torn tail.
-const MAX_RECORD: usize = 256 << 20;
+pub(crate) const MAX_RECORD: usize = 256 << 20;
+
+/// Budget for one replication pull's record chunk (4 MiB): well under
+/// the transport frame cap so a [`ReplRead`] always frames, while a
+/// catching-up follower still moves whole snapshot chunks per
+/// round-trip.
+pub(crate) const REPL_CHUNK_BYTES: u64 = 4 << 20;
+
+/// How long a caught-up follower pull parks server-side waiting for
+/// the next record before answering empty ([`DurableLog::repl_read`]'s
+/// long poll). Bounded so an idle replication link still exchanges a
+/// liveness round-trip at this cadence and a parked pull never pins
+/// its serving thread for long.
+pub(crate) const REPL_POLL_WAIT: Duration = Duration::from_millis(10);
 
 /// Record tag: the body is one raw client mutation message.
-const TAG_MUTATION: u8 = 0;
+pub(crate) const TAG_MUTATION: u8 = 0;
 /// Record tag: the body is one compaction snapshot chunk.
 const TAG_SNAPSHOT: u8 = 1;
 /// Record tag: the body is the dedup-window image at a compaction
@@ -209,6 +223,10 @@ struct Writer {
     active_bytes: u64,
     /// Sealed segment ids, in replay order (before the active one).
     sealed: Vec<u64>,
+    /// Byte length of each sealed segment, parallel to `sealed` — the
+    /// replication cursor maps virtual stream offsets onto files with
+    /// it, without re-statting on every pull.
+    sealed_bytes: Vec<u64>,
 }
 
 /// The group-commit barrier, guarded by [`DurableLog::commit`].
@@ -261,6 +279,24 @@ pub struct DurableLog {
     /// Fault injection: the next N syncs fail without reaching the
     /// disk (tests manufacture failing-fdatasync windows with it).
     sync_faults: AtomicU64,
+    /// Virtual stream offset of the first byte of the current segment
+    /// set. The replication cursor addresses the log as one append-only
+    /// virtual byte stream; compaction rewrites history, so it bumps
+    /// this base *past* every previously handed-out offset
+    /// (`old end + 1`) and stale followers re-bootstrap from the
+    /// snapshot. Written only under the writer lock; read lock-free.
+    repl_base: AtomicU64,
+    /// Semi-sync fast path: [`ReplicationOptions::min_acks`]. Zero
+    /// (the default) keeps the mutation path free of any replication
+    /// bookkeeping.
+    repl_min_acks: AtomicU64,
+    /// Per-follower acknowledged virtual offsets plus the semi-sync
+    /// configuration; guarded last in the lock order (never held while
+    /// taking `writer` or `commit`).
+    repl: Mutex<ReplAcks>,
+    /// Wakes semi-sync waiters when a follower's ack advances (or the
+    /// log poisons).
+    repl_cv: Condvar,
     /// Held (OS advisory lock on the `LOCK` file) for the log's whole
     /// lifetime: two processes appending to one active segment would
     /// interleave frame bytes and destroy the log, so a second open of
@@ -269,11 +305,77 @@ pub struct DurableLog {
     _dir_lock: File,
 }
 
+/// How many followers must confirm a mutation before the primary acks
+/// it — the semi-sync replication contract.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplicationOptions {
+    /// Followers that must have durably appended (fdatasync'd) a
+    /// mutation's record before the primary acknowledges it. `0` (the
+    /// default) is plain asynchronous replication: followers tail at
+    /// their own pace and acks ride the local group-commit barrier
+    /// alone.
+    pub min_acks: usize,
+    /// Upper bound on waiting for follower acks. A primary whose
+    /// followers died would otherwise block mutations forever; past
+    /// the timeout it *degrades to asynchronous* for that mutation
+    /// (acking on local durability alone, like MySQL semi-sync) and
+    /// counts the event in [`DurableLog::semi_sync_degraded`] so
+    /// operators can see the guarantee lapsed.
+    pub ack_timeout: std::time::Duration,
+}
+
+impl Default for ReplicationOptions {
+    fn default() -> Self {
+        ReplicationOptions {
+            min_acks: 0,
+            ack_timeout: std::time::Duration::from_secs(10),
+        }
+    }
+}
+
+/// Follower-ack state behind [`DurableLog::repl`].
+struct ReplAcks {
+    /// Highest virtual offset each follower has durably applied,
+    /// keyed by its self-chosen id. A pull at offset `v` *is* the ack
+    /// for every byte below `v`.
+    acks: BTreeMap<u64, u64>,
+    /// Companion to the atomic fast path; authoritative value.
+    options: ReplicationOptions,
+    /// Mutations acked after the semi-sync timeout expired (the
+    /// guarantee degraded to async for them).
+    degraded: u64,
+}
+
+/// One served replication pull: either the next run of verbatim
+/// record bytes, or a restart-from-snapshot when the follower's offset
+/// fell off the primary's compaction horizon.
+pub(crate) enum ReplRead {
+    /// Records at exactly the requested offset.
+    Records { records: Vec<u8>, next_offset: u64 },
+    /// The follower must reset: the stream restarts at `base`.
+    Snapshot {
+        base: u64,
+        records: Vec<u8>,
+        next_offset: u64,
+    },
+}
+
+/// What [`DurableLog::scrub`] verified.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ScrubReport {
+    /// Segments whose records all verified (sealed + active).
+    pub segments: usize,
+    /// Total records checksum-verified.
+    pub records: u64,
+    /// Total record-stream bytes verified.
+    pub bytes: u64,
+}
+
 fn io_err(context: &str, e: &std::io::Error) -> PhError {
     PhError::Durability(format!("{context}: {e}"))
 }
 
-fn segment_path(dir: &Path, id: u64) -> PathBuf {
+pub(crate) fn segment_path(dir: &Path, id: u64) -> PathBuf {
     dir.join(format!("seg-{id:08}.log"))
 }
 
@@ -286,13 +388,13 @@ fn checksum(body: &[u8]) -> [u8; CHECKSUM_LEN] {
 
 /// Opens the directory itself and fsyncs it, making freshly created /
 /// renamed / removed directory entries durable.
-fn sync_dir(dir: &Path) -> Result<(), PhError> {
+pub(crate) fn sync_dir(dir: &Path) -> Result<(), PhError> {
     File::open(dir)
         .and_then(|d| d.sync_all())
         .map_err(|e| io_err("fsync data dir", &e))
 }
 
-fn write_manifest(dir: &Path, segments: &[u64]) -> Result<(), PhError> {
+pub(crate) fn write_manifest(dir: &Path, segments: &[u64]) -> Result<(), PhError> {
     let mut body = Vec::with_capacity(16 + 8 * segments.len());
     body.extend_from_slice(MANIFEST_MAGIC);
     MANIFEST_VERSION.encode(&mut body);
@@ -546,6 +648,48 @@ enum SegmentEnd {
     },
 }
 
+/// Length of the longest whole-record-frame prefix of `bytes` (frames
+/// are a `u32`-LE length followed by that many payload bytes).
+/// Boundary math only — checksum verification is the receiver's job.
+fn records_prefix(bytes: &[u8]) -> u64 {
+    let mut pos = 0usize;
+    while bytes.len() - pos >= 4 {
+        let len = u32::from_le_bytes([bytes[pos], bytes[pos + 1], bytes[pos + 2], bytes[pos + 3]])
+            as usize;
+        if len > MAX_RECORD || bytes.len() - pos - 4 < len {
+            break;
+        }
+        pos += 4 + len;
+    }
+    pos as u64
+}
+
+/// Walks `bytes` as a record stream verifying framing and checksums —
+/// without replaying anything — and reports `(records, clean_bytes)`:
+/// how many records verified and how far the clean prefix extends.
+/// `clean_bytes == bytes.len()` means every byte verified.
+pub(crate) fn verify_records(bytes: &[u8]) -> (u64, u64) {
+    let mut cursor = Cursor::new(bytes);
+    let mut records = 0u64;
+    let mut good = 0u64;
+    loop {
+        let payload = match codec::read_frame_capped(&mut cursor, MAX_RECORD) {
+            Ok(None) => return (records, good),
+            Ok(Some(payload)) => payload,
+            Err(_) => return (records, good),
+        };
+        if payload.len() <= CHECKSUM_LEN {
+            return (records, good);
+        }
+        let (body, sum) = payload.split_at(payload.len() - CHECKSUM_LEN);
+        if checksum(body) != *sum {
+            return (records, good);
+        }
+        records += 1;
+        good = cursor.position();
+    }
+}
+
 /// Replays every complete record of `bytes`, reporting where (and
 /// whether cleanly) the segment ended. Never panics on any input.
 fn replay_segment(
@@ -642,6 +786,7 @@ impl DurableLog {
         let (&active_id, sealed_ids) = segments
             .split_last()
             .ok_or_else(|| PhError::Durability("empty manifest".into()))?;
+        let mut sealed_bytes = Vec::with_capacity(sealed_ids.len());
         for &id in sealed_ids {
             let path = segment_path(&dir, id);
             let bytes = fs::read(&path).map_err(|e| io_err("read sealed segment", &e))?;
@@ -653,6 +798,7 @@ impl DurableLog {
                     )));
                 }
             }
+            sealed_bytes.push(bytes.len() as u64);
         }
         let active_path = segment_path(&dir, active_id);
         let bytes = fs::read(&active_path).map_err(|e| io_err("read active segment", &e))?;
@@ -706,6 +852,7 @@ impl DurableLog {
                 active_id,
                 active_bytes,
                 sealed: sealed_ids.to_vec(),
+                sealed_bytes,
             }),
             commit: Mutex::new(CommitState {
                 appended: 0,
@@ -718,6 +865,14 @@ impl DurableLog {
             poisoned: AtomicBool::new(false),
             syncs: AtomicU64::new(0),
             sync_faults: AtomicU64::new(0),
+            repl_base: AtomicU64::new(0),
+            repl_min_acks: AtomicU64::new(0),
+            repl: Mutex::new(ReplAcks {
+                acks: BTreeMap::new(),
+                options: ReplicationOptions::default(),
+                degraded: 0,
+            }),
+            repl_cv: Condvar::new(),
             _dir_lock: dir_lock,
         };
         Ok((log, tables.into_values().collect(), dedup, index))
@@ -779,8 +934,12 @@ impl DurableLog {
     /// observe the failure instead of parking forever.
     fn poison_and_wake(&self) {
         self.poisoned.store(true, Ordering::SeqCst);
-        let _guard = self.commit.lock();
-        self.commit_cv.notify_all();
+        {
+            let _guard = self.commit.lock();
+            self.commit_cv.notify_all();
+        }
+        let _guard = self.repl.lock();
+        self.repl_cv.notify_all();
     }
 
     /// One `fdatasync`, honoring injected faults.
@@ -873,6 +1032,19 @@ impl DurableLog {
                 let c = self.commit.lock();
                 (c.appended, Arc::clone(&c.file))
             };
+            // Wake any follower pull parked on the stream end
+            // (`repl_read`'s long poll) *now*, before the fsync: the
+            // window just stabilized, so the follower ships it as one
+            // chunk and runs its own append+fsync in parallel with
+            // ours — semi-sync ack latency stays near one fsync, not
+            // two. Shipping records whose barrier has not completed is
+            // sound: the follower's copy only ever *adds* a durability
+            // site, and a follower that ends up ahead of a crashed
+            // primary goes stale on its first pull and re-bootstraps.
+            {
+                let _r = self.repl.lock();
+                self.repl_cv.notify_all();
+            }
             let outcome = self.do_sync(&file);
             c = self.commit.lock();
             c.syncing = false;
@@ -925,6 +1097,7 @@ impl DurableLog {
     ) -> Result<R, PhError> {
         let my_seq;
         let result;
+        let repl_end;
         {
             let mut w = self.writer.lock();
             // Check the poison flag *under* the lock: a mutation that
@@ -946,6 +1119,21 @@ impl DurableLog {
                 self.poison_and_wake();
                 return Err(e);
             }
+            // The record's end position in the virtual replication
+            // stream: a follower ack at or beyond it means this exact
+            // record is durable on that follower. Captured under the
+            // writer lock (before any compaction below — offsets are
+            // monotone across compaction, so a later ack still
+            // satisfies the wait), consumed after local durability.
+            repl_end = if self.repl_min_acks.load(Ordering::SeqCst) > 0 {
+                Some(
+                    self.repl_base.load(Ordering::SeqCst)
+                        + w.sealed_bytes.iter().sum::<u64>()
+                        + w.active_bytes,
+                )
+            } else {
+                None
+            };
             if self.options.group_commit {
                 // Claim this record's barrier sequence number; the
                 // fsync itself happens outside the writer lock.
@@ -963,6 +1151,12 @@ impl DurableLog {
                 let mut c = self.commit.lock();
                 c.appended += 1;
                 c.synced = c.appended;
+                drop(c);
+                // Wake long-polled follower pulls: a new, already
+                // durable record is readable. (Under group commit the
+                // barrier leader wakes them instead, once per window.)
+                let _r = self.repl.lock();
+                self.repl_cv.notify_all();
             }
             if w.active_bytes >= self.options.compact_threshold {
                 if let Err(e) = self.compact_locked(&mut w, store) {
@@ -973,6 +1167,9 @@ impl DurableLog {
         }
         if let Some(seq) = my_seq {
             self.wait_durable(seq)?;
+        }
+        if let Some(end) = repl_end {
+            self.wait_replicated(end)?;
         }
         Ok(result)
     }
@@ -995,6 +1192,276 @@ impl DurableLog {
         })
     }
 
+    /// Installs (or changes) the semi-sync replication contract. With
+    /// `min_acks == 0` the write path is untouched; with `min_acks > 0`
+    /// every mutation blocks, after its local durability barrier, until
+    /// that many followers have acknowledged the record (or the
+    /// configured timeout degrades the ack to async).
+    pub fn set_replication(&self, options: ReplicationOptions) {
+        let mut r = self.repl.lock();
+        self.repl_min_acks
+            .store(options.min_acks as u64, Ordering::SeqCst);
+        r.options = options;
+        // A relaxed contract may already be satisfied for parked
+        // waiters; let them re-check.
+        self.repl_cv.notify_all();
+    }
+
+    /// Mutations whose semi-sync wait timed out and were acked on
+    /// local durability alone — each one is a lapse of the
+    /// "acked ⇒ on a follower" guarantee that operators should see.
+    #[must_use]
+    pub fn semi_sync_degraded(&self) -> u64 {
+        self.repl.lock().degraded
+    }
+
+    /// Replication lag in virtual-stream bytes: the gap between this
+    /// log's stream end and the slowest registered follower's
+    /// acknowledged offset. Zero with no followers.
+    #[must_use]
+    pub fn replication_lag(&self) -> u64 {
+        let end = {
+            let w = self.writer.lock();
+            self.repl_base.load(Ordering::SeqCst)
+                + w.sealed_bytes.iter().sum::<u64>()
+                + w.active_bytes
+        };
+        let r = self.repl.lock();
+        r.acks
+            .values()
+            .map(|&v| end.saturating_sub(v))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Blocks until `min_acks` followers have acknowledged offsets at
+    /// or beyond `end_offset`, the timeout degrades the ack to async,
+    /// or the log poisons.
+    fn wait_replicated(&self, end_offset: u64) -> Result<(), PhError> {
+        let deadline = std::time::Instant::now() + {
+            let r = self.repl.lock();
+            r.options.ack_timeout
+        };
+        let mut r = self.repl.lock();
+        loop {
+            let need = r.options.min_acks;
+            if need == 0 {
+                return Ok(());
+            }
+            if r.acks.values().filter(|&&v| v >= end_offset).count() >= need {
+                return Ok(());
+            }
+            if self.is_poisoned() {
+                return Err(PhError::Durability(
+                    "log poisoned while awaiting follower acks".into(),
+                ));
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                // Followers are gone or unreachable. Refusing the
+                // mutation here would be worse: it is already applied
+                // and locally durable, so an error would teach the
+                // client to re-send an envelope the dedup window must
+                // then replay — all cost, no safety. Degrade to async
+                // (the MySQL semi-sync escape hatch) and count it.
+                r.degraded += 1;
+                return Ok(());
+            }
+            let _ = self.repl_cv.wait_for(&mut r, deadline - now);
+        }
+    }
+
+    /// Serves one follower pull: records from `after_offset` onward
+    /// ([`ReplRead::Records`]), or a restart-from-snapshot
+    /// ([`ReplRead::Snapshot`]) when that offset predates the
+    /// compaction horizon or lies beyond the stream end. The pull
+    /// doubles as the follower's ack for every byte below
+    /// `after_offset`. Chunks are cut at record boundaries and capped
+    /// near [`REPL_CHUNK_BYTES`] (a single larger record ships whole).
+    ///
+    /// A pull that finds the follower already caught up *long-polls*:
+    /// it parks (off the writer lock) until an append or compaction
+    /// wakes it, up to [`REPL_POLL_WAIT`], and only then answers
+    /// empty. Appends notify at append time — before their barrier
+    /// fsync — so a tailing follower's own append+fsync runs in
+    /// parallel with the primary's, which is what keeps semi-sync
+    /// ack latency near one fsync instead of two. The parked pull
+    /// occupies its serving thread; point the replication link at the
+    /// default thread-per-connection front-end, not the shared event
+    /// loop.
+    ///
+    /// Holds the writer lock across the file reads: appends and
+    /// compactions stall for the duration of one bounded chunk read,
+    /// in exchange for an immutable view of the segment set.
+    pub(crate) fn repl_read(&self, follower: u64, after_offset: u64) -> Result<ReplRead, PhError> {
+        let deadline = std::time::Instant::now() + REPL_POLL_WAIT;
+        let (w, base, total, stale) = loop {
+            let w = self.writer.lock();
+            let base = self.repl_base.load(Ordering::SeqCst);
+            let total: u64 = w.sealed_bytes.iter().sum::<u64>() + w.active_bytes;
+            let end = base + total;
+            let stale = after_offset < base || after_offset > end;
+            {
+                let mut r = self.repl.lock();
+                let slot = r.acks.entry(follower).or_insert(0);
+                if stale {
+                    // The follower is about to reset; whatever it holds
+                    // at those offsets is not this stream's content.
+                    *slot = 0;
+                } else if *slot < after_offset {
+                    *slot = after_offset;
+                    self.repl_cv.notify_all();
+                }
+            }
+            if stale || after_offset < end {
+                break (w, base, total, stale);
+            }
+            // Caught up. Park until something lands or the poll budget
+            // runs out — never on a poisoned log (the follower should
+            // hear "nothing" promptly and keep probing; promotion may
+            // be next).
+            let now = std::time::Instant::now();
+            if self.is_poisoned() || now >= deadline {
+                return Ok(ReplRead::Records {
+                    records: Vec::new(),
+                    next_offset: after_offset,
+                });
+            }
+            // Lock order writer → repl, and take the repl lock *before*
+            // releasing the writer lock: appenders notify under the
+            // repl lock while holding the writer lock, so a record
+            // landing between our end-read and the park cannot slip
+            // its wakeup past us.
+            let mut r = self.repl.lock();
+            drop(w);
+            let _ = self.repl_cv.wait_for(&mut r, deadline - now);
+        };
+        let start = if stale { 0 } else { after_offset - base };
+        let avail = total - start;
+        let want = avail.min(REPL_CHUNK_BYTES);
+        let mut records = self.read_stream_range(&w, start, want)?;
+        let mut keep = records_prefix(&records);
+        if keep == 0 && avail > 4 {
+            // The record at `start` is larger than the chunk budget:
+            // read its header, then ship exactly that one record.
+            let header = self.read_stream_range(&w, start, 4)?;
+            let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]) as u64;
+            let need = (4 + len).min(avail);
+            records = self.read_stream_range(&w, start, need)?;
+            keep = records_prefix(&records);
+            if keep == 0 {
+                return Err(PhError::Durability(format!(
+                    "replication cursor desynchronized at offset {after_offset}"
+                )));
+            }
+        }
+        records.truncate(usize::try_from(keep).unwrap_or(usize::MAX));
+        if stale {
+            Ok(ReplRead::Snapshot {
+                base,
+                next_offset: base + keep,
+                records,
+            })
+        } else {
+            Ok(ReplRead::Records {
+                next_offset: after_offset + keep,
+                records,
+            })
+        }
+    }
+
+    /// Reads raw bytes `[start, start + len)` of the physical record
+    /// stream (sealed segments in manifest order, then the active
+    /// segment's record prefix). Caller holds the writer lock, so the
+    /// segment set and every length are stable.
+    fn read_stream_range(&self, w: &Writer, start: u64, len: u64) -> Result<Vec<u8>, PhError> {
+        use std::io::{Read as _, Seek as _, SeekFrom};
+        let mut out = Vec::with_capacity(usize::try_from(len).unwrap_or(0));
+        let mut pos = start;
+        let end = start + len;
+        let mut cum = 0u64;
+        let segs = w
+            .sealed
+            .iter()
+            .copied()
+            .zip(w.sealed_bytes.iter().copied())
+            .chain(std::iter::once((w.active_id, w.active_bytes)));
+        for (id, seg_len) in segs {
+            let seg_start = cum;
+            cum += seg_len;
+            if cum <= pos {
+                continue;
+            }
+            if pos >= end {
+                break;
+            }
+            let off = pos - seg_start;
+            let take = usize::try_from(cum.min(end) - pos)
+                .map_err(|_| PhError::Durability("stream read too large".into()))?;
+            let mut file = File::open(segment_path(&self.dir, id))
+                .map_err(|e| io_err("open segment for replication", &e))?;
+            file.seek(SeekFrom::Start(off))
+                .map_err(|e| io_err("seek segment for replication", &e))?;
+            let at = out.len();
+            out.resize(at + take, 0);
+            file.read_exact(&mut out[at..])
+                .map_err(|e| io_err("read segment for replication", &e))?;
+            pos += take as u64;
+        }
+        if pos != end {
+            return Err(PhError::Durability(format!(
+                "short replication stream read: wanted [{start}, {end}), got {pos}"
+            )));
+        }
+        Ok(out)
+    }
+
+    /// Proactively re-verifies every record checksum in every segment
+    /// — sealed segments *and* the active segment's record prefix —
+    /// without replaying or mutating anything. Detects at-rest
+    /// corruption (bit rot, tampering) that today would otherwise
+    /// surface only at the next open. Holds the writer lock, so the
+    /// scan sees a stable segment set; mutations stall for the
+    /// duration.
+    ///
+    /// # Errors
+    /// [`PhError::Durability`] naming the corrupt segment and the byte
+    /// offset of the first bad record. A scrub failure does *not*
+    /// poison the log: the damage predates it and the recovery path,
+    /// not the scrubber, owns the decision of what is servable.
+    pub fn scrub(&self) -> Result<ScrubReport, PhError> {
+        let w = self.writer.lock();
+        let mut report = ScrubReport::default();
+        let segs = w
+            .sealed
+            .iter()
+            .copied()
+            .zip(w.sealed_bytes.iter().copied())
+            .chain(std::iter::once((w.active_id, w.active_bytes)));
+        for (id, seg_len) in segs {
+            let bytes = fs::read(segment_path(&self.dir, id))
+                .map_err(|e| io_err("read segment for scrub", &e))?;
+            let len = usize::try_from(seg_len)
+                .map_err(|_| PhError::Durability("segment too large to scrub".into()))?;
+            let bytes = bytes.get(..len).ok_or_else(|| {
+                PhError::Durability(format!(
+                    "segment {id} shorter than its record prefix ({} < {seg_len} bytes)",
+                    bytes.len()
+                ))
+            })?;
+            let (records, good) = verify_records(bytes);
+            if good != seg_len {
+                return Err(PhError::Durability(format!(
+                    "segment {id} corrupt: first bad record at byte {good} of {seg_len}"
+                )));
+            }
+            report.segments += 1;
+            report.records += records;
+            report.bytes += good;
+        }
+        Ok(report)
+    }
+
     /// Appends one checksummed record (`tag` + `body`) to the active
     /// segment. The bytes hit the file (in apply order, under the
     /// writer lock) but are *not* yet durable — the caller makes them
@@ -1008,6 +1475,48 @@ impl DurableLog {
         codec::write_frame_capped(&mut w.active.as_ref(), &payload, MAX_RECORD)
             .map_err(|e| PhError::Durability(format!("append record: {e}")))?;
         w.active_bytes += (4 + payload.len()) as u64;
+        Ok(())
+    }
+
+    /// Appends a chunk of already-framed, already-checksummed records
+    /// *verbatim* to the active segment and fsyncs once — the
+    /// follower's tailing write. The caller (the replica) has verified
+    /// the chunk with [`verify_records`]; writing the primary's bytes
+    /// unmodified is what makes the follower's log a byte substring of
+    /// the primary's stream, so recovery/promote replay exactly what
+    /// the primary logged. One `fdatasync` covers the whole chunk:
+    /// per-record syncs would cost the follower ~`records`× the
+    /// primary's group-commit rate and stall semi-sync acks behind it.
+    ///
+    /// # Errors
+    /// [`PhError::Durability`] when the log is poisoned or the
+    /// write/fsync fails (which poisons it).
+    pub(crate) fn append_raw(&self, records: &[u8]) -> Result<(), PhError> {
+        let mut w = self.writer.lock();
+        if self.is_poisoned() {
+            return Err(PhError::Durability(
+                "log is poisoned; raw append refused".into(),
+            ));
+        }
+        let outcome = w
+            .active
+            .as_ref()
+            .write_all(records)
+            .map_err(|e| io_err("append raw records", &e))
+            .and_then(|()| self.do_sync(&w.active));
+        if let Err(e) = outcome {
+            drop(w);
+            self.poison_and_wake();
+            return Err(e);
+        }
+        w.active_bytes += records.len() as u64;
+        // Keep the group-commit barrier coherent for a later
+        // `promote()`: these records are durable the moment this
+        // returns, so the barrier counters advance together and the
+        // first post-promotion mutation starts a fresh window.
+        let mut c = self.commit.lock();
+        c.appended += 1;
+        c.synced = c.appended;
         Ok(())
     }
 
@@ -1094,10 +1603,25 @@ impl DurableLog {
             let _ = fs::remove_file(segment_path(&self.dir, old));
         }
 
+        // Compaction rewrote history: every replication offset handed
+        // out so far addresses bytes that no longer exist. Bump the
+        // virtual base strictly past the old stream end so *any* prior
+        // follower offset (even a fully caught-up one) reads as stale
+        // and the follower re-bootstraps from the snapshot segment.
+        let old_end = self.repl_base.load(Ordering::SeqCst)
+            + w.sealed_bytes.iter().sum::<u64>()
+            + w.active_bytes;
+        let snapshot_bytes = snapshot_file
+            .metadata()
+            .map_err(|e| io_err("stat snapshot segment", &e))?
+            .len();
+        self.repl_base.store(old_end + 1, Ordering::SeqCst);
+
         w.active = Arc::new(new_active);
         w.active_id = new_active_id;
         w.active_bytes = 0;
         w.sealed = vec![snapshot_id];
+        w.sealed_bytes = vec![snapshot_bytes];
 
         // The snapshot captured the live store — which includes every
         // record appended so far, synced or not — and the manifest
@@ -1109,6 +1633,13 @@ impl DurableLog {
             c.synced = c.appended;
             c.file = Arc::clone(&w.active);
             self.commit_cv.notify_all();
+        }
+        // Wake long-polled follower pulls: their cursors just went
+        // stale, and the sooner they learn, the sooner they
+        // re-bootstrap from the snapshot this compaction wrote.
+        {
+            let _r = self.repl.lock();
+            self.repl_cv.notify_all();
         }
         Ok(())
     }
@@ -1529,6 +2060,85 @@ mod tests {
         // property, not a file that lingers), so a restart succeeds.
         drop(first);
         assert!(Server::open_durable(tmp.path(), 1).is_ok());
+    }
+
+    #[test]
+    fn scrub_passes_a_clean_log_and_counts_everything() {
+        let tmp = TempDir::new("durable-scrub-clean").unwrap();
+        let server = Server::open_durable(tmp.path(), 2).unwrap();
+        let _ = server.handle(&create_msg("t", 8));
+        let _ = server.handle(&append_msg("t", 8));
+        server.compact().unwrap();
+        let _ = server.handle(&append_msg("t", 9));
+        let _ = server.handle(&delete_msg("t", vec![1]));
+
+        let report = server.scrub().unwrap();
+        assert_eq!(report.segments, 2, "sealed snapshot + active");
+        assert!(report.records >= 3, "snapshot records + 2 tail mutations");
+        let log = server.durable_log().unwrap();
+        let expected_bytes: u64 = log
+            .segments()
+            .iter()
+            .map(|&id| fs::metadata(segment_path(tmp.path(), id)).unwrap().len())
+            .sum();
+        assert_eq!(report.bytes, expected_bytes);
+        // Scrub is read-only: the store still serves and mutates.
+        let resp = server.handle(&append_msg("t", 10));
+        assert_eq!(
+            crate::protocol::ServerResponse::from_wire(&resp).unwrap(),
+            crate::protocol::ServerResponse::Ok
+        );
+    }
+
+    #[test]
+    fn scrub_is_clean_after_torn_active_recovery() {
+        // A torn active tail is the *tolerated* corruption: recovery
+        // truncates it, so a scrub right after open must pass — the
+        // torn bytes are gone, not latent.
+        let tmp = TempDir::new("durable-scrub-torn").unwrap();
+        let active = {
+            let server = Server::open_durable(tmp.path(), 1).unwrap();
+            let _ = server.handle(&create_msg("t", 4));
+            let _ = server.handle(&append_msg("t", 4));
+            server.durable_log().unwrap().active_segment_path()
+        };
+        let len = fs::metadata(&active).unwrap().len();
+        let file = File::options().write(true).open(&active).unwrap();
+        file.set_len(len - 3).unwrap();
+        drop(file);
+
+        let recovered = Server::open_durable(tmp.path(), 1).unwrap();
+        let report = recovered.scrub().unwrap();
+        assert_eq!(report.segments, 1);
+        assert!(report.records >= 1);
+    }
+
+    #[test]
+    fn scrub_names_a_corrupt_sealed_segment() {
+        // Bit rot in a *sealed* segment is exactly what scrub exists
+        // to surface before the next restart trips over it.
+        let tmp = TempDir::new("durable-scrub-rot").unwrap();
+        let server = Server::open_durable(tmp.path(), 1).unwrap();
+        let _ = server.handle(&create_msg("t", 30));
+        server.compact().unwrap();
+        let sealed = server.durable_log().unwrap().segments()[0];
+        assert!(server.scrub().is_ok(), "clean before the flip");
+
+        let path = segment_path(tmp.path(), sealed);
+        let mut bytes = fs::read(&path).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xFF;
+        fs::write(&path, &bytes).unwrap();
+
+        let err = server.scrub().unwrap_err();
+        let msg = err.to_string();
+        assert!(
+            msg.contains(&format!("segment {sealed}")),
+            "error names the segment: {msg}"
+        );
+        // Scrub reports; it does not poison (the recovery path owns
+        // the serve/refuse decision for pre-existing damage).
+        assert!(!server.durable_log().unwrap().is_poisoned());
     }
 
     #[test]

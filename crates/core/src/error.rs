@@ -87,6 +87,20 @@ impl PhError {
         matches!(self, PhError::Protocol(msg)
             if msg.starts_with(crate::protocol::STALE_DUPLICATE_PREFIX))
     }
+
+    /// Whether this is a *connection refused* transport failure (see
+    /// [`crate::net::CONNECT_REFUSED_PREFIX`]): nothing is listening at
+    /// the peer address at all, as opposed to a connected exchange that
+    /// died midway. The distinction matters for failover — a refused
+    /// connect means the server process is gone, so the retry loop
+    /// skips its exponential backoff (waiting will not resurrect the
+    /// process) and the caller learns quickly that it should redirect
+    /// to a promoted follower.
+    #[must_use]
+    pub fn is_connect_refused(&self) -> bool {
+        matches!(self, PhError::Transport(msg)
+            if msg.starts_with(crate::net::CONNECT_REFUSED_PREFIX))
+    }
 }
 
 impl std::error::Error for PhError {

@@ -112,6 +112,22 @@
 //!   envelope adds no leakage Eve did not have: she already links a
 //!   session's requests by connection, and `(client_id, seq)` names
 //!   the sender and an ordinal, never key material or plaintext.
+//! * [`replica`] — primary/follower replication by segment-log
+//!   shipping: a [`replica::Replica`] bootstraps from a primary's
+//!   compacted stream and tails appended records over the same framed
+//!   transport ([`protocol::ClientMessage::ReplPull`]), feeding every
+//!   shipped byte through the recovery path — so the follower's
+//!   store, dedup window, and index are byte-identical to what the
+//!   primary would itself recover. Semi-sync durability
+//!   ([`durable::ReplicationOptions`]) holds each mutation's ack,
+//!   after the local group-commit barrier, until `min_acks` followers
+//!   confirm append+fdatasync (degrading to async on timeout, counted);
+//!   [`replica::Replica::promote`] turns the follower into a serving
+//!   primary whose recovered dedup window replays — never re-applies —
+//!   acked envelopes a failed-over client re-sends. The shipped stream
+//!   is records Eve already received, forwarded to a second Eve: no
+//!   new leakage about Alex's data (see [`replica`]'s module docs),
+//!   which is why `ReplPull`/`Ping` record no transcript events.
 //! * [`index`] — the opt-in sublinear plan: an encrypted inverted
 //!   index (a memoizing encrypted multimap from trapdoor-derived
 //!   labels, [`dbph_swp::index_label`], to posting lists of matched
@@ -157,6 +173,7 @@ pub mod index;
 pub mod net;
 pub mod ph;
 pub mod protocol;
+pub mod replica;
 pub mod server;
 pub mod snapshot;
 pub mod storage;
@@ -167,7 +184,7 @@ pub mod wire;
 
 pub use arena::WordArena;
 pub use client::Client;
-pub use durable::{DurableLog, DurableOptions, TempDir};
+pub use durable::{DurableLog, DurableOptions, ReplicationOptions, ScrubReport, TempDir};
 pub use encoding::WordCodec;
 pub use error::PhError;
 pub use executor::Executor;
@@ -178,6 +195,7 @@ pub use net::{
     Transport,
 };
 pub use ph::{DatabasePh, IncrementalPh};
+pub use replica::{Replica, ReplicaOptions};
 pub use server::{Observer, Server};
 pub use storage::{ShardedTable, TableStore};
 pub use swp_ph::{EncryptedQuery, EncryptedTable, FinalSwpPh, SwpPh};

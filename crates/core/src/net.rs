@@ -59,6 +59,15 @@ use crate::server::Server;
 use crate::sys;
 use crate::wire::WireEncode as _;
 
+/// Machine-readable prefix of the [`PhError::Transport`] message for a
+/// *connection refused* dial: the OS answered immediately that nothing
+/// listens at the address, so the peer process is dead (or not yet up)
+/// rather than slow. [`PhError::is_connect_refused`] recognizes it;
+/// the retry loop skips backoff for this class so failover logic can
+/// redirect to a promoted follower instead of burning the full
+/// exponential-backoff budget against a dead primary.
+pub const CONNECT_REFUSED_PREFIX: &str = "connection refused (peer down)";
+
 /// Anything that can answer one serialized protocol message with one
 /// serialized response — the client's entire requirement of the
 /// outside world. The crypto client ([`crate::client::Client`]) is
@@ -916,7 +925,12 @@ struct PoolState {
 }
 
 struct PoolInner {
-    addr: SocketAddr,
+    /// Where the pool dials. Behind a mutex so
+    /// [`PooledClient::redirect`] can repoint a live pool at a promoted
+    /// follower without touching the envelope identity or `seq` — the
+    /// request-id continuity is exactly what makes failover retries
+    /// replay instead of re-apply.
+    addr: Mutex<SocketAddr>,
     capacity: usize,
     state: Mutex<PoolState>,
     /// Signaled when a connection is returned or an `open` slot frees.
@@ -1123,7 +1137,7 @@ impl PooledClient {
             .unwrap_or_else(|| NEXT_CLIENT_ID.fetch_add(1, Ordering::SeqCst));
         let client = PooledClient {
             inner: Arc::new(PoolInner {
-                addr,
+                addr: Mutex::new(addr),
                 capacity: options.capacity.max(1),
                 state: Mutex::new(PoolState {
                     idle: Vec::new(),
@@ -1155,7 +1169,37 @@ impl PooledClient {
     /// The server address this pool dials.
     #[must_use]
     pub fn addr(&self) -> SocketAddr {
-        self.inner.addr
+        *self.inner.addr.lock()
+    }
+
+    /// Repoints the pool at `addr` — the client half of failover.
+    /// Existing idle connections to the old server are discarded (their
+    /// capacity slots free immediately); the envelope identity and
+    /// sequence counter carry over untouched, so a mutation that was
+    /// mid-retry against the dead primary re-sends the *identical*
+    /// tagged bytes to the new address and the promoted follower's
+    /// recovered dedup window replays rather than re-applies.
+    ///
+    /// # Errors
+    /// [`PhError::Transport`] when `addr` does not resolve.
+    pub fn redirect(&self, addr: impl ToSocketAddrs) -> Result<(), PhError> {
+        let addr = addr
+            .to_socket_addrs()
+            .map_err(|e| PhError::Transport(format!("resolve failed: {e}")))?
+            .next()
+            .ok_or_else(|| PhError::Transport("address resolved to nothing".into()))?;
+        *self.inner.addr.lock() = addr;
+        let dropped = {
+            let mut state = self.inner.state.lock();
+            let dropped = state.idle.len();
+            state.idle.clear();
+            state.open -= dropped;
+            dropped
+        };
+        if dropped > 0 {
+            self.inner.returned.notify_all();
+        }
+        Ok(())
     }
 
     /// Maximum simultaneous connections.
@@ -1171,8 +1215,14 @@ impl PooledClient {
     }
 
     fn dial(&self) -> Result<TcpStream, PhError> {
-        let stream = TcpStream::connect(self.inner.addr)
-            .map_err(|e| PhError::Transport(format!("connect {} failed: {e}", self.inner.addr)))?;
+        let addr = *self.inner.addr.lock();
+        let stream = TcpStream::connect(addr).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::ConnectionRefused {
+                PhError::Transport(format!("{CONNECT_REFUSED_PREFIX}: {addr}: {e}"))
+            } else {
+                PhError::Transport(format!("connect {addr} failed: {e}"))
+            }
+        })?;
         let _ = stream.set_nodelay(true);
         if let Some(io_timeout) = self.inner.io_timeout {
             stream
@@ -1404,6 +1454,12 @@ impl PooledClient {
     /// prepared (envelope-tagged) bytes until the attempt or deadline
     /// budget runs out. A single-attempt policy forwards straight to
     /// `exchange` with the caller's original bytes.
+    ///
+    /// Connection-refused failures skip the backoff sleep entirely:
+    /// nothing is listening, so waiting cannot help — the remaining
+    /// attempts burn in milliseconds and the caller learns the server
+    /// is *gone* (not slow) fast enough to fail over to a promoted
+    /// follower via [`redirect`](Self::redirect).
     fn exchange_with_retry<B: AsRef<[u8]> + Sync>(
         &self,
         requests: &[B],
@@ -1422,7 +1478,11 @@ impl PooledClient {
                     if attempt >= policy.max_attempts {
                         return Err(e);
                     }
-                    let sleep = policy.backoff(attempt);
+                    let sleep = if e.is_connect_refused() {
+                        Duration::ZERO
+                    } else {
+                        policy.backoff(attempt)
+                    };
                     if let Some(deadline) = policy.deadline {
                         if started.elapsed() + sleep >= deadline {
                             return Err(e);

@@ -76,6 +76,8 @@ pub(crate) mod tag {
     pub const APPEND_BATCH: u8 = 8;
     pub const FETCH_CHUNK: u8 = 9;
     pub const TAGGED: u8 = 10;
+    pub const PING: u8 = 11;
+    pub const REPL_PULL: u8 = 12;
 
     /// Whether `t` is the first byte of a mutation message — the set
     /// the durable log records and the idempotent envelope protects.
@@ -219,6 +221,35 @@ pub enum ClientMessage {
         /// The wrapped message (never itself `Tagged`).
         inner: Box<ClientMessage>,
     },
+    /// Liveness and health probe. Any server answers with
+    /// [`ServerResponse::Status`]; failover logic uses it to decide
+    /// whether a peer is alive and serving before redirecting clients.
+    ///
+    /// Leakage: none beyond liveness — the reply carries only
+    /// operational counters Eve computes from state she already holds.
+    Ping,
+    /// A follower's replication pull: "send me the durable record
+    /// stream after `after_offset`". The primary answers with
+    /// [`ServerResponse::ReplRecords`] (the next run of verbatim log
+    /// records) or, when `after_offset` predates the primary's
+    /// compaction horizon, [`ServerResponse::ReplSnapshot`] (restart
+    /// from the compacted snapshot). A pull at offset `v` doubles as
+    /// the follower's durability acknowledgement for every byte below
+    /// `v` — pull-based semi-sync needs no separate ack message.
+    ///
+    /// Leakage: the shipped stream is exactly the records Eve already
+    /// received and applied — raw client messages and snapshots of the
+    /// ciphertext state they produce — forwarded to a second Eve. Two
+    /// copies of the same adversary view reveal nothing the scheme's
+    /// single-server argument does not already concede.
+    ReplPull {
+        /// Stable identity of the pulling follower (scopes its
+        /// acknowledged-offset watermark on the primary).
+        follower: u64,
+        /// Virtual stream offset after which records are requested;
+        /// everything below it is durably held by this follower.
+        after_offset: u64,
+    },
 }
 
 impl WireEncode for ClientMessage {
@@ -286,6 +317,15 @@ impl WireEncode for ClientMessage {
                 client_id.encode(buf);
                 seq.encode(buf);
                 inner.encode(buf);
+            }
+            ClientMessage::Ping => buf.push(tag::PING),
+            ClientMessage::ReplPull {
+                follower,
+                after_offset,
+            } => {
+                buf.push(tag::REPL_PULL);
+                follower.encode(buf);
+                after_offset.encode(buf);
             }
         }
     }
@@ -359,6 +399,11 @@ impl ClientMessage {
                 token: u64::decode(r)?,
                 max_bytes: u64::decode(r)?,
             }),
+            tag::PING => Ok(ClientMessage::Ping),
+            tag::REPL_PULL => Ok(ClientMessage::ReplPull {
+                follower: u64::decode(r)?,
+                after_offset: u64::decode(r)?,
+            }),
             t => Err(PhError::Wire(format!("unknown client message tag {t}"))),
         }
     }
@@ -398,6 +443,50 @@ pub enum ServerResponse {
         /// Token for the next [`ClientMessage::FetchChunk`], if any.
         next: Option<u64>,
     },
+    /// Answer to [`ClientMessage::Ping`]: the server's health in three
+    /// operational counters, enough for failover logic to pick a live,
+    /// healthy peer to redirect clients to.
+    Status {
+        /// Whether the durable log is poisoned (a group-commit fsync
+        /// failed; mutations are refused fail-closed). Always `false`
+        /// on an in-memory server.
+        poisoned: bool,
+        /// Number of tables currently stored.
+        tables: u64,
+        /// Replication lag in stream bytes: the gap between the end of
+        /// this primary's record stream and the slowest registered
+        /// follower's acknowledged offset (0 with no followers).
+        repl_lag: u64,
+    },
+    /// Answer to [`ClientMessage::ReplPull`] when the follower's
+    /// offset is inside the primary's current stream: the next run of
+    /// verbatim, checksummed log record frames starting exactly at
+    /// `after_offset`. Empty `records` means the follower is caught up.
+    ReplRecords {
+        /// Whole record frames, byte-for-byte as they sit in the
+        /// primary's segment files.
+        records: Vec<u8>,
+        /// Virtual offset to pull from next (`after_offset` plus the
+        /// bytes shipped here).
+        next_offset: u64,
+    },
+    /// Answer to [`ClientMessage::ReplPull`] when the follower's
+    /// offset predates the primary's compaction horizon (or lies
+    /// beyond its stream end, i.e. the follower outlived a primary
+    /// restart): the follower must discard its state and re-bootstrap.
+    /// `records` restarts the stream from the primary's first retained
+    /// byte — the compacted snapshot segment — and replaying it through
+    /// the recovery path rebuilds store, dedup window, and index.
+    ReplSnapshot {
+        /// Virtual offset of the primary's first retained stream byte;
+        /// `records` begins exactly here.
+        base: u64,
+        /// Whole record frames from the start of the retained stream.
+        records: Vec<u8>,
+        /// Virtual offset to pull from next (`base` plus the bytes
+        /// shipped here).
+        next_offset: u64,
+    },
 }
 
 impl WireEncode for ServerResponse {
@@ -421,6 +510,34 @@ impl WireEncode for ServerResponse {
                 table.encode(buf);
                 next.encode(buf);
             }
+            ServerResponse::Status {
+                poisoned,
+                tables,
+                repl_lag,
+            } => {
+                buf.push(5);
+                poisoned.encode(buf);
+                tables.encode(buf);
+                repl_lag.encode(buf);
+            }
+            ServerResponse::ReplRecords {
+                records,
+                next_offset,
+            } => {
+                buf.push(6);
+                records.encode(buf);
+                next_offset.encode(buf);
+            }
+            ServerResponse::ReplSnapshot {
+                base,
+                records,
+                next_offset,
+            } => {
+                buf.push(7);
+                base.encode(buf);
+                records.encode(buf);
+                next_offset.encode(buf);
+            }
         }
     }
 }
@@ -435,6 +552,20 @@ impl WireDecode for ServerResponse {
             4 => Ok(ServerResponse::TableChunk {
                 table: EncryptedTable::decode(r)?,
                 next: Option::decode(r)?,
+            }),
+            5 => Ok(ServerResponse::Status {
+                poisoned: bool::decode(r)?,
+                tables: u64::decode(r)?,
+                repl_lag: u64::decode(r)?,
+            }),
+            6 => Ok(ServerResponse::ReplRecords {
+                records: Vec::decode(r)?,
+                next_offset: u64::decode(r)?,
+            }),
+            7 => Ok(ServerResponse::ReplSnapshot {
+                base: u64::decode(r)?,
+                records: Vec::decode(r)?,
+                next_offset: u64::decode(r)?,
             }),
             t => Err(PhError::Wire(format!("unknown response tag {t}"))),
         }
@@ -511,6 +642,11 @@ mod tests {
                 token: 4096,
                 max_bytes: DEFAULT_CHUNK_BYTES,
             },
+            ClientMessage::Ping,
+            ClientMessage::ReplPull {
+                follower: 0xF01,
+                after_offset: 123_456,
+            },
         ];
         for m in msgs {
             let bytes = m.to_wire();
@@ -533,6 +669,20 @@ mod tests {
             ServerResponse::TableChunk {
                 table: sample_table(),
                 next: None,
+            },
+            ServerResponse::Status {
+                poisoned: true,
+                tables: 3,
+                repl_lag: 42,
+            },
+            ServerResponse::ReplRecords {
+                records: vec![1, 2, 3],
+                next_offset: 99,
+            },
+            ServerResponse::ReplSnapshot {
+                base: 17,
+                records: vec![4, 5],
+                next_offset: 19,
             },
         ] {
             let bytes = r.to_wire();
@@ -608,6 +758,8 @@ mod tests {
             tag::QUERY_BATCH,
             tag::FETCH_CHUNK,
             tag::TAGGED,
+            tag::PING,
+            tag::REPL_PULL,
         ];
         for t in mutations {
             assert!(tag::is_mutation_tag(t), "{t}");

@@ -26,7 +26,10 @@ use parking_lot::RwLock;
 
 use dbph_swp::matches;
 
-use crate::durable::{DurableLog, DurableOptions};
+use crate::durable::{
+    DurableLog, DurableOptions, RecoveredDedup, RecoveredIndex, RecoveredTable, ReplRead,
+    ReplicationOptions, ScrubReport,
+};
 use crate::error::PhError;
 use crate::executor::Executor;
 use crate::protocol::{ClientMessage, ServerResponse, WireTrapdoor, MAX_CHUNK_BYTES};
@@ -320,6 +323,26 @@ impl Server {
         options: DurableOptions,
     ) -> Result<Self, PhError> {
         let (log, recovered, dedup, index) = DurableLog::open(dir, options)?;
+        Ok(Self::from_recovery(
+            log, recovered, dedup, index, shards, workers,
+        ))
+    }
+
+    /// Assembles a serving [`Server`] from the output of
+    /// [`DurableLog::open`]. This is *the* recovery constructor —
+    /// [`Server::open_durable_with`] uses it after opening a local
+    /// directory, and [`crate::replica`] uses it after bootstrapping a
+    /// follower's log directory from a primary's shipped stream, which
+    /// is what makes "bootstrap" and "crash recovery" literally the
+    /// same code path.
+    pub(crate) fn from_recovery(
+        log: DurableLog,
+        recovered: Vec<RecoveredTable>,
+        dedup: RecoveredDedup,
+        index: RecoveredIndex,
+        shards: usize,
+        workers: Option<usize>,
+    ) -> Self {
         let store = match workers {
             None => TableStore::new(shards),
             Some(w) => TableStore::with_pool(shards, Arc::new(Executor::new(w))),
@@ -354,12 +377,12 @@ impl Server {
         if !index.image.is_empty() {
             store.index().install_snapshot(index.image);
         }
-        Ok(Server {
+        Server {
             store: Arc::new(store),
             observer: Observer::new(),
             next_batch: Arc::new(AtomicU64::new(0)),
             durable: Some(Arc::new(log)),
-        })
+        }
     }
 
     /// Names of the stored tables, sorted — public metadata (the
@@ -387,6 +410,111 @@ impl Server {
         match &self.durable {
             Some(log) => log.compact_now(&self.store),
             None => Ok(()),
+        }
+    }
+
+    /// Configures semi-synchronous replication on this primary: with
+    /// `min_acks > 0`, a mutation is acknowledged only after its log
+    /// bytes are locally durable **and** at least `min_acks` followers
+    /// have pulled past them (a pull at offset `v` is the follower's
+    /// statement that everything below `v` is appended + fdatasync'd
+    /// on its disk). See [`ReplicationOptions`] for the ack-timeout
+    /// degrade semantics.
+    ///
+    /// # Errors
+    /// [`PhError::Durability`] on an in-memory server — there is no
+    /// log to ship.
+    pub fn set_replication(&self, options: ReplicationOptions) -> Result<(), PhError> {
+        match &self.durable {
+            Some(log) => {
+                log.set_replication(options);
+                Ok(())
+            }
+            None => Err(PhError::Durability(
+                "replication requires a durable server".into(),
+            )),
+        }
+    }
+
+    /// Proactively re-verifies every record checksum in every segment
+    /// of the durable log (sealed and active) — see
+    /// [`DurableLog::scrub`]. Surfaces latent disk corruption *now*
+    /// instead of at the next recovery.
+    ///
+    /// # Errors
+    /// [`PhError::Durability`] when a segment fails verification, or
+    /// on an in-memory server (nothing to scrub).
+    pub fn scrub(&self) -> Result<ScrubReport, PhError> {
+        match &self.durable {
+            Some(log) => log.scrub(),
+            None => Err(PhError::Durability(
+                "scrub requires a durable server".into(),
+            )),
+        }
+    }
+
+    /// Applies one replicated mutation record body (the raw client
+    /// message a primary logged) to this server's in-memory state
+    /// *without* logging it — the follower's tailing path, where the
+    /// raw bytes were already appended to the follower's own log
+    /// before this call. Mirrors the recovery replay exactly: a tagged
+    /// envelope rebuilds the dedup window entry, and the mutation
+    /// itself dispatches through the normal path (observer events
+    /// included).
+    ///
+    /// # Errors
+    /// [`PhError::Durability`] when the record does not decode to a
+    /// mutation or its application diverges (errors) — either means
+    /// the follower is no longer byte-identical to the primary and
+    /// must re-bootstrap.
+    pub(crate) fn apply_replicated(&self, body: &[u8]) -> Result<(), PhError> {
+        let msg = ClientMessage::from_wire(body)
+            .map_err(|e| PhError::Durability(format!("replicated record is malformed: {e}")))?;
+        if !Self::is_mutation(&msg) {
+            return Err(PhError::Durability(
+                "replicated record is not a mutation".into(),
+            ));
+        }
+        let (dedup_entry, inner) = match msg {
+            ClientMessage::Tagged {
+                client_id,
+                seq,
+                inner,
+            } => (Some((client_id, seq)), *inner),
+            other => (None, other),
+        };
+        if let Some((client_id, seq)) = dedup_entry {
+            // A primary logs each envelope at most once, and the
+            // stream replays in log order — a non-fresh decision here
+            // means this follower's window disagrees with the
+            // primary's log, i.e. divergence, not a client retry.
+            if !matches!(
+                self.store.dedup().begin(client_id, seq),
+                DedupDecision::Fresh
+            ) {
+                return Err(PhError::Durability(format!(
+                    "replicated envelope ({client_id}, {seq}) is not fresh: \
+                     follower diverged from the primary's log"
+                )));
+            }
+        }
+        let response = self.dispatch(inner);
+        let applied = !matches!(response, ServerResponse::Error(_));
+        if let Some((client_id, seq)) = dedup_entry {
+            self.store
+                .dedup()
+                .complete(client_id, seq, response.to_wire(), applied);
+        }
+        if applied {
+            Ok(())
+        } else {
+            let rendered = match response {
+                ServerResponse::Error(e) => e,
+                _ => unreachable!("applied is false only for Error"),
+            };
+            Err(PhError::Durability(format!(
+                "replicated mutation diverged on apply: {rendered}"
+            )))
         }
     }
 
@@ -730,6 +858,53 @@ impl Server {
                     Err(e) => ServerResponse::Error(e.to_string()),
                 }
             }
+            // Operational plumbing, not a data operation: the answer
+            // is state Eve already holds about her own process (log
+            // health, table count, follower lag), so it records no
+            // transcript event — there is nothing about Alex's data
+            // or queries in it.
+            ClientMessage::Ping => {
+                let (poisoned, repl_lag) = match &self.durable {
+                    Some(log) => (log.is_poisoned(), log.replication_lag()),
+                    None => (false, 0),
+                };
+                ServerResponse::Status {
+                    poisoned,
+                    tables: self.store.table_names().len() as u64,
+                    repl_lag,
+                }
+            }
+            // Log shipping: returns bytes Eve already wrote to her own
+            // disk, verbatim, to a second Eve. No transcript event —
+            // the shipped records are exactly the client messages this
+            // server's transcript already contains, so replication
+            // adds no leakage beyond "a follower exists and is this
+            // far behind" (see `crate::replica` for the argument).
+            ClientMessage::ReplPull {
+                follower,
+                after_offset,
+            } => match &self.durable {
+                Some(log) => match log.repl_read(follower, after_offset) {
+                    Ok(ReplRead::Records {
+                        records,
+                        next_offset,
+                    }) => ServerResponse::ReplRecords {
+                        records,
+                        next_offset,
+                    },
+                    Ok(ReplRead::Snapshot {
+                        base,
+                        records,
+                        next_offset,
+                    }) => ServerResponse::ReplSnapshot {
+                        base,
+                        records,
+                        next_offset,
+                    },
+                    Err(e) => ServerResponse::Error(e.to_string()),
+                },
+                None => ServerResponse::Error("replication requires a durable server".into()),
+            },
             // `handle` unwraps the envelope before dispatch; reaching
             // here means a direct caller passed one through. The
             // envelope is transport metadata — dispatch the inner

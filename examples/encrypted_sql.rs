@@ -105,12 +105,64 @@
 //! # envelope — the session completes, every row exactly once, and
 //! # the final SELECTs still match the plaintext reference.
 //! ```
+//!
+//! # Quickstart: kill the primary, promote the follower
+//!
+//! `--replicate-from <addr>` turns this process into a read-only
+//! follower: it bootstraps a byte-identical copy of the primary's
+//! segment log into its own `--data-dir`, recovers a server from it
+//! (bootstrap *is* recovery), and then tails the primary — every
+//! pulled chunk is fsync'd into the follower's log before it is
+//! applied. Add `--promote` and the follower promotes itself to a
+//! serving primary as soon as the primary stops answering:
+//!
+//! ```text
+//! # terminal 1 — the primary
+//! $ cargo run --example encrypted_sql -- --listen 127.0.0.1:4460 --data-dir /tmp/dbph-a
+//!
+//! # terminal 2 — a follower that will take over
+//! $ cargo run --example encrypted_sql -- \
+//!       --replicate-from 127.0.0.1:4460 127.0.0.1:4461 \
+//!       --data-dir /tmp/dbph-b --promote
+//! -- follower of 127.0.0.1:4460: 0 table(s) at stream offset 9
+//! -- serving read-only follower on 127.0.0.1:4461
+//!
+//! # terminal 3 — run a session against the primary
+//! $ cargo run --example encrypted_sql -- --connect 127.0.0.1:4460 --retry 8
+//!
+//! # kill -9 terminal 1 mid-session. Terminal 2 notices, promotes,
+//! # and serves as primary on 127.0.0.1:4461; the follower's log
+//! # carried every idempotent request envelope verbatim, so a client
+//! # redirected at the promoted server replays — never re-applies —
+//! # any mutation the dead primary already acked (the chaos proptest
+//! # in tests/replication.rs pins exactly this).
+//! ```
+//!
+//! Semi-sync durability (hold each ack until a follower has fsync'd
+//! the record) is a server-side option — see
+//! `ReplicationOptions { min_acks }` and `BENCH_repl.json` for its
+//! cost; this demo tails asynchronously.
+//!
+//! # Quickstart: scrub a data directory
+//!
+//! `--scrub` (with `--data-dir`) re-reads every segment of the log —
+//! sealed and active — and verifies each record's length frame and
+//! checksum end-to-end, reporting what it checked or the exact byte
+//! offset of the first bad record. Alone it is an offline integrity
+//! check; combined with a serving mode it runs before the server
+//! starts taking connections:
+//!
+//! ```text
+//! $ cargo run --example encrypted_sql -- --scrub --data-dir /tmp/dbph-data
+//! -- durable store at /tmp/dbph-data (1 table(s) recovered)
+//! -- scrub: 1 segment(s), 12 record(s), 1482 byte(s) verified
+//! ```
 
 use std::time::Duration;
 
 use dbph::core::{
     ChaosPlan, ChaosProxy, Client, DurableOptions, FinalSwpPh, FrontEnd, NetServer, PoolOptions,
-    PooledClient, RetryPolicy, Server, Transport,
+    PooledClient, Replica, ReplicaOptions, RetryPolicy, Server, Transport,
 };
 use dbph::crypto::SecretKey;
 use dbph::relation::sql::{self, ExecOutcome, Statement};
@@ -123,6 +175,7 @@ fn make_server(
     shards: usize,
     data_dir: Option<&str>,
     flush_window: Option<Duration>,
+    scrub: bool,
 ) -> Result<Server, Box<dyn std::error::Error>> {
     match data_dir {
         None => Ok(Server::with_shards(shards)),
@@ -138,6 +191,13 @@ fn make_server(
             );
             if let Some(w) = flush_window {
                 println!("-- group-commit flush window: {} ms", w.as_millis());
+            }
+            if scrub {
+                let report = server.scrub()?;
+                println!(
+                    "-- scrub: {} segment(s), {} record(s), {} byte(s) verified",
+                    report.segments, report.records, report.bytes
+                );
             }
             Ok(server)
         }
@@ -235,6 +295,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         return Err("--flush-window tunes the durable log; pair it with --data-dir".into());
     }
 
+    // `--scrub` re-verifies every log record before doing anything
+    // else (needs `--data-dir`: there is nothing to scrub in memory).
+    let scrub = args
+        .iter()
+        .position(|a| a == "--scrub")
+        .map(|i| args.remove(i))
+        .is_some();
+    if scrub && data_dir.is_none() {
+        return Err("--scrub verifies the durable log; pair it with --data-dir".into());
+    }
+
+    // `--promote` arms automatic failover for a follower.
+    let promote = args
+        .iter()
+        .position(|a| a == "--promote")
+        .map(|i| args.remove(i))
+        .is_some();
+
     // `--retry <n>` turns on client-side retries (mutations ride the
     // idempotent envelope; the server applies each exactly once).
     let retry = args
@@ -276,6 +354,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         );
     }
 
+    if promote && args.first().map(String::as_str) != Some("--replicate-from") {
+        return Err("--promote arms follower failover; pair it with --replicate-from".into());
+    }
+
     match args.first().map(String::as_str) {
         None => {
             if front_end == FrontEnd::EventLoop {
@@ -290,12 +372,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                         .into(),
                 );
             }
+            if scrub {
+                // Offline integrity check: open (recover), verify
+                // every record, report, exit.
+                make_server(1, data_dir, flush_window, true)?;
+                return Ok(());
+            }
             // In-process: the transport is the server itself.
-            run_script(make_server(1, data_dir, flush_window)?)
+            run_script(make_server(1, data_dir, flush_window, false)?)
         }
         Some("--net") => {
             // Loopback: same script, real frames on a real socket.
-            let server = make_server(4, data_dir, flush_window)?;
+            let server = make_server(4, data_dir, flush_window, scrub)?;
             let handle = NetServer::spawn_with(server, "127.0.0.1:0", front_end)?;
             println!(
                 "-- loopback server listening on {} ({front_end:?} front-end)",
@@ -323,8 +411,73 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 listener.local_addr()?
             );
             println!("-- connect with: cargo run --example encrypted_sql -- --connect {addr}");
-            NetServer::serve_with(listener, make_server(4, data_dir, flush_window)?, front_end)?;
+            NetServer::serve_with(
+                listener,
+                make_server(4, data_dir, flush_window, scrub)?,
+                front_end,
+            )?;
             Ok(())
+        }
+        Some("--replicate-from") => {
+            let dir = data_dir
+                .ok_or("--replicate-from stores the follower's log; pair it with --data-dir")?;
+            let primary = args
+                .get(1)
+                .ok_or("usage: encrypted_sql --replicate-from <primary-addr> [serve-addr]")?
+                .clone();
+            let serve_addr = args.get(2).map_or("127.0.0.1:4461", String::as_str);
+            // The replication feed: one pooled connection to the
+            // primary. Pulls long-poll on the primary, so the feed
+            // must not share connections with latency-sensitive
+            // traffic — it gets its own.
+            let feed = PooledClient::connect(&primary, 1)?;
+            let mut replica = Replica::bootstrap(feed, dir, ReplicaOptions::default())?;
+            println!(
+                "-- follower of {primary}: {} table(s) at stream offset {}",
+                replica.server().table_names().len(),
+                replica.offset()
+            );
+            replica.start();
+            // Serve reads from the follower's store. (A primary
+            // compaction re-bootstraps the follower into a fresh
+            // generation; restart this process after one to re-serve
+            // the new generation.)
+            let handle = NetServer::spawn_with(replica.server(), serve_addr, front_end)?;
+            println!("-- serving read-only follower on {}", handle.addr());
+            if !promote {
+                loop {
+                    std::thread::sleep(Duration::from_secs(3600));
+                }
+            }
+            // Armed failover: promote once the primary stays
+            // unreachable for a few consecutive probes (a single
+            // failed pull may be a blip the tailer rides out).
+            let mut strikes = 0u32;
+            loop {
+                std::thread::sleep(Duration::from_millis(500));
+                strikes = if replica.last_error().is_some() {
+                    strikes + 1
+                } else {
+                    0
+                };
+                if strikes >= 4 {
+                    break;
+                }
+            }
+            println!(
+                "-- primary unreachable ({}); promoting",
+                replica.last_error().unwrap_or_default()
+            );
+            let promoted = replica.promote();
+            handle.shutdown();
+            let handle = NetServer::spawn_with(promoted, serve_addr, front_end)?;
+            println!(
+                "-- promoted: serving as primary on {} (repoint clients here)",
+                handle.addr()
+            );
+            loop {
+                std::thread::sleep(Duration::from_secs(3600));
+            }
         }
         Some("--connect") => {
             if data_dir.is_some() {

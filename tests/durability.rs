@@ -475,6 +475,152 @@ proptest! {
     }
 }
 
+/// The on-disk image of a data directory, minus the advisory `LOCK`
+/// (which carries no data and is re-created on open).
+fn dir_image(dir: &std::path::Path) -> std::collections::BTreeMap<String, Vec<u8>> {
+    let mut image = std::collections::BTreeMap::new();
+    for entry in std::fs::read_dir(dir).unwrap().flatten() {
+        let name = entry.file_name().to_string_lossy().into_owned();
+        if name == "LOCK" {
+            continue;
+        }
+        image.insert(name, std::fs::read(entry.path()).unwrap());
+    }
+    image
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+    /// Kill the server *during compaction* — either mid-way through
+    /// writing the new snapshot/active segments (manifest still names
+    /// the old ones) or after the manifest swap but before the old
+    /// segments are pruned — and recover. The manifest is the sole
+    /// source of truth: recovery must restore exactly the acked
+    /// prefix (which compaction never changes), sweep the orphaned
+    /// segment files, and leave a fully serviceable directory. Group
+    /// commit is on and the inverted index enabled, so the compacted
+    /// image also carries dedup/index record kinds.
+    #[test]
+    fn crash_during_compaction_recovers_the_acked_prefix(
+        ops in proptest::collection::vec(arb_mut_op(), 4..25),
+        cut_frac in 0u64..=1000,
+        after_manifest_swap in any::<bool>(),
+    ) {
+        let messages = lower_mutations(&ops);
+        prop_assume!(!messages.is_empty());
+        let options = DurableOptions {
+            group_commit: true,
+            ..DurableOptions::default()
+        };
+
+        // Drive the acked workload, then capture the directory on both
+        // sides of a real compaction; the two images bracket every
+        // state a mid-compaction kill can leave behind.
+        let tmp = TempDir::new("compact-crash").unwrap();
+        let server =
+            Server::open_durable_with(tmp.path(), 3, None, options.clone()).unwrap();
+        server.enable_index();
+        for m in &messages {
+            let resp = server.handle(m);
+            prop_assert!(
+                !matches!(ServerResponse::from_wire(&resp).unwrap(), ServerResponse::Error(_)),
+                "lowering produced an invalid mutation"
+            );
+        }
+        let pre = dir_image(tmp.path());
+        server.compact().unwrap();
+        let post = dir_image(tmp.path());
+        drop(server);
+
+        // Synthesize the kill state in a scratch directory.
+        let scratch = TempDir::new("compact-crash-kill").unwrap();
+        let mut debris = Vec::new();
+        if after_manifest_swap {
+            // Killed between the manifest rename and the prune: the new
+            // world is fully installed, the old segments linger.
+            for (name, bytes) in &post {
+                std::fs::write(scratch.path().join(name), bytes).unwrap();
+            }
+            for (name, bytes) in &pre {
+                if !post.contains_key(name) {
+                    std::fs::write(scratch.path().join(name), bytes).unwrap();
+                    debris.push(name.clone());
+                }
+            }
+        } else {
+            // Killed while writing the new segments: the manifest still
+            // names the old world; the new snapshot/active segments are
+            // partial files, and the manifest replacement may have made
+            // it only as far as its tmp file.
+            for (name, bytes) in &pre {
+                std::fs::write(scratch.path().join(name), bytes).unwrap();
+            }
+            for (name, bytes) in &post {
+                if !pre.contains_key(name) {
+                    let cut = bytes.len() as u64 * cut_frac / 1000;
+                    std::fs::write(scratch.path().join(name), &bytes[..cut as usize]).unwrap();
+                    debris.push(name.clone());
+                }
+            }
+            let manifest_cut = post["MANIFEST"].len() as u64 * cut_frac / 1000;
+            std::fs::write(
+                scratch.path().join("MANIFEST.tmp"),
+                &post["MANIFEST"][..manifest_cut as usize],
+            )
+            .unwrap();
+        }
+
+        // Compaction is an identity on the logical store: the acked
+        // prefix is every message.
+        let reference = Server::with_shards(3);
+        reference.enable_index();
+        for m in &messages {
+            let _ = reference.handle(m);
+        }
+
+        let recovered =
+            Server::open_durable_with(scratch.path(), 3, None, options.clone()).unwrap();
+        for probe in probe_messages_for(&["a", "b"]) {
+            prop_assert_eq!(
+                recovered.handle(&probe),
+                reference.handle(&probe),
+                "diverged (after_manifest_swap {}, cut {}), ops {:?}",
+                after_manifest_swap, cut_frac, &ops
+            );
+        }
+        // The orphaned segment files are gone — recovery swept them.
+        for name in &debris {
+            if name.starts_with("seg-") {
+                prop_assert!(
+                    !scratch.path().join(name).exists(),
+                    "compaction debris {} survived recovery", name
+                );
+            }
+        }
+
+        // The recovered directory is fully serviceable: it takes new
+        // mutations and they survive another restart.
+        let resp = recovered.handle(
+            &ClientMessage::CreateTable {
+                name: "c".into(),
+                table: table(2),
+            }
+            .to_wire(),
+        );
+        prop_assert!(
+            !matches!(ServerResponse::from_wire(&resp).unwrap(), ServerResponse::Error(_))
+        );
+        let expect = recovered.handle(&ClientMessage::FetchAll { name: "c".into() }.to_wire());
+        drop(recovered);
+        let reopened = Server::open_durable_with(scratch.path(), 3, None, options).unwrap();
+        prop_assert_eq!(
+            reopened.handle(&ClientMessage::FetchAll { name: "c".into() }.to_wire()),
+            expect,
+            "post-recovery mutation lost on restart"
+        );
+    }
+}
+
 /// FetchAll + empty-conjunction query + a chunk page, per table name.
 fn probe_messages_for(names: &[&str]) -> Vec<Vec<u8>> {
     let mut probes = Vec::new();

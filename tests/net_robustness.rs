@@ -22,6 +22,16 @@
 //!    [`dbph::core::protocol::STALE_DUPLICATE_PREFIX`] error, which a
 //!    retry-enabled [`PooledClient`] surfaces immediately — re-sending
 //!    can only get the same answer, so no backoff is ever spent on it.
+//! 6. **Liveness probe.** `Ping` answers `Status` (poisoned-log flag,
+//!    table count, replication lag) on both front-ends — the probe
+//!    failover logic uses to decide a primary is really gone versus
+//!    merely degraded.
+//! 7. **Connect-refused is classified.** A dial that fails with
+//!    `ECONNREFUSED` carries a distinct marker
+//!    ([`dbph::core::PhError::is_connect_refused`]) and the retry loop
+//!    spends *zero* backoff on it — the peer's TCP stack answered
+//!    instantly, so waiting cannot help, and failover to a promoted
+//!    follower should happen now, not after the budget.
 
 use std::net::TcpListener;
 use std::sync::Arc;
@@ -437,4 +447,141 @@ fn stale_duplicate_surfaces_immediately_through_the_retry_policy() {
         other => panic!("fetch failed: {other:?}"),
     }
     handle.shutdown();
+}
+
+// --- 6. liveness probe ------------------------------------------------------
+
+#[test]
+fn ping_answers_a_status_probe_on_both_front_ends() {
+    let ping = ClientMessage::Ping.to_wire();
+    for front_end in [FrontEnd::ThreadPerConnection, FrontEnd::EventLoop] {
+        let tmp = TempDir::new("net-ping").unwrap();
+        let server =
+            Server::open_durable_with(tmp.path(), 2, Some(1), DurableOptions::default()).unwrap();
+        let handle = NetServer::spawn_opts(
+            server.clone(),
+            "127.0.0.1:0",
+            NetOptions {
+                front_end,
+                idle_timeout: None,
+            },
+        )
+        .unwrap();
+        let client = PooledClient::connect(handle.addr(), 1).unwrap();
+
+        // Healthy and empty.
+        match decode(&client.call(&ping).unwrap()) {
+            ServerResponse::Status {
+                poisoned,
+                tables,
+                repl_lag,
+            } => {
+                assert!(!poisoned, "{front_end:?}: fresh log reported poisoned");
+                assert_eq!(tables, 0, "{front_end:?}");
+                assert_eq!(repl_lag, 0, "{front_end:?}");
+            }
+            other => panic!("{front_end:?}: ping answered {other:?}"),
+        }
+
+        // The table count tracks the store.
+        assert!(is_ok(&client.call(&create_msg("A")).unwrap()));
+        assert!(is_ok(&client.call(&create_msg("B")).unwrap()));
+        match decode(&client.call(&ping).unwrap()) {
+            ServerResponse::Status { tables, .. } => assert_eq!(tables, 2, "{front_end:?}"),
+            other => panic!("{front_end:?}: ping answered {other:?}"),
+        }
+
+        // The probe sees through a poisoned log — and keeps answering
+        // on it, which is the whole point: failover logic needs the
+        // answer exactly when mutations are failing.
+        let log = Arc::clone(server.durable_log().unwrap());
+        log.inject_sync_failures(1);
+        let _ = client.call(&append_msg("A", 0)).unwrap(); // trips the barrier
+        assert!(log.is_poisoned());
+        match decode(&client.call(&ping).unwrap()) {
+            ServerResponse::Status { poisoned, .. } => {
+                assert!(poisoned, "{front_end:?}: probe missed the poisoned log");
+            }
+            other => panic!("{front_end:?}: ping failed on a poisoned log: {other:?}"),
+        }
+        handle.shutdown();
+    }
+}
+
+#[test]
+fn ping_works_on_an_in_memory_server() {
+    let server = Server::with_shards(1);
+    assert!(is_ok(&server.handle(&create_msg("T"))));
+    match decode(&server.handle(&ClientMessage::Ping.to_wire())) {
+        ServerResponse::Status {
+            poisoned,
+            tables,
+            repl_lag,
+        } => {
+            assert!(!poisoned, "no log, nothing to poison");
+            assert_eq!(tables, 1);
+            assert_eq!(repl_lag, 0);
+        }
+        other => panic!("ping answered {other:?}"),
+    }
+}
+
+// --- 7. connect-refused fails over immediately ------------------------------
+
+#[test]
+fn connect_refused_is_classified_and_spends_no_backoff() {
+    // Bind-then-drop guarantees a port that answers RST, not a
+    // blackhole: the refusal is instant, and so must the error be.
+    let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+    let addr = listener.local_addr().unwrap();
+    let client = PooledClient::connect_with(
+        addr,
+        PoolOptions {
+            capacity: 1,
+            retry: RetryPolicy {
+                // With 2 s backoffs, a single backoff wait would blow
+                // the timing assertion — zero-backoff-on-refused is
+                // what keeps failover prompt.
+                max_attempts: 4,
+                base_backoff: Duration::from_secs(2),
+                max_backoff: Duration::from_secs(2),
+                deadline: None,
+                jitter_seed: 11,
+            },
+            ..PoolOptions::default()
+        },
+    )
+    .unwrap();
+    drop(listener);
+
+    let started = Instant::now();
+    let err = client.call(&append_msg("T", 0)).unwrap_err();
+    let elapsed = started.elapsed();
+    assert!(
+        err.is_connect_refused(),
+        "a dead peer must classify as connect-refused, got {err:?}"
+    );
+    assert!(
+        elapsed < Duration::from_secs(1),
+        "refused dials must skip the backoff entirely, took {elapsed:?}"
+    );
+
+    // The classification is specific: other transport errors (here, a
+    // hung server tripping the io timeout) do not carry it.
+    let (hung_addr, stop) = hung_listener();
+    let hung_client = PooledClient::connect_with(
+        hung_addr,
+        PoolOptions {
+            capacity: 1,
+            io_timeout: Some(Duration::from_millis(100)),
+            ..PoolOptions::default()
+        },
+    )
+    .unwrap();
+    let err = hung_client.call(&fetch_msg("T")).unwrap_err();
+    assert!(
+        !err.is_connect_refused(),
+        "a timeout is not a refusal: {err:?}"
+    );
+    stop.store(true, std::sync::atomic::Ordering::SeqCst);
 }
