@@ -209,6 +209,14 @@ impl FrameAssembler {
     pub fn is_mid_frame(&self) -> bool {
         self.pos < self.buf.len()
     }
+
+    /// Bytes currently buffered ahead of the consumed prefix — the
+    /// reassembly backlog an operator watches through the
+    /// `net_assembler_high_water` gauge.
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.buf.len() - self.pos
+    }
 }
 
 impl Default for FrameAssembler {

@@ -55,8 +55,8 @@ use std::fs::{self, File};
 use std::io::{Cursor, Write as _};
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::Arc;
-use std::time::Duration;
+use std::sync::{Arc, OnceLock};
+use std::time::{Duration, Instant};
 
 use parking_lot::{Condvar, Mutex};
 
@@ -69,6 +69,7 @@ use crate::error::PhError;
 use crate::index::Posting;
 use crate::protocol::tag;
 use crate::storage::{ShardedTable, TableStore};
+use crate::telemetry::Telemetry;
 use crate::wire::{Reader, WireDecode, WireEncode};
 
 /// Manifest file name inside the data directory.
@@ -303,6 +304,10 @@ pub struct DurableLog {
     /// the same directory must fail fast instead. Released by the OS
     /// when the file closes — a crashed owner never wedges the dir.
     _dir_lock: File,
+    /// The owning server's metrics registry, installed once when the
+    /// log is wrapped into a [`crate::server::Server`]. Empty (bare
+    /// `DurableLog` tests) or disabled, every hook is a no-op.
+    telemetry: OnceLock<Arc<Telemetry>>,
 }
 
 /// How many followers must confirm a mutation before the primary acks
@@ -874,6 +879,7 @@ impl DurableLog {
             }),
             repl_cv: Condvar::new(),
             _dir_lock: dir_lock,
+            telemetry: OnceLock::new(),
         };
         Ok((log, tables.into_values().collect(), dedup, index))
     }
@@ -912,6 +918,19 @@ impl DurableLog {
     #[must_use]
     pub fn is_poisoned(&self) -> bool {
         self.poisoned.load(Ordering::SeqCst)
+    }
+
+    /// Installs the owning server's metrics registry (once; later
+    /// calls are ignored — a log has exactly one owning server).
+    pub(crate) fn install_telemetry(&self, telemetry: Arc<Telemetry>) {
+        let _ = self.telemetry.set(telemetry);
+    }
+
+    /// The registry, when installed *and* collecting — the single
+    /// check every log-side hook performs.
+    #[inline]
+    fn tele(&self) -> Option<&Telemetry> {
+        self.telemetry.get().map(Arc::as_ref).filter(|t| t.on())
     }
 
     /// Total `fdatasync` calls this log has issued. With group commit
@@ -961,7 +980,16 @@ impl DurableLog {
             }
         }
         self.syncs.fetch_add(1, Ordering::SeqCst);
-        file.sync_data().map_err(|e| io_err("fsync record", &e))
+        match self.tele() {
+            Some(t) => {
+                let t0 = Instant::now();
+                let result = file.sync_data();
+                t.fsync_nanos.record_duration(t0.elapsed());
+                result
+            }
+            None => file.sync_data(),
+        }
+        .map_err(|e| io_err("fsync record", &e))
     }
 
     /// Blocks until record `seq` is durable (acked) or the log poisons
@@ -972,11 +1000,15 @@ impl DurableLog {
     /// wakes all of them; later waiters either find their record
     /// already covered or lead the next window.
     fn wait_durable(&self, seq: u64) -> Result<(), PhError> {
+        let barrier_t0 = self.tele().map(|_| Instant::now());
         let mut c = self.commit.lock();
         c.waiters += 1;
         loop {
             if c.synced >= seq {
                 c.waiters -= 1;
+                if let (Some(t0), Some(t)) = (barrier_t0, self.tele()) {
+                    t.commit_wait_nanos.record_duration(t0.elapsed());
+                }
                 return Ok(());
             }
             if self.is_poisoned() {
@@ -1053,6 +1085,13 @@ impl DurableLog {
                     // `synced` may already exceed `target` if a
                     // compaction (whose manifest swap durably covers
                     // all applied records) slid in — keep the max.
+                    if let Some(t) = self.tele() {
+                        // Window occupancy: records this one fsync
+                        // newly covered (0 when a compaction already
+                        // durably covered the whole window).
+                        t.commit_window_records
+                            .record(target.saturating_sub(c.synced));
+                    }
                     c.synced = c.synced.max(target);
                     self.commit_cv.notify_all();
                 }
@@ -1332,6 +1371,9 @@ impl DurableLog {
             // repl lock while holding the writer lock, so a record
             // landing between our end-read and the park cannot slip
             // its wakeup past us.
+            if let Some(t) = self.tele() {
+                t.repl_longpoll_parks.inc();
+            }
             let mut r = self.repl.lock();
             drop(w);
             let _ = self.repl_cv.wait_for(&mut r, deadline - now);
@@ -1356,6 +1398,10 @@ impl DurableLog {
             }
         }
         records.truncate(usize::try_from(keep).unwrap_or(usize::MAX));
+        if let Some(t) = self.tele() {
+            t.repl_chunks_shipped.inc();
+            t.repl_bytes_shipped.add(keep);
+        }
         if stale {
             Ok(ReplRead::Snapshot {
                 base,

@@ -36,8 +36,43 @@ use std::thread::JoinHandle;
 
 use parking_lot::{Condvar, Mutex};
 
+use crate::telemetry::{Counter, Gauge, Histogram};
+
 /// A queued unit of work.
 type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// Always-on pool statistics (the precedent is the durable log's sync
+/// counter): relaxed atomics the server folds into its stats snapshot.
+/// Task timing pays one `Instant` pair per task — noise against a
+/// trapdoor scan over a shard, and identical in the inline and queued
+/// paths so a 1-worker pool reports comparable numbers.
+#[derive(Debug, Default)]
+pub struct ExecutorStats {
+    /// Tasks executed (inline or on a worker).
+    pub tasks: Counter,
+    /// Per-task wall time in nanoseconds.
+    pub task_nanos: Histogram,
+    /// Total nanoseconds workers (or the inline path) spent running
+    /// tasks — utilization is `busy_nanos / (wall * workers)`.
+    pub busy_nanos: Counter,
+    /// Jobs currently queued (sampled at push/pop).
+    pub queue_depth: Gauge,
+    /// Deepest the queue has ever been.
+    pub queue_high_water: Gauge,
+}
+
+impl ExecutorStats {
+    /// Times one job, recording count, latency, and busy time.
+    fn run_timed<R>(&self, job: impl FnOnce() -> R) -> R {
+        let t0 = std::time::Instant::now();
+        let result = job();
+        let nanos = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.tasks.inc();
+        self.task_nanos.record(nanos);
+        self.busy_nanos.add(nanos);
+        result
+    }
+}
 
 /// Queue state shared between the pool handle and its workers.
 struct Inner {
@@ -46,6 +81,8 @@ struct Inner {
     available: Condvar,
     /// Set once by `Drop`; workers drain the queue, then exit.
     shutdown: AtomicBool,
+    /// Pool metrics, shared with [`Executor::stats`].
+    stats: ExecutorStats,
 }
 
 /// A fixed-size pool of long-lived worker threads.
@@ -69,6 +106,7 @@ impl Executor {
             queue: Mutex::new(VecDeque::new()),
             available: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            stats: ExecutorStats::default(),
         });
         let handles = (0..workers)
             .map(|i| {
@@ -104,6 +142,14 @@ impl Executor {
         self.workers.len()
     }
 
+    /// The pool's always-on metrics (queue depth, task count and
+    /// latency, busy time). The server samples them into its stats
+    /// snapshot.
+    #[must_use]
+    pub fn stats(&self) -> &ExecutorStats {
+        &self.inner.stats
+    }
+
     /// Runs every job and returns their results **in submission
     /// order**, regardless of completion order.
     ///
@@ -125,7 +171,10 @@ impl Executor {
         F: FnOnce() -> R + Send + 'static,
     {
         if self.workers() <= 1 || jobs.len() <= 1 {
-            return jobs.into_iter().map(|job| job()).collect();
+            return jobs
+                .into_iter()
+                .map(|job| self.inner.stats.run_timed(job))
+                .collect();
         }
         let n = jobs.len();
         let (tx, rx) = mpsc::channel();
@@ -141,6 +190,9 @@ impl Executor {
                     let _ = tx.send((index, result));
                 }));
             }
+            let depth = queue.len() as u64;
+            self.inner.stats.queue_depth.set(depth);
+            self.inner.stats.queue_high_water.set_max(depth);
         }
         self.inner.available.notify_all();
         drop(tx);
@@ -193,6 +245,7 @@ fn worker_loop(inner: &Inner) {
             let mut queue = inner.queue.lock();
             loop {
                 if let Some(job) = queue.pop_front() {
+                    inner.stats.queue_depth.set(queue.len() as u64);
                     break Some(job);
                 }
                 if inner.shutdown.load(Ordering::SeqCst) {
@@ -205,7 +258,7 @@ fn worker_loop(inner: &Inner) {
             // A panicking job must not take the worker down with it;
             // `scatter` already captured the payload for the caller.
             Some(job) => {
-                let _ = catch_unwind(AssertUnwindSafe(job));
+                let _ = catch_unwind(AssertUnwindSafe(|| inner.stats.run_timed(job)));
             }
             None => return,
         }
@@ -303,6 +356,21 @@ mod tests {
             assert_eq!(results.len(), 10);
         } // Drop here: workers must exit cleanly.
         assert_eq!(counter.load(Ordering::SeqCst), 10);
+    }
+
+    #[test]
+    fn stats_count_tasks_in_both_paths() {
+        // Queued path: a 4-worker pool with a multi-job batch.
+        let pool = Executor::new(4);
+        let _ = pool.scatter((0..8usize).map(|i| move || i).collect());
+        assert_eq!(pool.stats().tasks.get(), 8);
+        assert_eq!(pool.stats().task_nanos.count(), 8);
+        assert!(pool.stats().queue_high_water.get() >= 1);
+        // Inline path: a 1-worker pool times tasks identically.
+        let serial = Executor::new(1);
+        let _ = serial.scatter((0..3usize).map(|i| move || i).collect());
+        assert_eq!(serial.stats().tasks.get(), 3);
+        assert_eq!(serial.stats().task_nanos.count(), 3);
     }
 
     #[test]

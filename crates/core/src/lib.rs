@@ -143,6 +143,20 @@
 //!   as its own record kind and `crates/games`' posting-length attack
 //!   measures exactly what the at-rest image reveals. The plan seam
 //!   is the entry point for the ROADMAP's join-planner direction.
+//! * [`telemetry`] — the transcript-invisible operator plane: a
+//!   hand-rolled metrics registry (relaxed-atomic counters, gauges,
+//!   log2 latency histograms) instrumenting every layer — executor
+//!   queue/task latency, fsync and group-commit barrier timings, net
+//!   front-end connection/frame/backpressure counts, dedup and index
+//!   plan decisions, replication shipping/resyncs, client retries —
+//!   snapshotted by [`protocol::ClientMessage::Stats`] into a
+//!   versioned [`telemetry::StatsSnapshot`] (recording no
+//!   `ServerEvent`s, like `Status`) and rendered as text by the
+//!   example's `--stats` flag. Every metric measures Eve's own
+//!   machine, never Alex's data: `tests/telemetry.rs` pins responses,
+//!   transcripts, and durable segment bytes byte-identical with
+//!   collection on vs off, across front-ends × durability × shards ×
+//!   pools.
 //! * Chunked table streaming —
 //!   [`protocol::ClientMessage::FetchChunk`] /
 //!   [`protocol::ServerResponse::TableChunk`] page a table transfer
@@ -179,6 +193,7 @@ pub mod snapshot;
 pub mod storage;
 pub mod swp_ph;
 pub mod sys;
+pub mod telemetry;
 pub mod varlen;
 pub mod wire;
 
@@ -187,16 +202,17 @@ pub use client::Client;
 pub use durable::{DurableLog, DurableOptions, ReplicationOptions, ScrubReport, TempDir};
 pub use encoding::WordCodec;
 pub use error::PhError;
-pub use executor::Executor;
+pub use executor::{Executor, ExecutorStats};
 pub use fault::{ChaosPlan, ChaosProxy, FaultPlan, FaultRng, FaultTransport};
 pub use index::{IndexState, Posting, ProbeStats, QueryPlan, TableIndex, TermPlan};
 pub use net::{
     FrontEnd, NetOptions, NetServer, PoolOptions, PooledClient, RetryPolicy, ServerHandle,
-    Transport,
+    Transport, REPL_PULL_EVENT_LOOP_REFUSED,
 };
 pub use ph::{DatabasePh, IncrementalPh};
 pub use replica::{Replica, ReplicaOptions};
 pub use server::{Observer, Server};
 pub use storage::{ShardedTable, TableStore};
 pub use swp_ph::{EncryptedQuery, EncryptedTable, FinalSwpPh, SwpPh};
+pub use telemetry::{HistogramSnapshot, MetricValue, StatsSnapshot, Telemetry};
 pub use varlen::VarlenPh;

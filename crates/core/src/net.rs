@@ -54,9 +54,10 @@ use parking_lot::{Condvar, Mutex};
 
 use crate::codec;
 use crate::error::PhError;
-use crate::protocol::tag;
+use crate::protocol::{tag, ServerResponse};
 use crate::server::Server;
 use crate::sys;
+use crate::telemetry::Telemetry;
 use crate::wire::WireEncode as _;
 
 /// Machine-readable prefix of the [`PhError::Transport`] message for a
@@ -67,6 +68,19 @@ use crate::wire::WireEncode as _;
 /// redirect to a promoted follower instead of burning the full
 /// exponential-backoff budget against a dead primary.
 pub const CONNECT_REFUSED_PREFIX: &str = "connection refused (peer down)";
+
+/// Text of the [`ServerResponse::Error`] returned when a replication
+/// pull ([`tag::REPL_PULL`]) arrives on an event-loop front-end.
+///
+/// Replication pulls long-poll: with the follower fully caught up, the
+/// serving thread parks inside the durable log until new records
+/// arrive. The event loop services *every* connection on one thread,
+/// so parking it for one follower would stall all other sessions —
+/// followers must pull from a thread-per-connection front-end instead.
+/// Each refusal increments the `net_repl_pull_refused` counter.
+pub const REPL_PULL_EVENT_LOOP_REFUSED: &str =
+    "repl pull refused: long-poll replication is not served on the event-loop front-end; \
+     point the follower at a thread-per-connection front-end";
 
 /// Anything that can answer one serialized protocol message with one
 /// serialized response — the client's entire requirement of the
@@ -501,6 +515,10 @@ fn accept_loop(
             conns.push((clone, Arc::clone(&finished)));
         }
         state.accepted.fetch_add(1, Ordering::SeqCst);
+        if server.telemetry().on() {
+            server.telemetry().net_conns_accepted.inc();
+            server.telemetry().net_conns_live.inc();
+        }
         let server = server.clone();
         let session_flag = Arc::clone(&finished);
         let session_state = Arc::clone(state);
@@ -529,12 +547,16 @@ fn accept_loop(
 struct SessionGuard<'a> {
     stream: TcpStream,
     finished: &'a AtomicBool,
+    telemetry: Arc<Telemetry>,
 }
 
 impl Drop for SessionGuard<'_> {
     fn drop(&mut self) {
         let _ = self.stream.shutdown(Shutdown::Both);
         self.finished.store(true, Ordering::SeqCst);
+        if self.telemetry.on() {
+            self.telemetry.net_conns_live.dec();
+        }
     }
 }
 
@@ -561,14 +583,27 @@ fn connection_loop(
     if idle_timeout.is_some() && stream.set_read_timeout(idle_timeout).is_err() {
         return;
     }
-    let mut session = SessionGuard { stream, finished };
+    let telemetry = Arc::clone(server.telemetry());
+    let mut session = SessionGuard {
+        stream,
+        finished,
+        telemetry: Arc::clone(&telemetry),
+    };
     loop {
         let parked_since = Instant::now();
         match codec::read_frame(&mut session.stream) {
             Ok(Some(request)) => {
+                if telemetry.on() {
+                    telemetry.net_frames_in.inc();
+                    telemetry.net_bytes_in.add(request.len() as u64 + 4);
+                }
                 let response = server.handle(&request);
                 if codec::write_frame(&mut session.stream, &response).is_err() {
                     break;
+                }
+                if telemetry.on() {
+                    telemetry.net_frames_out.inc();
+                    telemetry.net_bytes_out.add(response.len() as u64 + 4);
                 }
             }
             Ok(None) => break,
@@ -582,6 +617,9 @@ fn connection_loop(
                 if let Some(limit) = idle_timeout {
                     if parked_since.elapsed() >= limit * 3 / 4 {
                         state.idle_reaped.fetch_add(1, Ordering::SeqCst);
+                        if telemetry.on() {
+                            telemetry.net_conns_reaped.inc();
+                        }
                     }
                 }
                 break;
@@ -626,6 +664,7 @@ struct EventConn {
     /// closes sessions whose silence outlives the configured budget.
     last_activity: Instant,
     finished: Arc<AtomicBool>,
+    telemetry: Arc<Telemetry>,
 }
 
 impl EventConn {
@@ -679,6 +718,9 @@ impl EventConn {
         let mut budget = READ_BUDGET;
         while budget > 0 && !self.dead && !self.closing {
             if self.pending_out() > WRITE_BACKPRESSURE {
+                if self.telemetry.on() {
+                    self.telemetry.net_backpressure.inc();
+                }
                 break;
             }
             match self.stream.read(&mut buf) {
@@ -696,10 +738,30 @@ impl EventConn {
                 Ok(n) => {
                     budget = budget.saturating_sub(n);
                     self.assembler.extend(&buf[..n]);
+                    if self.telemetry.on() {
+                        self.telemetry
+                            .net_assembler_high_water
+                            .set_max(self.assembler.buffered() as u64);
+                    }
                     loop {
                         match self.assembler.next_frame() {
                             Ok(Some(request)) => {
-                                let response = server.handle(&request);
+                                if self.telemetry.on() {
+                                    self.telemetry.net_frames_in.inc();
+                                    self.telemetry.net_bytes_in.add(request.len() as u64 + 4);
+                                }
+                                // Long-poll replication pulls would
+                                // park the single serving thread; see
+                                // [`REPL_PULL_EVENT_LOOP_REFUSED`].
+                                let response = if request.first() == Some(&tag::REPL_PULL) {
+                                    if self.telemetry.on() {
+                                        self.telemetry.net_repl_pull_refused.inc();
+                                    }
+                                    ServerResponse::Error(REPL_PULL_EVENT_LOOP_REFUSED.into())
+                                        .to_wire()
+                                } else {
+                                    server.handle(&request)
+                                };
                                 // Into a Vec this only fails on the
                                 // frame cap — an unframeable response
                                 // ends the session exactly as it does
@@ -707,6 +769,10 @@ impl EventConn {
                                 if codec::write_frame(&mut self.out, &response).is_err() {
                                     self.closing = true;
                                     break;
+                                }
+                                if self.telemetry.on() {
+                                    self.telemetry.net_frames_out.inc();
+                                    self.telemetry.net_bytes_out.add(response.len() as u64 + 4);
                                 }
                             }
                             Ok(None) => break,
@@ -743,6 +809,9 @@ impl Drop for EventConn {
         // see EOF before the registry prunes the clone.
         let _ = self.stream.shutdown(Shutdown::Both);
         self.finished.store(true, Ordering::SeqCst);
+        if self.telemetry.on() {
+            self.telemetry.net_conns_live.dec();
+        }
     }
 }
 
@@ -833,6 +902,9 @@ fn event_loop(
                 if !conn.dead && conn.last_activity.elapsed() >= limit {
                     conn.dead = true;
                     state.idle_reaped.fetch_add(1, Ordering::SeqCst);
+                    if conn.telemetry.on() {
+                        conn.telemetry.net_conns_reaped.inc();
+                    }
                 }
             }
         }
@@ -893,6 +965,10 @@ fn event_loop(
                     registry.push((clone, Arc::clone(&finished)));
                 }
                 state.accepted.fetch_add(1, Ordering::SeqCst);
+                if server.telemetry().on() {
+                    server.telemetry().net_conns_accepted.inc();
+                    server.telemetry().net_conns_live.inc();
+                }
                 conns.push(EventConn {
                     stream,
                     assembler: codec::FrameAssembler::new(),
@@ -902,6 +978,7 @@ fn event_loop(
                     dead: false,
                     last_activity: Instant::now(),
                     finished,
+                    telemetry: Arc::clone(server.telemetry()),
                 });
             }
         }
@@ -944,6 +1021,10 @@ struct PoolInner {
     /// Next envelope sequence number. Claimed once per mutation *call*,
     /// not per attempt — every retry resends the identical request id.
     seq: AtomicU64,
+    /// Client-side operator metrics (retries, backoff time, failovers,
+    /// reconnects) — the pool's own registry, independent of any
+    /// server's. Collection never touches the wire.
+    telemetry: Arc<Telemetry>,
 }
 
 /// Source of default [`PoolOptions::client_id`]s: unique per pool
@@ -1149,6 +1230,7 @@ impl PooledClient {
                 checkout_timeout: options.checkout_timeout,
                 client_id,
                 seq: AtomicU64::new(1),
+                telemetry: Arc::new(Telemetry::new()),
             }),
         };
         let probe = client.dial()?;
@@ -1164,6 +1246,14 @@ impl PooledClient {
     #[must_use]
     pub fn client_id(&self) -> u64 {
         self.inner.client_id
+    }
+
+    /// The pool's client-side metrics registry: `client_retries`,
+    /// `client_backoff_nanos`, `client_failovers`, and
+    /// `client_reconnects`. Shared by every clone of this pool.
+    #[must_use]
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.inner.telemetry
     }
 
     /// The server address this pool dials.
@@ -1189,6 +1279,9 @@ impl PooledClient {
             .next()
             .ok_or_else(|| PhError::Transport("address resolved to nothing".into()))?;
         *self.inner.addr.lock() = addr;
+        if self.inner.telemetry.on() {
+            self.inner.telemetry.client_failovers.inc();
+        }
         let dropped = {
             let mut state = self.inner.state.lock();
             let dropped = state.idle.len();
@@ -1267,6 +1360,9 @@ impl PooledClient {
                     // check below, so this thread (or a waiter) can
                     // re-reserve it race-free.
                     state.open -= 1;
+                    if self.inner.telemetry.on() {
+                        self.inner.telemetry.client_reconnects.inc();
+                    }
                     continue;
                 }
                 return Ok(conn);
@@ -1487,6 +1583,13 @@ impl PooledClient {
                         if started.elapsed() + sleep >= deadline {
                             return Err(e);
                         }
+                    }
+                    if self.inner.telemetry.on() {
+                        self.inner.telemetry.client_retries.inc();
+                        self.inner
+                            .telemetry
+                            .client_backoff_nanos
+                            .add(u64::try_from(sleep.as_nanos()).unwrap_or(u64::MAX));
                     }
                     std::thread::sleep(sleep);
                     attempt += 1;

@@ -78,6 +78,7 @@ pub(crate) mod tag {
     pub const TAGGED: u8 = 10;
     pub const PING: u8 = 11;
     pub const REPL_PULL: u8 = 12;
+    pub const STATS: u8 = 13;
 
     /// Whether `t` is the first byte of a mutation message — the set
     /// the durable log records and the idempotent envelope protects.
@@ -250,6 +251,16 @@ pub enum ClientMessage {
         /// everything below it is durably held by this follower.
         after_offset: u64,
     },
+    /// Operator pull of the server's full metrics registry. The server
+    /// answers with [`ServerResponse::StatsSnapshot`] and — like
+    /// [`Self::Ping`] — records **no** `ServerEvent`s: probing the
+    /// stats plane never perturbs the adversary transcript.
+    ///
+    /// Leakage: none about Alex — every metric is a measurement of
+    /// Eve's own machine (her fsync latency, her queue depths, her
+    /// socket counters), derived from work she already performs and
+    /// observes; see [`crate::telemetry`].
+    Stats,
 }
 
 impl WireEncode for ClientMessage {
@@ -327,6 +338,7 @@ impl WireEncode for ClientMessage {
                 follower.encode(buf);
                 after_offset.encode(buf);
             }
+            ClientMessage::Stats => buf.push(tag::STATS),
         }
     }
 }
@@ -404,6 +416,7 @@ impl ClientMessage {
                 follower: u64::decode(r)?,
                 after_offset: u64::decode(r)?,
             }),
+            tag::STATS => Ok(ClientMessage::Stats),
             t => Err(PhError::Wire(format!("unknown client message tag {t}"))),
         }
     }
@@ -457,6 +470,14 @@ pub enum ServerResponse {
         /// this primary's record stream and the slowest registered
         /// follower's acknowledged offset (0 with no followers).
         repl_lag: u64,
+        /// Times semi-sync durability degraded to async: a mutation's
+        /// ack released because followers missed the ack timeout
+        /// (0 on an in-memory server or without semi-sync configured).
+        semi_sync_degraded: u64,
+        /// Times this node, acting as a follower, discarded its state
+        /// and re-bootstrapped because its tail fell behind the
+        /// primary's compaction horizon.
+        resyncs: u64,
     },
     /// Answer to [`ClientMessage::ReplPull`] when the follower's
     /// offset is inside the primary's current stream: the next run of
@@ -487,6 +508,9 @@ pub enum ServerResponse {
         /// shipped here).
         next_offset: u64,
     },
+    /// Answer to [`ClientMessage::Stats`]: a versioned point-in-time
+    /// dump of the server's full metrics registry.
+    StatsSnapshot(crate::telemetry::StatsSnapshot),
 }
 
 impl WireEncode for ServerResponse {
@@ -514,11 +538,15 @@ impl WireEncode for ServerResponse {
                 poisoned,
                 tables,
                 repl_lag,
+                semi_sync_degraded,
+                resyncs,
             } => {
                 buf.push(5);
                 poisoned.encode(buf);
                 tables.encode(buf);
                 repl_lag.encode(buf);
+                semi_sync_degraded.encode(buf);
+                resyncs.encode(buf);
             }
             ServerResponse::ReplRecords {
                 records,
@@ -537,6 +565,10 @@ impl WireEncode for ServerResponse {
                 base.encode(buf);
                 records.encode(buf);
                 next_offset.encode(buf);
+            }
+            ServerResponse::StatsSnapshot(s) => {
+                buf.push(8);
+                s.encode(buf);
             }
         }
     }
@@ -557,6 +589,8 @@ impl WireDecode for ServerResponse {
                 poisoned: bool::decode(r)?,
                 tables: u64::decode(r)?,
                 repl_lag: u64::decode(r)?,
+                semi_sync_degraded: u64::decode(r)?,
+                resyncs: u64::decode(r)?,
             }),
             6 => Ok(ServerResponse::ReplRecords {
                 records: Vec::decode(r)?,
@@ -567,6 +601,9 @@ impl WireDecode for ServerResponse {
                 records: Vec::decode(r)?,
                 next_offset: u64::decode(r)?,
             }),
+            8 => Ok(ServerResponse::StatsSnapshot(
+                crate::telemetry::StatsSnapshot::decode(r)?,
+            )),
             t => Err(PhError::Wire(format!("unknown response tag {t}"))),
         }
     }
@@ -647,6 +684,7 @@ mod tests {
                 follower: 0xF01,
                 after_offset: 123_456,
             },
+            ClientMessage::Stats,
         ];
         for m in msgs {
             let bytes = m.to_wire();
@@ -674,6 +712,8 @@ mod tests {
                 poisoned: true,
                 tables: 3,
                 repl_lag: 42,
+                semi_sync_degraded: 2,
+                resyncs: 1,
             },
             ServerResponse::ReplRecords {
                 records: vec![1, 2, 3],
@@ -684,6 +724,26 @@ mod tests {
                 records: vec![4, 5],
                 next_offset: 19,
             },
+            ServerResponse::StatsSnapshot(crate::telemetry::StatsSnapshot {
+                version: crate::telemetry::STATS_VERSION,
+                metrics: vec![
+                    (
+                        "dedup_fresh".into(),
+                        crate::telemetry::MetricValue::Counter(7),
+                    ),
+                    (
+                        "fsync_nanos".into(),
+                        crate::telemetry::MetricValue::Histogram(
+                            crate::telemetry::HistogramSnapshot {
+                                count: 2,
+                                sum: 300,
+                                max: 200,
+                                buckets: vec![(7, 1), (8, 1)],
+                            },
+                        ),
+                    ),
+                ],
+            }),
         ] {
             let bytes = r.to_wire();
             assert_eq!(ServerResponse::from_wire(&bytes).unwrap(), r);
@@ -760,6 +820,7 @@ mod tests {
             tag::TAGGED,
             tag::PING,
             tag::REPL_PULL,
+            tag::STATS,
         ];
         for t in mutations {
             assert!(tag::is_mutation_tag(t), "{t}");

@@ -321,6 +321,13 @@ fn resync(inner: &Inner) -> Result<(), PhError> {
         s.cursor = cursor;
         s.generation = generation;
         s.resyncs += 1;
+        // The generation swap installed a fresh metrics registry;
+        // restore the cumulative count so the operator's
+        // `repl_resyncs` survives re-bootstraps.
+        let telemetry = s.server.telemetry();
+        if telemetry.on() {
+            telemetry.repl_resyncs.add(s.resyncs);
+        }
         old
     };
     // Best-effort: the superseded generation's directory is dead
@@ -371,6 +378,9 @@ fn step(inner: &Inner) -> Result<bool, PhError> {
             )));
         }
         server.apply_replicated(body)?;
+    }
+    if server.telemetry().on() {
+        server.telemetry().repl_chunks_applied.inc();
     }
     inner.state.write().cursor = next_offset;
     Ok(true)

@@ -35,6 +35,7 @@ use crate::executor::Executor;
 use crate::protocol::{ClientMessage, ServerResponse, WireTrapdoor, MAX_CHUNK_BYTES};
 use crate::storage::{DedupDecision, ShardedTable, TableStore};
 use crate::swp_ph::EncryptedTable;
+use crate::telemetry::{MetricValue, StatsSnapshot, Telemetry, STATS_VERSION};
 use crate::wire::{WireDecode, WireEncode};
 
 /// Which batched message an event belongs to: `(batch id, index within
@@ -206,6 +207,11 @@ pub struct Server {
     /// acknowledging it. Shared across clones: clones are the same
     /// logical server and must share one log.
     durable: Option<Arc<DurableLog>>,
+    /// The transcript-invisible metrics registry — shared across
+    /// clones (one logical server, one registry) and handed to the
+    /// durable log, net front-ends, and replica runtime so every
+    /// layer reports into the same snapshot.
+    telemetry: Arc<Telemetry>,
 }
 
 impl Default for Server {
@@ -262,6 +268,7 @@ impl Server {
             observer: Observer::new(),
             next_batch: Arc::new(AtomicU64::new(0)),
             durable: None,
+            telemetry: Arc::new(Telemetry::new()),
         }
     }
 
@@ -284,6 +291,7 @@ impl Server {
             observer: Observer::new(),
             next_batch: Arc::new(AtomicU64::new(0)),
             durable: None,
+            telemetry: Arc::new(Telemetry::new()),
         }
     }
 
@@ -377,11 +385,14 @@ impl Server {
         if !index.image.is_empty() {
             store.index().install_snapshot(index.image);
         }
+        let telemetry = Arc::new(Telemetry::new());
+        log.install_telemetry(Arc::clone(&telemetry));
         Server {
             store: Arc::new(store),
             observer: Observer::new(),
             next_batch: Arc::new(AtomicU64::new(0)),
             durable: Some(Arc::new(log)),
+            telemetry,
         }
     }
 
@@ -536,6 +547,71 @@ impl Server {
         &self.observer
     }
 
+    /// The server's metrics registry — shared by every clone and by
+    /// the layers (log, front-ends, replica) serving this server.
+    /// Tests and benches flip collection with
+    /// [`Telemetry::set_enabled`]; operators pull it with
+    /// [`ClientMessage::Stats`].
+    #[must_use]
+    pub fn telemetry(&self) -> &Arc<Telemetry> {
+        &self.telemetry
+    }
+
+    /// Samples the full stats plane into one versioned snapshot: the
+    /// registry's counters and histograms, the durable log's sampled
+    /// health (sync count, poison flag, replication lag and degrade
+    /// count), and the scan pool's executor stats. Pure read — no
+    /// locks beyond the metric atomics, no `ServerEvent`s.
+    #[must_use]
+    pub fn stats_snapshot(&self) -> StatsSnapshot {
+        let mut metrics = self.telemetry.snapshot_metrics();
+        let mut c = |name: &str, v: u64| metrics.push((name.to_string(), MetricValue::Counter(v)));
+        match &self.durable {
+            Some(log) => {
+                c("log_syncs", log.sync_count());
+                c("log_poisoned", u64::from(log.is_poisoned()));
+                c("repl_lag_bytes", log.replication_lag());
+                c("repl_semi_sync_degraded", log.semi_sync_degraded());
+            }
+            None => {
+                c("log_syncs", 0);
+                c("log_poisoned", 0);
+                c("repl_lag_bytes", 0);
+                c("repl_semi_sync_degraded", 0);
+            }
+        }
+        let pool = self.store.pool();
+        metrics.push((
+            "exec_workers".to_string(),
+            MetricValue::Gauge(pool.workers() as u64),
+        ));
+        let stats = pool.stats();
+        metrics.push((
+            "exec_tasks".to_string(),
+            MetricValue::Counter(stats.tasks.get()),
+        ));
+        metrics.push((
+            "exec_busy_nanos".to_string(),
+            MetricValue::Counter(stats.busy_nanos.get()),
+        ));
+        metrics.push((
+            "exec_queue_depth".to_string(),
+            MetricValue::Gauge(stats.queue_depth.get()),
+        ));
+        metrics.push((
+            "exec_queue_high_water".to_string(),
+            MetricValue::Gauge(stats.queue_high_water.get()),
+        ));
+        metrics.push((
+            "exec_task_nanos".to_string(),
+            MetricValue::Histogram(stats.task_nanos.snapshot()),
+        ));
+        StatsSnapshot {
+            version: STATS_VERSION,
+            metrics,
+        }
+    }
+
     /// Opts this server into the encrypted inverted index
     /// ([`crate::index`]): subsequent queries plan multimap probes
     /// instead of full scans. Off by default — without this call the
@@ -594,7 +670,11 @@ impl Server {
     /// with the tables.
     #[must_use]
     pub fn handle(&self, message_bytes: &[u8]) -> Vec<u8> {
-        match ClientMessage::from_wire(message_bytes) {
+        // One Instant pair per request, and only when telemetry is
+        // collecting — the sole hot-path cost of the request-latency
+        // histograms.
+        let started = self.telemetry.on().then(std::time::Instant::now);
+        let response = match ClientMessage::from_wire(message_bytes) {
             Ok(ClientMessage::Tagged {
                 client_id,
                 seq,
@@ -602,7 +682,14 @@ impl Server {
             }) => self.handle_tagged(message_bytes, client_id, seq, *inner),
             Ok(msg) => self.apply(message_bytes, msg).to_wire(),
             Err(e) => ServerResponse::Error(format!("malformed message: {e}")).to_wire(),
+        };
+        if let Some(t0) = started {
+            let kind = message_bytes.first().copied().unwrap_or(0);
+            self.telemetry
+                .request_latency(kind)
+                .record_duration(t0.elapsed());
         }
+        response
     }
 
     /// Dispatches `msg`, routing mutations through the durable log when
@@ -631,7 +718,15 @@ impl Server {
         if !Self::is_mutation(&inner) {
             return self.apply(raw, inner).to_wire();
         }
-        match self.store.dedup().begin(client_id, seq) {
+        let decision = self.store.dedup().begin(client_id, seq);
+        if self.telemetry.on() {
+            match &decision {
+                DedupDecision::Replay(_) => self.telemetry.dedup_replays.inc(),
+                DedupDecision::Stale => self.telemetry.dedup_stale.inc(),
+                DedupDecision::Fresh => self.telemetry.dedup_fresh.inc(),
+            }
+        }
+        match decision {
             DedupDecision::Replay(response) => response,
             DedupDecision::Stale => ServerResponse::Error(format!(
                 "{}: request ({client_id}, {seq}) is below the dedup \
@@ -672,12 +767,38 @@ impl Server {
         batch: Option<BatchRef>,
     ) -> Result<EncryptedTable, String> {
         let plan = self.plan_query(&terms);
+        if self.telemetry.on() {
+            if plan.uses_index() {
+                self.telemetry.plan_probe_queries.inc();
+            } else {
+                self.telemetry.plan_scan_queries.inc();
+            }
+        }
         let result = if plan.uses_index() {
             let (result, probes) = self
                 .store
                 .query_planned(name, &terms, &plan)
                 .map_err(|e| e.to_string())?;
             for probe in probes {
+                if self.telemetry.on() {
+                    match probe.cached {
+                        Some(cached) => {
+                            self.telemetry.index_probe_hits.inc();
+                            // Delta-scan length: posting entries the
+                            // probe verified beyond its cached prefix.
+                            self.telemetry
+                                .index_delta_len
+                                .record(probe.posting.saturating_sub(cached) as u64);
+                        }
+                        None => {
+                            self.telemetry.index_probe_misses.inc();
+                            self.telemetry.index_delta_len.record(probe.posting as u64);
+                        }
+                    }
+                    self.telemetry
+                        .index_posting_len
+                        .record(probe.posting as u64);
+                }
                 self.observer.record(ServerEvent::IndexProbe {
                     name: name.to_string(),
                     label: probe.label.to_vec(),
@@ -864,16 +985,29 @@ impl Server {
             // transcript event — there is nothing about Alex's data
             // or queries in it.
             ClientMessage::Ping => {
-                let (poisoned, repl_lag) = match &self.durable {
-                    Some(log) => (log.is_poisoned(), log.replication_lag()),
-                    None => (false, 0),
+                let (poisoned, repl_lag, semi_sync_degraded) = match &self.durable {
+                    Some(log) => (
+                        log.is_poisoned(),
+                        log.replication_lag(),
+                        log.semi_sync_degraded(),
+                    ),
+                    None => (false, 0, 0),
                 };
                 ServerResponse::Status {
                     poisoned,
                     tables: self.store.table_names().len() as u64,
                     repl_lag,
+                    semi_sync_degraded,
+                    // Counted by the replica runtime into this server's
+                    // registry: nonzero only on (current or former)
+                    // followers that had to re-bootstrap.
+                    resyncs: self.telemetry.repl_resyncs.get(),
                 }
             }
+            // Same class as `Ping`: operational plumbing answered from
+            // Eve's own counters about her own machine — no transcript
+            // event (see `crate::telemetry` for the leakage argument).
+            ClientMessage::Stats => ServerResponse::StatsSnapshot(self.stats_snapshot()),
             // Log shipping: returns bytes Eve already wrote to her own
             // disk, verbatim, to a second Eve. No transcript event —
             // the shipped records are exactly the client messages this

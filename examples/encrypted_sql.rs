@@ -143,6 +143,61 @@
 //! `ReplicationOptions { min_acks }` and `BENCH_repl.json` for its
 //! cost; this demo tails asynchronously.
 //!
+//! # Quickstart: the operator stats plane
+//!
+//! Every server keeps a transcript-invisible metrics registry —
+//! counters, gauges, and log2 latency histograms — and answers a
+//! `Stats` protocol message with a versioned snapshot. Two client-side
+//! flags expose it:
+//!
+//! * `--connect <addr> --stats` — fetch one snapshot, print it as
+//!   text, exit.
+//! * `--connect <addr> --stats-every <secs>` — print a snapshot every
+//!   `<secs>` seconds until interrupted.
+//!
+//! ```text
+//! $ cargo run --example encrypted_sql -- --connect 127.0.0.1:4460 --stats
+//! # stats v1
+//! counter   dedup_fresh 12
+//! histogram req_query_nanos count=6 mean=81321 p50=65535 p95=131071 p99=131071 max=97412
+//! …
+//! ```
+//!
+//! Collection never touches the request/response bytes: responses,
+//! response ordering, `Observer` transcripts, and durable segment
+//! bytes are byte-identical with telemetry on or off
+//! (`tests/telemetry.rs` pins this). The metrics measure *Eve's
+//! machine* — latencies, queue depths, fsync costs — never Alex's
+//! plaintext, so the stats plane adds nothing to the adversary's view
+//! that she could not already compute from her own hardware.
+//!
+//! Metrics reference (the snapshot is self-describing; this is the
+//! map from name to meaning):
+//!
+//! | name | kind | meaning |
+//! |------|------|---------|
+//! | `req_<kind>_nanos` | histogram | server handle latency per message kind (`create`, `query`, `append`, …) |
+//! | `dedup_fresh` / `dedup_replays` / `dedup_stale` | counter | envelope dedup outcomes: applied / replayed from window / refused as too old |
+//! | `plan_probe_queries` / `plan_scan_queries` | counter | queries answered via the inverted index vs full shard scan |
+//! | `index_probe_hits` / `index_probe_misses` | counter | index probes that found a cached posting vs built one |
+//! | `index_posting_len` / `index_delta_len` | histogram | posting sizes returned / delta-scan lengths beyond the cached prefix |
+//! | `fsync_nanos` | histogram | latency of each durable-log fsync |
+//! | `commit_wait_nanos` | histogram | time a mutation waited on its group-commit barrier |
+//! | `commit_window_records` | histogram | records covered by each group-commit barrier |
+//! | `log_syncs` / `log_poisoned` | counter/gauge | fsyncs so far; 1 when the log is poisoned (sampled) |
+//! | `exec_workers` / `exec_queue_depth` / `exec_queue_high_water` | gauge | scan-pool size and queue occupancy (sampled) |
+//! | `exec_tasks` / `exec_busy_nanos` / `exec_task_nanos` | counter/histogram | scan-pool tasks run and their latencies |
+//! | `net_conns_live` / `net_conns_accepted` / `net_conns_reaped` | gauge/counter | sessions now / ever / idle-reaped |
+//! | `net_frames_in` / `net_frames_out` / `net_bytes_in` / `net_bytes_out` | counter | framed traffic both ways (header bytes included) |
+//! | `net_backpressure` | counter | times the event loop stopped reading a connection whose responses outgrew the write budget |
+//! | `net_assembler_high_water` | gauge | largest frame-reassembly backlog any connection reached |
+//! | `net_repl_pull_refused` | counter | replication pulls refused on the event-loop front-end |
+//! | `repl_lag_bytes` / `repl_semi_sync_degraded` | gauge/counter | follower lag; semi-sync acks that degraded to async (sampled) |
+//! | `repl_chunks_shipped` / `repl_bytes_shipped` / `repl_longpoll_parks` | counter | primary-side feed traffic and parked pulls |
+//! | `repl_chunks_applied` / `repl_resyncs` | counter | follower-side chunks applied; full re-bootstraps |
+//! | `client_retries` / `client_backoff_nanos` | counter | pool-side retry attempts and backoff slept (on [`PooledClient::telemetry`]) |
+//! | `client_failovers` / `client_reconnects` | counter | pool redirects; stale pooled connections replaced |
+//!
 //! # Quickstart: scrub a data directory
 //!
 //! `--scrub` (with `--data-dir`) re-reads every segment of the log —
@@ -160,6 +215,8 @@
 
 use std::time::Duration;
 
+use dbph::core::protocol::{ClientMessage, ServerResponse};
+use dbph::core::wire::{WireDecode as _, WireEncode as _};
 use dbph::core::{
     ChaosPlan, ChaosProxy, Client, DurableOptions, FinalSwpPh, FrontEnd, NetServer, PoolOptions,
     PooledClient, Replica, ReplicaOptions, RetryPolicy, Server, Transport,
@@ -247,6 +304,37 @@ fn make_client(
     }
 }
 
+/// Fetches one metrics snapshot over the wire and prints its text
+/// exposition — the `--stats` / `--stats-every` operator plane.
+fn print_stats(pool: &PooledClient) -> Result<(), Box<dyn std::error::Error>> {
+    let response = pool.call(&ClientMessage::Stats.to_wire())?;
+    match ServerResponse::from_wire(&response)? {
+        ServerResponse::StatsSnapshot(snapshot) => {
+            print!("{snapshot}");
+            Ok(())
+        }
+        other => Err(format!("unexpected response to Stats: {other:?}").into()),
+    }
+}
+
+/// One in-process Ping → Status round against the follower's own
+/// server: the per-strike health line an operator watches while
+/// armed failover counts the primary out.
+fn print_follower_health(server: &Server, strikes: u32) {
+    if let Ok(ServerResponse::Status {
+        poisoned,
+        semi_sync_degraded,
+        resyncs,
+        ..
+    }) = ServerResponse::from_wire(&server.handle(&ClientMessage::Ping.to_wire()))
+    {
+        println!(
+            "-- strike {strikes}/4: poisoned={poisoned} \
+             semi_sync_degraded={semi_sync_degraded} resyncs={resyncs}"
+        );
+    }
+}
+
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     // `--data-dir <path>` composes with any mode; extract it first.
@@ -313,6 +401,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|i| args.remove(i))
         .is_some();
 
+    // `--stats` / `--stats-every <secs>` query the operator plane
+    // instead of running the SQL script.
+    let stats_once = args
+        .iter()
+        .position(|a| a == "--stats")
+        .map(|i| args.remove(i))
+        .is_some();
+    let stats_every = args
+        .iter()
+        .position(|a| a == "--stats-every")
+        .map(|i| {
+            args.remove(i); // the flag
+            if i < args.len() {
+                args.remove(i) // its value
+                    .parse::<u64>()
+                    .map_err(|_| "usage: --stats-every <seconds>")
+            } else {
+                Err("usage: --stats-every <seconds>")
+            }
+        })
+        .transpose()?;
+
     // `--retry <n>` turns on client-side retries (mutations ride the
     // idempotent envelope; the server applies each exactly once).
     let retry = args
@@ -356,6 +466,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     if promote && args.first().map(String::as_str) != Some("--replicate-from") {
         return Err("--promote arms follower failover; pair it with --replicate-from".into());
+    }
+
+    if (stats_once || stats_every.is_some())
+        && args.first().map(String::as_str) != Some("--connect")
+    {
+        return Err(
+            "--stats/--stats-every query a serving process; pair them with \
+                    --connect <addr>"
+                .into(),
+        );
     }
 
     match args.first().map(String::as_str) {
@@ -460,6 +580,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 } else {
                     0
                 };
+                if strikes > 0 {
+                    print_follower_health(&replica.server(), strikes);
+                }
                 if strikes >= 4 {
                     break;
                 }
@@ -497,6 +620,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 None => println!("-- connecting to {addr} (2-connection pool)"),
             }
             let (pool, _chaos) = make_client(addr.as_str(), retry, chaos_seed)?;
+            if stats_once {
+                return print_stats(&pool);
+            }
+            if let Some(secs) = stats_every {
+                loop {
+                    print_stats(&pool)?;
+                    std::thread::sleep(Duration::from_secs(secs.max(1)));
+                }
+            }
             run_script(pool)
         }
         Some(other) => Err(format!(

@@ -475,10 +475,14 @@ fn ping_answers_a_status_probe_on_both_front_ends() {
                 poisoned,
                 tables,
                 repl_lag,
+                semi_sync_degraded,
+                resyncs,
             } => {
                 assert!(!poisoned, "{front_end:?}: fresh log reported poisoned");
                 assert_eq!(tables, 0, "{front_end:?}");
                 assert_eq!(repl_lag, 0, "{front_end:?}");
+                assert_eq!(semi_sync_degraded, 0, "{front_end:?}");
+                assert_eq!(resyncs, 0, "{front_end:?}");
             }
             other => panic!("{front_end:?}: ping answered {other:?}"),
         }
@@ -517,10 +521,14 @@ fn ping_works_on_an_in_memory_server() {
             poisoned,
             tables,
             repl_lag,
+            semi_sync_degraded,
+            resyncs,
         } => {
             assert!(!poisoned, "no log, nothing to poison");
             assert_eq!(tables, 1);
             assert_eq!(repl_lag, 0);
+            assert_eq!(semi_sync_degraded, 0);
+            assert_eq!(resyncs, 0);
         }
         other => panic!("ping answered {other:?}"),
     }
